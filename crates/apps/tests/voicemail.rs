@@ -1,0 +1,127 @@
+//! Voicemail (extension service, motivated by paper §I): answered calls
+//! connect; unanswered or unreachable subscribers divert to the recorder.
+
+use ipmedia_apps::voicemail::VoicemailLogic;
+use ipmedia_apps::MediaNet;
+use ipmedia_core::endpoint::EndpointLogic;
+use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
+use ipmedia_core::{MediaAddr, Medium, SlotState};
+use ipmedia_media::SourceKind;
+use ipmedia_netsim::{Network, SimConfig, SimTime};
+
+const T: SimTime = SimTime(600_000_000);
+
+fn addr(h: u8) -> MediaAddr {
+    MediaAddr::v4(10, 0, 0, h, 4000)
+}
+
+struct World {
+    mn: MediaNet,
+    caller: ipmedia_core::BoxId,
+    subscriber: ipmedia_core::BoxId,
+    caller_slot: ipmedia_core::SlotId,
+}
+
+fn build(ring_timeout_ms: u64, subscriber_available: bool) -> World {
+    let mut net = Network::new(SimConfig::paper());
+    let caller = net.add_box(
+        "caller",
+        Box::new(EndpointLogic::new(
+            EndpointPolicy::audio(addr(1)),
+            AcceptMode::Auto,
+        )),
+    );
+    let subscriber = net.add_box(
+        "handset",
+        Box::new(EndpointLogic::new(
+            EndpointPolicy::audio(addr(2)),
+            AcceptMode::Manual, // rings until the human answers
+        )),
+    );
+    let recorder = net.add_box(
+        "recorder",
+        Box::new(EndpointLogic::new(
+            EndpointPolicy::audio(addr(9)),
+            AcceptMode::Auto,
+        )),
+    );
+    let vm = net.add_box(
+        "voicemail",
+        Box::new(VoicemailLogic::new("handset", "recorder", ring_timeout_ms)),
+    );
+    if !subscriber_available {
+        net.set_available(subscriber, false);
+    }
+    net.run_until_quiescent(T);
+
+    let (_, c_slots, _) = net.connect(caller, vm, 1);
+    net.run_until_quiescent(T);
+    net.user(caller, c_slots[0], UserCmd::Open(Medium::Audio));
+
+    let mut mn = MediaNet::new(net);
+    mn.endpoint(caller, addr(1), SourceKind::SpeechLike(1));
+    mn.endpoint(subscriber, addr(2), SourceKind::SpeechLike(2));
+    mn.endpoint(recorder, addr(9), SourceKind::Silence);
+    World {
+        mn,
+        caller,
+        subscriber,
+        caller_slot: c_slots[0],
+    }
+}
+
+#[test]
+fn answered_call_connects_caller_and_subscriber() {
+    let mut w = build(30_000, true);
+    // Wait for the handset to ring, then answer.
+    let ringing = w.mn.net.run_until(T, |n| {
+        n.media(w.subscriber)
+            .slot(ipmedia_core::SlotId(0))
+            .is_some_and(|s| s.state() == SlotState::Opened)
+    });
+    assert!(ringing, "handset rings");
+    w.mn.net
+        .user(w.subscriber, ipmedia_core::SlotId(0), UserCmd::Accept);
+    w.mn.settle_and_pump(T, 10);
+    w.mn.plane
+        .flows()
+        .assert_exactly(&[(addr(1), addr(2)), (addr(2), addr(1))])
+        .expect("caller ↔ subscriber");
+}
+
+#[test]
+fn unanswered_call_diverts_to_recorder() {
+    let mut w = build(5_000, true); // 5 s ring timeout, never answered
+    w.mn.net.run_until_quiescent(T);
+    w.mn.plane.reset_flows();
+    w.mn.pump_media(10);
+    w.mn.plane
+        .flows()
+        .assert_exactly(&[(addr(1), addr(9)), (addr(9), addr(1))])
+        .expect("caller ↔ recorder after ring timeout");
+    // The handset's channel is gone (ringing stopped).
+    assert_eq!(w.mn.net.media(w.subscriber).slot_ids().count(), 0);
+}
+
+#[test]
+fn unreachable_handset_goes_straight_to_voicemail() {
+    let mut w = build(30_000, false);
+    w.mn.net.run_until_quiescent(T);
+    w.mn.plane.reset_flows();
+    w.mn.pump_media(10);
+    w.mn.plane
+        .flows()
+        .assert_exactly(&[(addr(1), addr(9)), (addr(9), addr(1))])
+        .expect("persistent network presence: recorder answers");
+}
+
+#[test]
+fn caller_hangup_during_recording_releases_everything() {
+    let mut w = build(5_000, true);
+    w.mn.net.run_until_quiescent(T); // timeout → recording
+    w.mn.net.user(w.caller, w.caller_slot, UserCmd::Close);
+    w.mn.net.run_until_quiescent(T);
+    w.mn.plane.reset_flows();
+    w.mn.pump_media(10);
+    assert_eq!(w.mn.plane.flows().total(), 0, "all media stopped");
+}

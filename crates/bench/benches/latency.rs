@@ -1,0 +1,59 @@
+//! Criterion benches over the latency scenarios (experiments E8, E9).
+//!
+//! Virtual-time latencies are deterministic; what criterion measures here
+//! is the host cost of simulating each scenario, which doubles as a
+//! regression guard on the protocol's message complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmedia_bench::{fig13_concurrent_relink, fresh_setup_latency, relink_latency};
+use ipmedia_netsim::{SimConfig, SimDuration};
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_concurrent_relink", |b| {
+        b.iter(|| {
+            let d = fig13_concurrent_relink(SimConfig::paper());
+            assert_eq!(d, SimDuration::from_millis(128));
+            d
+        })
+    });
+}
+
+fn bench_call_setup(c: &mut Criterion) {
+    c.bench_function("fresh_setup_one_server", |b| {
+        b.iter(|| {
+            let d = fresh_setup_latency(1, SimConfig::paper());
+            assert_eq!(d, SimDuration::from_millis(236));
+            d
+        })
+    });
+}
+
+fn bench_relink_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relink_pn_plus_p1c");
+    for k in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let d = relink_latency(k, SimConfig::paper());
+                let expect = SimDuration::from_millis(34 * k as u64 + 20 * (k as u64 + 1));
+                assert_eq!(d, expect);
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_fig13, bench_call_setup, bench_relink_sweep
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench over the verification campaign (experiments E6, E7):
+//! wall-time of exhaustively checking each path configuration, showing
+//! the flowlink state-space growth the paper reports (§VIII-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipmedia_core::path::PathType;
+use ipmedia_mck::{budgeted, check_path};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mck_paths");
+    g.sample_size(10);
+    for links in [0usize, 1] {
+        for pt in [PathType::OpenHold, PathType::CloseOpen, PathType::HoldHold] {
+            let (l, r) = pt.ends();
+            let cfg = budgeted(links, l, r, 0);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{pt}"), links),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let (res, _) = check_path(cfg, 5_000_000);
+                        assert!(res.passed());
+                        res.states
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_campaign
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! Benchmark scenarios for the paper's evaluation (§VIII-C, §IX-B).
+//!
+//! Each function builds a deterministic scenario on the discrete-event
+//! simulator with the paper's timing (n = 34 ms, c = 20 ms) and returns
+//! the measured latency, so that every number in the paper's performance
+//! analysis is *measured* here rather than derived.
+
+use ipmedia_core::boxes::GoalSpec;
+use ipmedia_core::endpoint::{EndpointLogic, NullLogic};
+use ipmedia_core::goal::{EndpointPolicy, UserCmd};
+use ipmedia_core::ids::{BoxId, SlotId};
+use ipmedia_core::{BoxCmd, MediaAddr, Medium};
+use ipmedia_netsim::{Network, SimConfig, SimDuration, SimTime};
+
+const T_MAX: SimTime = SimTime(3_600_000_000);
+
+fn l_addr() -> MediaAddr {
+    MediaAddr::v4(10, 0, 0, 1, 4000)
+}
+
+fn r_addr() -> MediaAddr {
+    MediaAddr::v4(10, 0, 0, 2, 4000)
+}
+
+/// A linear deployment `L — S0 — S1 — … — S(k-1) — R` with every tunnel
+/// established end-to-end (all servers flowlinked, L opened the channel).
+pub struct Chain {
+    pub net: Network,
+    pub l: BoxId,
+    pub r: BoxId,
+    pub servers: Vec<BoxId>,
+    /// (left slot, right slot) of each server.
+    pub server_slots: Vec<(SlotId, SlotId)>,
+    pub l_slot: SlotId,
+    pub r_slot: SlotId,
+}
+
+impl Chain {
+    /// Build and converge the chain with `k ≥ 1` servers.
+    pub fn new(k: usize, cfg: SimConfig) -> Chain {
+        assert!(k >= 1);
+        let mut net = Network::new(cfg);
+        let l = net.add_box(
+            "end-l",
+            Box::new(EndpointLogic::resource(EndpointPolicy::audio(l_addr()))),
+        );
+        let r = net.add_box(
+            "end-r",
+            Box::new(EndpointLogic::resource(EndpointPolicy::audio(r_addr()))),
+        );
+        let servers: Vec<BoxId> = (0..k)
+            .map(|i| net.add_box(format!("s{i}"), Box::new(NullLogic)))
+            .collect();
+
+        let (_, l_slots, s0_left) = net.connect(l, servers[0], 1);
+        let mut server_slots: Vec<(SlotId, SlotId)> = Vec::with_capacity(k);
+        let mut prev_left = s0_left[0];
+        for i in 0..k - 1 {
+            let (_, right, next_left) = net.connect(servers[i], servers[i + 1], 1);
+            server_slots.push((prev_left, right[0]));
+            prev_left = next_left[0];
+        }
+        let (_, last_right, r_slots) = net.connect(servers[k - 1], r, 1);
+        server_slots.push((prev_left, last_right[0]));
+        net.run_until_quiescent(T_MAX);
+
+        // Flowlink every server, then establish the call from L.
+        for (i, &srv) in servers.iter().enumerate() {
+            let (a, b) = server_slots[i];
+            net.apply(srv, move |pb| {
+                pb.media_mut()
+                    .set_goal(GoalSpec::Link { a, b })
+                    .into_iter()
+                    .map(BoxCmd::Signal)
+                    .collect()
+            });
+        }
+        net.run_until_quiescent(T_MAX);
+        net.user(l, l_slots[0], UserCmd::Open(Medium::Audio));
+        net.run_until_quiescent(T_MAX);
+
+        let chain = Chain {
+            net,
+            l,
+            r,
+            servers,
+            server_slots,
+            l_slot: l_slots[0],
+            r_slot: r_slots[0],
+        };
+        assert!(chain.converged(), "initial establishment must converge");
+        chain
+    }
+
+    /// Both ends transmit at each other's negotiated addresses.
+    pub fn converged(&self) -> bool {
+        let sl = self.net.media(self.l).slot(self.l_slot).unwrap();
+        let sr = self.net.media(self.r).slot(self.r_slot).unwrap();
+        sl.tx_route().map(|(to, _)| to) == Some(r_addr())
+            && sr.tx_route().map(|(to, _)| to) == Some(l_addr())
+    }
+
+    /// Put server `i`'s two slots on hold (the PC Snapshot-2 move): the
+    /// path is split and both ends go silent.
+    pub fn hold(&mut self, i: usize) {
+        let srv = self.servers[i];
+        let (a, b) = self.server_slots[i];
+        self.net.apply(srv, move |pb| {
+            let mut out = pb
+                .media_mut()
+                .set_goal(GoalSpec::Hold {
+                    slot: a,
+                    policy: ipmedia_core::goal::Policy::Server,
+                })
+                .into_iter()
+                .map(BoxCmd::Signal)
+                .collect::<Vec<_>>();
+            out.extend(
+                pb.media_mut()
+                    .set_goal(GoalSpec::Hold {
+                        slot: b,
+                        policy: ipmedia_core::goal::Policy::Server,
+                    })
+                    .into_iter()
+                    .map(BoxCmd::Signal),
+            );
+            out
+        });
+        self.net.run_until_quiescent(T_MAX);
+    }
+
+    /// Re-link server `i` (attach a fresh flowlink to its two slots).
+    pub fn relink(&mut self, i: usize) {
+        let srv = self.servers[i];
+        let (a, b) = self.server_slots[i];
+        self.net.apply(srv, move |pb| {
+            pb.media_mut()
+                .set_goal(GoalSpec::Link { a, b })
+                .into_iter()
+                .map(BoxCmd::Signal)
+                .collect()
+        });
+    }
+
+    /// Run until both ends transmit at each other again; return the
+    /// completion instant (end-of-compute of the later endpoint).
+    pub fn measure_reconvergence(&mut self, t0: SimTime) -> SimDuration {
+        let (l, r, ls, rs) = (self.l, self.r, self.l_slot, self.r_slot);
+        let ok = self.net.run_until(T_MAX, |n| {
+            let sl = n.media(l).slot(ls).unwrap();
+            let sr = n.media(r).slot(rs).unwrap();
+            sl.tx_route().map(|(to, _)| to) == Some(r_addr())
+                && sr.tx_route().map(|(to, _)| to) == Some(l_addr())
+        });
+        assert!(ok, "path must reconverge");
+        self.net.busy_until(self.l).max(self.net.busy_until(self.r)) - t0
+    }
+}
+
+/// Fig. 13 (experiment E8): the PBX and PC change state concurrently.
+/// Chain `A — S0 — S1 — C`; both servers are holding, then both re-link at
+/// the same instant. The paper derives 2n + 3c = 128 ms.
+pub fn fig13_concurrent_relink(cfg: SimConfig) -> SimDuration {
+    let mut chain = Chain::new(2, cfg);
+    chain.hold(0);
+    chain.hold(1);
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain.relink(0);
+    chain.relink(1);
+    chain.measure_reconvergence(t0)
+}
+
+/// §VIII-C general formula (experiment E9): re-link a single flowlink at
+/// distance `p` hops from its farther endpoint. Expected `p·n + (p+1)·c`.
+/// Here the re-linked server is S0, so `p = k` (the number of tunnels
+/// between S0 and the right endpoint).
+pub fn relink_latency(k: usize, cfg: SimConfig) -> SimDuration {
+    let mut chain = Chain::new(k, cfg);
+    chain.hold(0);
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain.relink(0);
+    chain.measure_reconvergence(t0)
+}
+
+/// Fresh end-to-end call setup through `k` flowlinked servers, measured
+/// from the user's open action, with no cached descriptors anywhere:
+/// `2(k+1)·n + (2k+3)·c` (each hop adds a network traversal in each
+/// direction plus a compute step). Contrast with [`relink_latency`], where
+/// cached descriptors make the same path light up in `k·n + (k+1)·c` —
+/// the measurable value of the protocol's cacheable unilateral
+/// descriptors (§IX-B).
+pub fn fresh_setup_latency(k: usize, cfg: SimConfig) -> SimDuration {
+    let mut chain = Chain::new(k, cfg);
+    // Tear the call down end-to-end, then re-open and measure.
+    chain.net.user(chain.l, chain.l_slot, UserCmd::Close);
+    chain.net.run_until_quiescent(T_MAX);
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain
+        .net
+        .user(chain.l, chain.l_slot, UserCmd::Open(Medium::Audio));
+    chain.measure_reconvergence(t0)
+}
+
+/// Signals delivered during one re-link, for the protocol-cost table.
+pub fn count_signals_for_relink(k: usize) -> usize {
+    let mut chain = Chain::new(k, SimConfig::paper());
+    chain.hold(0);
+    chain.net.trace_enabled = true;
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain.relink(0);
+    chain.measure_reconvergence(t0);
+    chain.net.run_until_quiescent(T_MAX);
+    chain.net.trace().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_gives_128ms() {
+        let d = fig13_concurrent_relink(SimConfig::paper());
+        assert_eq!(d, SimDuration::from_millis(128), "2n+3c, got {d}");
+    }
+
+    #[test]
+    fn relink_latency_follows_formula() {
+        // p·n + (p+1)·c for p = 1..5.
+        for k in 1..=5 {
+            let d = relink_latency(k, SimConfig::paper());
+            let expect = SimDuration::from_millis(34 * k as u64 + 20 * (k as u64 + 1));
+            assert_eq!(d, expect, "k={k}: expected {expect}, got {d}");
+        }
+    }
+
+    #[test]
+    fn fresh_setup_costs_per_hop() {
+        // 2(k+1)n + (2k+3)c: k=1 → 4n+5c = 236 ms; k=2 → 6n+7c = 344 ms.
+        assert_eq!(
+            fresh_setup_latency(1, SimConfig::paper()),
+            SimDuration::from_millis(236)
+        );
+        assert_eq!(
+            fresh_setup_latency(2, SimConfig::paper()),
+            SimDuration::from_millis(344)
+        );
+    }
+
+    #[test]
+    fn cached_relink_beats_fresh_setup() {
+        // The §IX-B caching argument, measured: re-linking with cached
+        // descriptors is cheaper than fresh negotiation over the same path.
+        let fresh = fresh_setup_latency(2, SimConfig::paper());
+        let cached = relink_latency(2, SimConfig::paper());
+        assert!(cached < fresh, "cached {cached} vs fresh {fresh}");
+    }
+}

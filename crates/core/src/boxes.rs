@@ -1,0 +1,530 @@
+//! The box: container of slots, goal objects, and the `Maps` association
+//! between them (paper §VII, Fig. 11).
+//!
+//! A box receives signals from its tunnels, uses `Maps` to find the goal
+//! object controlling the slot, shows the signal to the goal via the slot,
+//! and transmits whatever the goal emits. High-level box programs manipulate
+//! media only by re-assigning goals to slots ([`MediaBox::set_goal`]).
+
+use crate::error::ProtocolError;
+use crate::goal::{
+    self, FlowLink, Goal, LinkSide, Outgoing, UserCmd, UserNote,
+};
+use crate::ids::{BoxId, SlotId};
+use crate::signal::Signal;
+use crate::slot::{Slot, SlotEvent};
+use std::collections::BTreeMap;
+
+/// Identity of a goal object within its box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GoalId(pub u32);
+
+/// What slots a goal controls.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Controlled {
+    One(SlotId),
+    Two(SlotId, SlotId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GoalEntry {
+    goal: Goal,
+    controls: Controlled,
+}
+
+/// Everything the box reports upward to its program / application logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxNote {
+    /// A slot event occurred (after the goal object reacted to it).
+    Slot { slot: SlotId, event: SlotEvent },
+    /// A user-agent goal surfaced a Fig. 5 `?` event.
+    User { slot: SlotId, note: UserNote },
+}
+
+/// The desired goal for a slot (or pair), as written in a program-state
+/// annotation (§IV-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoalSpec {
+    Open {
+        slot: SlotId,
+        medium: crate::codec::Medium,
+        policy: goal::Policy,
+    },
+    Close {
+        slot: SlotId,
+    },
+    Hold {
+        slot: SlotId,
+        policy: goal::Policy,
+    },
+    User {
+        slot: SlotId,
+        policy: goal::EndpointPolicy,
+        mode: goal::AcceptMode,
+    },
+    Link {
+        a: SlotId,
+        b: SlotId,
+    },
+}
+
+impl GoalSpec {
+    fn slots(&self) -> Controlled {
+        match *self {
+            GoalSpec::Open { slot, .. }
+            | GoalSpec::Close { slot }
+            | GoalSpec::Hold { slot, .. }
+            | GoalSpec::User { slot, .. } => Controlled::One(slot),
+            GoalSpec::Link { a, b } => Controlled::Two(a, b),
+        }
+    }
+}
+
+/// A peer module involved in media control: slots + goals + maps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MediaBox {
+    id: BoxId,
+    slots: BTreeMap<SlotId, Slot>,
+    goals: BTreeMap<GoalId, GoalEntry>,
+    /// The `Maps` object: dynamic association between slots and goals.
+    maps: BTreeMap<SlotId, GoalId>,
+    next_goal: u32,
+    next_origin: u64,
+}
+
+impl MediaBox {
+    pub fn new(id: BoxId) -> Self {
+        Self {
+            id,
+            slots: BTreeMap::new(),
+            goals: BTreeMap::new(),
+            maps: BTreeMap::new(),
+            next_goal: 0,
+            next_origin: 0,
+        }
+    }
+
+    pub fn id(&self) -> BoxId {
+        self.id
+    }
+
+    /// Register a slot (one end of a tunnel). `initiator` must be true iff
+    /// this box initiated setup of the slot's signaling channel.
+    pub fn add_slot(&mut self, id: SlotId, initiator: bool) {
+        let prev = self.slots.insert(id, Slot::new(initiator));
+        assert!(prev.is_none(), "slot {id} already exists");
+    }
+
+    /// Destroy a slot (its signaling channel was torn down). Any goal
+    /// controlling it dies; a flowlink's other slot becomes uncontrolled.
+    pub fn remove_slot(&mut self, id: SlotId) {
+        self.slots.remove(&id);
+        self.drop_goal_of(id);
+    }
+
+    pub fn slot(&self, id: SlotId) -> Option<&Slot> {
+        self.slots.get(&id)
+    }
+
+    pub fn slot_ids(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.slots.keys().copied()
+    }
+
+    /// The goal currently controlling a slot, if any.
+    pub fn goal_of(&self, id: SlotId) -> Option<&Goal> {
+        self.maps.get(&id).and_then(|g| self.goals.get(g)).map(|e| &e.goal)
+    }
+
+    /// Mint a tag origin unique within the system (box id in the high bits).
+    fn fresh_origin(&mut self) -> u64 {
+        let o = ((self.id.0 as u64) << 24) | self.next_origin;
+        self.next_origin += 1;
+        o
+    }
+
+    fn drop_goal_of(&mut self, slot: SlotId) {
+        if let Some(gid) = self.maps.remove(&slot) {
+            if let Some(entry) = self.goals.remove(&gid) {
+                // A flowlink's other slot loses its controller too; the
+                // program must assign it a new goal.
+                if let Controlled::Two(a, b) = entry.controls {
+                    let other = if a == slot { b } else { a };
+                    self.maps.remove(&other);
+                }
+            }
+        }
+    }
+
+    /// Put slots under the control of a new goal object, as a program-state
+    /// annotation does. Returns the signals the new goal emits on gaining
+    /// control. Reassignment destroys the slots' previous goal objects
+    /// ("the slots are moved elsewhere and this goal object becomes
+    /// garbage", §VII).
+    pub fn set_goal(&mut self, spec: GoalSpec) -> Vec<Outgoing> {
+        let controls = spec.slots();
+        match controls {
+            Controlled::One(s) => {
+                assert!(self.slots.contains_key(&s), "unknown slot {s}");
+                self.drop_goal_of(s)
+            }
+            Controlled::Two(a, b) => {
+                assert!(a != b, "flowLink needs two distinct slots");
+                assert!(self.slots.contains_key(&a), "unknown slot {a}");
+                assert!(self.slots.contains_key(&b), "unknown slot {b}");
+                self.drop_goal_of(a);
+                self.drop_goal_of(b);
+            }
+        }
+        let origin = self.fresh_origin();
+        let mut new_goal = match &spec {
+            GoalSpec::Open { medium, policy, .. } => {
+                Goal::Open(goal::OpenSlot::with_policy(*medium, policy.clone(), origin))
+            }
+            GoalSpec::Close { .. } => Goal::Close(goal::CloseSlot::new()),
+            GoalSpec::Hold { policy, .. } => {
+                Goal::Hold(goal::HoldSlot::with_policy(policy.clone(), origin))
+            }
+            GoalSpec::User { policy, mode, .. } => {
+                Goal::User(goal::UserAgent::new(policy.clone(), *mode, origin))
+            }
+            GoalSpec::Link { .. } => Goal::Link(FlowLink::new(origin)),
+        };
+
+        let out = match controls {
+            Controlled::One(s) => {
+                let slot = self.slots.get_mut(&s).expect("checked above");
+                goal::attach_single(&mut new_goal, slot)
+                    .into_iter()
+                    .map(|signal| Outgoing { slot: s, signal })
+                    .collect()
+            }
+            Controlled::Two(a, b) => {
+                let (mut sa, mut sb) = self.take_two(a, b);
+                let link = match &mut new_goal {
+                    Goal::Link(l) => l,
+                    _ => unreachable!(),
+                };
+                let out = link
+                    .attach(&mut sa, &mut sb)
+                    .into_iter()
+                    .map(|(side, signal)| Outgoing {
+                        slot: if side == LinkSide::A { a } else { b },
+                        signal,
+                    })
+                    .collect();
+                self.put_two(a, sa, b, sb);
+                out
+            }
+        };
+
+        let gid = GoalId(self.next_goal);
+        self.next_goal += 1;
+        match controls {
+            Controlled::One(s) => {
+                self.maps.insert(s, gid);
+            }
+            Controlled::Two(a, b) => {
+                self.maps.insert(a, gid);
+                self.maps.insert(b, gid);
+            }
+        }
+        self.goals.insert(
+            gid,
+            GoalEntry {
+                goal: new_goal,
+                controls,
+            },
+        );
+        out
+    }
+
+    /// Deliver one tunnel signal to its slot and the controlling goal.
+    pub fn on_signal(&mut self, slot_id: SlotId, signal: Signal) -> (Vec<Outgoing>, Vec<BoxNote>) {
+        let Some(gid) = self.maps.get(&slot_id).copied() else {
+            // Uncontrolled slot: apply protocol-mandated auto responses
+            // only, and surface the event so the program can react.
+            let Some(slot) = self.slots.get_mut(&slot_id) else {
+                return (vec![], vec![]);
+            };
+            let (event, auto) = slot.on_signal(signal);
+            let out = auto
+                .into_iter()
+                .map(|signal| Outgoing { slot: slot_id, signal })
+                .collect();
+            return (
+                out,
+                vec![BoxNote::Slot {
+                    slot: slot_id,
+                    event,
+                }],
+            );
+        };
+
+        let entry = self.goals.get(&gid).expect("maps points at live goal");
+        match entry.controls {
+            Controlled::One(s) => {
+                debug_assert_eq!(s, slot_id);
+                let slot = self.slots.get_mut(&s).expect("slot exists");
+                let (event, auto) = slot.on_signal(signal);
+                let mut out: Vec<Outgoing> = auto
+                    .into_iter()
+                    .map(|signal| Outgoing { slot: s, signal })
+                    .collect();
+                let entry = self.goals.get_mut(&gid).expect("goal exists");
+                let (sigs, user_notes) = goal::on_event_single(&mut entry.goal, &event, slot);
+                out.extend(sigs.into_iter().map(|signal| Outgoing { slot: s, signal }));
+                let mut notes = vec![BoxNote::Slot {
+                    slot: s,
+                    event,
+                }];
+                notes.extend(user_notes.into_iter().map(|note| BoxNote::User { slot: s, note }));
+                (out, notes)
+            }
+            Controlled::Two(a, b) => {
+                let side = if slot_id == a { LinkSide::A } else { LinkSide::B };
+                let (mut sa, mut sb) = self.take_two(a, b);
+                let target = if side == LinkSide::A { &mut sa } else { &mut sb };
+                let (event, auto) = target.on_signal(signal);
+                let mut out: Vec<Outgoing> = auto
+                    .into_iter()
+                    .map(|signal| Outgoing {
+                        slot: slot_id,
+                        signal,
+                    })
+                    .collect();
+                let entry = self.goals.get_mut(&gid).expect("goal exists");
+                let link = match &mut entry.goal {
+                    Goal::Link(l) => l,
+                    _ => unreachable!("two-slot goal is a flowlink"),
+                };
+                out.extend(link.on_event(side, &event, &mut sa, &mut sb).into_iter().map(
+                    |(s, signal)| Outgoing {
+                        slot: if s == LinkSide::A { a } else { b },
+                        signal,
+                    },
+                ));
+                self.put_two(a, sa, b, sb);
+                (
+                    out,
+                    vec![BoxNote::Slot {
+                        slot: slot_id,
+                        event,
+                    }],
+                )
+            }
+        }
+    }
+
+    /// Issue a Fig. 5 user command to a user-agent-controlled slot.
+    pub fn user(&mut self, slot_id: SlotId, cmd: UserCmd) -> Result<Vec<Outgoing>, ProtocolError> {
+        let gid = self
+            .maps
+            .get(&slot_id)
+            .copied()
+            .ok_or(ProtocolError::InvalidRecord("slot has no goal"))?;
+        let entry = self.goals.get_mut(&gid).expect("maps points at live goal");
+        let Goal::User(agent) = &mut entry.goal else {
+            return Err(ProtocolError::InvalidRecord(
+                "user commands require a userAgent goal",
+            ));
+        };
+        let slot = self.slots.get_mut(&slot_id).expect("slot exists");
+        Ok(agent
+            .command(cmd, slot)?
+            .into_iter()
+            .map(|signal| Outgoing {
+                slot: slot_id,
+                signal,
+            })
+            .collect())
+    }
+
+    /// Update the endpoint policy of a user-agent slot via a modify event.
+    pub fn user_modify(
+        &mut self,
+        slot_id: SlotId,
+        mute_in: bool,
+        mute_out: bool,
+    ) -> Result<Vec<Outgoing>, ProtocolError> {
+        self.user(slot_id, UserCmd::Modify { mute_in, mute_out })
+    }
+
+    fn take_two(&mut self, a: SlotId, b: SlotId) -> (Slot, Slot) {
+        let sa = self.slots.remove(&a).expect("slot a exists");
+        let sb = self.slots.remove(&b).expect("slot b exists");
+        (sa, sb)
+    }
+
+    fn put_two(&mut self, a: SlotId, sa: Slot, b: SlotId, sb: Slot) {
+        self.slots.insert(a, sa);
+        self.slots.insert(b, sb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Medium;
+    use crate::goal::{AcceptMode, EndpointPolicy, Policy};
+    use crate::descriptor::MediaAddr;
+    use crate::slot::SlotState;
+
+    fn server_box() -> MediaBox {
+        let mut b = MediaBox::new(BoxId(1));
+        b.add_slot(SlotId(0), true);
+        b.add_slot(SlotId(1), true);
+        b
+    }
+
+    #[test]
+    fn set_goal_open_emits_open() {
+        let mut b = server_box();
+        let out = b.set_goal(GoalSpec::Open {
+            slot: SlotId(0),
+            medium: Medium::Audio,
+            policy: Policy::Server,
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].slot, SlotId(0));
+        assert!(matches!(out[0].signal, Signal::Open { .. }));
+        assert_eq!(b.slot(SlotId(0)).unwrap().state(), SlotState::Opening);
+        assert_eq!(b.goal_of(SlotId(0)).unwrap().kind(), "openSlot");
+    }
+
+    #[test]
+    fn reassignment_replaces_goal() {
+        let mut b = server_box();
+        b.set_goal(GoalSpec::Open {
+            slot: SlotId(0),
+            medium: Medium::Audio,
+            policy: Policy::Server,
+        });
+        let out = b.set_goal(GoalSpec::Close { slot: SlotId(0) });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].signal, Signal::Close);
+        assert_eq!(b.goal_of(SlotId(0)).unwrap().kind(), "closeSlot");
+    }
+
+    #[test]
+    fn flowlink_controls_two_slots_and_breaks_on_reassignment() {
+        let mut b = server_box();
+        b.set_goal(GoalSpec::Link {
+            a: SlotId(0),
+            b: SlotId(1),
+        });
+        assert_eq!(b.goal_of(SlotId(0)).unwrap().kind(), "flowLink");
+        assert_eq!(b.goal_of(SlotId(1)).unwrap().kind(), "flowLink");
+        // Reassigning one slot destroys the link; the other slot is left
+        // uncontrolled until the program assigns it.
+        b.set_goal(GoalSpec::Hold {
+            slot: SlotId(0),
+            policy: Policy::Server,
+        });
+        assert_eq!(b.goal_of(SlotId(0)).unwrap().kind(), "holdSlot");
+        assert!(b.goal_of(SlotId(1)).is_none());
+    }
+
+    #[test]
+    fn signal_through_flowlink_is_forwarded() {
+        let mut b = server_box();
+        b.set_goal(GoalSpec::Link {
+            a: SlotId(0),
+            b: SlotId(1),
+        });
+        let mut tags = crate::descriptor::TagSource::new(77);
+        let desc = crate::descriptor::Descriptor::media(
+            tags.next(),
+            MediaAddr::v4(10, 0, 0, 9, 4000),
+            vec![crate::codec::Codec::G711],
+        );
+        let (out, notes) = b.on_signal(
+            SlotId(0),
+            Signal::Open {
+                medium: Medium::Audio,
+                desc,
+            },
+        );
+        assert!(out.iter().any(|o| o.slot == SlotId(1) && matches!(o.signal, Signal::Open { .. })));
+        assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn uncontrolled_slot_still_auto_acks_close() {
+        let mut b = server_box();
+        // No goal assigned; an incoming open is surfaced but unanswered.
+        let mut tags = crate::descriptor::TagSource::new(77);
+        let desc = crate::descriptor::Descriptor::no_media(tags.next());
+        let (out, notes) = b.on_signal(
+            SlotId(0),
+            Signal::Open {
+                medium: Medium::Audio,
+                desc,
+            },
+        );
+        assert!(out.is_empty());
+        assert!(matches!(
+            notes[0],
+            BoxNote::Slot {
+                event: SlotEvent::OpenReceived { .. },
+                ..
+            }
+        ));
+        // And a close gets its mandatory ack even without a goal.
+        let (out, _) = b.on_signal(SlotId(0), Signal::Close);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].signal, Signal::CloseAck);
+    }
+
+    #[test]
+    fn user_agent_via_box() {
+        let mut b = MediaBox::new(BoxId(5));
+        b.add_slot(SlotId(0), true);
+        b.set_goal(GoalSpec::User {
+            slot: SlotId(0),
+            policy: EndpointPolicy::audio(MediaAddr::v4(10, 0, 0, 5, 4000)),
+            mode: AcceptMode::Auto,
+        });
+        let out = b.user(SlotId(0), UserCmd::Open(Medium::Audio)).unwrap();
+        assert!(matches!(out[0].signal, Signal::Open { .. }));
+        // User commands on non-user goals are rejected.
+        let mut srv = server_box();
+        srv.set_goal(GoalSpec::Close { slot: SlotId(0) });
+        assert!(srv.user(SlotId(0), UserCmd::Close).is_err());
+    }
+
+    #[test]
+    fn tag_origins_are_unique_per_goal() {
+        let mut b = server_box();
+        let o1 = b.set_goal(GoalSpec::Open {
+            slot: SlotId(0),
+            medium: Medium::Audio,
+            policy: Policy::Server,
+        });
+        let o2 = b.set_goal(GoalSpec::Open {
+            slot: SlotId(1),
+            medium: Medium::Audio,
+            policy: Policy::Server,
+        });
+        let t1 = match &o1[0].signal {
+            Signal::Open { desc, .. } => desc.tag,
+            _ => unreachable!(),
+        };
+        let t2 = match &o2[0].signal {
+            Signal::Open { desc, .. } => desc.tag,
+            _ => unreachable!(),
+        };
+        assert_ne!(t1.origin, t2.origin);
+    }
+
+    #[test]
+    fn remove_slot_kills_goal() {
+        let mut b = server_box();
+        b.set_goal(GoalSpec::Link {
+            a: SlotId(0),
+            b: SlotId(1),
+        });
+        b.remove_slot(SlotId(0));
+        assert!(b.slot(SlotId(0)).is_none());
+        assert!(b.goal_of(SlotId(1)).is_none());
+    }
+}

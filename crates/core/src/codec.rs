@@ -1,0 +1,153 @@
+//! Media and codecs (paper §III-B, §VI-A).
+//!
+//! A *medium* is the kind of content a media channel carries; a *codec* is a
+//! data format for a medium. The distinguished pseudo-codec [`Codec::NoMedia`]
+//! indicates no media transmission: a descriptor offering only `NoMedia`
+//! means "do not send to me" (muteIn), and a selector carrying `NoMedia`
+//! means "I am not sending" (muteOut).
+
+use std::fmt;
+
+/// The medium of a media channel, chosen when the channel is opened.
+///
+/// Audio and video are the usual media, but the paper notes that quality
+/// tiers, text, or combined encodings are also possible (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Medium {
+    Audio,
+    Video,
+    /// High-definition variant of video (media may be subdivided by quality).
+    VideoHd,
+    Text,
+    /// A single medium encoding audio and video together.
+    AudioVideo,
+}
+
+impl fmt::Display for Medium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Medium::Audio => "audio",
+            Medium::Video => "video",
+            Medium::VideoHd => "video-hd",
+            Medium::Text => "text",
+            Medium::AudioVideo => "audio+video",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A coder-decoder: the data format used in one direction of a media channel.
+///
+/// The two directions of a channel may use different codecs (§VI-A). Fidelity
+/// and bandwidth figures follow the paper's examples: G.711 is the
+/// higher-fidelity, higher-bandwidth audio codec (circuit-switched-telephony
+/// quality); G.726 is lower-fidelity and lower-bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Codec {
+    /// Distinguished pseudo-codec: no media transmission.
+    NoMedia,
+    /// ITU-T G.711 PCM audio, 64 kbit/s.
+    G711,
+    /// ITU-T G.726 ADPCM audio, 32 kbit/s.
+    G726,
+    /// ITU-T G.729 CS-ACELP audio, 8 kbit/s.
+    G729,
+    /// ITU-T H.261 video.
+    H261,
+    /// ITU-T H.263 video.
+    H263,
+    /// Plain UTF-8 text frames.
+    T140,
+}
+
+impl Codec {
+    /// The medium this codec encodes. `NoMedia` encodes none.
+    pub fn medium(self) -> Option<Medium> {
+        match self {
+            Codec::NoMedia => None,
+            Codec::G711 | Codec::G726 | Codec::G729 => Some(Medium::Audio),
+            Codec::H261 | Codec::H263 => Some(Medium::Video),
+            Codec::T140 => Some(Medium::Text),
+        }
+    }
+
+    /// True for every codec except the `NoMedia` pseudo-codec.
+    pub fn is_real(self) -> bool {
+        self != Codec::NoMedia
+    }
+
+    /// Nominal bandwidth in kilobits per second (0 for `NoMedia`).
+    ///
+    /// Used by the simulated media plane to size packets; the control plane
+    /// never depends on it.
+    pub fn bandwidth_kbps(self) -> u32 {
+        match self {
+            Codec::NoMedia => 0,
+            Codec::G711 => 64,
+            Codec::G726 => 32,
+            Codec::G729 => 8,
+            Codec::H261 => 384,
+            Codec::H263 => 512,
+            Codec::T140 => 1,
+        }
+    }
+
+    /// All real audio codecs in descending fidelity order.
+    pub fn audio_all() -> &'static [Codec] {
+        &[Codec::G711, Codec::G726, Codec::G729]
+    }
+
+    /// All real video codecs in descending fidelity order.
+    pub fn video_all() -> &'static [Codec] {
+        &[Codec::H263, Codec::H261]
+    }
+}
+
+impl fmt::Display for Codec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Codec::NoMedia => "noMedia",
+            Codec::G711 => "G.711",
+            Codec::G726 => "G.726",
+            Codec::G729 => "G.729",
+            Codec::H261 => "H.261",
+            Codec::H263 => "H.263",
+            Codec::T140 => "T.140",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_media_is_not_real() {
+        assert!(!Codec::NoMedia.is_real());
+        assert!(Codec::G711.is_real());
+    }
+
+    #[test]
+    fn codec_media_are_consistent() {
+        for c in Codec::audio_all() {
+            assert_eq!(c.medium(), Some(Medium::Audio));
+        }
+        for c in Codec::video_all() {
+            assert_eq!(c.medium(), Some(Medium::Video));
+        }
+        assert_eq!(Codec::NoMedia.medium(), None);
+        assert_eq!(Codec::T140.medium(), Some(Medium::Text));
+    }
+
+    #[test]
+    fn g711_has_higher_fidelity_bandwidth_than_g726() {
+        // The paper uses exactly this pair as its fidelity example (§VI-A).
+        assert!(Codec::G711.bandwidth_kbps() > Codec::G726.bandwidth_kbps());
+    }
+
+    #[test]
+    fn no_media_zero_bandwidth() {
+        assert_eq!(Codec::NoMedia.bandwidth_kbps(), 0);
+    }
+}

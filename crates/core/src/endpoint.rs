@@ -1,0 +1,54 @@
+//! Ready-made application logics for common box roles.
+
+use crate::boxes::GoalSpec;
+use crate::goal::{AcceptMode, EndpointPolicy};
+use crate::program::{AppLogic, BoxInput, Ctx};
+
+/// A genuine media endpoint (user device or simple media resource): every
+/// slot of every channel is controlled by a user agent with this endpoint's
+/// policy. User actions are injected externally (by the simulator, the
+/// tokio runtime, or a human).
+pub struct EndpointLogic {
+    policy: EndpointPolicy,
+    mode: AcceptMode,
+}
+
+impl EndpointLogic {
+    pub fn new(policy: EndpointPolicy, mode: AcceptMode) -> Self {
+        Self { policy, mode }
+    }
+
+    /// An auto-accepting endpoint, like a media resource that always
+    /// answers (tone generator, bridge port, announcement player).
+    pub fn resource(policy: EndpointPolicy) -> Self {
+        Self::new(policy, AcceptMode::Auto)
+    }
+
+    /// A device that rings and waits for the user (manual accept).
+    pub fn device(policy: EndpointPolicy) -> Self {
+        Self::new(policy, AcceptMode::Manual)
+    }
+}
+
+impl AppLogic for EndpointLogic {
+    fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+        if let BoxInput::ChannelUp { slots, .. } = input {
+            for s in slots {
+                ctx.set_goal(GoalSpec::User {
+                    slot: *s,
+                    policy: self.policy.clone(),
+                    mode: self.mode,
+                });
+            }
+        }
+    }
+}
+
+/// A box with no autonomous behaviour: goals are assigned externally
+/// (tests and benchmarks drive it through closures).
+#[derive(Default)]
+pub struct NullLogic;
+
+impl AppLogic for NullLogic {
+    fn handle(&mut self, _input: &BoxInput, _ctx: &mut Ctx<'_>) {}
+}

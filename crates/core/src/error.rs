@@ -1,0 +1,41 @@
+//! Error types for the media-control core.
+
+use crate::slot::SlotState;
+use std::fmt;
+
+/// An attempted protocol action that is illegal in the current slot state.
+///
+/// Incoming signals are never errors (stale signals are tolerated and
+/// reported as ignored, since FIFO channels can legitimately deliver
+/// signals sent before the peer observed a state change); only *outgoing*
+/// actions requested by goal objects or programs are validated strictly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The requested signal cannot be sent in the slot's current state.
+    BadState {
+        action: &'static str,
+        state: SlotState,
+    },
+    /// A selector was submitted that does not answer the slot's current
+    /// peer descriptor, or picks a codec the descriptor does not offer.
+    StaleSelector,
+    /// An outgoing descriptor or selector violates a structural rule
+    /// (e.g. a real codec answering a `noMedia` descriptor).
+    InvalidRecord(&'static str),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadState { action, state } => {
+                write!(f, "cannot {action} in slot state {state:?}")
+            }
+            ProtocolError::StaleSelector => {
+                f.write_str("selector does not answer the current peer descriptor")
+            }
+            ProtocolError::InvalidRecord(why) => write!(f, "invalid record: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -1,0 +1,137 @@
+//! The `closeSlot` goal (paper §IV-A).
+//!
+//! Goal: get the slot to the *closed* state and keep it there. Once closed,
+//! an incoming `open` is rejected immediately. A closeslot emits `close`
+//! signals and never `open` or `oack` (§VII). Unlike `openSlot`, it has no
+//! state precondition: it can gain control with the slot in any state.
+
+use crate::signal::Signal;
+use crate::slot::{Slot, SlotEvent};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CloseSlot;
+
+impl CloseSlot {
+    pub fn new() -> Self {
+        CloseSlot
+    }
+
+    /// Gain control: close the channel if it is live in any way.
+    pub fn attach(&mut self, slot: &mut Slot) -> Vec<Signal> {
+        if slot.state().is_live() {
+            vec![slot.send_close().expect("close a live slot")]
+        } else {
+            vec![]
+        }
+    }
+
+    pub fn on_event(&mut self, event: &SlotEvent, slot: &mut Slot) -> Vec<Signal> {
+        match event {
+            // Reject an incoming open immediately (§IV-A), including one
+            // that arrives via an open/open race backoff.
+            SlotEvent::OpenReceived { .. } | SlotEvent::RaceBackoff { .. } => {
+                vec![slot.send_close().expect("reject pending open")]
+            }
+            // A predecessor goal's open got accepted after we took over:
+            // close the now-flowing channel.
+            SlotEvent::Oacked => vec![slot.send_close().expect("close after oack")],
+            // Goal achieved (or progressing); nothing to do.
+            SlotEvent::PeerClosed { .. }
+            | SlotEvent::CloseAcked
+            | SlotEvent::Selected { .. }
+            | SlotEvent::Described
+            | SlotEvent::RaceIgnored
+            | SlotEvent::Ignored(_) => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Medium;
+    use crate::descriptor::{Descriptor, Selector, TagSource};
+    use crate::slot::SlotState;
+
+    fn peer_open(s: &mut Slot, tags: &mut TagSource) -> SlotEvent {
+        let (ev, _) = s.on_signal(Signal::Open {
+            medium: Medium::Audio,
+            desc: Descriptor::no_media(tags.next()),
+        });
+        ev
+    }
+
+    #[test]
+    fn attach_on_closed_slot_does_nothing() {
+        let mut g = CloseSlot::new();
+        let mut s = Slot::new(true);
+        assert!(g.attach(&mut s).is_empty());
+        assert_eq!(s.state(), SlotState::Closed);
+    }
+
+    #[test]
+    fn attach_closes_flowing_slot() {
+        let mut g = CloseSlot::new();
+        let mut s = Slot::new(true);
+        let mut tags = TagSource::new(1);
+        // Bring the slot to flowing by hand.
+        peer_open(&mut s, &mut tags);
+        let answers = s.peer_desc().unwrap().tag;
+        s.accept(Descriptor::no_media(TagSource::new(2).next()), Selector::not_sending(answers))
+            .unwrap();
+        assert_eq!(s.state(), SlotState::Flowing);
+
+        let out = g.attach(&mut s);
+        assert_eq!(out, vec![Signal::Close]);
+        assert_eq!(s.state(), SlotState::Closing);
+        // closeack completes the goal.
+        let (ev, _) = s.on_signal(Signal::CloseAck);
+        assert!(g.on_event(&ev, &mut s).is_empty());
+        assert_eq!(s.state(), SlotState::Closed);
+    }
+
+    #[test]
+    fn rejects_incoming_open_immediately() {
+        let mut g = CloseSlot::new();
+        let mut s = Slot::new(true);
+        let mut tags = TagSource::new(1);
+        g.attach(&mut s);
+        let ev = peer_open(&mut s, &mut tags);
+        let out = g.on_event(&ev, &mut s);
+        assert_eq!(out, vec![Signal::Close]);
+        assert_eq!(s.state(), SlotState::Closing);
+    }
+
+    #[test]
+    fn closes_after_late_oack() {
+        // Slot was Opening under a previous goal; a closeslot takes over,
+        // then the oack lands: the channel must still be closed.
+        let mut s = Slot::new(true);
+        let mut tags = TagSource::new(1);
+        s.send_open(Medium::Audio, Descriptor::no_media(tags.next()))
+            .unwrap();
+        let mut g = CloseSlot::new();
+        // Attach while Opening: close immediately.
+        let out = g.attach(&mut s);
+        assert_eq!(out, vec![Signal::Close]);
+        assert_eq!(s.state(), SlotState::Closing);
+    }
+
+    #[test]
+    fn closes_when_oack_arrives_before_attach_close() {
+        // Attach happens while Opening but the close races with the oack:
+        // here the goal attaches after the oack made the slot flowing.
+        let mut s = Slot::new(true);
+        let mut tags = TagSource::new(1);
+        s.send_open(Medium::Audio, Descriptor::no_media(tags.next()))
+            .unwrap();
+        let mut peer_tags = TagSource::new(2);
+        let (ev, _) = s.on_signal(Signal::Oack {
+            desc: Descriptor::no_media(peer_tags.next()),
+        });
+        assert_eq!(ev, SlotEvent::Oacked);
+        let mut g = CloseSlot::new();
+        let out = g.attach(&mut s);
+        assert_eq!(out, vec![Signal::Close]);
+    }
+}

@@ -1,0 +1,102 @@
+//! The four media-control goal primitives (paper §IV) plus the endpoint
+//! user agent, and the [`Goal`] sum type that boxes dispatch through.
+//!
+//! Each goal object reads all the signals received from its slot(s) and
+//! writes all the signals sent to them. Application programs never touch
+//! signals directly: in each program state, annotations give a static
+//! description of the goal for each slot (§IV-A).
+
+pub mod close_slot;
+pub mod flow_link;
+pub mod hold_slot;
+pub mod open_slot;
+pub mod policy;
+pub mod user_agent;
+
+pub use close_slot::CloseSlot;
+pub use flow_link::{FlowLink, LinkSide};
+pub use hold_slot::HoldSlot;
+pub use open_slot::OpenSlot;
+pub use policy::{EndpointPolicy, Policy};
+pub use user_agent::{AcceptMode, UserAgent, UserCmd, UserNote};
+
+use crate::ids::SlotId;
+use crate::signal::Signal;
+use crate::slot::{Slot, SlotEvent};
+
+/// A goal object controlling one slot (or two, for a flowlink).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Goal {
+    Open(OpenSlot),
+    Close(CloseSlot),
+    Hold(HoldSlot),
+    User(UserAgent),
+    Link(FlowLink),
+}
+
+impl Goal {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Goal::Open(_) => "openSlot",
+            Goal::Close(_) => "closeSlot",
+            Goal::Hold(_) => "holdSlot",
+            Goal::User(_) => "userAgent",
+            Goal::Link(_) => "flowLink",
+        }
+    }
+
+    pub fn is_link(&self) -> bool {
+        matches!(self, Goal::Link(_))
+    }
+}
+
+/// An outgoing signal produced by a goal, tagged with the slot that must
+/// carry it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    pub slot: SlotId,
+    pub signal: Signal,
+}
+
+/// Dispatch glue for single-slot goals: attach.
+pub(crate) fn attach_single(goal: &mut Goal, slot: &mut Slot) -> Vec<Signal> {
+    match goal {
+        Goal::Open(g) => g.attach(slot),
+        Goal::Close(g) => g.attach(slot),
+        Goal::Hold(g) => g.attach(slot),
+        // A user agent attaches passively; it acts on user commands.
+        Goal::User(_) => vec![],
+        Goal::Link(_) => panic!("flowLink controls two slots; use attach_link"),
+    }
+}
+
+/// Dispatch glue for single-slot goals: slot event.
+pub(crate) fn on_event_single(
+    goal: &mut Goal,
+    event: &SlotEvent,
+    slot: &mut Slot,
+) -> (Vec<Signal>, Vec<UserNote>) {
+    match goal {
+        Goal::Open(g) => (g.on_event(event, slot), vec![]),
+        Goal::Close(g) => (g.on_event(event, slot), vec![]),
+        Goal::Hold(g) => (g.on_event(event, slot), vec![]),
+        Goal::User(g) => g.on_event(event, slot),
+        Goal::Link(_) => panic!("flowLink controls two slots; use on_event_link"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Medium;
+
+    #[test]
+    fn goal_kinds() {
+        assert_eq!(Goal::Open(OpenSlot::server(Medium::Audio, 1)).kind(), "openSlot");
+        assert_eq!(Goal::Close(CloseSlot::new()).kind(), "closeSlot");
+        assert_eq!(Goal::Hold(HoldSlot::server(1)).kind(), "holdSlot");
+        assert_eq!(Goal::Link(FlowLink::new(1)).kind(), "flowLink");
+        assert!(Goal::Link(FlowLink::new(1)).is_link());
+        assert!(!Goal::Hold(HoldSlot::server(1)).is_link());
+    }
+}

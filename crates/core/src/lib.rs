@@ -1,0 +1,33 @@
+//! # ipmedia-core
+//!
+//! Core implementation of *Compositional Control of IP Media* (Zave &
+//! Cheung, CoNEXT 2006): the architecture-independent descriptive model,
+//! the idempotent unilateral signaling protocol, and the four high-level
+//! media-control goal primitives (`openSlot`, `closeSlot`, `holdSlot`,
+//! `flowLink`).
+
+pub mod codec;
+pub mod descriptor;
+pub mod boxes;
+pub mod endpoint;
+pub mod error;
+pub mod goal;
+pub mod ids;
+pub mod path;
+pub mod retag;
+pub mod program;
+pub mod signal;
+pub mod slot;
+
+pub use codec::{Codec, Medium};
+pub use descriptor::{DescTag, Descriptor, MediaAddr, Selector, TagSource};
+pub use boxes::{BoxNote, GoalId, GoalSpec, MediaBox};
+pub use endpoint::{EndpointLogic, NullLogic};
+pub use error::ProtocolError;
+pub use goal::{AcceptMode, CloseSlot, EndpointPolicy, FlowLink, Goal, HoldSlot, LinkSide, OpenSlot, Outgoing, Policy, UserAgent, UserCmd, UserNote};
+pub use ids::{BoxId, ChannelId, SlotId, SlotRef, TunnelId};
+pub use signal::{AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal};
+pub use path::{EndGoal, PathEnds, PathSpec, PathType};
+pub use retag::Retag;
+pub use program::{AppLogic, BoxCmd, BoxInput, Ctx, ProgramBox, TimerId};
+pub use slot::{Slot, SlotEvent, SlotState};

@@ -1,0 +1,358 @@
+//! Signaling-path semantics (paper §V).
+//!
+//! A *signaling path* is a maximal chain of tunnels and flowlinks; each path
+//! corresponds to an actual or potential media channel between the path
+//! endpoints. Correctness is specified per path, in temporal logic, in terms
+//! of two distinguished path states:
+//!
+//! * `bothClosed` — both endpoint slots closed, no possibility of media flow;
+//! * `bothFlowing` — both endpoint slots flowing, media equal, and the
+//!   implementation state correctly reflecting the endpoints' mute choices.
+//!
+//! Classifying paths by the goals at their two ends (six types up to
+//! symmetry) gives the specification table of §V, reproduced by
+//! [`PathType::spec`]. The model checker (`ipmedia-mck`) verifies these
+//! formulas over the actual implementation; simulations and tests use the
+//! state predicates directly.
+//!
+//! ### A note on the paper's `Lenabled`/`Renabled`
+//!
+//! §V defines `Lenabled = ¬LmuteIn ∧ ¬RmuteOut` and reads it as readiness
+//! for right-to-left packets, while §VI-C describes `Lenabled` as set when
+//! the *left* endpoint sends a real selector (which enables left-to-right
+//! flow). The two sections disagree on which direction carries the `L`
+//! label, but describe the same pair of per-direction history variables. We
+//! avoid the ambiguity with direction-explicit names: [`PathEnds::ltr_enabled`]
+//! (left endpoint transmits) and [`PathEnds::rtl_enabled`].
+
+use crate::slot::Slot;
+use std::fmt;
+
+/// The kind of goal controlling one end of a signaling path. (A genuine
+/// endpoint's user agent behaves as an `openSlot`/`holdSlot`/`closeSlot`
+/// depending on the user's current intent; §V.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndGoal {
+    Open,
+    Close,
+    Hold,
+}
+
+/// The six path types of §V, up to symmetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathType {
+    CloseClose,
+    CloseHold,
+    CloseOpen,
+    OpenOpen,
+    OpenHold,
+    HoldHold,
+}
+
+/// The temporal specification a path must satisfy (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathSpec {
+    /// `◇□ bothClosed` — eventually the path stays closed forever.
+    EventuallyAlwaysBothClosed,
+    /// `◇□ ¬bothFlowing` — eventually there is never media flow.
+    EventuallyAlwaysNotBothFlowing,
+    /// `□◇ bothFlowing` — the path always eventually returns to flowing
+    /// (a recurrence property, robust to `modify` perturbations).
+    AlwaysEventuallyBothFlowing,
+    /// `(◇□ bothClosed) ∨ (□◇ bothFlowing)` — hold/hold paths settle into
+    /// whichever state the path had when it was formed.
+    ClosedOrFlowing,
+}
+
+impl PathType {
+    /// Classify a path by its two end goals (order-insensitive).
+    pub fn of(a: EndGoal, b: EndGoal) -> PathType {
+        use EndGoal::*;
+        match (a.min_k(), b.min_k()) {
+            _ if (a, b) == (Close, Close) => PathType::CloseClose,
+            _ if matches!((a, b), (Close, Hold) | (Hold, Close)) => PathType::CloseHold,
+            _ if matches!((a, b), (Close, Open) | (Open, Close)) => PathType::CloseOpen,
+            _ if (a, b) == (Open, Open) => PathType::OpenOpen,
+            _ if matches!((a, b), (Open, Hold) | (Hold, Open)) => PathType::OpenHold,
+            _ => PathType::HoldHold,
+        }
+    }
+
+    /// The specification table of §V.
+    pub fn spec(self) -> PathSpec {
+        match self {
+            PathType::CloseClose | PathType::CloseHold => {
+                PathSpec::EventuallyAlwaysBothClosed
+            }
+            PathType::CloseOpen => PathSpec::EventuallyAlwaysNotBothFlowing,
+            PathType::OpenOpen | PathType::OpenHold => {
+                PathSpec::AlwaysEventuallyBothFlowing
+            }
+            PathType::HoldHold => PathSpec::ClosedOrFlowing,
+        }
+    }
+
+    /// All six types, for exhaustive verification campaigns (§VIII-A).
+    pub fn all() -> [PathType; 6] {
+        [
+            PathType::CloseClose,
+            PathType::CloseHold,
+            PathType::CloseOpen,
+            PathType::OpenOpen,
+            PathType::OpenHold,
+            PathType::HoldHold,
+        ]
+    }
+
+    /// The two end goals of this path type.
+    pub fn ends(self) -> (EndGoal, EndGoal) {
+        match self {
+            PathType::CloseClose => (EndGoal::Close, EndGoal::Close),
+            PathType::CloseHold => (EndGoal::Close, EndGoal::Hold),
+            PathType::CloseOpen => (EndGoal::Close, EndGoal::Open),
+            PathType::OpenOpen => (EndGoal::Open, EndGoal::Open),
+            PathType::OpenHold => (EndGoal::Open, EndGoal::Hold),
+            PathType::HoldHold => (EndGoal::Hold, EndGoal::Hold),
+        }
+    }
+}
+
+impl EndGoal {
+    fn min_k(self) -> u8 {
+        match self {
+            EndGoal::Close => 0,
+            EndGoal::Open => 1,
+            EndGoal::Hold => 2,
+        }
+    }
+}
+
+impl fmt::Display for PathType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PathType::CloseClose => "close–close",
+            PathType::CloseHold => "close–hold",
+            PathType::CloseOpen => "close–open",
+            PathType::OpenOpen => "open–open",
+            PathType::OpenHold => "open–hold",
+            PathType::HoldHold => "hold–hold",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The two endpoint slots of a signaling path, for evaluating path states.
+#[derive(Debug, Clone, Copy)]
+pub struct PathEnds<'a> {
+    pub left: &'a Slot,
+    pub right: &'a Slot,
+}
+
+impl<'a> PathEnds<'a> {
+    pub fn new(left: &'a Slot, right: &'a Slot) -> Self {
+        Self { left, right }
+    }
+
+    /// `bothClosed ≜ Lclosed ∧ Rclosed` (§V).
+    pub fn both_closed(&self) -> bool {
+        self.left.is_closed() && self.right.is_closed()
+    }
+
+    /// `bothFlowing` in the history-variable form used for model checking
+    /// (§VIII-A): both ends flowing with equal media, each end has most
+    /// recently received the descriptor most recently sent by the other,
+    /// and each end has most recently received a selector responding to its
+    /// own most recent descriptor.
+    pub fn both_flowing(&self) -> bool {
+        if !(self.left.is_flowing() && self.right.is_flowing()) {
+            return false;
+        }
+        if self.left.medium() != self.right.medium() {
+            return false;
+        }
+        let (l, r) = (self.left, self.right);
+        let descs_synced = match (l.peer_desc(), r.sent_desc(), r.peer_desc(), l.sent_desc()) {
+            (Some(lr), Some(rs), Some(rr), Some(ls)) => lr.tag == rs.tag && rr.tag == ls.tag,
+            _ => false,
+        };
+        if !descs_synced {
+            return false;
+        }
+        let sels_synced = match (l.peer_sel(), l.sent_desc(), r.peer_sel(), r.sent_desc()) {
+            (Some(lsel), Some(ld), Some(rsel), Some(rd)) => {
+                lsel.answers == ld.tag && rsel.answers == rd.tag
+            }
+            _ => false,
+        };
+        sels_synced
+    }
+
+    /// Left-to-right transmission enabled: the left endpoint is flowing and
+    /// has sent a real selector answering the right's current descriptor.
+    /// Equals `¬LmuteOut ∧ ¬RmuteIn` once the path has converged (§V).
+    pub fn ltr_enabled(&self) -> bool {
+        self.left.tx_route().is_some()
+    }
+
+    /// Right-to-left transmission enabled (`¬RmuteOut ∧ ¬LmuteIn`).
+    pub fn rtl_enabled(&self) -> bool {
+        self.right.tx_route().is_some()
+    }
+
+    /// The §V user-level form of `bothFlowing`: checks that the enabled
+    /// history variables correctly reflect the endpoints' mute choices.
+    pub fn both_flowing_with_mutes(
+        &self,
+        l_mute_in: bool,
+        l_mute_out: bool,
+        r_mute_in: bool,
+        r_mute_out: bool,
+    ) -> bool {
+        self.both_flowing()
+            && (self.ltr_enabled() == (!l_mute_out && !r_mute_in))
+            && (self.rtl_enabled() == (!r_mute_out && !l_mute_in))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Codec, Medium};
+    use crate::descriptor::{Descriptor, MediaAddr, Selector, TagSource};
+
+    #[test]
+    fn path_type_classification_is_symmetric() {
+        use EndGoal::*;
+        assert_eq!(PathType::of(Close, Hold), PathType::of(Hold, Close));
+        assert_eq!(PathType::of(Open, Close), PathType::CloseOpen);
+        assert_eq!(PathType::of(Hold, Hold), PathType::HoldHold);
+        assert_eq!(PathType::of(Open, Open), PathType::OpenOpen);
+        assert_eq!(PathType::of(Open, Hold), PathType::OpenHold);
+        assert_eq!(PathType::of(Close, Close), PathType::CloseClose);
+    }
+
+    #[test]
+    fn spec_table_matches_section_v() {
+        assert_eq!(
+            PathType::CloseClose.spec(),
+            PathSpec::EventuallyAlwaysBothClosed
+        );
+        assert_eq!(
+            PathType::CloseHold.spec(),
+            PathSpec::EventuallyAlwaysBothClosed
+        );
+        assert_eq!(
+            PathType::CloseOpen.spec(),
+            PathSpec::EventuallyAlwaysNotBothFlowing
+        );
+        assert_eq!(
+            PathType::OpenOpen.spec(),
+            PathSpec::AlwaysEventuallyBothFlowing
+        );
+        assert_eq!(
+            PathType::OpenHold.spec(),
+            PathSpec::AlwaysEventuallyBothFlowing
+        );
+        assert_eq!(PathType::HoldHold.spec(), PathSpec::ClosedOrFlowing);
+    }
+
+    #[test]
+    fn all_six_types_enumerated() {
+        let all = PathType::all();
+        assert_eq!(all.len(), 6);
+        for t in all {
+            let (a, b) = t.ends();
+            assert_eq!(PathType::of(a, b), t);
+        }
+    }
+
+    /// Build a converged direct path between two endpoint slots.
+    fn converged_pair() -> (Slot, Slot) {
+        let mut l = Slot::new(true);
+        let mut r = Slot::new(false);
+        let mut lt = TagSource::new(1);
+        let mut rt = TagSource::new(2);
+        let dl = Descriptor::media(
+            lt.next(),
+            MediaAddr::v4(10, 0, 0, 1, 4000),
+            vec![Codec::G711],
+        );
+        let open = l.send_open(Medium::Audio, dl.clone()).unwrap();
+        r.on_signal(open);
+        let dr = Descriptor::media(
+            rt.next(),
+            MediaAddr::v4(10, 0, 0, 2, 5000),
+            vec![Codec::G711],
+        );
+        let [oack, select] = r
+            .accept(
+                dr.clone(),
+                Selector::sending(dl.tag, MediaAddr::v4(10, 0, 0, 2, 5000), Codec::G711),
+            )
+            .unwrap();
+        l.on_signal(oack);
+        l.on_signal(select);
+        let sig = l
+            .send_select(Selector::sending(
+                dr.tag,
+                MediaAddr::v4(10, 0, 0, 1, 4000),
+                Codec::G711,
+            ))
+            .unwrap();
+        r.on_signal(sig);
+        (l, r)
+    }
+
+    #[test]
+    fn converged_path_is_both_flowing() {
+        let (l, r) = converged_pair();
+        let ends = PathEnds::new(&l, &r);
+        assert!(ends.both_flowing());
+        assert!(!ends.both_closed());
+        assert!(ends.ltr_enabled());
+        assert!(ends.rtl_enabled());
+        assert!(ends.both_flowing_with_mutes(false, false, false, false));
+    }
+
+    #[test]
+    fn closed_path_is_both_closed() {
+        let l = Slot::new(true);
+        let r = Slot::new(false);
+        let ends = PathEnds::new(&l, &r);
+        assert!(ends.both_closed());
+        assert!(!ends.both_flowing());
+    }
+
+    #[test]
+    fn mid_handshake_is_neither() {
+        let mut l = Slot::new(true);
+        let r = Slot::new(false);
+        let mut lt = TagSource::new(1);
+        l.send_open(Medium::Audio, Descriptor::no_media(lt.next()))
+            .unwrap();
+        let ends = PathEnds::new(&l, &r);
+        assert!(!ends.both_closed());
+        assert!(!ends.both_flowing());
+    }
+
+    #[test]
+    fn unanswered_redescribe_breaks_both_flowing() {
+        let (mut l, r) = converged_pair();
+        let mut lt = TagSource::new(3);
+        // L re-describes; until R's fresh selector arrives, the path is out
+        // of the bothFlowing state (the recurrence property's excursion).
+        let _ = l
+            .send_describe(Descriptor::no_media(lt.next()))
+            .unwrap();
+        let ends = PathEnds::new(&l, &r);
+        assert!(!ends.both_flowing());
+    }
+
+    #[test]
+    fn mute_mismatch_fails_user_form() {
+        let (l, r) = converged_pair();
+        let ends = PathEnds::new(&l, &r);
+        // Both directions enabled, but claim L mutes out: inconsistent.
+        assert!(!ends.both_flowing_with_mutes(false, true, false, false));
+    }
+}

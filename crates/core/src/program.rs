@@ -1,0 +1,310 @@
+//! State-oriented box programs (paper §IV-A, §IV-B).
+//!
+//! Media services are event-driven and "best programmed using finite-state
+//! machines in which the transitions are triggered by events such as
+//! received signals and timeouts". Application logic implements
+//! [`AppLogic`]: it reacts to meta-signals, timers, and slot events by
+//! re-annotating slots with goals and issuing channel-level commands. All
+//! media signaling is concealed inside the goal objects; the program sees
+//! mostly meta-events plus the `isClosed`/`isOpening`/`isOpened`/`isFlowing`
+//! predicates (exposed on [`crate::slot::Slot`]).
+//!
+//! A [`ProgramBox`] pairs a [`MediaBox`] with its logic; the surrounding
+//! environment (the discrete-event simulator or the tokio runtime) feeds it
+//! [`BoxInput`]s and executes the [`BoxCmd`]s it returns.
+
+use crate::boxes::{BoxNote, GoalSpec, MediaBox};
+use crate::goal::{Outgoing, UserCmd};
+use crate::ids::{BoxId, ChannelId, SlotId};
+use crate::signal::MetaSignal;
+
+/// Identity of an application timer within its box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u32);
+
+/// Inputs delivered to a box by its environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxInput {
+    /// The box has been started; perform initial actions.
+    Start,
+    /// A signaling channel is up. For channels this box requested via
+    /// [`BoxCmd::OpenChannel`], `req` echoes the request tag; for channels
+    /// initiated by a peer, `req` is `None`. `slots` lists the slot ids
+    /// registered for the channel's tunnels, in tunnel order.
+    ChannelUp {
+        channel: ChannelId,
+        slots: Vec<SlotId>,
+        req: Option<u32>,
+    },
+    /// A signaling channel was destroyed (all its tunnels and slots die).
+    ChannelDown { channel: ChannelId },
+    /// A channel-level meta-signal arrived.
+    Meta { channel: ChannelId, meta: MetaSignal },
+    /// A tunnel signal arrived for `slot`.
+    Tunnel {
+        slot: SlotId,
+        signal: crate::signal::Signal,
+    },
+    /// An application timer fired.
+    Timer(TimerId),
+    /// Synthesized by [`ProgramBox`]: a slot event already handled by the
+    /// goal layer, surfaced so programs can guard on it (the `isFlowing(1a)`
+    /// style guards of §IV-A are predicates over slot state at this point).
+    SlotNote {
+        slot: SlotId,
+        event: crate::slot::SlotEvent,
+    },
+    /// Synthesized by [`ProgramBox`]: a Fig. 5 `?` event surfaced by a
+    /// user-agent goal.
+    UserNote {
+        slot: SlotId,
+        note: crate::goal::UserNote,
+    },
+}
+
+/// Commands a box issues to its environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoxCmd {
+    /// Transmit a tunnel signal (already applied to the local slot).
+    Signal(Outgoing),
+    /// Send a channel-level meta-signal.
+    Meta { channel: ChannelId, meta: MetaSignal },
+    /// Create a signaling channel toward the named box with `tunnels`
+    /// tunnels; the environment answers with [`BoxInput::ChannelUp`]
+    /// echoing `req`, and reports far-end availability as a meta-signal.
+    OpenChannel {
+        to: String,
+        tunnels: u16,
+        req: u32,
+    },
+    /// Destroy a signaling channel (meta-action; destroys its tunnels and
+    /// slots at both ends).
+    CloseChannel(ChannelId),
+    /// Start (or restart) an application timer after `after_ms` ms.
+    SetTimer { id: TimerId, after_ms: u64 },
+    CancelTimer(TimerId),
+    /// This box's program has terminated.
+    Terminate,
+}
+
+/// Application logic of a box: the finite-state program of §IV.
+pub trait AppLogic: Send {
+    /// React to an input. Goal re-annotations and user commands go through
+    /// `ctx` (which applies them to the media box immediately); channel and
+    /// timer commands are queued on `ctx` for the environment.
+    fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>);
+}
+
+/// Mutable view of the box handed to application logic.
+pub struct Ctx<'a> {
+    media: &'a mut MediaBox,
+    cmds: Vec<BoxCmd>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(media: &'a mut MediaBox) -> Self {
+        Self {
+            media,
+            cmds: Vec::new(),
+        }
+    }
+
+    /// Read access to slots for guard predicates.
+    pub fn media(&self) -> &MediaBox {
+        self.media
+    }
+
+    pub fn box_id(&self) -> BoxId {
+        self.media.id()
+    }
+
+    /// Annotate slots with a goal (immediately attaches the goal object and
+    /// queues the signals it emits).
+    pub fn set_goal(&mut self, spec: GoalSpec) {
+        let out = self.media.set_goal(spec);
+        self.cmds.extend(out.into_iter().map(BoxCmd::Signal));
+    }
+
+    /// Issue a user command on a user-agent slot.
+    pub fn user(&mut self, slot: SlotId, cmd: UserCmd) {
+        match self.media.user(slot, cmd) {
+            Ok(out) => self.cmds.extend(out.into_iter().map(BoxCmd::Signal)),
+            Err(e) => panic!("user command failed: {e}"),
+        }
+    }
+
+    pub fn send_meta(&mut self, channel: ChannelId, meta: MetaSignal) {
+        self.cmds.push(BoxCmd::Meta { channel, meta });
+    }
+
+    pub fn open_channel(&mut self, to: impl Into<String>, tunnels: u16, req: u32) {
+        self.cmds.push(BoxCmd::OpenChannel {
+            to: to.into(),
+            tunnels,
+            req,
+        });
+    }
+
+    pub fn close_channel(&mut self, channel: ChannelId) {
+        self.cmds.push(BoxCmd::CloseChannel(channel));
+    }
+
+    pub fn set_timer(&mut self, id: TimerId, after_ms: u64) {
+        self.cmds.push(BoxCmd::SetTimer { id, after_ms });
+    }
+
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cmds.push(BoxCmd::CancelTimer(id));
+    }
+
+    pub fn terminate(&mut self) {
+        self.cmds.push(BoxCmd::Terminate);
+    }
+
+    fn finish(self) -> Vec<BoxCmd> {
+        self.cmds
+    }
+}
+
+/// A media box driven by application logic.
+pub struct ProgramBox {
+    media: MediaBox,
+    logic: Box<dyn AppLogic>,
+}
+
+impl ProgramBox {
+    pub fn new(id: BoxId, logic: Box<dyn AppLogic>) -> Self {
+        Self {
+            media: MediaBox::new(id),
+            logic,
+        }
+    }
+
+    pub fn media(&self) -> &MediaBox {
+        &self.media
+    }
+
+    pub fn media_mut(&mut self) -> &mut MediaBox {
+        &mut self.media
+    }
+
+    /// Feed one input through the media box (for tunnel signals) and then
+    /// the application logic; collect the resulting commands.
+    pub fn handle(&mut self, input: BoxInput) -> Vec<BoxCmd> {
+        let mut cmds = Vec::new();
+        let mut notes: Vec<BoxNote> = Vec::new();
+        match &input {
+            BoxInput::Tunnel { slot, signal } => {
+                let (out, ns) = self.media.on_signal(*slot, signal.clone());
+                cmds.extend(out.into_iter().map(BoxCmd::Signal));
+                notes = ns;
+            }
+            BoxInput::ChannelUp { slots, .. } => {
+                // Slots must already have been registered by the
+                // environment via `register_slot`; nothing to do here.
+                debug_assert!(slots.iter().all(|s| self.media.slot(*s).is_some()));
+            }
+            _ => {}
+        }
+        // The logic sees the raw input first, then each surfaced note.
+        let mut ctx = Ctx::new(&mut self.media);
+        self.logic.handle(&input, &mut ctx);
+        cmds.extend(ctx.finish());
+        for note in &notes {
+            let input = BoxInput::from_note(note);
+            let mut ctx = Ctx::new(&mut self.media);
+            self.logic.handle(&input, &mut ctx);
+            cmds.extend(ctx.finish());
+        }
+        cmds
+    }
+}
+
+impl BoxInput {
+    /// Notes surfaced by the media layer are re-delivered to the logic as
+    /// inputs so programs can guard on slot events (`isFlowing(1a)` etc.).
+    fn from_note(note: &BoxNote) -> BoxInput {
+        match note {
+            BoxNote::Slot { slot, event } => BoxInput::SlotNote {
+                slot: *slot,
+                event: event.clone(),
+            },
+            BoxNote::User { slot, note } => BoxInput::UserNote {
+                slot: *slot,
+                note: note.clone(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Medium;
+    use crate::goal::Policy;
+    use crate::signal::Signal;
+    use crate::slot::SlotEvent;
+
+    /// A trivial program: on start, open an audio channel on slot 0; when
+    /// the slot starts flowing, set a timer; when the timer fires, close.
+    struct Trivial;
+
+    impl AppLogic for Trivial {
+        fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+            match input {
+                BoxInput::Start => ctx.set_goal(GoalSpec::Open {
+                    slot: SlotId(0),
+                    medium: Medium::Audio,
+                    policy: Policy::Server,
+                }),
+                BoxInput::SlotNote { slot, event: SlotEvent::Oacked } => {
+                    assert!(ctx.media().slot(*slot).unwrap().is_flowing());
+                    ctx.set_timer(TimerId(1), 5_000);
+                }
+                BoxInput::Timer(TimerId(1)) => {
+                    ctx.set_goal(GoalSpec::Close { slot: SlotId(0) });
+                    ctx.terminate();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn program_box_drives_goals_from_inputs() {
+        let mut pb = ProgramBox::new(BoxId(9), Box::new(Trivial));
+        pb.media_mut().add_slot(SlotId(0), true);
+
+        let cmds = pb.handle(BoxInput::Start);
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(
+            &cmds[0],
+            BoxCmd::Signal(out) if matches!(out.signal, Signal::Open { .. })
+        ));
+
+        // Peer oacks: the program observes the slot event and arms a timer.
+        let mut peer_tags = crate::descriptor::TagSource::new(3);
+        let cmds = pb.handle(BoxInput::Tunnel {
+            slot: SlotId(0),
+            signal: Signal::Oack {
+                desc: crate::descriptor::Descriptor::no_media(peer_tags.next()),
+            },
+        });
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            BoxCmd::Signal(out) if matches!(out.signal, Signal::Select { .. })
+        )));
+        assert!(cmds.contains(&BoxCmd::SetTimer {
+            id: TimerId(1),
+            after_ms: 5_000
+        }));
+
+        // Timer fires: close + terminate.
+        let cmds = pb.handle(BoxInput::Timer(TimerId(1)));
+        assert!(cmds.iter().any(|c| matches!(
+            c,
+            BoxCmd::Signal(out) if out.signal == Signal::Close
+        )));
+        assert!(cmds.contains(&BoxCmd::Terminate));
+    }
+}

@@ -1,0 +1,180 @@
+//! Descriptor-tag canonicalization support for explicit-state exploration.
+//!
+//! Goal objects mint fresh descriptor tags whenever they re-describe or
+//! re-open, so a naive state hash never repeats along a reopen loop (e.g.
+//! the openSlot/closeSlot retry cycle of §V) and exhaustive exploration
+//! would diverge. Tag *identity* is the only thing the protocol ever
+//! compares — generations are never ordered across records — so states that
+//! differ only by a consistent renaming of generations are bisimilar.
+//!
+//! The model checker canonicalizes states before hashing: for every tag
+//! origin it collects the generations that actually occur (in slots, queued
+//! signals, and goal caches), renames them densely preserving their order,
+//! and resets each [`TagSource`] counter to just past the highest renamed
+//! generation so future mints remain fresh. [`Retag`] is the visitor that
+//! makes every tag and tag source in a structure reachable.
+
+use crate::descriptor::{DescTag, Descriptor, Selector, TagSource};
+use crate::goal::{CloseSlot, FlowLink, Goal, HoldSlot, OpenSlot, UserAgent};
+use crate::signal::Signal;
+use crate::slot::Slot;
+
+/// Visit every descriptor tag and tag source in a structure.
+pub trait Retag {
+    /// Call `f` on each embedded [`DescTag`].
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag));
+    /// Call `f` on each embedded [`TagSource`].
+    fn visit_sources(&mut self, _f: &mut dyn FnMut(&mut TagSource)) {}
+}
+
+impl Retag for DescTag {
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        f(self)
+    }
+}
+
+impl Retag for Descriptor {
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        f(&mut self.tag)
+    }
+}
+
+impl Retag for Selector {
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        f(&mut self.answers)
+    }
+}
+
+impl Retag for Signal {
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        match self {
+            Signal::Open { desc, .. } | Signal::Oack { desc } | Signal::Describe { desc } => {
+                desc.visit_tags(f)
+            }
+            Signal::Select { sel } => sel.visit_tags(f),
+            Signal::Close | Signal::CloseAck => {}
+        }
+    }
+}
+
+impl Retag for Slot {
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        if let Some(d) = self.peer_desc_mut() {
+            d.visit_tags(f);
+        }
+        if let Some(d) = self.sent_desc_mut() {
+            d.visit_tags(f);
+        }
+        if let Some(s) = self.peer_sel_mut() {
+            s.visit_tags(f);
+        }
+        if let Some(s) = self.sent_sel_mut() {
+            s.visit_tags(f);
+        }
+    }
+}
+
+impl Retag for TagSource {
+    fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
+    fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        f(self)
+    }
+}
+
+impl Retag for OpenSlot {
+    fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
+    fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        f(self.tags_mut())
+    }
+}
+
+impl Retag for HoldSlot {
+    fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
+    fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        f(self.tags_mut())
+    }
+}
+
+impl Retag for CloseSlot {
+    fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
+}
+
+impl Retag for FlowLink {
+    fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
+    fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        f(self.tags_mut())
+    }
+}
+
+impl Retag for UserAgent {
+    fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
+    fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        f(self.tags_mut())
+    }
+}
+
+impl Retag for Goal {
+    fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        match self {
+            Goal::Open(g) => g.visit_tags(f),
+            Goal::Close(g) => g.visit_tags(f),
+            Goal::Hold(g) => g.visit_tags(f),
+            Goal::User(g) => g.visit_tags(f),
+            Goal::Link(g) => g.visit_tags(f),
+        }
+    }
+    fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        match self {
+            Goal::Open(g) => g.visit_sources(f),
+            Goal::Close(g) => g.visit_sources(f),
+            Goal::Hold(g) => g.visit_sources(f),
+            Goal::User(g) => g.visit_sources(f),
+            Goal::Link(g) => g.visit_sources(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Codec, Medium};
+    use crate::descriptor::MediaAddr;
+
+    #[test]
+    fn slot_tags_are_visitable() {
+        let mut ts = TagSource::new(5);
+        let mut a = Slot::new(true);
+        let d = Descriptor::media(
+            ts.next(),
+            MediaAddr::v4(1, 1, 1, 1, 2),
+            vec![Codec::G711],
+        );
+        a.send_open(Medium::Audio, d).unwrap();
+        let mut seen = Vec::new();
+        a.visit_tags(&mut |t| seen.push(*t));
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].origin, 5);
+    }
+
+    #[test]
+    fn signal_tags_are_visitable_and_mutable() {
+        let mut ts = TagSource::new(5);
+        let mut sig = Signal::Describe {
+            desc: Descriptor::no_media(ts.next()),
+        };
+        sig.visit_tags(&mut |t| t.generation = 42);
+        match sig {
+            Signal::Describe { desc } => assert_eq!(desc.tag.generation, 42),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn tag_source_counter_is_adjustable() {
+        let mut ts = TagSource::new(5);
+        ts.next();
+        ts.next();
+        ts.set_generation_counter(1);
+        assert_eq!(ts.next().generation, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Signals of the media-control protocol and channel meta-signals
+//! (paper §III-A, §VI-B).
+//!
+//! The protocol operates separately in each tunnel of each signaling
+//! channel; [`Signal`] values travel inside one tunnel. [`MetaSignal`]s
+//! refer to the signaling channel as a whole (setup, teardown, availability)
+//! and can affect every tunnel within it.
+
+use crate::codec::Medium;
+use crate::descriptor::{Descriptor, Selector};
+use crate::ids::TunnelId;
+use std::fmt;
+
+/// A media-control signal within one tunnel (protocol of Fig. 9).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Attempt to open a media channel: carries the requested medium and a
+    /// descriptor of the opener as a receiver of media.
+    Open { medium: Medium, desc: Descriptor },
+    /// Affirmative response to `Open`: carries a descriptor of the acceptor
+    /// as a receiver of media.
+    Oack { desc: Descriptor },
+    /// Close the media channel (also plays the role of *reject*). Must be
+    /// acknowledged by `CloseAck`.
+    Close,
+    /// Acknowledgement of `Close`.
+    CloseAck,
+    /// A new self-description of this end as a receiver; may be sent at any
+    /// time after `Oack` has been sent or received. The receiver must
+    /// respond with a `Select`.
+    Describe { desc: Descriptor },
+    /// Declaration of sending intent, answering a previously received
+    /// descriptor. May be sent at any time; signals in the two directions
+    /// of a tunnel do not constrain each other (§VI-C).
+    Select { sel: Selector },
+}
+
+impl Signal {
+    /// Short protocol name, as used in the paper's figures.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Signal::Open { .. } => "open",
+            Signal::Oack { .. } => "oack",
+            Signal::Close => "close",
+            Signal::CloseAck => "closeack",
+            Signal::Describe { .. } => "describe",
+            Signal::Select { .. } => "select",
+        }
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signal::Open { medium, desc } => write!(f, "open({medium}, {desc})"),
+            Signal::Oack { desc } => write!(f, "oack({desc})"),
+            Signal::Close => f.write_str("close"),
+            Signal::CloseAck => f.write_str("closeack"),
+            Signal::Describe { desc } => write!(f, "describe({desc})"),
+            Signal::Select { sel } => write!(f, "select({sel})"),
+        }
+    }
+}
+
+/// Availability of the far endpoint of a signaling channel, reported by
+/// meta-signals during channel setup (§III-A; used by Click-to-Dial, Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Availability {
+    Available,
+    Unavailable,
+}
+
+/// A meta-signal: refers to the signaling channel as a whole.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MetaSignal {
+    /// The channel has been set up and is usable.
+    ChannelUp,
+    /// The intended far endpoint is available / unavailable.
+    Peer(Availability),
+    /// The channel is being destroyed; destroys all its tunnels and slots.
+    Teardown,
+    /// Application-level notification carried on the signaling channel but
+    /// outside any tunnel (e.g. the prepaid-card resource V reporting that
+    /// the user has paid, §IV-B).
+    App(AppEvent),
+}
+
+/// Application-level events exchanged between cooperating boxes as
+/// meta-signals. The set is open-ended; these cover the paper's scenarios.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AppEvent {
+    /// Prepaid funds verified; reconnect the caller (V → PC, Fig. 3).
+    FundsVerified,
+    /// Instruct a media server how to mix inputs (conference partial muting,
+    /// §IV-B): standardized meta-signals to the bridge, JSR-309 style.
+    MixMatrix(Vec<MixRow>),
+    /// Collaborative-television transport control applied to a whole
+    /// signaling channel (all tunnels / media channels at once, Fig. 8).
+    MovieControl(MovieCommand),
+    /// Free-form event for application extensions and tests.
+    Custom(String),
+}
+
+/// One row of a conference mixing matrix: what participant `output` hears is
+/// the sum of `hears`, each scaled by a gain in percent (100 = unity,
+/// 30 ≈ whisper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MixRow {
+    pub output: u16,
+    pub hears: Vec<(u16, u8)>,
+}
+
+/// Transport control for a shared movie (collaborative TV, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MovieCommand {
+    Play,
+    Pause,
+    /// Seek to an absolute time point, in seconds.
+    Seek(u32),
+}
+
+/// A message on a signaling channel: either a tunnel signal (addressed to a
+/// tunnel, hence to the slot at each end) or a channel-wide meta-signal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ChannelMsg {
+    Tunnel { tunnel: TunnelId, signal: Signal },
+    Meta(MetaSignal),
+}
+
+impl fmt::Display for ChannelMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelMsg::Tunnel { tunnel, signal } => write!(f, "{tunnel}:{signal}"),
+            ChannelMsg::Meta(m) => write!(f, "meta:{m:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{DescTag, Descriptor};
+
+    #[test]
+    fn signal_kinds_match_paper_names() {
+        let d = Descriptor::no_media(DescTag {
+            origin: 1,
+            generation: 0,
+        });
+        assert_eq!(
+            Signal::Open {
+                medium: Medium::Audio,
+                desc: d.clone()
+            }
+            .kind(),
+            "open"
+        );
+        assert_eq!(Signal::Oack { desc: d.clone() }.kind(), "oack");
+        assert_eq!(Signal::Close.kind(), "close");
+        assert_eq!(Signal::CloseAck.kind(), "closeack");
+        assert_eq!(Signal::Describe { desc: d }.kind(), "describe");
+    }
+
+    #[test]
+    fn channel_msg_display_includes_tunnel() {
+        let m = ChannelMsg::Tunnel {
+            tunnel: TunnelId(3),
+            signal: Signal::Close,
+        };
+        assert_eq!(m.to_string(), "tun3:close");
+    }
+}

@@ -1,0 +1,738 @@
+//! The slot: one protocol endpoint of one tunnel (paper §III-A, Fig. 9).
+//!
+//! A `Slot` object sees every signal received from its tunnel and validates
+//! every signal sent into it, so it maintains the complete
+//! implementation-level state of the protocol endpoint: protocol state,
+//! medium, and cached descriptors/selectors (paper §VII).
+//!
+//! The slot is a pure, sans-IO state machine: `on_signal` consumes one
+//! incoming signal and returns an event for the controlling goal object plus
+//! any protocol-mandated automatic response (`closeack`). Outgoing signals
+//! are produced by the `send_*` methods, which validate against the protocol
+//! of Fig. 9 and return the wire signal for the caller to transmit.
+
+use crate::codec::Medium;
+use crate::descriptor::{Descriptor, Selector};
+use crate::error::ProtocolError;
+use crate::signal::Signal;
+
+/// Protocol state of a slot (Fig. 9). The user-interface states of Fig. 5
+/// map onto these; `Closing` is the extra protocol state not observable in
+/// the user interface (§VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SlotState {
+    /// No media channel exists (or it has been fully torn down).
+    Closed,
+    /// We sent `open` and await `oack` or `close`.
+    Opening,
+    /// We received `open` and have not yet answered.
+    Opened,
+    /// The channel is established; media may flow subject to muting.
+    Flowing,
+    /// We sent `close` and await `closeack`.
+    Closing,
+}
+
+impl SlotState {
+    /// The paper's Fig. 12 shorthand: `opening`, `opened` and `flowing` are
+    /// *live*; `closed` and `closing` are *dead*.
+    pub fn is_live(self) -> bool {
+        matches!(self, SlotState::Opening | SlotState::Opened | SlotState::Flowing)
+    }
+
+    pub fn is_dead(self) -> bool {
+        !self.is_live()
+    }
+}
+
+/// What an incoming signal meant, reported to the controlling goal object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotEvent {
+    /// An `open` arrived while we were closed; the goal must accept
+    /// (oack + select) or reject (close). State is now `Opened`.
+    OpenReceived { medium: Medium },
+    /// An `open` arrived while we were `Opening` and this end loses the
+    /// open/open race (it did not initiate the signaling channel, §VI-B).
+    /// This end backs off and becomes the acceptor; state is now `Opened`.
+    RaceBackoff { medium: Medium },
+    /// An `open` arrived while we were `Opening` and this end wins the
+    /// race; the losing open is simply ignored (§VI-B).
+    RaceIgnored,
+    /// Our `open` was accepted; state is now `Flowing`. The goal must send
+    /// a selector answering the oack's descriptor (`?oack / !select`).
+    Oacked,
+    /// The peer closed (or rejected) the channel. A `closeack` has been
+    /// sent automatically; state is now `Closed`. `was` is the state in
+    /// which the close arrived — `Opening` means our open was rejected.
+    PeerClosed { was: SlotState },
+    /// Our `close` was acknowledged; state is now `Closed`.
+    CloseAcked,
+    /// A new peer descriptor arrived (`describe`). The goal must respond
+    /// with a selector, if only to show the descriptor was received (§VI-B).
+    Described,
+    /// A selector arrived. `fresh` is true iff it answers the descriptor we
+    /// most recently sent; obsolete selectors are reported so flowlinks can
+    /// discard them (§VII).
+    Selected { fresh: bool },
+    /// A stale or duplicate signal was tolerated and dropped.
+    Ignored(&'static str),
+}
+
+/// One protocol endpoint of one tunnel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Slot {
+    state: SlotState,
+    /// Medium of the current (or pending) media channel.
+    medium: Option<Medium>,
+    /// True iff this end initiated setup of the signaling channel; the
+    /// initiator wins an open/open race (§VI-B).
+    channel_initiator: bool,
+    /// Most recent descriptor received (in `open`, `oack`, or `describe`);
+    /// "the descriptor of a slot" in the paper's sense (§VII).
+    peer_desc: Option<Descriptor>,
+    /// Most recent descriptor we sent (in `open`, `oack`, or `describe`).
+    sent_desc: Option<Descriptor>,
+    /// Most recent selector received.
+    peer_sel: Option<Selector>,
+    /// Most recent selector we sent.
+    sent_sel: Option<Selector>,
+}
+
+impl Slot {
+    /// A fresh, closed slot. `channel_initiator` must be true at exactly
+    /// one end of each tunnel (the end whose box initiated setup of the
+    /// signaling channel).
+    pub fn new(channel_initiator: bool) -> Self {
+        Self {
+            state: SlotState::Closed,
+            medium: None,
+            channel_initiator,
+            peer_desc: None,
+            sent_desc: None,
+            peer_sel: None,
+            sent_sel: None,
+        }
+    }
+
+    pub fn state(&self) -> SlotState {
+        self.state
+    }
+
+    pub fn medium(&self) -> Option<Medium> {
+        self.medium
+    }
+
+    pub fn is_channel_initiator(&self) -> bool {
+        self.channel_initiator
+    }
+
+    /// The slot's current peer descriptor, i.e. the most recent descriptor
+    /// received in an `open`, `oack`, or `describe` signal (§VII).
+    pub fn peer_desc(&self) -> Option<&Descriptor> {
+        self.peer_desc.as_ref()
+    }
+
+    /// The descriptor we most recently sent into the tunnel.
+    pub fn sent_desc(&self) -> Option<&Descriptor> {
+        self.sent_desc.as_ref()
+    }
+
+    pub fn peer_sel(&self) -> Option<&Selector> {
+        self.peer_sel.as_ref()
+    }
+
+    pub fn sent_sel(&self) -> Option<&Selector> {
+        self.sent_sel.as_ref()
+    }
+
+    /// A slot is *described* if it holds a current peer descriptor; only
+    /// slots in the `opened` and `flowing` states are described (§VII).
+    pub fn is_described(&self) -> bool {
+        matches!(self.state, SlotState::Opened | SlotState::Flowing) && self.peer_desc.is_some()
+    }
+
+    /// History variable of §VI-C: this end has *enabled* transmission iff it
+    /// is flowing and the selector it most recently sent carries a real
+    /// codec.
+    pub fn tx_enabled(&self) -> bool {
+        self.state == SlotState::Flowing
+            && self.sent_sel.as_ref().is_some_and(|s| s.is_sending())
+    }
+
+    /// This end should be ready to receive media iff it is flowing and the
+    /// most recently received selector carries a real codec (§VI-B).
+    pub fn rx_expected(&self) -> bool {
+        self.state == SlotState::Flowing
+            && self.peer_sel.as_ref().is_some_and(|s| s.is_sending())
+    }
+
+    /// Where and how this end currently transmits media: the address from
+    /// the peer's current descriptor and the codec from our selector — but
+    /// only while our selector answers that descriptor (a re-describe not
+    /// yet answered suspends transmission until the fresh selector is sent).
+    pub fn tx_route(&self) -> Option<(crate::descriptor::MediaAddr, crate::codec::Codec)> {
+        if !self.tx_enabled() {
+            return None;
+        }
+        let sel = self.sent_sel.as_ref()?;
+        let desc = self.peer_desc.as_ref()?;
+        if sel.answers != desc.tag {
+            return None;
+        }
+        Some((desc.addr?, sel.codec))
+    }
+
+    /// Mutable access to cached records, for tag canonicalization
+    /// (`crate::retag`). Not part of the protocol API.
+    #[doc(hidden)]
+    pub fn peer_desc_mut(&mut self) -> Option<&mut Descriptor> {
+        self.peer_desc.as_mut()
+    }
+
+    #[doc(hidden)]
+    pub fn sent_desc_mut(&mut self) -> Option<&mut Descriptor> {
+        self.sent_desc.as_mut()
+    }
+
+    #[doc(hidden)]
+    pub fn peer_sel_mut(&mut self) -> Option<&mut Selector> {
+        self.peer_sel.as_mut()
+    }
+
+    #[doc(hidden)]
+    pub fn sent_sel_mut(&mut self) -> Option<&mut Selector> {
+        self.sent_sel.as_mut()
+    }
+
+    // --- predicates of §IV-A, usable as transition guards in box programs ---
+
+    pub fn is_closed(&self) -> bool {
+        self.state == SlotState::Closed
+    }
+
+    pub fn is_opening(&self) -> bool {
+        self.state == SlotState::Opening
+    }
+
+    pub fn is_opened(&self) -> bool {
+        self.state == SlotState::Opened
+    }
+
+    pub fn is_flowing(&self) -> bool {
+        self.state == SlotState::Flowing
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming signals
+    // ------------------------------------------------------------------
+
+    /// Consume one incoming signal: update state, auto-respond where the
+    /// protocol mandates it (`closeack`), and report what happened.
+    pub fn on_signal(&mut self, signal: Signal) -> (SlotEvent, Vec<Signal>) {
+        use SlotState::*;
+        match signal {
+            Signal::Open { medium, desc } => match self.state {
+                Closed => {
+                    self.state = Opened;
+                    self.medium = Some(medium);
+                    self.peer_desc = Some(desc);
+                    self.peer_sel = None;
+                    (SlotEvent::OpenReceived { medium }, vec![])
+                }
+                Opening => {
+                    if self.channel_initiator {
+                        // We win the race; the losing open is ignored.
+                        (SlotEvent::RaceIgnored, vec![])
+                    } else {
+                        // We lose: back off and act as the acceptor instead.
+                        self.state = Opened;
+                        self.medium = Some(medium);
+                        self.peer_desc = Some(desc);
+                        (SlotEvent::RaceBackoff { medium }, vec![])
+                    }
+                }
+                _ => (SlotEvent::Ignored("open in unexpected state"), vec![]),
+            },
+            Signal::Oack { desc } => match self.state {
+                Opening => {
+                    self.state = Flowing;
+                    self.peer_desc = Some(desc);
+                    (SlotEvent::Oacked, vec![])
+                }
+                _ => (SlotEvent::Ignored("stale oack"), vec![]),
+            },
+            Signal::Close => match self.state {
+                Opening | Opened | Flowing => {
+                    let was = self.state;
+                    self.reset_to_closed();
+                    (SlotEvent::PeerClosed { was }, vec![Signal::CloseAck])
+                }
+                Closing => {
+                    // close/close race: acknowledge theirs, keep waiting
+                    // for the acknowledgement of ours.
+                    (SlotEvent::Ignored("close/close race"), vec![Signal::CloseAck])
+                }
+                Closed => {
+                    // Defensive: acknowledge so a confused peer cannot hang.
+                    (SlotEvent::Ignored("close while closed"), vec![Signal::CloseAck])
+                }
+            },
+            Signal::CloseAck => match self.state {
+                Closing => {
+                    self.reset_to_closed();
+                    (SlotEvent::CloseAcked, vec![])
+                }
+                _ => (SlotEvent::Ignored("stale closeack"), vec![]),
+            },
+            Signal::Describe { desc } => match self.state {
+                Flowing => {
+                    self.peer_desc = Some(desc);
+                    (SlotEvent::Described, vec![])
+                }
+                _ => (SlotEvent::Ignored("describe in non-flowing state"), vec![]),
+            },
+            Signal::Select { sel } => match self.state {
+                Flowing => {
+                    let fresh = self
+                        .sent_desc
+                        .as_ref()
+                        .is_some_and(|d| sel.answers == d.tag);
+                    self.peer_sel = Some(sel);
+                    (SlotEvent::Selected { fresh }, vec![])
+                }
+                _ => (SlotEvent::Ignored("select in non-flowing state"), vec![]),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Outgoing signals (invoked by goal objects)
+    // ------------------------------------------------------------------
+
+    /// Attempt to open a media channel (`!open`). Legal only when closed.
+    pub fn send_open(
+        &mut self,
+        medium: Medium,
+        desc: Descriptor,
+    ) -> Result<Signal, ProtocolError> {
+        if self.state != SlotState::Closed {
+            return Err(ProtocolError::BadState {
+                action: "open",
+                state: self.state,
+            });
+        }
+        self.state = SlotState::Opening;
+        self.medium = Some(medium);
+        self.sent_desc = Some(desc.clone());
+        self.sent_sel = None;
+        self.peer_sel = None;
+        Ok(Signal::Open { medium, desc })
+    }
+
+    /// Accept a pending open: send `oack` carrying our descriptor followed
+    /// by a selector answering the open's descriptor (`!oack / !select`,
+    /// Fig. 9). Legal only in `Opened`.
+    pub fn accept(
+        &mut self,
+        desc: Descriptor,
+        sel: Selector,
+    ) -> Result<[Signal; 2], ProtocolError> {
+        if self.state != SlotState::Opened {
+            return Err(ProtocolError::BadState {
+                action: "accept",
+                state: self.state,
+            });
+        }
+        let peer = self.peer_desc.as_ref().expect("opened slot is described");
+        if !sel.answers_validly(peer) {
+            return Err(ProtocolError::StaleSelector);
+        }
+        self.state = SlotState::Flowing;
+        self.sent_desc = Some(desc.clone());
+        self.sent_sel = Some(sel.clone());
+        Ok([Signal::Oack { desc }, Signal::Select { sel }])
+    }
+
+    /// Send a selector answering the current peer descriptor. Legal in
+    /// `Flowing` (including immediately after `Oacked`); selectors in the
+    /// two directions do not constrain each other (§VI-C).
+    pub fn send_select(&mut self, sel: Selector) -> Result<Signal, ProtocolError> {
+        if self.state != SlotState::Flowing {
+            return Err(ProtocolError::BadState {
+                action: "select",
+                state: self.state,
+            });
+        }
+        let peer = self
+            .peer_desc
+            .as_ref()
+            .ok_or(ProtocolError::InvalidRecord("no peer descriptor to answer"))?;
+        if !sel.answers_validly(peer) {
+            return Err(ProtocolError::StaleSelector);
+        }
+        self.sent_sel = Some(sel.clone());
+        Ok(Signal::Select { sel })
+    }
+
+    /// Send a new self-description. Legal any time after `oack` has been
+    /// sent or received, i.e. in `Flowing` (§VI-B).
+    pub fn send_describe(&mut self, desc: Descriptor) -> Result<Signal, ProtocolError> {
+        if self.state != SlotState::Flowing {
+            return Err(ProtocolError::BadState {
+                action: "describe",
+                state: self.state,
+            });
+        }
+        self.sent_desc = Some(desc.clone());
+        Ok(Signal::Describe { desc })
+    }
+
+    /// Close (or reject) the media channel. Legal from any live state.
+    pub fn send_close(&mut self) -> Result<Signal, ProtocolError> {
+        if !self.state.is_live() {
+            return Err(ProtocolError::BadState {
+                action: "close",
+                state: self.state,
+            });
+        }
+        self.state = SlotState::Closing;
+        Ok(Signal::Close)
+    }
+
+    fn reset_to_closed(&mut self) {
+        self.state = SlotState::Closed;
+        self.medium = None;
+        self.peer_desc = None;
+        self.sent_desc = None;
+        self.peer_sel = None;
+        self.sent_sel = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Codec;
+    use crate::descriptor::{DescTag, MediaAddr, TagSource};
+
+    fn desc(ts: &mut TagSource) -> Descriptor {
+        Descriptor::media(
+            ts.next(),
+            MediaAddr::v4(10, 0, 0, 1, 4000),
+            vec![Codec::G711, Codec::G726],
+        )
+    }
+
+    fn nm_desc(ts: &mut TagSource) -> Descriptor {
+        Descriptor::no_media(ts.next())
+    }
+
+    /// Drive a pair of connected slots: deliver `sig` from `from` to `to`,
+    /// returning the event and forwarding auto-responses back.
+    fn deliver(to: &mut Slot, sig: Signal) -> (SlotEvent, Vec<Signal>) {
+        to.on_signal(sig)
+    }
+
+    #[test]
+    fn happy_path_open_accept_flow_close() {
+        // Reproduces the first half of the paper's Fig. 10 scenario.
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let d1 = desc(&mut ta);
+        let open = a.send_open(Medium::Audio, d1.clone()).unwrap();
+        assert_eq!(a.state(), SlotState::Opening);
+
+        let (ev, auto) = deliver(&mut b, open);
+        assert_eq!(ev, SlotEvent::OpenReceived { medium: Medium::Audio });
+        assert!(auto.is_empty());
+        assert_eq!(b.state(), SlotState::Opened);
+        assert!(b.is_described());
+
+        // B accepts: oack(desc2) + select answering desc1.
+        let d2 = desc(&mut tb);
+        let sel2 = Selector::sending(d1.tag, MediaAddr::v4(10, 0, 0, 2, 5000), Codec::G711);
+        let [oack, select] = b.accept(d2.clone(), sel2).unwrap();
+        assert_eq!(b.state(), SlotState::Flowing);
+        assert!(b.tx_enabled());
+
+        let (ev, _) = deliver(&mut a, oack);
+        assert_eq!(ev, SlotEvent::Oacked);
+        assert_eq!(a.state(), SlotState::Flowing);
+        assert_eq!(a.peer_desc().unwrap().tag, d2.tag);
+
+        let (ev, _) = deliver(&mut a, select);
+        assert_eq!(ev, SlotEvent::Selected { fresh: true });
+        assert!(a.rx_expected());
+
+        // A answers the oack's descriptor.
+        let sel1 = Selector::sending(d2.tag, MediaAddr::v4(10, 0, 0, 1, 4000), Codec::G711);
+        let sig = a.send_select(sel1).unwrap();
+        assert!(a.tx_enabled());
+        let (ev, _) = deliver(&mut b, sig);
+        assert_eq!(ev, SlotEvent::Selected { fresh: true });
+        assert!(b.rx_expected());
+
+        // Close handshake.
+        let close = a.send_close().unwrap();
+        assert_eq!(a.state(), SlotState::Closing);
+        assert!(!a.tx_enabled(), "leaving flowing disables transmission");
+        let (ev, auto) = deliver(&mut b, close);
+        assert_eq!(ev, SlotEvent::PeerClosed { was: SlotState::Flowing });
+        assert_eq!(b.state(), SlotState::Closed);
+        let (ev, _) = deliver(&mut a, auto.into_iter().next().unwrap());
+        assert_eq!(ev, SlotEvent::CloseAcked);
+        assert_eq!(a.state(), SlotState::Closed);
+    }
+
+    #[test]
+    fn reject_is_close_while_opening() {
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+
+        let open = a.send_open(Medium::Audio, nm_desc(&mut ta)).unwrap();
+        deliver(&mut b, open);
+        let close = b.send_close().unwrap(); // reject
+        let (ev, auto) = deliver(&mut a, close);
+        assert_eq!(ev, SlotEvent::PeerClosed { was: SlotState::Opening });
+        assert_eq!(a.state(), SlotState::Closed);
+        let (ev, _) = deliver(&mut b, auto.into_iter().next().unwrap());
+        assert_eq!(ev, SlotEvent::CloseAcked);
+        assert_eq!(b.state(), SlotState::Closed);
+    }
+
+    #[test]
+    fn open_open_race_initiator_wins() {
+        // §VI-B: the winner is always the end that initiated setup of the
+        // signaling channel; the losing open is simply ignored.
+        let mut a = Slot::new(true); // channel initiator
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let open_a = a.send_open(Medium::Audio, desc(&mut ta)).unwrap();
+        let open_b = b.send_open(Medium::Audio, desc(&mut tb)).unwrap();
+
+        let (ev, _) = deliver(&mut a, open_b);
+        assert_eq!(ev, SlotEvent::RaceIgnored);
+        assert_eq!(a.state(), SlotState::Opening);
+
+        let (ev, _) = deliver(&mut b, open_a);
+        assert!(matches!(ev, SlotEvent::RaceBackoff { medium: Medium::Audio }));
+        assert_eq!(b.state(), SlotState::Opened);
+
+        // b now accepts as if it had been opened.
+        let d2 = desc(&mut tb);
+        let answer = Selector::sending(
+            a.sent_desc().unwrap().tag,
+            MediaAddr::v4(10, 0, 0, 2, 5000),
+            Codec::G711,
+        );
+        let [oack, select] = b.accept(d2, answer).unwrap();
+        let (ev, _) = deliver(&mut a, oack);
+        assert_eq!(ev, SlotEvent::Oacked);
+        let (ev, _) = deliver(&mut a, select);
+        assert_eq!(ev, SlotEvent::Selected { fresh: true });
+        assert_eq!(a.state(), SlotState::Flowing);
+    }
+
+    #[test]
+    fn close_close_race_resolves() {
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        // Establish a flowing channel.
+        let open = a.send_open(Medium::Audio, desc(&mut ta)).unwrap();
+        deliver(&mut b, open);
+        let d2 = desc(&mut tb);
+        let answer = Selector::not_sending(a.sent_desc().unwrap().tag);
+        let [oack, select] = b.accept(d2, answer).unwrap();
+        deliver(&mut a, oack);
+        deliver(&mut a, select);
+
+        // Both close simultaneously.
+        let close_a = a.send_close().unwrap();
+        let close_b = b.send_close().unwrap();
+
+        let (ev, auto_a) = deliver(&mut a, close_b);
+        assert_eq!(ev, SlotEvent::Ignored("close/close race"));
+        assert_eq!(auto_a, vec![Signal::CloseAck]);
+        let (ev, auto_b) = deliver(&mut b, close_a);
+        assert_eq!(ev, SlotEvent::Ignored("close/close race"));
+        assert_eq!(auto_b, vec![Signal::CloseAck]);
+
+        let (ev, _) = deliver(&mut a, auto_b.into_iter().next().unwrap());
+        assert_eq!(ev, SlotEvent::CloseAcked);
+        let (ev, _) = deliver(&mut b, auto_a.into_iter().next().unwrap());
+        assert_eq!(ev, SlotEvent::CloseAcked);
+        assert_eq!(a.state(), SlotState::Closed);
+        assert_eq!(b.state(), SlotState::Closed);
+    }
+
+    #[test]
+    fn describe_reselect_cycle() {
+        // Second half of Fig. 10: a new descriptor at any time, answered by
+        // a new selector.
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let open = a.send_open(Medium::Audio, desc(&mut ta)).unwrap();
+        deliver(&mut b, open);
+        let d2 = desc(&mut tb);
+        let answer = Selector::not_sending(a.sent_desc().unwrap().tag);
+        let [oack, select] = b.accept(d2, answer).unwrap();
+        deliver(&mut a, oack);
+        deliver(&mut a, select);
+
+        // A re-describes itself (e.g. its mute state changed).
+        let d3 = desc(&mut ta);
+        let sig = a.send_describe(d3.clone()).unwrap();
+        let (ev, _) = deliver(&mut b, sig);
+        assert_eq!(ev, SlotEvent::Described);
+        assert_eq!(b.peer_desc().unwrap().tag, d3.tag);
+
+        // B answers with a fresh selector; A sees it as fresh.
+        let sel = Selector::sending(d3.tag, MediaAddr::v4(10, 0, 0, 2, 5000), Codec::G726);
+        let sig = b.send_select(sel).unwrap();
+        let (ev, _) = deliver(&mut a, sig);
+        assert_eq!(ev, SlotEvent::Selected { fresh: true });
+    }
+
+    #[test]
+    fn obsolete_selector_is_flagged_stale() {
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let d1 = desc(&mut ta);
+        let open = a.send_open(Medium::Audio, d1.clone()).unwrap();
+        deliver(&mut b, open);
+        let d2 = desc(&mut tb);
+        let answer = Selector::not_sending(d1.tag);
+        let [oack, select] = b.accept(d2, answer).unwrap();
+        deliver(&mut a, oack);
+        deliver(&mut a, select);
+
+        // A re-describes; a selector answering the *old* descriptor is
+        // then reported as not fresh.
+        let d3 = desc(&mut ta);
+        let _ = a.send_describe(d3).unwrap();
+        let old_sel = Signal::Select {
+            sel: Selector::sending(d1.tag, MediaAddr::v4(10, 0, 0, 2, 5000), Codec::G711),
+        };
+        let (ev, _) = deliver(&mut a, old_sel);
+        assert_eq!(ev, SlotEvent::Selected { fresh: false });
+    }
+
+    #[test]
+    fn stale_select_send_is_rejected() {
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let d1 = desc(&mut ta);
+        let open = a.send_open(Medium::Audio, d1.clone()).unwrap();
+        deliver(&mut b, open);
+        let d2 = desc(&mut tb);
+        let answer = Selector::not_sending(d1.tag);
+        let [oack, _] = b.accept(d2.clone(), answer).unwrap();
+        deliver(&mut a, oack);
+
+        // Answering a tag that is not the current peer descriptor fails.
+        let wrong = Selector::not_sending(DescTag {
+            origin: 99,
+            generation: 0,
+        });
+        assert_eq!(a.send_select(wrong), Err(ProtocolError::StaleSelector));
+        // Answering the current one succeeds.
+        let right = Selector::sending(d2.tag, MediaAddr::v4(1, 1, 1, 1, 2), Codec::G711);
+        assert!(a.send_select(right).is_ok());
+    }
+
+    #[test]
+    fn send_validation_per_state() {
+        let mut s = Slot::new(true);
+        let mut ts = TagSource::new(1);
+        // Closed: cannot close, describe, select.
+        assert!(s.send_close().is_err());
+        assert!(s.send_describe(nm_desc(&mut ts)).is_err());
+        assert!(s.send_select(Selector::not_sending(ts.next())).is_err());
+        // Opening: cannot open again.
+        s.send_open(Medium::Audio, nm_desc(&mut ts)).unwrap();
+        assert!(s.send_open(Medium::Audio, nm_desc(&mut ts)).is_err());
+        // Closing: cannot open yet.
+        let _ = s.send_close().unwrap();
+        assert!(s.send_open(Medium::Audio, nm_desc(&mut ts)).is_err());
+        // After closeack: closed again, can open.
+        s.on_signal(Signal::CloseAck);
+        assert!(s.send_open(Medium::Audio, nm_desc(&mut ts)).is_ok());
+    }
+
+    #[test]
+    fn stale_signals_are_tolerated() {
+        let mut s = Slot::new(true);
+        let mut ts = TagSource::new(9);
+        let d = nm_desc(&mut ts);
+        // All of these arrive while closed and are dropped.
+        for sig in [
+            Signal::Oack { desc: d.clone() },
+            Signal::CloseAck,
+            Signal::Describe { desc: d.clone() },
+            Signal::Select {
+                sel: Selector::not_sending(d.tag),
+            },
+        ] {
+            let (ev, auto) = s.on_signal(sig);
+            assert!(matches!(ev, SlotEvent::Ignored(_)));
+            assert!(auto.is_empty());
+            assert_eq!(s.state(), SlotState::Closed);
+        }
+        // A close while closed is acknowledged defensively.
+        let (ev, auto) = s.on_signal(Signal::Close);
+        assert!(matches!(ev, SlotEvent::Ignored(_)));
+        assert_eq!(auto, vec![Signal::CloseAck]);
+    }
+
+    #[test]
+    fn peer_close_resets_all_cached_state() {
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let open = a.send_open(Medium::Audio, desc(&mut ta)).unwrap();
+        deliver(&mut b, open);
+        let [oack, select] = b
+            .accept(desc(&mut tb), Selector::not_sending(a.sent_desc().unwrap().tag))
+            .unwrap();
+        deliver(&mut a, oack);
+        deliver(&mut a, select);
+
+        let close = b.send_close().unwrap();
+        deliver(&mut a, close);
+        assert_eq!(a.state(), SlotState::Closed);
+        assert!(a.peer_desc().is_none());
+        assert!(a.sent_desc().is_none());
+        assert!(a.peer_sel().is_none());
+        assert!(a.sent_sel().is_none());
+        assert_eq!(a.medium(), None);
+    }
+
+    #[test]
+    fn live_dead_classification() {
+        assert!(SlotState::Opening.is_live());
+        assert!(SlotState::Opened.is_live());
+        assert!(SlotState::Flowing.is_live());
+        assert!(SlotState::Closed.is_dead());
+        assert!(SlotState::Closing.is_dead());
+    }
+}

@@ -1,0 +1,32 @@
+//! Run the §VIII-A verification campaign and print the results table.
+//!
+//! Usage: `campaign [budget_scale] [max_links] [max_states]`
+
+use ipmedia_core::path::PathType;
+use ipmedia_mck::{budgeted, check_path, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u8 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let max_links: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let max_states: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000_000);
+
+    let mut results = Vec::new();
+    for links in 0..=max_links {
+        for pt in PathType::all() {
+            let (l, r) = pt.ends();
+            let cfg = budgeted(links, l, r, scale);
+            let (res, _) = check_path(&cfg, max_states);
+            eprintln!(
+                "checked {pt} links={links}: {} states in {:.2}s",
+                res.states,
+                res.elapsed.as_secs_f64()
+            );
+            results.push(res);
+        }
+    }
+    println!("{}", render_table(&results));
+}

@@ -1,0 +1,149 @@
+//! The verification campaign of §VIII-A: all six path types, with and
+//! without flowlinks, checked for safety and their §V specification.
+
+use crate::explore::{explore, StateGraph};
+use crate::props::{check_safety, check_spec, Violation};
+use crate::state::CheckConfig;
+use ipmedia_core::path::{EndGoal, PathSpec, PathType};
+use std::time::Duration;
+
+/// Outcome of checking one path configuration.
+pub struct CheckResult {
+    pub path_type: PathType,
+    pub links: usize,
+    pub spec: PathSpec,
+    pub states: usize,
+    pub transitions: usize,
+    pub terminals: usize,
+    pub elapsed: Duration,
+    pub truncated: bool,
+    pub safety: Result<(), Violation>,
+    pub spec_result: Result<(), Violation>,
+}
+
+impl CheckResult {
+    pub fn passed(&self) -> bool {
+        !self.truncated && self.safety.is_ok() && self.spec_result.is_ok()
+    }
+}
+
+/// Check one configuration.
+pub fn check_path(cfg: &CheckConfig, max_states: usize) -> (CheckResult, StateGraph) {
+    let path_type = PathType::of(cfg.left, cfg.right);
+    let spec = path_type.spec();
+    let g = explore(cfg, max_states);
+    let result = CheckResult {
+        path_type,
+        links: cfg.links,
+        spec,
+        states: g.states(),
+        transitions: g.transitions,
+        terminals: g.terminals.len(),
+        elapsed: g.elapsed,
+        truncated: g.truncated,
+        safety: check_safety(&g),
+        spec_result: check_spec(&g, spec),
+    };
+    (result, g)
+}
+
+/// The paper's 12 models: six path types with no flowlinks and six with one
+/// flowlink each (§VIII-A). `budget_scale` tunes phase-1 budgets: 0 keeps
+/// the campaign fast (CI-sized), 1 reproduces the fuller nondeterminism.
+pub fn paper_campaign(budget_scale: u8, max_states: usize) -> Vec<CheckResult> {
+    let mut out = Vec::new();
+    for links in [0usize, 1] {
+        for pt in PathType::all() {
+            let (l, r) = pt.ends();
+            let cfg = budgeted(links, l, r, budget_scale);
+            let (res, _) = check_path(&cfg, max_states);
+            out.push(res);
+        }
+    }
+    out
+}
+
+/// Configuration with budgets scaled for exploration depth.
+pub fn budgeted(links: usize, left: EndGoal, right: EndGoal, scale: u8) -> CheckConfig {
+    CheckConfig {
+        links,
+        left,
+        right,
+        end_phase1_budget: 1 + scale,
+        link_phase1_budget: scale.min(1),
+        modify_budget: 1,
+    }
+}
+
+/// Render campaign results as an aligned text table (the `V1` table of
+/// EXPERIMENTS.md).
+pub fn render_table(results: &[CheckResult]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<12} {:>5} {:<34} {:>9} {:>11} {:>9} {:>9}  {}\n",
+        "path type", "links", "spec", "states", "transitions", "terminals", "time", "verdict"
+    ));
+    for r in results {
+        let verdict = if r.passed() {
+            "PASS".to_string()
+        } else if r.truncated {
+            "TRUNCATED".to_string()
+        } else if let Err(v) = &r.safety {
+            format!("SAFETY: {v}")
+        } else if let Err(v) = &r.spec_result {
+            format!("SPEC: {v}")
+        } else {
+            unreachable!()
+        };
+        s.push_str(&format!(
+            "{:<12} {:>5} {:<34} {:>9} {:>11} {:>9} {:>8.2}s  {}\n",
+            r.path_type.to_string(),
+            r.links,
+            format!("{:?}", r.spec),
+            r.states,
+            r.transitions,
+            r.terminals,
+            r.elapsed.as_secs_f64(),
+            verdict
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_paths_all_pass() {
+        // The six no-flowlink models of §VIII-A at small budgets.
+        for pt in PathType::all() {
+            let (l, r) = pt.ends();
+            let cfg = budgeted(0, l, r, 0);
+            let (res, g) = check_path(&cfg, 2_000_000);
+            assert!(
+                res.passed(),
+                "{pt} (0 links) failed: safety={:?} spec={:?} states={} trace={:?}",
+                res.safety,
+                res.spec_result,
+                res.states,
+                res.spec_result
+                    .as_ref()
+                    .err()
+                    .map(|v| violation_trace(&g, v)),
+            );
+        }
+    }
+
+    fn violation_trace(
+        g: &crate::explore::StateGraph,
+        v: &Violation,
+    ) -> Vec<crate::state::Action> {
+        let idx = match v {
+            Violation::DirtyTerminal { state }
+            | Violation::BadTerminal { state }
+            | Violation::BadCycle { state } => *state,
+        };
+        g.trace_to(idx)
+    }
+}

@@ -1,0 +1,824 @@
+//! Global states of a signaling path, for exhaustive exploration.
+//!
+//! The checked world is exactly the paper's (§VIII-A): one signaling path —
+//! two endpoint goal objects separated by zero or more flowlink boxes and
+//! FIFO tunnels. Every goal object has two phases: an initial phase in
+//! which the behaviour of its slots is completely nondeterministic
+//! (arbitrary protocol-legal user actions, bounded by a budget so the state
+//! space is finite), and a second phase, entered at a nondeterministically
+//! chosen point, in which it behaves according to the specified goal.
+//! Exploration therefore covers traces where the goal objects begin their
+//! real work in all possible joint states of the slots and tunnels.
+//!
+//! Unlike the paper — which model-checked hand-written Promela models of
+//! the Java implementation — the states here embed the *actual* library
+//! types ([`Slot`], [`FlowLink`], [`OpenSlot`], …): the checker executes
+//! the shipped implementation code.
+
+use ipmedia_core::codec::Medium;
+use ipmedia_core::descriptor::{DescTag, MediaAddr, TagSource};
+use ipmedia_core::goal::{
+    AcceptMode, CloseSlot, EndpointPolicy, FlowLink, HoldSlot, LinkSide, OpenSlot, Policy,
+    UserAgent, UserCmd,
+};
+use ipmedia_core::path::{EndGoal, PathEnds};
+use ipmedia_core::retag::Retag;
+use ipmedia_core::signal::Signal;
+use ipmedia_core::slot::{Slot, SlotState};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Exploration bounds and path shape.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Number of flowlink boxes between the endpoints (0, 1, 2, …).
+    pub links: usize,
+    /// Goal at the left path endpoint (phase 2).
+    pub left: EndGoal,
+    /// Goal at the right path endpoint (phase 2).
+    pub right: EndGoal,
+    /// Nondeterministic user actions available to each endpoint in phase 1.
+    pub end_phase1_budget: u8,
+    /// Nondeterministic actions available to each flowlink slot in phase 1.
+    pub link_phase1_budget: u8,
+    /// Mute-flag `modify` perturbations available to each endpoint after
+    /// attaching its goal (drives the recurrence check of §V).
+    pub modify_budget: u8,
+}
+
+impl CheckConfig {
+    /// The paper's 12-model campaign shape: budgets that exercise every
+    /// joint initial state while keeping exploration tractable.
+    pub fn standard(links: usize, left: EndGoal, right: EndGoal) -> Self {
+        Self {
+            links,
+            left,
+            right,
+            end_phase1_budget: 2,
+            link_phase1_budget: 1,
+            modify_budget: 1,
+        }
+    }
+}
+
+/// Mode of an endpoint box.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EndMode {
+    /// Initial nondeterministic phase: a manual user agent driven by
+    /// arbitrary legal user actions.
+    Phase1 { agent: UserAgent, budget: u8 },
+    /// The specified goal object is in control.
+    Phase2 { goal: EndGoalObj, modify_budget: u8 },
+}
+
+/// The goal object at a path endpoint, with a genuine endpoint policy
+/// (users keep full freedom over the mute flags, §V).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EndGoalObj {
+    Open(OpenSlot),
+    Close(CloseSlot),
+    Hold(HoldSlot),
+}
+
+/// One endpoint box.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EndBox {
+    pub slot: Slot,
+    pub mode: EndMode,
+}
+
+/// Mode of a flowlink box.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LinkMode {
+    /// Both slots act nondeterministically and independently.
+    Phase1 { agents: [UserAgent; 2], budget: u8 },
+    Phase2 { link: FlowLink },
+}
+
+/// One flowlink box: two slots, left side (toward the left endpoint) at
+/// index 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinkBox {
+    pub slots: [Slot; 2],
+    pub mode: LinkMode,
+}
+
+/// One tunnel: a FIFO queue in each direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tunnel {
+    /// Signals travelling left → right.
+    pub fwd: VecDeque<Signal>,
+    /// Signals travelling right → left.
+    pub bwd: VecDeque<Signal>,
+}
+
+/// A global state of the signaling path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathState {
+    pub left: EndBox,
+    pub links: Vec<LinkBox>,
+    pub right: EndBox,
+    /// `tunnels[t]` connects element `t` to element `t + 1`, where element
+    /// 0 is the left endpoint, elements 1..=links are flowlink boxes, and
+    /// element links+1 is the right endpoint.
+    pub tunnels: Vec<Tunnel>,
+}
+
+/// A nondeterministic user/phase action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NondetOp {
+    Open,
+    Accept,
+    Close,
+    ToggleMuteIn,
+    ToggleMuteOut,
+}
+
+/// One transition of the global state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Deliver the head of `tunnels[t].fwd` to element `t + 1`.
+    DeliverFwd(usize),
+    /// Deliver the head of `tunnels[t].bwd` to element `t`.
+    DeliverBwd(usize),
+    /// A phase-1 endpoint performs a nondeterministic user action.
+    EndNondet { right: bool, op: NondetOp },
+    /// An endpoint switches permanently to phase 2 (attaches its goal).
+    EndAttach { right: bool },
+    /// A phase-2 endpoint's user toggles a mute flag (`modify`, §V).
+    EndModify { right: bool, op: NondetOp },
+    /// A phase-1 flowlink slot performs a nondeterministic action.
+    LinkNondet { idx: usize, side: usize, op: NondetOp },
+    /// A flowlink box attaches its flowlink.
+    LinkAttach { idx: usize },
+}
+
+fn end_policy(host: u8) -> EndpointPolicy {
+    EndpointPolicy {
+        addr: MediaAddr::v4(10, 0, 0, host, 4000),
+        recv_codecs: vec![ipmedia_core::Codec::G711],
+        send_codecs: vec![ipmedia_core::Codec::G711],
+        mute_in: false,
+        mute_out: false,
+    }
+}
+
+fn server_like_policy() -> EndpointPolicy {
+    // A phase-1 flowlink slot masquerades as an endpoint that mutes both
+    // directions, like any server goal object (§IV-A).
+    EndpointPolicy {
+        addr: MediaAddr::v4(0, 0, 0, 0, 0),
+        recv_codecs: vec![ipmedia_core::Codec::G711],
+        send_codecs: vec![ipmedia_core::Codec::G711],
+        mute_in: true,
+        mute_out: true,
+    }
+}
+
+impl PathState {
+    /// The initial state: everything closed, tunnels empty, all goal
+    /// objects in phase 1.
+    pub fn initial(cfg: &CheckConfig) -> Self {
+        let left = EndBox {
+            // The left endpoint's channels are all initiated by it.
+            slot: Slot::new(true),
+            mode: EndMode::Phase1 {
+                agent: UserAgent::new(end_policy(1), AcceptMode::Manual, 1),
+                budget: cfg.end_phase1_budget,
+            },
+        };
+        let right = EndBox {
+            slot: Slot::new(false),
+            mode: EndMode::Phase1 {
+                agent: UserAgent::new(end_policy(2), AcceptMode::Manual, 2),
+                budget: cfg.end_phase1_budget,
+            },
+        };
+        let links = (0..cfg.links)
+            .map(|i| LinkBox {
+                // Left side answers the previous element's channel; right
+                // side initiates the next one.
+                slots: [Slot::new(false), Slot::new(true)],
+                mode: LinkMode::Phase1 {
+                    agents: [
+                        UserAgent::new(
+                            server_like_policy(),
+                            AcceptMode::Manual,
+                            10 + 2 * i as u64,
+                        ),
+                        UserAgent::new(
+                            server_like_policy(),
+                            AcceptMode::Manual,
+                            11 + 2 * i as u64,
+                        ),
+                    ],
+                    budget: cfg.link_phase1_budget,
+                },
+            })
+            .collect();
+        let tunnels = vec![Tunnel::default(); cfg.links + 1];
+        let mut s = Self {
+            left,
+            links,
+            right,
+            tunnels,
+        };
+        s.canonicalize();
+        s
+    }
+
+    /// Enumerate every enabled action, in deterministic order.
+    pub fn actions(&self, cfg: &CheckConfig) -> Vec<Action> {
+        let mut out = Vec::new();
+        for (t, tun) in self.tunnels.iter().enumerate() {
+            if !tun.fwd.is_empty() {
+                out.push(Action::DeliverFwd(t));
+            }
+            if !tun.bwd.is_empty() {
+                out.push(Action::DeliverBwd(t));
+            }
+        }
+        for right in [false, true] {
+            let end = if right { &self.right } else { &self.left };
+            match &end.mode {
+                EndMode::Phase1 { budget, .. } => {
+                    if *budget > 0 {
+                        for op in legal_ops(&end.slot) {
+                            out.push(Action::EndNondet { right, op });
+                        }
+                    }
+                    out.push(Action::EndAttach { right });
+                }
+                EndMode::Phase2 { goal, modify_budget } => {
+                    if *modify_budget > 0
+                        && end.slot.state() == SlotState::Flowing
+                        && !matches!(goal, EndGoalObj::Close(_))
+                    {
+                        out.push(Action::EndModify {
+                            right,
+                            op: NondetOp::ToggleMuteIn,
+                        });
+                        out.push(Action::EndModify {
+                            right,
+                            op: NondetOp::ToggleMuteOut,
+                        });
+                    }
+                }
+            }
+        }
+        for (idx, link) in self.links.iter().enumerate() {
+            match &link.mode {
+                LinkMode::Phase1 { budget, .. } => {
+                    if *budget > 0 {
+                        for side in 0..2 {
+                            for op in legal_ops(&link.slots[side]) {
+                                if matches!(op, NondetOp::ToggleMuteIn | NondetOp::ToggleMuteOut) {
+                                    continue; // server slots have nothing to modify
+                                }
+                                out.push(Action::LinkNondet { idx, side, op });
+                            }
+                        }
+                    }
+                    out.push(Action::LinkAttach { idx });
+                }
+                LinkMode::Phase2 { .. } => {}
+            }
+        }
+        let _ = cfg;
+        out
+    }
+
+    /// Apply an action, producing the canonicalized successor state.
+    pub fn apply(&self, cfg: &CheckConfig, action: Action) -> PathState {
+        let mut s = self.clone();
+        match action {
+            Action::DeliverFwd(t) => {
+                let sig = s.tunnels[t].fwd.pop_front().expect("enabled action");
+                s.deliver(t + 1, true, sig);
+            }
+            Action::DeliverBwd(t) => {
+                let sig = s.tunnels[t].bwd.pop_front().expect("enabled action");
+                s.deliver(t, false, sig);
+            }
+            Action::EndNondet { right, op } => s.end_nondet(right, op),
+            Action::EndAttach { right } => s.end_attach(cfg, right),
+            Action::EndModify { right, op } => s.end_modify(right, op),
+            Action::LinkNondet { idx, side, op } => s.link_nondet(idx, side, op),
+            Action::LinkAttach { idx } => s.link_attach(idx),
+        }
+        s.canonicalize();
+        s
+    }
+
+    /// Deliver a signal to the element at `pos`. `from_left` says the
+    /// signal came from the element's left side.
+    fn deliver(&mut self, pos: usize, from_left: bool, sig: Signal) {
+        let n = self.links.len();
+        if pos == 0 || pos == n + 1 {
+            let end = if pos == 0 { &mut self.left } else { &mut self.right };
+            let (event, auto) = end.slot.on_signal(sig);
+            let mut signals = auto;
+            match &mut end.mode {
+                EndMode::Phase1 { agent, .. } => {
+                    let (sigs, _notes) = agent.on_event(&event, &mut end.slot);
+                    signals.extend(sigs);
+                }
+                EndMode::Phase2 { goal, .. } => {
+                    let sigs = match goal {
+                        EndGoalObj::Open(g) => g.on_event(&event, &mut end.slot),
+                        EndGoalObj::Close(g) => g.on_event(&event, &mut end.slot),
+                        EndGoalObj::Hold(g) => g.on_event(&event, &mut end.slot),
+                    };
+                    signals.extend(sigs);
+                }
+            }
+            let t = if pos == 0 { 0 } else { n };
+            for sig in signals {
+                if pos == 0 {
+                    self.tunnels[t].fwd.push_back(sig);
+                } else {
+                    self.tunnels[t].bwd.push_back(sig);
+                }
+            }
+        } else {
+            let idx = pos - 1;
+            let side = if from_left { 0 } else { 1 };
+            let link = &mut self.links[idx];
+            // Split the two slots to satisfy the flowlink's signature.
+            let [ref mut s0, ref mut s1] = link.slots;
+            let (event, auto) = if side == 0 {
+                s0.on_signal(sig)
+            } else {
+                s1.on_signal(sig)
+            };
+            let mut signals: Vec<(usize, Signal)> =
+                auto.into_iter().map(|s| (side, s)).collect();
+            match &mut link.mode {
+                LinkMode::Phase1 { agents, .. } => {
+                    let slot = if side == 0 { s0 } else { s1 };
+                    let (sigs, _notes) = agents[side].on_event(&event, slot);
+                    signals.extend(sigs.into_iter().map(|s| (side, s)));
+                }
+                LinkMode::Phase2 { link } => {
+                    let ls = if side == 0 { LinkSide::A } else { LinkSide::B };
+                    let out = link.on_event(ls, &event, s0, s1);
+                    signals.extend(out.into_iter().map(|(ls, s)| {
+                        (if ls == LinkSide::A { 0 } else { 1 }, s)
+                    }));
+                }
+            }
+            for (side, sig) in signals {
+                self.push_from_link(idx, side, sig);
+            }
+        }
+    }
+
+    /// Enqueue a signal emitted by link `idx` on slot `side`.
+    fn push_from_link(&mut self, idx: usize, side: usize, sig: Signal) {
+        if side == 0 {
+            // Left slot sends toward the left endpoint: backward on tunnel idx.
+            self.tunnels[idx].bwd.push_back(sig);
+        } else {
+            self.tunnels[idx + 1].fwd.push_back(sig);
+        }
+    }
+
+    fn end_nondet(&mut self, right: bool, op: NondetOp) {
+        let n = self.links.len();
+        let end = if right { &mut self.right } else { &mut self.left };
+        let EndMode::Phase1 { agent, budget } = &mut end.mode else {
+            panic!("nondet action on phase-2 endpoint");
+        };
+        *budget -= 1;
+        let cmd = op_to_cmd(op, agent);
+        let signals = agent.command(cmd, &mut end.slot).expect("legal op");
+        let t = if right { n } else { 0 };
+        for sig in signals {
+            if right {
+                self.tunnels[t].bwd.push_back(sig);
+            } else {
+                self.tunnels[t].fwd.push_back(sig);
+            }
+        }
+    }
+
+    fn end_attach(&mut self, cfg: &CheckConfig, right: bool) {
+        let n = self.links.len();
+        let (kind, origin) = if right {
+            (cfg.right, 102u64)
+        } else {
+            (cfg.left, 101u64)
+        };
+        let end = if right { &mut self.right } else { &mut self.left };
+        let EndMode::Phase1 { agent, .. } = &end.mode else {
+            panic!("attach on phase-2 endpoint");
+        };
+        // The goal inherits the user's current policy (mute freedom, §V).
+        let policy = Policy::Endpoint(agent.policy().clone());
+        let mut goal = match kind {
+            EndGoal::Open => {
+                EndGoalObj::Open(OpenSlot::with_policy(Medium::Audio, policy, origin))
+            }
+            EndGoal::Close => EndGoalObj::Close(CloseSlot::new()),
+            EndGoal::Hold => EndGoalObj::Hold(HoldSlot::with_policy(policy, origin)),
+        };
+        let signals = match &mut goal {
+            EndGoalObj::Open(g) => g.attach(&mut end.slot),
+            EndGoalObj::Close(g) => g.attach(&mut end.slot),
+            EndGoalObj::Hold(g) => g.attach(&mut end.slot),
+        };
+        end.mode = EndMode::Phase2 {
+            goal,
+            modify_budget: cfg.modify_budget,
+        };
+        let t = if right { n } else { 0 };
+        for sig in signals {
+            if right {
+                self.tunnels[t].bwd.push_back(sig);
+            } else {
+                self.tunnels[t].fwd.push_back(sig);
+            }
+        }
+    }
+
+    fn end_modify(&mut self, right: bool, op: NondetOp) {
+        let n = self.links.len();
+        let end = if right { &mut self.right } else { &mut self.left };
+        let EndMode::Phase2 { goal, modify_budget } = &mut end.mode else {
+            panic!("modify on phase-1 endpoint");
+        };
+        *modify_budget -= 1;
+        let signals = match goal {
+            EndGoalObj::Open(g) => {
+                let p = flipped(g.policy(), op);
+                g.modify(p, &mut end.slot)
+            }
+            EndGoalObj::Hold(g) => {
+                let p = flipped(g.policy(), op);
+                g.modify(p, &mut end.slot)
+            }
+            EndGoalObj::Close(_) => panic!("closeSlot has no mute flags"),
+        };
+        let t = if right { n } else { 0 };
+        for sig in signals {
+            if right {
+                self.tunnels[t].bwd.push_back(sig);
+            } else {
+                self.tunnels[t].fwd.push_back(sig);
+            }
+        }
+    }
+
+    fn link_nondet(&mut self, idx: usize, side: usize, op: NondetOp) {
+        let link = &mut self.links[idx];
+        let LinkMode::Phase1 { agents, budget } = &mut link.mode else {
+            panic!("nondet action on phase-2 link");
+        };
+        *budget -= 1;
+        let cmd = op_to_cmd(op, &agents[side]);
+        let signals = agents[side]
+            .command(cmd, &mut link.slots[side])
+            .expect("legal op");
+        for sig in signals {
+            self.push_from_link(idx, side, sig);
+        }
+    }
+
+    fn link_attach(&mut self, idx: usize) {
+        let link = &mut self.links[idx];
+        let mut fl = FlowLink::new(110 + idx as u64);
+        let [ref mut s0, ref mut s1] = link.slots;
+        let out = fl.attach(s0, s1);
+        link.mode = LinkMode::Phase2 { link: fl };
+        for (ls, sig) in out {
+            let side = if ls == LinkSide::A { 0 } else { 1 };
+            self.push_from_link(idx, side, sig);
+        }
+    }
+
+    /// All goal objects have switched to phase 2.
+    pub fn fully_attached(&self) -> bool {
+        matches!(self.left.mode, EndMode::Phase2 { .. })
+            && matches!(self.right.mode, EndMode::Phase2 { .. })
+            && self
+                .links
+                .iter()
+                .all(|l| matches!(l.mode, LinkMode::Phase2 { .. }))
+    }
+
+    pub fn tunnels_empty(&self) -> bool {
+        self.tunnels.iter().all(|t| t.fwd.is_empty() && t.bwd.is_empty())
+    }
+
+    /// Evaluate the `bothClosed` path state.
+    pub fn both_closed(&self) -> bool {
+        PathEnds::new(&self.left.slot, &self.right.slot).both_closed()
+    }
+
+    /// Evaluate `bothFlowing`, including mute-flag consistency when both
+    /// endpoint policies are known (the full §V definition).
+    pub fn both_flowing(&self) -> bool {
+        let ends = PathEnds::new(&self.left.slot, &self.right.slot);
+        if !ends.both_flowing() {
+            return false;
+        }
+        match (end_mutes(&self.left), end_mutes(&self.right)) {
+            (Some((li, lo)), Some((ri, ro))) => {
+                ends.both_flowing_with_mutes(li, lo, ri, ro)
+            }
+            _ => true,
+        }
+    }
+
+    /// Safety condition on terminal states (§VIII-A): each slot closed or
+    /// flowing and all tunnels empty.
+    pub fn clean(&self) -> bool {
+        let slot_ok = |s: &Slot| matches!(s.state(), SlotState::Closed | SlotState::Flowing);
+        slot_ok(&self.left.slot)
+            && slot_ok(&self.right.slot)
+            && self
+                .links
+                .iter()
+                .all(|l| slot_ok(&l.slots[0]) && slot_ok(&l.slots[1]))
+            && self.tunnels_empty()
+    }
+
+    /// Canonicalize descriptor tags: for each origin, densely renumber the
+    /// generations that occur anywhere in the state (order-preserving) and
+    /// reset tag-source counters just past them. States differing only by
+    /// tag generations then hash identically; the protocol only ever tests
+    /// tags for equality, so this quotient is bisimulation-preserving.
+    pub fn canonicalize(&mut self) {
+        // Pass 1: collect generations per origin, in deterministic order.
+        let mut per_origin: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        self.visit_all_tags(&mut |t: &mut DescTag| {
+            let v = per_origin.entry(t.origin).or_default();
+            if !v.contains(&t.generation) {
+                v.push(t.generation);
+            }
+        });
+        let mut mapping: BTreeMap<(u64, u32), u32> = BTreeMap::new();
+        for (origin, mut gens) in per_origin.clone() {
+            gens.sort_unstable();
+            for (i, g) in gens.iter().enumerate() {
+                mapping.insert((origin, *g), i as u32);
+            }
+        }
+        // Pass 2: rewrite tags.
+        self.visit_all_tags(&mut |t: &mut DescTag| {
+            t.generation = mapping[&(t.origin, t.generation)];
+        });
+        // Pass 3: reset sources.
+        self.visit_all_sources(&mut |s: &mut TagSource| {
+            let used = per_origin.get(&s.origin()).map(|v| v.len()).unwrap_or(0);
+            s.set_generation_counter(used as u32);
+        });
+    }
+
+    fn visit_all_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
+        self.left.slot.visit_tags(f);
+        for link in &mut self.links {
+            link.slots[0].visit_tags(f);
+            link.slots[1].visit_tags(f);
+        }
+        self.right.slot.visit_tags(f);
+        for tun in &mut self.tunnels {
+            for sig in tun.fwd.iter_mut().chain(tun.bwd.iter_mut()) {
+                sig.visit_tags(f);
+            }
+        }
+    }
+
+    fn visit_all_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
+        visit_end_sources(&mut self.left, f);
+        for link in &mut self.links {
+            match &mut link.mode {
+                LinkMode::Phase1 { agents, .. } => {
+                    agents[0].visit_sources(f);
+                    agents[1].visit_sources(f);
+                }
+                LinkMode::Phase2 { link } => link.visit_sources(f),
+            }
+        }
+        visit_end_sources(&mut self.right, f);
+    }
+}
+
+fn visit_end_sources(end: &mut EndBox, f: &mut dyn FnMut(&mut TagSource)) {
+    match &mut end.mode {
+        EndMode::Phase1 { agent, .. } => agent.visit_sources(f),
+        EndMode::Phase2 { goal, .. } => match goal {
+            EndGoalObj::Open(g) => g.visit_sources(f),
+            EndGoalObj::Close(g) => g.visit_sources(f),
+            EndGoalObj::Hold(g) => g.visit_sources(f),
+        },
+    }
+}
+
+fn end_mutes(end: &EndBox) -> Option<(bool, bool)> {
+    match &end.mode {
+        EndMode::Phase1 { agent, .. } => {
+            let p = agent.policy();
+            Some((p.mute_in, p.mute_out))
+        }
+        EndMode::Phase2 { goal, .. } => match goal {
+            EndGoalObj::Open(g) => policy_mutes(g.policy()),
+            EndGoalObj::Hold(g) => policy_mutes(g.policy()),
+            EndGoalObj::Close(_) => None,
+        },
+    }
+}
+
+fn policy_mutes(p: &Policy) -> Option<(bool, bool)> {
+    match p {
+        Policy::Endpoint(e) => Some((e.mute_in, e.mute_out)),
+        Policy::Server => Some((true, true)),
+    }
+}
+
+/// Legal nondeterministic user actions in a slot state.
+fn legal_ops(slot: &Slot) -> Vec<NondetOp> {
+    match slot.state() {
+        SlotState::Closed => vec![NondetOp::Open],
+        SlotState::Opened => vec![NondetOp::Accept, NondetOp::Close],
+        SlotState::Opening => vec![NondetOp::Close],
+        SlotState::Flowing => vec![
+            NondetOp::Close,
+            NondetOp::ToggleMuteIn,
+            NondetOp::ToggleMuteOut,
+        ],
+        SlotState::Closing => vec![],
+    }
+}
+
+fn op_to_cmd(op: NondetOp, agent: &UserAgent) -> UserCmd {
+    let p = agent.policy();
+    match op {
+        NondetOp::Open => UserCmd::Open(Medium::Audio),
+        NondetOp::Accept => UserCmd::Accept,
+        NondetOp::Close => UserCmd::Close,
+        NondetOp::ToggleMuteIn => UserCmd::Modify {
+            mute_in: !p.mute_in,
+            mute_out: p.mute_out,
+        },
+        NondetOp::ToggleMuteOut => UserCmd::Modify {
+            mute_in: p.mute_in,
+            mute_out: !p.mute_out,
+        },
+    }
+}
+
+fn flipped(p: &Policy, op: NondetOp) -> Policy {
+    let Policy::Endpoint(e) = p else {
+        panic!("endpoint goals carry endpoint policies");
+    };
+    let mut e = e.clone();
+    match op {
+        NondetOp::ToggleMuteIn => e.mute_in = !e.mute_in,
+        NondetOp::ToggleMuteOut => e.mute_out = !e.mute_out,
+        _ => panic!("modify is a mute toggle"),
+    }
+    Policy::Endpoint(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg0() -> CheckConfig {
+        CheckConfig::standard(0, EndGoal::Open, EndGoal::Hold)
+    }
+
+    #[test]
+    fn initial_state_is_clean_and_closed() {
+        let s = PathState::initial(&cfg0());
+        assert!(s.both_closed());
+        assert!(s.clean());
+        assert!(!s.fully_attached());
+    }
+
+    #[test]
+    fn attach_open_end_emits_open() {
+        let cfg = cfg0();
+        let s = PathState::initial(&cfg);
+        let s2 = s.apply(&cfg, Action::EndAttach { right: false });
+        assert_eq!(s2.tunnels[0].fwd.len(), 1);
+        assert!(matches!(s2.tunnels[0].fwd[0], Signal::Open { .. }));
+        assert!(matches!(s2.left.mode, EndMode::Phase2 { .. }));
+    }
+
+    #[test]
+    fn full_delivery_converges_open_hold() {
+        // Drive the path deterministically: attach both, then deliver
+        // everything; must reach bothFlowing.
+        let cfg = cfg0();
+        let mut s = PathState::initial(&cfg);
+        s = s.apply(&cfg, Action::EndAttach { right: false });
+        s = s.apply(&cfg, Action::EndAttach { right: true });
+        for _ in 0..32 {
+            let acts: Vec<_> = s
+                .actions(&cfg)
+                .into_iter()
+                .filter(|a| matches!(a, Action::DeliverFwd(_) | Action::DeliverBwd(_)))
+                .collect();
+            if acts.is_empty() {
+                break;
+            }
+            s = s.apply(&cfg, acts[0]);
+        }
+        assert!(s.tunnels_empty());
+        assert!(s.both_flowing(), "open–hold converges to bothFlowing");
+        assert!(s.clean());
+    }
+
+    #[test]
+    fn canonicalization_collapses_reopen_loop() {
+        // closeSlot vs openSlot: the open → reject → reopen loop must
+        // revisit a canonical state rather than diverging.
+        let cfg = CheckConfig::standard(0, EndGoal::Open, EndGoal::Close);
+        let mut s = PathState::initial(&cfg);
+        s = s.apply(&cfg, Action::EndAttach { right: false });
+        s = s.apply(&cfg, Action::EndAttach { right: true });
+        let mut seen = std::collections::HashSet::new();
+        let mut looped = false;
+        for _ in 0..64 {
+            if !seen.insert(s.clone()) {
+                looped = true;
+                break;
+            }
+            let acts: Vec<_> = s
+                .actions(&cfg)
+                .into_iter()
+                .filter(|a| matches!(a, Action::DeliverFwd(_) | Action::DeliverBwd(_)))
+                .collect();
+            if acts.is_empty() {
+                break;
+            }
+            s = s.apply(&cfg, acts[0]);
+        }
+        assert!(looped, "reopen loop must revisit a canonical state");
+    }
+
+    #[test]
+    fn one_link_path_converges() {
+        let cfg = CheckConfig::standard(1, EndGoal::Open, EndGoal::Hold);
+        let mut s = PathState::initial(&cfg);
+        s = s.apply(&cfg, Action::EndAttach { right: false });
+        s = s.apply(&cfg, Action::LinkAttach { idx: 0 });
+        s = s.apply(&cfg, Action::EndAttach { right: true });
+        for _ in 0..64 {
+            let acts: Vec<_> = s
+                .actions(&cfg)
+                .into_iter()
+                .filter(|a| matches!(a, Action::DeliverFwd(_) | Action::DeliverBwd(_)))
+                .collect();
+            if acts.is_empty() {
+                break;
+            }
+            s = s.apply(&cfg, acts[0]);
+        }
+        assert!(s.tunnels_empty(), "path must quiesce");
+        assert!(s.both_flowing(), "open–hold with one flowlink converges");
+    }
+
+    #[test]
+    fn modify_budget_perturbs_and_reconverges() {
+        let cfg = cfg0();
+        let mut s = PathState::initial(&cfg);
+        s = s.apply(&cfg, Action::EndAttach { right: false });
+        s = s.apply(&cfg, Action::EndAttach { right: true });
+        loop {
+            let acts: Vec<_> = s
+                .actions(&cfg)
+                .into_iter()
+                .filter(|a| matches!(a, Action::DeliverFwd(_) | Action::DeliverBwd(_)))
+                .collect();
+            if acts.is_empty() {
+                break;
+            }
+            s = s.apply(&cfg, acts[0]);
+        }
+        assert!(s.both_flowing());
+        // Perturb: left toggles muteOut.
+        s = s.apply(&cfg, Action::EndModify {
+            right: false,
+            op: NondetOp::ToggleMuteOut,
+        });
+        assert!(!s.both_flowing(), "mid-modify the path leaves bothFlowing");
+        loop {
+            let acts: Vec<_> = s
+                .actions(&cfg)
+                .into_iter()
+                .filter(|a| matches!(a, Action::DeliverFwd(_) | Action::DeliverBwd(_)))
+                .collect();
+            if acts.is_empty() {
+                break;
+            }
+            s = s.apply(&cfg, acts[0]);
+        }
+        assert!(
+            s.both_flowing(),
+            "after the modify round-trip the path recurs to bothFlowing \
+             (muted direction disabled, consistently with the flags)"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Sensitivity of the model checker: it must be able to *fail*.
+//!
+//! A verification campaign that always passes is only meaningful if the
+//! machinery detects violations when they exist. Since the shipped goal
+//! objects are (demonstrably) correct, we cross-check specs against the
+//! wrong path types: an open–open path must violate `◇□bothClosed`, a
+//! close–close path must violate `□◇bothFlowing`, and so on. This also
+//! pins the exact violation kind the checker reports.
+
+use ipmedia_core::path::{EndGoal, PathSpec};
+use ipmedia_mck::{budgeted, check_spec, explore, check_safety, Violation};
+
+#[test]
+fn open_open_violates_eventually_always_closed() {
+    let cfg = budgeted(0, EndGoal::Open, EndGoal::Open, 0);
+    let g = explore(&cfg, 1_000_000);
+    assert!(check_safety(&g).is_ok(), "safety holds regardless");
+    let err = check_spec(&g, PathSpec::EventuallyAlwaysBothClosed);
+    assert!(
+        matches!(err, Err(Violation::BadTerminal { .. })),
+        "an open–open path ends bothFlowing, not bothClosed: {err:?}"
+    );
+}
+
+#[test]
+fn close_close_violates_always_eventually_flowing() {
+    let cfg = budgeted(0, EndGoal::Close, EndGoal::Close, 0);
+    let g = explore(&cfg, 1_000_000);
+    let err = check_spec(&g, PathSpec::AlwaysEventuallyBothFlowing);
+    assert!(
+        matches!(err, Err(Violation::BadTerminal { .. })),
+        "a close–close path never flows: {err:?}"
+    );
+}
+
+#[test]
+fn close_open_cycle_violates_always_eventually_flowing() {
+    // The open/reject retry cycle is an infinite path that never flows:
+    // the recurrence spec must be rejected with a cycle violation.
+    let cfg = budgeted(0, EndGoal::Close, EndGoal::Open, 0);
+    let g = explore(&cfg, 1_000_000);
+    let err = check_spec(&g, PathSpec::AlwaysEventuallyBothFlowing);
+    assert!(
+        matches!(err, Err(Violation::BadCycle { .. })),
+        "the reopen cycle avoids bothFlowing forever: {err:?}"
+    );
+}
+
+#[test]
+fn open_hold_violates_eventually_always_not_flowing() {
+    let cfg = budgeted(0, EndGoal::Open, EndGoal::Hold, 0);
+    let g = explore(&cfg, 1_000_000);
+    let err = check_spec(&g, PathSpec::EventuallyAlwaysNotBothFlowing);
+    assert!(err.is_err(), "an open–hold path does flow: {err:?}");
+}
+
+#[test]
+fn counterexample_traces_replay() {
+    // The trace the checker hands back for a violation must replay to a
+    // state exhibiting it.
+    let cfg = budgeted(0, EndGoal::Open, EndGoal::Open, 0);
+    let g = explore(&cfg, 1_000_000);
+    let Err(Violation::BadTerminal { state }) =
+        check_spec(&g, PathSpec::EventuallyAlwaysBothClosed)
+    else {
+        panic!("expected a bad terminal");
+    };
+    let trace = g.trace_to(state);
+    let mut s = ipmedia_mck::PathState::initial(&cfg);
+    for a in trace {
+        s = s.apply(&cfg, a);
+    }
+    assert!(!s.both_closed(), "replayed counterexample is not bothClosed");
+    assert!(s.actions(&cfg).is_empty(), "and it is terminal");
+}
+
+#[test]
+fn one_flowlink_sensitivity_holds_too() {
+    let cfg = budgeted(1, EndGoal::Open, EndGoal::Hold, 0);
+    let g = explore(&cfg, 2_000_000);
+    assert!(check_spec(&g, PathSpec::EventuallyAlwaysBothClosed).is_err());
+    assert!(check_spec(&g, PathSpec::AlwaysEventuallyBothFlowing).is_ok());
+}

@@ -1,0 +1,115 @@
+//! The observed media-flow matrix: which transmissions actually happened.
+//!
+//! Tests assert the flow matrices that the paper's figures draw as dashed
+//! arrows (Figs. 2, 3, 7, 8): after a scenario step, exactly these flows
+//! and no others.
+
+use ipmedia_core::{Codec, MediaAddr};
+use std::collections::BTreeMap;
+
+/// Packet counts per (from, to) pair, plus losses to absent endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct FlowMatrix {
+    counts: BTreeMap<(MediaAddr, MediaAddr), u64>,
+    codecs: BTreeMap<(MediaAddr, MediaAddr), Codec>,
+    lost: BTreeMap<MediaAddr, u64>,
+}
+
+impl FlowMatrix {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, from: MediaAddr, to: MediaAddr, codec: Codec) {
+        *self.counts.entry((from, to)).or_insert(0) += 1;
+        self.codecs.insert((from, to), codec);
+    }
+
+    pub fn record_lost(&mut self, to: MediaAddr) {
+        *self.lost.entry(to).or_insert(0) += 1;
+    }
+
+    pub fn count(&self, from: MediaAddr, to: MediaAddr) -> u64 {
+        self.counts.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    pub fn codec(&self, from: MediaAddr, to: MediaAddr) -> Option<Codec> {
+        self.codecs.get(&(from, to)).copied()
+    }
+
+    pub fn lost(&self, to: MediaAddr) -> u64 {
+        self.lost.get(&to).copied().unwrap_or(0)
+    }
+
+    /// All pairs that carried at least one packet.
+    pub fn active_pairs(&self) -> Vec<(MediaAddr, MediaAddr)> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Assert that exactly `expected` pairs flowed (order-insensitive).
+    /// Returns an error message listing the difference otherwise.
+    pub fn assert_exactly(&self, expected: &[(MediaAddr, MediaAddr)]) -> Result<(), String> {
+        let mut want: Vec<_> = expected.to_vec();
+        want.sort();
+        want.dedup();
+        let got = self.active_pairs();
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "flow matrix mismatch:\n  expected: {want:?}\n  observed: {got:?}"
+            ))
+        }
+    }
+
+    /// Total packets moved.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(h: u8) -> MediaAddr {
+        MediaAddr::v4(10, 0, 0, h, 4000)
+    }
+
+    #[test]
+    fn counts_and_pairs() {
+        let mut m = FlowMatrix::new();
+        m.record(addr(1), addr(2), Codec::G711);
+        m.record(addr(1), addr(2), Codec::G711);
+        m.record(addr(2), addr(1), Codec::G726);
+        assert_eq!(m.count(addr(1), addr(2)), 2);
+        assert_eq!(m.count(addr(2), addr(1)), 1);
+        assert_eq!(m.count(addr(1), addr(3)), 0);
+        assert_eq!(m.codec(addr(2), addr(1)), Some(Codec::G726));
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.active_pairs().len(), 2);
+    }
+
+    #[test]
+    fn assert_exactly_matches() {
+        let mut m = FlowMatrix::new();
+        m.record(addr(1), addr(2), Codec::G711);
+        m.record(addr(2), addr(1), Codec::G711);
+        assert!(m
+            .assert_exactly(&[(addr(2), addr(1)), (addr(1), addr(2))])
+            .is_ok());
+        assert!(m.assert_exactly(&[(addr(1), addr(2))]).is_err());
+    }
+
+    #[test]
+    fn losses_tracked_separately() {
+        let mut m = FlowMatrix::new();
+        m.record_lost(addr(9));
+        assert_eq!(m.lost(addr(9)), 1);
+        assert_eq!(m.total(), 0);
+    }
+}

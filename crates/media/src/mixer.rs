@@ -1,0 +1,223 @@
+//! Conference-bridge mixing and the paper's partial-muting matrices
+//! (§IV-B).
+//!
+//! The four goal primitives cannot express partial muting directly; it is
+//! achieved by the conference bridge, "because they are just different
+//! mixes of the three audio inputs". The application server connects the
+//! devices to the bridge and uses standardized meta-signals to tell it how
+//! to mix ([`ipmedia_core::MixRow`]).
+
+use crate::packet::{Frame, SAMPLES_PER_FRAME};
+use ipmedia_core::MixRow;
+
+/// A mixing matrix: `gains[out][in]` in percent (0 = muted, 100 = unity).
+/// The diagonal is conventionally 0 (nobody hears themselves).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixMatrix {
+    pub gains: Vec<Vec<u8>>,
+}
+
+impl MixMatrix {
+    /// A standard full conference of `n` parties: everyone hears everyone
+    /// but themselves (Fig. 7).
+    pub fn full(n: usize) -> Self {
+        let gains = (0..n)
+            .map(|o| (0..n).map(|i| if i == o { 0 } else { 100 }).collect())
+            .collect();
+        Self { gains }
+    }
+
+    /// Business-meeting muting: the parties in `muted` can hear but their
+    /// audio input is dropped from every mix (§IV-B).
+    pub fn business(n: usize, muted: &[usize]) -> Self {
+        let mut m = Self::full(n);
+        for row in &mut m.gains {
+            for &i in muted {
+                row[i] = 0;
+            }
+        }
+        m
+    }
+
+    /// Emergency-services muting (§IV-B, NENA): `caller`'s input is
+    /// retained, but the conference output to `caller` is muted so the
+    /// caller cannot hear what the emergency personnel say — the opposite
+    /// of business muting.
+    pub fn emergency(n: usize, caller: usize) -> Self {
+        let mut m = Self::full(n);
+        for g in &mut m.gains[caller] {
+            *g = 0;
+        }
+        m
+    }
+
+    /// Whisper coaching (§IV-B): `agent` and `customer` hear each other;
+    /// `supervisor` hears both; the customer cannot hear the supervisor;
+    /// the agent hears a whispered (attenuated) version of the supervisor.
+    pub fn whisper_coach(agent: usize, customer: usize, supervisor: usize) -> Self {
+        let n = [agent, customer, supervisor].iter().max().unwrap() + 1;
+        let mut m = Self {
+            gains: vec![vec![0; n]; n],
+        };
+        m.gains[agent][customer] = 100;
+        m.gains[agent][supervisor] = 30; // the whisper
+        m.gains[customer][agent] = 100;
+        m.gains[supervisor][agent] = 100;
+        m.gains[supervisor][customer] = 100;
+        m
+    }
+
+    /// Build from the wire representation carried in a
+    /// [`ipmedia_core::AppEvent::MixMatrix`] meta-signal.
+    pub fn from_rows(n: usize, rows: &[MixRow]) -> Self {
+        let mut m = Self {
+            gains: vec![vec![0; n]; n],
+        };
+        for row in rows {
+            for &(input, gain) in &row.hears {
+                m.gains[row.output as usize][input as usize] = gain;
+            }
+        }
+        m
+    }
+
+    /// Serialize for the meta-signal wire format.
+    pub fn to_rows(&self) -> Vec<MixRow> {
+        self.gains
+            .iter()
+            .enumerate()
+            .map(|(o, row)| MixRow {
+                output: o as u16,
+                hears: row
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| g > 0)
+                    .map(|(i, &g)| (i as u16, g))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    pub fn parties(&self) -> usize {
+        self.gains.len()
+    }
+}
+
+/// Mix the inputs for one output port: sum of each party's latest frame,
+/// scaled by the gain row, with saturating arithmetic.
+pub fn mix_for_port(matrix: &MixMatrix, port: usize, inputs: &[Option<&Frame>]) -> Frame {
+    let mut acc = vec![0i32; SAMPLES_PER_FRAME];
+    for (i, frame) in inputs.iter().enumerate() {
+        let gain = *matrix
+            .gains
+            .get(port)
+            .and_then(|row| row.get(i))
+            .unwrap_or(&0) as i32;
+        if gain == 0 {
+            continue;
+        }
+        if let Some(samples) = frame.and_then(|f| f.audio_samples()) {
+            for (a, &s) in acc.iter_mut().zip(samples.iter()) {
+                *a += s as i32 * gain / 100;
+            }
+        }
+    }
+    Frame::Audio(
+        acc.into_iter()
+            .map(|v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(level: i16) -> Frame {
+        Frame::Audio(vec![level; SAMPLES_PER_FRAME])
+    }
+
+    #[test]
+    fn full_matrix_excludes_self() {
+        let m = MixMatrix::full(3);
+        assert_eq!(m.gains[0], vec![0, 100, 100]);
+        assert_eq!(m.gains[1], vec![100, 0, 100]);
+        assert_eq!(m.gains[2], vec![100, 100, 0]);
+    }
+
+    #[test]
+    fn mix_sums_other_parties() {
+        let m = MixMatrix::full(3);
+        let (a, b, c) = (tone(100), tone(200), tone(400));
+        let out0 = mix_for_port(&m, 0, &[Some(&a), Some(&b), Some(&c)]);
+        assert_eq!(out0.audio_samples().unwrap()[0], 600, "hears b + c");
+        let out2 = mix_for_port(&m, 2, &[Some(&a), Some(&b), Some(&c)]);
+        assert_eq!(out2.audio_samples().unwrap()[0], 300, "hears a + b");
+    }
+
+    #[test]
+    fn business_mute_drops_input_but_not_output() {
+        // Party 2 is a non-speaking participant: others don't hear it, but
+        // it still hears the meeting.
+        let m = MixMatrix::business(3, &[2]);
+        let (a, b, c) = (tone(100), tone(200), tone(400));
+        let out0 = mix_for_port(&m, 0, &[Some(&a), Some(&b), Some(&c)]);
+        assert_eq!(out0.audio_samples().unwrap()[0], 200, "c's noise dropped");
+        let out2 = mix_for_port(&m, 2, &[Some(&a), Some(&b), Some(&c)]);
+        assert_eq!(out2.audio_samples().unwrap()[0], 300, "muted party still hears");
+    }
+
+    #[test]
+    fn emergency_mute_is_opposite_of_business() {
+        // B (index 1) called emergency services: everyone hears B, but B
+        // hears nothing of the responders' coordination.
+        let m = MixMatrix::emergency(3, 1);
+        let (a, b, c) = (tone(100), tone(200), tone(400));
+        let out_caller = mix_for_port(&m, 1, &[Some(&a), Some(&b), Some(&c)]);
+        assert_eq!(out_caller.audio_samples().unwrap()[0], 0);
+        let out_responder = mix_for_port(&m, 2, &[Some(&a), Some(&b), Some(&c)]);
+        assert_eq!(out_responder.audio_samples().unwrap()[0], 300, "hears a and b");
+    }
+
+    #[test]
+    fn whisper_coach_attenuates_supervisor_for_agent_only() {
+        let m = MixMatrix::whisper_coach(0, 1, 2);
+        let (agent, customer, supervisor) = (tone(100), tone(200), tone(1000));
+        let to_agent = mix_for_port(&m, 0, &[Some(&agent), Some(&customer), Some(&supervisor)]);
+        // customer at unity + supervisor whispered at 30%.
+        assert_eq!(to_agent.audio_samples().unwrap()[0], 200 + 300);
+        let to_customer =
+            mix_for_port(&m, 1, &[Some(&agent), Some(&customer), Some(&supervisor)]);
+        assert_eq!(
+            to_customer.audio_samples().unwrap()[0],
+            100,
+            "customer must not hear the supervisor"
+        );
+        let to_supervisor =
+            mix_for_port(&m, 2, &[Some(&agent), Some(&customer), Some(&supervisor)]);
+        assert_eq!(to_supervisor.audio_samples().unwrap()[0], 300);
+    }
+
+    #[test]
+    fn mixing_saturates() {
+        let m = MixMatrix::full(2);
+        let loud = tone(i16::MAX);
+        let out = mix_for_port(&m, 0, &[None, Some(&loud)]);
+        assert_eq!(out.audio_samples().unwrap()[0], i16::MAX);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let m = MixMatrix::whisper_coach(0, 1, 2);
+        let rows = m.to_rows();
+        let back = MixMatrix::from_rows(3, &rows);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn missing_input_is_silence() {
+        let m = MixMatrix::full(2);
+        let out = mix_for_port(&m, 0, &[None, None]);
+        assert_eq!(out.rms(), 0.0);
+    }
+}

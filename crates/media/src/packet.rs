@@ -1,0 +1,86 @@
+//! Media packets and frames for the simulated media plane.
+//!
+//! The control plane (ipmedia-core) decides *who* may send *what* to
+//! *where*; this crate makes those decisions observable by actually moving
+//! RTP-like packets between media addresses. Audio frames are 20 ms of
+//! 8 kHz signed 16-bit PCM (160 samples), the framing used by G.711-family
+//! telephony; video and text frames are opaque byte payloads tagged with
+//! stream positions.
+
+use ipmedia_core::{Codec, MediaAddr};
+
+/// Samples per audio frame: 20 ms at 8 kHz.
+pub const SAMPLES_PER_FRAME: usize = 160;
+
+/// The content of one media frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// One 20 ms audio frame of PCM samples.
+    Audio(Vec<i16>),
+    /// One video frame: the position in the stream it renders (used by the
+    /// collaborative-TV scenario to check that devices share a time point).
+    Video { stream_pos: u32 },
+    /// A text chunk.
+    Text(String),
+}
+
+impl Frame {
+    pub fn silence() -> Frame {
+        Frame::Audio(vec![0; SAMPLES_PER_FRAME])
+    }
+
+    pub fn audio_samples(&self) -> Option<&[i16]> {
+        match self {
+            Frame::Audio(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Root-mean-square level of an audio frame (0 for non-audio).
+    pub fn rms(&self) -> f64 {
+        match self {
+            Frame::Audio(s) if !s.is_empty() => {
+                let sum: f64 = s.iter().map(|&x| (x as f64) * (x as f64)).sum();
+                (sum / s.len() as f64).sqrt()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// An RTP-like media packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaPacket {
+    pub from: MediaAddr,
+    pub to: MediaAddr,
+    pub codec: Codec,
+    /// Sender's sequence number.
+    pub seq: u32,
+    pub frame: Frame,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_has_zero_rms() {
+        assert_eq!(Frame::silence().rms(), 0.0);
+        assert_eq!(
+            Frame::silence().audio_samples().unwrap().len(),
+            SAMPLES_PER_FRAME
+        );
+    }
+
+    #[test]
+    fn rms_of_constant_signal() {
+        let f = Frame::Audio(vec![1000; SAMPLES_PER_FRAME]);
+        assert!((f.rms() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_audio_frames_have_no_samples() {
+        assert!(Frame::Video { stream_pos: 3 }.audio_samples().is_none());
+        assert_eq!(Frame::Video { stream_pos: 3 }.rms(), 0.0);
+    }
+}

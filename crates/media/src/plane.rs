@@ -1,0 +1,347 @@
+//! The media plane: routes packets directly between media addresses.
+//!
+//! The control plane's outcome each tick is a set of *routes* — who is
+//! currently enabled to send, to which address, in which codec (derived
+//! from each endpoint slot's [`ipmedia_core::Slot::tx_route`]). The plane
+//! synthesizes one frame per enabled route per 20 ms tick, delivers it
+//! directly (media packets never pass through application servers, §I),
+//! records the observed flow matrix, and runs bridge mixing and movie
+//! clocks.
+
+use crate::flow::FlowMatrix;
+use crate::mixer::{mix_for_port, MixMatrix};
+use crate::packet::{Frame, MediaPacket};
+use crate::source::{synth_frame, MovieClock, SourceKind};
+use ipmedia_core::{Codec, MediaAddr};
+use std::collections::BTreeMap;
+
+/// Frame duration of one tick, in milliseconds.
+pub const TICK_MS: u64 = 20;
+
+/// A currently enabled transmission, read off the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    pub from: MediaAddr,
+    pub to: MediaAddr,
+    pub codec: Codec,
+}
+
+/// A conference bridge registered with the plane.
+#[derive(Debug, Clone)]
+pub struct Bridge {
+    /// Media address of each port, in matrix order.
+    pub ports: Vec<MediaAddr>,
+    pub matrix: MixMatrix,
+}
+
+struct Endpoint {
+    source: SourceKind,
+    /// Last frame received this endpoint can play out (or mix).
+    last_rx: Option<MediaPacket>,
+    rx_count: u64,
+    tx_seq: u32,
+}
+
+/// The simulated media plane.
+pub struct MediaPlane {
+    endpoints: BTreeMap<MediaAddr, Endpoint>,
+    bridges: Vec<Bridge>,
+    movies: Vec<MovieClock>,
+    now_ms: u64,
+    flows: FlowMatrix,
+}
+
+impl MediaPlane {
+    pub fn new() -> Self {
+        Self {
+            endpoints: BTreeMap::new(),
+            bridges: Vec::new(),
+            movies: Vec::new(),
+            now_ms: 0,
+            flows: FlowMatrix::new(),
+        }
+    }
+
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Register a media endpoint with its transmit source.
+    pub fn register(&mut self, addr: MediaAddr, source: SourceKind) {
+        self.endpoints.insert(
+            addr,
+            Endpoint {
+                source,
+                last_rx: None,
+                rx_count: 0,
+                tx_seq: 0,
+            },
+        );
+    }
+
+    /// Register a conference bridge; its ports must also be registered as
+    /// endpoints with `SourceKind::MixPort`. Returns the bridge index.
+    pub fn add_bridge(&mut self, ports: Vec<MediaAddr>, matrix: MixMatrix) -> usize {
+        for (i, addr) in ports.iter().enumerate() {
+            self.register(*addr, SourceKind::MixPort {
+                bridge: self.bridges.len(),
+                port: i,
+            });
+        }
+        self.bridges.push(Bridge { ports, matrix });
+        self.bridges.len() - 1
+    }
+
+    /// Replace a bridge's mixing matrix (the server's meta-signal arrived).
+    pub fn set_matrix(&mut self, bridge: usize, matrix: MixMatrix) {
+        self.bridges[bridge].matrix = matrix;
+    }
+
+    /// Register a movie and return its index.
+    pub fn add_movie(&mut self) -> usize {
+        self.movies.push(MovieClock::new());
+        self.movies.len() - 1
+    }
+
+    pub fn movie_mut(&mut self, movie: usize) -> &mut MovieClock {
+        &mut self.movies[movie]
+    }
+
+    pub fn movie(&self, movie: usize) -> &MovieClock {
+        &self.movies[movie]
+    }
+
+    /// Advance one tick: every enabled route carries one frame.
+    pub fn tick(&mut self, routes: &[Route]) {
+        for clk in &mut self.movies {
+            clk.tick(TICK_MS);
+        }
+        // Produce all frames first (so bridge mixes use last tick's inputs
+        // uniformly), then deliver.
+        let mut outgoing: Vec<MediaPacket> = Vec::new();
+        for r in routes {
+            let Some(ep) = self.endpoints.get(&r.from) else {
+                continue; // sender not registered: no media, no crash
+            };
+            let frame = match &ep.source {
+                SourceKind::MovieAudio { movie } => {
+                    let pos = self.movies[*movie].frame_pos();
+                    if self.movies[*movie].playing {
+                        // Position-stamped audio so tests can check sync.
+                        Frame::Video { stream_pos: pos }
+                    } else {
+                        Frame::silence()
+                    }
+                }
+                SourceKind::MovieVideo { movie } => Frame::Video {
+                    stream_pos: self.movies[*movie].frame_pos(),
+                },
+                SourceKind::MixPort { bridge, port } => {
+                    let b = &self.bridges[*bridge];
+                    let inputs: Vec<Option<&Frame>> = b
+                        .ports
+                        .iter()
+                        .map(|p| {
+                            self.endpoints
+                                .get(p)
+                                .and_then(|e| e.last_rx.as_ref())
+                                .map(|pkt| &pkt.frame)
+                        })
+                        .collect();
+                    mix_for_port(&b.matrix, *port, &inputs)
+                }
+                plain => synth_frame(plain, self.now_ms),
+            };
+            outgoing.push(MediaPacket {
+                from: r.from,
+                to: r.to,
+                codec: r.codec,
+                seq: 0, // assigned below with sender state
+                frame,
+            });
+        }
+        for mut pkt in outgoing {
+            if let Some(sender) = self.endpoints.get_mut(&pkt.from) {
+                pkt.seq = sender.tx_seq;
+                sender.tx_seq += 1;
+            }
+            self.flows.record(pkt.from, pkt.to, pkt.codec);
+            if let Some(dest) = self.endpoints.get_mut(&pkt.to) {
+                dest.rx_count += 1;
+                dest.last_rx = Some(pkt);
+            } else {
+                // Packets to an endpoint that is not listening are lost —
+                // exactly the erroneous situations of Fig. 2.
+                self.flows.record_lost(pkt.to);
+            }
+        }
+        self.now_ms += TICK_MS;
+    }
+
+    /// The most recent frame received at an address.
+    pub fn last_rx(&self, addr: MediaAddr) -> Option<&MediaPacket> {
+        self.endpoints.get(&addr).and_then(|e| e.last_rx.as_ref())
+    }
+
+    pub fn rx_count(&self, addr: MediaAddr) -> u64 {
+        self.endpoints.get(&addr).map(|e| e.rx_count).unwrap_or(0)
+    }
+
+    pub fn flows(&self) -> &FlowMatrix {
+        &self.flows
+    }
+
+    pub fn reset_flows(&mut self) {
+        self.flows = FlowMatrix::new();
+        for ep in self.endpoints.values_mut() {
+            ep.rx_count = 0;
+        }
+    }
+}
+
+impl Default for MediaPlane {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ToneKind;
+
+    fn addr(h: u8) -> MediaAddr {
+        MediaAddr::v4(10, 0, 0, h, 4000)
+    }
+
+    #[test]
+    fn route_carries_frames_and_counts() {
+        let mut plane = MediaPlane::new();
+        plane.register(addr(1), SourceKind::SpeechLike(1));
+        plane.register(addr(2), SourceKind::SpeechLike(2));
+        let routes = [Route {
+            from: addr(1),
+            to: addr(2),
+            codec: Codec::G711,
+        }];
+        for _ in 0..10 {
+            plane.tick(&routes);
+        }
+        assert_eq!(plane.rx_count(addr(2)), 10);
+        assert_eq!(plane.rx_count(addr(1)), 0, "one-way route");
+        let pkt = plane.last_rx(addr(2)).unwrap();
+        assert_eq!(pkt.from, addr(1));
+        assert_eq!(pkt.seq, 9, "sequence numbers advance");
+        assert_eq!(plane.flows().count(addr(1), addr(2)), 10);
+    }
+
+    #[test]
+    fn packets_to_unregistered_are_lost() {
+        let mut plane = MediaPlane::new();
+        plane.register(addr(1), SourceKind::Silence);
+        plane.tick(&[Route {
+            from: addr(1),
+            to: addr(9),
+            codec: Codec::G711,
+        }]);
+        assert_eq!(plane.flows().lost(addr(9)), 1);
+    }
+
+    #[test]
+    fn tone_reaches_listener() {
+        let mut plane = MediaPlane::new();
+        plane.register(addr(1), SourceKind::Tone(ToneKind::Busy));
+        plane.register(addr(2), SourceKind::Silence);
+        plane.tick(&[Route {
+            from: addr(1),
+            to: addr(2),
+            codec: Codec::G711,
+        }]);
+        assert!(plane.last_rx(addr(2)).unwrap().frame.rms() > 100.0);
+    }
+
+    #[test]
+    fn bridge_mixes_three_parties() {
+        let mut plane = MediaPlane::new();
+        // Parties.
+        plane.register(addr(1), SourceKind::SpeechLike(1));
+        plane.register(addr(2), SourceKind::SpeechLike(2));
+        plane.register(addr(3), SourceKind::Silence);
+        // Bridge ports 11, 12, 13.
+        plane.add_bridge(vec![addr(11), addr(12), addr(13)], MixMatrix::full(3));
+
+        let routes = [
+            // Each party sends to its port; each port sends the mix back.
+            Route { from: addr(1), to: addr(11), codec: Codec::G711 },
+            Route { from: addr(2), to: addr(12), codec: Codec::G711 },
+            Route { from: addr(3), to: addr(13), codec: Codec::G711 },
+            Route { from: addr(11), to: addr(1), codec: Codec::G711 },
+            Route { from: addr(12), to: addr(2), codec: Codec::G711 },
+            Route { from: addr(13), to: addr(3), codec: Codec::G711 },
+        ];
+        for _ in 0..4 {
+            plane.tick(&routes);
+        }
+        // Party 3 is silent but hears the mix of 1 and 2.
+        assert!(plane.last_rx(addr(3)).unwrap().frame.rms() > 0.0);
+        // Party 1 hears 2 (and 3's silence) but not itself: compare with a
+        // muted matrix to make the distinction observable.
+        let mixed_level = plane.last_rx(addr(1)).unwrap().frame.rms();
+        assert!(mixed_level > 0.0);
+        plane.set_matrix(0, MixMatrix::business(3, &[1]));
+        for _ in 0..4 {
+            plane.tick(&routes);
+        }
+        assert_eq!(
+            plane.last_rx(addr(1)).unwrap().frame.rms(),
+            0.0,
+            "with party 2 business-muted and 3 silent, party 1 hears nothing"
+        );
+    }
+
+    #[test]
+    fn movie_positions_are_shared() {
+        let mut plane = MediaPlane::new();
+        let movie = plane.add_movie();
+        plane.register(addr(1), SourceKind::MovieVideo { movie });
+        plane.register(addr(2), SourceKind::Silence);
+        plane.register(addr(3), SourceKind::Silence);
+        plane.movie_mut(movie).apply(ipmedia_core::MovieCommand::Play);
+        let routes = [
+            Route { from: addr(1), to: addr(2), codec: Codec::H263 },
+            Route { from: addr(1), to: addr(3), codec: Codec::H263 },
+        ];
+        for _ in 0..5 {
+            plane.tick(&routes);
+        }
+        let p2 = match plane.last_rx(addr(2)).unwrap().frame {
+            Frame::Video { stream_pos } => stream_pos,
+            _ => panic!(),
+        };
+        let p3 = match plane.last_rx(addr(3)).unwrap().frame {
+            Frame::Video { stream_pos } => stream_pos,
+            _ => panic!(),
+        };
+        assert_eq!(p2, p3, "collaborating devices see the same time point");
+        assert!(p2 > 0);
+    }
+
+    #[test]
+    fn paused_movie_does_not_advance() {
+        let mut plane = MediaPlane::new();
+        let movie = plane.add_movie();
+        plane.register(addr(1), SourceKind::MovieVideo { movie });
+        plane.register(addr(2), SourceKind::Silence);
+        let routes = [Route { from: addr(1), to: addr(2), codec: Codec::H263 }];
+        plane.movie_mut(movie).apply(ipmedia_core::MovieCommand::Play);
+        for _ in 0..3 {
+            plane.tick(&routes);
+        }
+        plane.movie_mut(movie).apply(ipmedia_core::MovieCommand::Pause);
+        let before = plane.movie(movie).frame_pos();
+        for _ in 0..3 {
+            plane.tick(&routes);
+        }
+        assert_eq!(plane.movie(movie).frame_pos(), before);
+    }
+}

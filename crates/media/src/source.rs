@@ -1,0 +1,188 @@
+//! Deterministic media sources: tones, speech-like audio, sequence
+//! payloads, and movie streams with a shared, controllable time pointer.
+
+use crate::packet::{Frame, SAMPLES_PER_FRAME};
+use ipmedia_core::MovieCommand;
+use std::f64::consts::TAU;
+
+/// Audio-tone patterns used by telephony resources (Fig. 6's tone
+/// generator plays these for busy and ringback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToneKind {
+    /// North-American busy tone: 480 + 620 Hz, 0.5 s on / 0.5 s off.
+    Busy,
+    /// Ringback: 440 + 480 Hz, 2 s on / 4 s off.
+    Ringback,
+    /// Continuous dial tone: 350 + 440 Hz.
+    Dial,
+}
+
+impl ToneKind {
+    fn freqs(self) -> (f64, f64) {
+        match self {
+            ToneKind::Busy => (480.0, 620.0),
+            ToneKind::Ringback => (440.0, 480.0),
+            ToneKind::Dial => (350.0, 440.0),
+        }
+    }
+
+    /// (on, period) cadence in milliseconds.
+    fn cadence_ms(self) -> (u64, u64) {
+        match self {
+            ToneKind::Busy => (500, 1000),
+            ToneKind::Ringback => (2000, 6000),
+            ToneKind::Dial => (1, 1),
+        }
+    }
+}
+
+/// What an endpoint transmits each tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Transmit silence (a muted microphone that still sends packets).
+    Silence,
+    /// A telephony tone with its cadence.
+    Tone(ToneKind),
+    /// Deterministic speech-like audio from a seed (xorshift noise shaped
+    /// to speech-ish amplitude).
+    SpeechLike(u64),
+    /// Audio of a shared movie (`movie` indexes the plane's movie table).
+    MovieAudio { movie: usize },
+    /// Video of a shared movie.
+    MovieVideo { movie: usize },
+    /// One port of a conference bridge: transmits the bridge's mix for
+    /// this port (`bridge` indexes the plane's bridge table).
+    MixPort { bridge: usize, port: usize },
+}
+
+/// Synthesize one 20 ms frame for a plain source at time `t_ms`.
+/// `MovieAudio`/`MovieVideo`/`MixPort` are produced by the plane itself.
+pub fn synth_frame(kind: &SourceKind, t_ms: u64) -> Frame {
+    match kind {
+        SourceKind::Silence => Frame::silence(),
+        SourceKind::Tone(tone) => {
+            let (f1, f2) = tone.freqs();
+            let (on, period) = tone.cadence_ms();
+            if t_ms % period >= on {
+                return Frame::silence();
+            }
+            let mut samples = Vec::with_capacity(SAMPLES_PER_FRAME);
+            for i in 0..SAMPLES_PER_FRAME {
+                let t = (t_ms as f64) / 1_000.0 + (i as f64) / 8_000.0;
+                let v = 0.25 * ((TAU * f1 * t).sin() + (TAU * f2 * t).sin());
+                samples.push((v * i16::MAX as f64 * 0.5) as i16);
+            }
+            Frame::Audio(samples)
+        }
+        SourceKind::SpeechLike(seed) => {
+            let mut x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t_ms | 1);
+            let mut samples = Vec::with_capacity(SAMPLES_PER_FRAME);
+            for _ in 0..SAMPLES_PER_FRAME {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Scale noise down to a speech-ish level.
+                samples.push(((x as i16) as i32 / 4) as i16);
+            }
+            Frame::Audio(samples)
+        }
+        SourceKind::MovieAudio { .. }
+        | SourceKind::MovieVideo { .. }
+        | SourceKind::MixPort { .. } => {
+            unreachable!("plane-produced sources are not synthesized here")
+        }
+    }
+}
+
+/// The shared clock of one movie: a time pointer that advances while
+/// playing and responds to collaborative-control commands (Fig. 8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovieClock {
+    /// Current position, in movie milliseconds.
+    pub position_ms: u64,
+    pub playing: bool,
+}
+
+impl MovieClock {
+    pub fn new() -> Self {
+        Self {
+            position_ms: 0,
+            playing: false,
+        }
+    }
+
+    pub fn apply(&mut self, cmd: MovieCommand) {
+        match cmd {
+            MovieCommand::Play => self.playing = true,
+            MovieCommand::Pause => self.playing = false,
+            MovieCommand::Seek(secs) => self.position_ms = secs as u64 * 1_000,
+        }
+    }
+
+    /// Advance by one tick of `dt_ms` wall milliseconds.
+    pub fn tick(&mut self, dt_ms: u64) {
+        if self.playing {
+            self.position_ms += dt_ms;
+        }
+    }
+
+    /// The stream position a frame rendered now would carry.
+    pub fn frame_pos(&self) -> u32 {
+        (self.position_ms / 20) as u32
+    }
+}
+
+impl Default for MovieClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_tone_has_cadence() {
+        let on = synth_frame(&SourceKind::Tone(ToneKind::Busy), 100);
+        let off = synth_frame(&SourceKind::Tone(ToneKind::Busy), 600);
+        assert!(on.rms() > 1000.0, "tone on-phase is loud: {}", on.rms());
+        assert_eq!(off.rms(), 0.0, "tone off-phase is silent");
+    }
+
+    #[test]
+    fn ringback_differs_from_busy() {
+        let rb = synth_frame(&SourceKind::Tone(ToneKind::Ringback), 100);
+        let busy = synth_frame(&SourceKind::Tone(ToneKind::Busy), 100);
+        assert_ne!(rb, busy);
+    }
+
+    #[test]
+    fn speech_like_is_deterministic_and_nonsilent() {
+        let a = synth_frame(&SourceKind::SpeechLike(7), 40);
+        let b = synth_frame(&SourceKind::SpeechLike(7), 40);
+        let c = synth_frame(&SourceKind::SpeechLike(8), 40);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.rms() > 0.0);
+    }
+
+    #[test]
+    fn movie_clock_play_pause_seek() {
+        let mut clk = MovieClock::new();
+        assert_eq!(clk.frame_pos(), 0);
+        clk.tick(100);
+        assert_eq!(clk.position_ms, 0, "paused clock does not advance");
+        clk.apply(MovieCommand::Play);
+        clk.tick(100);
+        assert_eq!(clk.position_ms, 100);
+        clk.apply(MovieCommand::Pause);
+        clk.tick(100);
+        assert_eq!(clk.position_ms, 100);
+        clk.apply(MovieCommand::Seek(60));
+        assert_eq!(clk.position_ms, 60_000);
+        assert_eq!(clk.frame_pos(), 3_000);
+    }
+}

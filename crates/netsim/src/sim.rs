@@ -1,0 +1,657 @@
+//! The deterministic discrete-event network simulator.
+//!
+//! Boxes are [`ProgramBox`]es; signaling channels are FIFO, reliable, and
+//! delay each message by the network latency *n*; each box takes the
+//! compute cost *c* to read a stimulus and compute the next signals to
+//! send, and processes stimuli serially (paper §VIII-C). All scheduling is
+//! deterministic: events are ordered by (time, sequence number).
+
+use crate::time::{SimDuration, SimTime};
+use ipmedia_core::goal::UserCmd;
+use ipmedia_core::ids::{BoxId, ChannelId, SlotId, TunnelId};
+use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerId};
+use ipmedia_core::signal::{Availability, MetaSignal};
+use ipmedia_core::MediaBox;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Timing parameters of the simulated deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Average time for the network to accept a signal and deliver it to
+    /// its destination box (*n*; the paper measured 34 ms on a typical
+    /// carrier network with multiple geographic sites).
+    pub net_latency: SimDuration,
+    /// Average time for a box to read a stimulus from its input queue and
+    /// compute the next signal to send (*c*; typical value 20 ms).
+    pub compute_cost: SimDuration,
+}
+
+impl SimConfig {
+    /// The paper's calibration: n = 34 ms, c = 20 ms (§VIII-C).
+    pub fn paper() -> Self {
+        Self {
+            net_latency: SimDuration::from_millis(34),
+            compute_cost: SimDuration::from_millis(20),
+        }
+    }
+
+    /// Zero-cost timing: useful for functional tests where only message
+    /// ordering matters.
+    pub fn instant() -> Self {
+        Self {
+            net_latency: SimDuration::ZERO,
+            compute_cost: SimDuration::ZERO,
+        }
+    }
+}
+
+enum Ev {
+    /// Deliver an input to a box (and let it process it).
+    Input { to: BoxId, input: BoxInput },
+    /// An application timer fires, if still current.
+    TimerFire { to: BoxId, id: TimerId, gen: u64 },
+    /// An externally injected user command.
+    User {
+        to: BoxId,
+        slot: SlotId,
+        cmd: UserCmd,
+    },
+    /// An externally injected closure over the box (goal re-annotations
+    /// driven by test harnesses rather than application logic).
+    #[allow(clippy::type_complexity)]
+    Apply {
+        to: BoxId,
+        f: Box<dyn FnOnce(&mut ProgramBox) -> Vec<BoxCmd> + Send>,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Node {
+    pb: ProgramBox,
+    name: String,
+    /// The box processes stimuli serially; this is when it frees up.
+    busy_until: SimTime,
+    /// Current generation per timer id; stale fires are dropped.
+    timer_gen: HashMap<TimerId, u64>,
+    available: bool,
+    terminated: bool,
+    next_slot: u16,
+}
+
+struct Channel {
+    a: BoxId,
+    b: BoxId,
+    /// Slot ids per tunnel at each end (same length).
+    slots_a: Vec<SlotId>,
+    slots_b: Vec<SlotId>,
+}
+
+/// One recorded delivery, for debugging and figure generation.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    pub at: SimTime,
+    pub to: BoxId,
+    pub what: String,
+}
+
+/// The simulated network of boxes and signaling channels.
+pub struct Network {
+    cfg: SimConfig,
+    nodes: HashMap<BoxId, Node>,
+    names: HashMap<String, BoxId>,
+    channels: HashMap<ChannelId, Channel>,
+    /// (box, slot) → (channel, tunnel) for outgoing routing.
+    slot_route: HashMap<(BoxId, SlotId), (ChannelId, TunnelId)>,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    now: SimTime,
+    seq: u64,
+    next_box: u32,
+    next_channel: u32,
+    pub trace_enabled: bool,
+    trace: Vec<TraceEntry>,
+}
+
+impl Network {
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            cfg,
+            nodes: HashMap::new(),
+            names: HashMap::new(),
+            channels: HashMap::new(),
+            slot_route: HashMap::new(),
+            events: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_box: 0,
+            next_channel: 0,
+            trace_enabled: false,
+            trace: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Add a box running `logic` under a unique `name`. A `Start` input is
+    /// scheduled at the current time.
+    pub fn add_box(&mut self, name: impl Into<String>, logic: Box<dyn AppLogic>) -> BoxId {
+        let name = name.into();
+        let id = BoxId(self.next_box);
+        self.next_box += 1;
+        assert!(
+            self.names.insert(name.clone(), id).is_none(),
+            "duplicate box name {name}"
+        );
+        self.nodes.insert(
+            id,
+            Node {
+                pb: ProgramBox::new(id, logic),
+                name,
+                busy_until: SimTime::ZERO,
+                timer_gen: HashMap::new(),
+                available: true,
+                terminated: false,
+                next_slot: 0,
+            },
+        );
+        self.push(self.now, Ev::Input {
+            to: id,
+            input: BoxInput::Start,
+        });
+        id
+    }
+
+    /// Mark a box unavailable: channel setup toward it reports
+    /// `Peer(Unavailable)` and delivers no far-end `ChannelUp`.
+    pub fn set_available(&mut self, id: BoxId, available: bool) {
+        self.nodes.get_mut(&id).expect("box exists").available = available;
+    }
+
+    pub fn box_id(&self, name: &str) -> Option<BoxId> {
+        self.names.get(name).copied()
+    }
+
+    /// Read access to a box's media layer (slots, goals) for assertions.
+    pub fn media(&self, id: BoxId) -> &MediaBox {
+        self.nodes[&id].pb.media()
+    }
+
+    pub fn media_by_name(&self, name: &str) -> &MediaBox {
+        self.media(self.box_id(name).expect("known name"))
+    }
+
+    /// Create a signaling channel between two existing boxes with `tunnels`
+    /// tunnels, delivering `ChannelUp` to both at the current time. Slots
+    /// at `a` are channel initiators. Returns (channel, slots at a,
+    /// slots at b).
+    pub fn connect(
+        &mut self,
+        a: BoxId,
+        b: BoxId,
+        tunnels: u16,
+    ) -> (ChannelId, Vec<SlotId>, Vec<SlotId>) {
+        let ch = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        let slots_a = self.alloc_slots(a, tunnels, true, ch);
+        let slots_b = self.alloc_slots(b, tunnels, false, ch);
+        self.channels.insert(
+            ch,
+            Channel {
+                a,
+                b,
+                slots_a: slots_a.clone(),
+                slots_b: slots_b.clone(),
+            },
+        );
+        self.push(self.now, Ev::Input {
+            to: a,
+            input: BoxInput::ChannelUp {
+                channel: ch,
+                slots: slots_a.clone(),
+                req: None,
+            },
+        });
+        self.push(self.now, Ev::Input {
+            to: b,
+            input: BoxInput::ChannelUp {
+                channel: ch,
+                slots: slots_b.clone(),
+                req: None,
+            },
+        });
+        (ch, slots_a, slots_b)
+    }
+
+    fn alloc_slots(
+        &mut self,
+        owner: BoxId,
+        tunnels: u16,
+        initiator: bool,
+        ch: ChannelId,
+    ) -> Vec<SlotId> {
+        let node = self.nodes.get_mut(&owner).expect("box exists");
+        let mut out = Vec::with_capacity(tunnels as usize);
+        for t in 0..tunnels {
+            let sid = SlotId(node.next_slot);
+            node.next_slot += 1;
+            node.pb.media_mut().add_slot(sid, initiator);
+            self.slot_route.insert((owner, sid), (ch, TunnelId(t)));
+            out.push(sid);
+        }
+        out
+    }
+
+    /// Inject a user command at the current time (as if the human acted).
+    pub fn user(&mut self, to: BoxId, slot: SlotId, cmd: UserCmd) {
+        self.push(self.now, Ev::User { to, slot, cmd });
+    }
+
+    /// Inject an arbitrary input at the current time. Used by tests and
+    /// scenario drivers to deliver application meta-signals (feature
+    /// commands like "switch to call 2") as if a peer had sent them.
+    pub fn inject_input(&mut self, to: BoxId, input: BoxInput) {
+        self.push(self.now, Ev::Input { to, input });
+    }
+
+    /// Inject a closure over a box at the current time; used by test
+    /// harnesses and benchmarks to drive goal re-annotations directly.
+    pub fn apply<F>(&mut self, to: BoxId, f: F)
+    where
+        F: FnOnce(&mut ProgramBox) -> Vec<BoxCmd> + Send + 'static,
+    {
+        self.push(self.now, Ev::Apply { to, f: Box::new(f) });
+    }
+
+    /// Schedule a closure at an absolute virtual time.
+    pub fn apply_at<F>(&mut self, at: SimTime, to: BoxId, f: F)
+    where
+        F: FnOnce(&mut ProgramBox) -> Vec<BoxCmd> + Send + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, Ev::Apply { to, f: Box::new(f) });
+    }
+
+    fn push(&mut self, at: SimTime, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Scheduled { at, seq, ev }));
+    }
+
+    /// Process one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(sch)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(sch.at >= self.now);
+        self.now = sch.at;
+        match sch.ev {
+            Ev::Input { to, input } => self.deliver(to, input),
+            Ev::TimerFire { to, id, gen } => {
+                let current = self
+                    .nodes
+                    .get(&to)
+                    .and_then(|n| n.timer_gen.get(&id).copied());
+                if current == Some(gen) {
+                    self.deliver(to, BoxInput::Timer(id));
+                }
+            }
+            Ev::User { to, slot, cmd } => {
+                let Some(node) = self.nodes.get_mut(&to) else {
+                    return true;
+                };
+                if node.terminated {
+                    return true;
+                }
+                let start = self.now.max(node.busy_until);
+                let done = start + self.cfg.compute_cost;
+                node.busy_until = done;
+                match node.pb.media_mut().user(slot, cmd) {
+                    Ok(out) => {
+                        let cmds: Vec<BoxCmd> = out.into_iter().map(BoxCmd::Signal).collect();
+                        self.execute(to, done, cmds);
+                    }
+                    Err(e) => panic!("user command failed on {to}: {e}"),
+                }
+            }
+            Ev::Apply { to, f } => {
+                let Some(node) = self.nodes.get_mut(&to) else {
+                    return true;
+                };
+                let start = self.now.max(node.busy_until);
+                let done = start + self.cfg.compute_cost;
+                node.busy_until = done;
+                let cmds = f(&mut node.pb);
+                self.execute(to, done, cmds);
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, to: BoxId, input: BoxInput) {
+        let Some(node) = self.nodes.get_mut(&to) else {
+            return; // box gone (e.g. signal in flight past teardown)
+        };
+        if node.terminated {
+            return;
+        }
+        // Drop tunnel signals whose slot no longer exists (channel died
+        // while the signal was in flight).
+        if let BoxInput::Tunnel { slot, .. } = &input {
+            if node.pb.media().slot(*slot).is_none() {
+                return;
+            }
+        }
+        if self.trace_enabled {
+            let what = match &input {
+                BoxInput::Tunnel { slot, signal } => format!("{slot}:{}", signal.kind()),
+                other => format!("{other:?}"),
+            };
+            self.trace.push(TraceEntry { at: self.now, to, what });
+        }
+        let start = self.now.max(node.busy_until);
+        let done = start + self.cfg.compute_cost;
+        node.busy_until = done;
+        let cmds = node.pb.handle(input);
+        self.execute(to, done, cmds);
+    }
+
+    /// Execute the commands a box produced; its outputs leave at `done`.
+    fn execute(&mut self, from: BoxId, done: SimTime, cmds: Vec<BoxCmd>) {
+        for cmd in cmds {
+            match cmd {
+                BoxCmd::Signal(out) => {
+                    let Some(&(ch, tunnel)) = self.slot_route.get(&(from, out.slot)) else {
+                        continue; // channel died under us
+                    };
+                    let Some(channel) = self.channels.get(&ch) else {
+                        continue;
+                    };
+                    let (peer, peer_slot) = peer_of(channel, from, tunnel);
+                    // If the peer never came up (unavailable target), the
+                    // signal vanishes into the void.
+                    if !self.nodes.contains_key(&peer) {
+                        continue;
+                    }
+                    self.push(
+                        done + self.cfg.net_latency,
+                        Ev::Input {
+                            to: peer,
+                            input: BoxInput::Tunnel {
+                                slot: peer_slot,
+                                signal: out.signal,
+                            },
+                        },
+                    );
+                }
+                BoxCmd::Meta { channel, meta } => {
+                    let Some(chan) = self.channels.get(&channel) else {
+                        continue;
+                    };
+                    let peer = if chan.a == from { chan.b } else { chan.a };
+                    self.push(
+                        done + self.cfg.net_latency,
+                        Ev::Input {
+                            to: peer,
+                            input: BoxInput::Meta { channel, meta },
+                        },
+                    );
+                }
+                BoxCmd::OpenChannel { to, tunnels, req } => {
+                    self.open_channel(from, &to, tunnels, req, done);
+                }
+                BoxCmd::CloseChannel(ch) => self.close_channel(from, ch, done),
+                BoxCmd::SetTimer { id, after_ms } => {
+                    let node = self.nodes.get_mut(&from).expect("box exists");
+                    let gen = node.timer_gen.entry(id).or_insert(0);
+                    *gen += 1;
+                    let gen = *gen;
+                    self.push(
+                        done + SimDuration::from_millis(after_ms),
+                        Ev::TimerFire { to: from, id, gen },
+                    );
+                }
+                BoxCmd::CancelTimer(id) => {
+                    let node = self.nodes.get_mut(&from).expect("box exists");
+                    *node.timer_gen.entry(id).or_insert(0) += 1;
+                }
+                BoxCmd::Terminate => {
+                    self.nodes.get_mut(&from).expect("box exists").terminated = true;
+                }
+            }
+        }
+    }
+
+    fn open_channel(&mut self, from: BoxId, to_name: &str, tunnels: u16, req: u32, done: SimTime) {
+        let target = self.names.get(to_name).copied();
+        let available = target
+            .map(|t| self.nodes[&t].available)
+            .unwrap_or(false);
+        let ch = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        let slots_from = self.alloc_slots(from, tunnels, true, ch);
+
+        // One-way setup message + acknowledgement: the requester learns the
+        // outcome after a round trip.
+        let up_at = done + self.cfg.net_latency + self.cfg.net_latency;
+        if let (Some(target), true) = (target, available) {
+            let slots_to = self.alloc_slots(target, tunnels, false, ch);
+            self.channels.insert(
+                ch,
+                Channel {
+                    a: from,
+                    b: target,
+                    slots_a: slots_from.clone(),
+                    slots_b: slots_to.clone(),
+                },
+            );
+            self.push(
+                done + self.cfg.net_latency,
+                Ev::Input {
+                    to: target,
+                    input: BoxInput::ChannelUp {
+                        channel: ch,
+                        slots: slots_to,
+                        req: None,
+                    },
+                },
+            );
+            self.push(up_at, Ev::Input {
+                to: from,
+                input: BoxInput::ChannelUp {
+                    channel: ch,
+                    slots: slots_from,
+                    req: Some(req),
+                },
+            });
+            self.push(up_at, Ev::Input {
+                to: from,
+                input: BoxInput::Meta {
+                    channel: ch,
+                    meta: MetaSignal::Peer(Availability::Available),
+                },
+            });
+        } else {
+            // Target missing or unavailable: a half-open channel the
+            // requester can observe and destroy (Fig. 6's busy branch).
+            self.channels.insert(
+                ch,
+                Channel {
+                    a: from,
+                    b: from, // no far end; peer lookups resolve to self and
+                    // are suppressed by the empty slots_b
+                    slots_a: slots_from.clone(),
+                    slots_b: Vec::new(),
+                },
+            );
+            self.push(up_at, Ev::Input {
+                to: from,
+                input: BoxInput::ChannelUp {
+                    channel: ch,
+                    slots: slots_from,
+                    req: Some(req),
+                },
+            });
+            self.push(up_at, Ev::Input {
+                to: from,
+                input: BoxInput::Meta {
+                    channel: ch,
+                    meta: MetaSignal::Peer(Availability::Unavailable),
+                },
+            });
+        }
+    }
+
+    fn close_channel(&mut self, from: BoxId, ch: ChannelId, done: SimTime) {
+        let Some(channel) = self.channels.remove(&ch) else {
+            return;
+        };
+        // Remove local slots now; notify and remove the peer's after n.
+        let (local_slots, peer, peer_slots) = if channel.a == from {
+            (channel.slots_a, channel.b, channel.slots_b)
+        } else {
+            (channel.slots_b, channel.a, channel.slots_a)
+        };
+        if let Some(node) = self.nodes.get_mut(&from) {
+            for s in &local_slots {
+                node.pb.media_mut().remove_slot(*s);
+                self.slot_route.remove(&(from, *s));
+            }
+        }
+        if peer != from && !peer_slots.is_empty() {
+            // Schedule the far-end teardown: slots die when ChannelDown is
+            // processed (handled in deliver path below via a closure-less
+            // special input).
+            for s in &peer_slots {
+                self.slot_route.remove(&(peer, *s));
+            }
+            let slots = peer_slots.clone();
+            self.push(done + self.cfg.net_latency, Ev::Apply {
+                to: peer,
+                f: Box::new(move |pb: &mut ProgramBox| {
+                    for s in &slots {
+                        pb.media_mut().remove_slot(*s);
+                    }
+                    pb.handle(BoxInput::ChannelDown { channel: ch })
+                }),
+            });
+        }
+        let _ = done;
+    }
+
+    /// Run until the event queue is empty or virtual time exceeds `max`.
+    /// Returns the final virtual time.
+    pub fn run_until_quiescent(&mut self, max: SimTime) -> SimTime {
+        while let Some(Reverse(next)) = self.events.peek() {
+            if next.at > max {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Step until `pred` holds (checked after every event) or the queue
+    /// empties / `max` is exceeded. Returns true iff the predicate held.
+    pub fn run_until<F: FnMut(&Network) -> bool>(&mut self, max: SimTime, mut pred: F) -> bool {
+        loop {
+            if pred(self) {
+                return true;
+            }
+            match self.events.peek() {
+                Some(Reverse(next)) if next.at <= max => {
+                    self.step();
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// The virtual time at which a box finishes its current processing:
+    /// outputs computed during the event being handled leave at this time.
+    /// Latency measurements use it as the completion instant of the state
+    /// change observed by a `run_until` predicate.
+    pub fn busy_until(&self, id: BoxId) -> SimTime {
+        self.nodes[&id].busy_until
+    }
+
+    /// Advance virtual time with nothing happening (boxes go idle). Only
+    /// legal when no events are pending; used to separate setup from a
+    /// measured phase so setup compute time does not queue-delay it.
+    pub fn advance(&mut self, d: SimDuration) {
+        assert_eq!(
+            self.events.len(),
+            0,
+            "advance requires a quiescent network"
+        );
+        self.now += d;
+    }
+
+    /// Names and ids of all boxes (deterministic order).
+    pub fn boxes(&self) -> Vec<(BoxId, String)> {
+        let mut v: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|(id, n)| (*id, n.name.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Count of pending events (for quiescence checks in tests).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+fn peer_of(channel: &Channel, from: BoxId, tunnel: TunnelId) -> (BoxId, SlotId) {
+    let t = tunnel.0 as usize;
+    if channel.a == from {
+        (
+            channel.b,
+            channel.slots_b.get(t).copied().unwrap_or(SlotId(u16::MAX)),
+        )
+    } else {
+        (
+            channel.a,
+            channel.slots_a.get(t).copied().unwrap_or(SlotId(u16::MAX)),
+        )
+    }
+}
+
+/// Extract one tunnel signal destination for `Signal` commands; used by
+/// tests needing visibility into routing.
+pub fn route_of(net: &Network, from: BoxId, slot: SlotId) -> Option<(ChannelId, TunnelId)> {
+    net.slot_route.get(&(from, slot)).copied()
+}

@@ -1,0 +1,385 @@
+//! Integration tests: the media-control protocol running over the
+//! discrete-event simulator, including the paper's latency arithmetic.
+
+use ipmedia_core::boxes::GoalSpec;
+use ipmedia_core::endpoint::{EndpointLogic, NullLogic};
+use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
+use ipmedia_core::path::PathEnds;
+use ipmedia_core::{Codec, MediaAddr, Medium};
+use ipmedia_netsim::{Network, SimConfig, SimDuration, SimTime};
+
+fn audio_endpoint(host: u8) -> Box<EndpointLogic> {
+    Box::new(EndpointLogic::resource(EndpointPolicy::audio(
+        MediaAddr::v4(10, 0, 0, host, 4000),
+    )))
+}
+
+const T_MAX: SimTime = SimTime(60_000_000); // 60 virtual seconds
+
+#[test]
+fn direct_call_establishes_two_way_flow() {
+    let mut net = Network::new(SimConfig::paper());
+    let a = net.add_box("phone-a", audio_endpoint(1));
+    let b = net.add_box("phone-b", audio_endpoint(2));
+    let (_, sa, sb) = net.connect(a, b, 1);
+    net.run_until_quiescent(T_MAX);
+
+    net.user(a, sa[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    let slot_a = net.media(a).slot(sa[0]).unwrap();
+    let slot_b = net.media(b).slot(sb[0]).unwrap();
+    let ends = PathEnds::new(slot_a, slot_b);
+    assert!(ends.both_flowing(), "path must converge to bothFlowing");
+    assert!(ends.ltr_enabled() && ends.rtl_enabled());
+    assert_eq!(slot_a.tx_route().unwrap().1, Codec::G711);
+}
+
+#[test]
+fn direct_call_latency_is_2n_plus_3c() {
+    // §VIII-C: an endpoint can transmit media as soon as it has received a
+    // descriptor and sent a corresponding selector. For a direct call the
+    // caller's enable takes 2n+3c from the user action; with n=34ms, c=20ms
+    // that is 128ms.
+    let mut net = Network::new(SimConfig::paper());
+    let a = net.add_box("phone-a", audio_endpoint(1));
+    let b = net.add_box("phone-b", audio_endpoint(2));
+    let (_, sa, sb) = net.connect(a, b, 1);
+    net.run_until_quiescent(T_MAX);
+    net.advance(SimDuration::from_millis(1_000)); // let boxes go idle
+
+    let t0 = net.now();
+    net.user(a, sa[0], UserCmd::Open(Medium::Audio));
+    let ok = net.run_until(T_MAX, |n| {
+        n.media(a).slot(sa[0]).unwrap().tx_route().is_some()
+            && n.media(b).slot(sb[0]).unwrap().tx_route().is_some()
+    });
+    assert!(ok);
+    // The caller's selector leaves when its box finishes processing the
+    // oack: that instant is the box's busy-until time.
+    let elapsed = net.busy_until(a).max(net.busy_until(b)) - t0;
+    // 2n + 3c = 68 + 60 = 128 ms.
+    assert_eq!(elapsed, SimDuration::from_millis(128), "got {elapsed}");
+}
+
+#[test]
+fn call_through_flowlinked_server_is_transparent() {
+    // L -- server(flowlink) -- R: the endpoints observe exactly a direct
+    // call; media addresses exchanged end-to-end.
+    let mut net = Network::new(SimConfig::paper());
+    let l = net.add_box("phone-l", audio_endpoint(1));
+    let srv = net.add_box("server", Box::new(NullLogic));
+    let r = net.add_box("phone-r", audio_endpoint(2));
+    let (_, sl, srv_l) = net.connect(l, srv, 1);
+    let (_, srv_r, sr) = net.connect(srv, r, 1);
+    net.run_until_quiescent(T_MAX);
+
+    let (a, b) = (srv_l[0], srv_r[0]);
+    net.apply(srv, move |pb| {
+        pb.media_mut()
+            .set_goal(GoalSpec::Link { a, b })
+            .into_iter()
+            .map(ipmedia_core::BoxCmd::Signal)
+            .collect()
+    });
+    net.run_until_quiescent(T_MAX);
+
+    net.user(l, sl[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    let slot_l = net.media(l).slot(sl[0]).unwrap();
+    let slot_r = net.media(r).slot(sr[0]).unwrap();
+    let ends = PathEnds::new(slot_l, slot_r);
+    assert!(ends.both_flowing(), "L and R are the path endpoints");
+
+    // Media travels directly between endpoints: L's route targets R's
+    // address, not the server's.
+    let (to, codec) = slot_l.tx_route().unwrap();
+    assert_eq!(to, MediaAddr::v4(10, 0, 0, 2, 4000));
+    assert_eq!(codec, Codec::G711);
+    let (to, _) = slot_r.tx_route().unwrap();
+    assert_eq!(to, MediaAddr::v4(10, 0, 0, 1, 4000));
+}
+
+#[test]
+fn chain_of_three_flowlinks_still_transparent() {
+    // L -- s1 -- s2 -- s3 -- R: a path of 4 tunnels and 3 flowlinks; §V
+    // says any number of tunnels and flowlinks must be transparent.
+    let mut net = Network::new(SimConfig::paper());
+    let l = net.add_box("phone-l", audio_endpoint(1));
+    let r = net.add_box("phone-r", audio_endpoint(2));
+    let servers: Vec<_> = (0..3)
+        .map(|i| net.add_box(format!("srv{i}"), Box::new(NullLogic)))
+        .collect();
+    let (_, sl, s1l) = net.connect(l, servers[0], 1);
+    let (_, s1r, s2l) = net.connect(servers[0], servers[1], 1);
+    let (_, s2r, s3l) = net.connect(servers[1], servers[2], 1);
+    let (_, s3r, sr) = net.connect(servers[2], r, 1);
+    net.run_until_quiescent(T_MAX);
+
+    for (srv, (a, b)) in servers.iter().zip([
+        (s1l[0], s1r[0]),
+        (s2l[0], s2r[0]),
+        (s3l[0], s3r[0]),
+    ]) {
+        let (srv, a, b) = (*srv, a, b);
+        net.apply(srv, move |pb| {
+            pb.media_mut()
+                .set_goal(GoalSpec::Link { a, b })
+                .into_iter()
+                .map(ipmedia_core::BoxCmd::Signal)
+                .collect()
+        });
+    }
+    net.run_until_quiescent(T_MAX);
+
+    net.user(l, sl[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    let slot_l = net.media(l).slot(sl[0]).unwrap();
+    let slot_r = net.media(r).slot(sr[0]).unwrap();
+    assert!(PathEnds::new(slot_l, slot_r).both_flowing());
+    assert_eq!(
+        slot_l.tx_route().unwrap().0,
+        MediaAddr::v4(10, 0, 0, 2, 4000)
+    );
+    assert_eq!(
+        slot_r.tx_route().unwrap().0,
+        MediaAddr::v4(10, 0, 0, 1, 4000)
+    );
+}
+
+#[test]
+fn mute_modify_propagates_end_to_end() {
+    let mut net = Network::new(SimConfig::paper());
+    let l = net.add_box("phone-l", audio_endpoint(1));
+    let srv = net.add_box("server", Box::new(NullLogic));
+    let r = net.add_box("phone-r", audio_endpoint(2));
+    let (_, sl, srv_l) = net.connect(l, srv, 1);
+    let (_, srv_r, sr) = net.connect(srv, r, 1);
+    net.run_until_quiescent(T_MAX);
+    let (a, b) = (srv_l[0], srv_r[0]);
+    net.apply(srv, move |pb| {
+        pb.media_mut()
+            .set_goal(GoalSpec::Link { a, b })
+            .into_iter()
+            .map(ipmedia_core::BoxCmd::Signal)
+            .collect()
+    });
+    net.run_until_quiescent(T_MAX);
+    net.user(l, sl[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+    assert!(net.media(r).slot(sr[0]).unwrap().tx_route().is_some());
+
+    // L mutes inward: R must stop transmitting once the describe/select
+    // exchange completes — through the server, end to end.
+    net.user(
+        l,
+        sl[0],
+        UserCmd::Modify {
+            mute_in: true,
+            mute_out: false,
+        },
+    );
+    net.run_until_quiescent(T_MAX);
+    assert!(
+        net.media(r).slot(sr[0]).unwrap().tx_route().is_none(),
+        "R must stop sending after L mutes in"
+    );
+    assert!(
+        net.media(l).slot(sl[0]).unwrap().tx_route().is_some(),
+        "L→R direction unaffected"
+    );
+
+    // Unmute: flow recurs (the □◇bothFlowing excursion-and-return).
+    net.user(
+        l,
+        sl[0],
+        UserCmd::Modify {
+            mute_in: false,
+            mute_out: false,
+        },
+    );
+    net.run_until_quiescent(T_MAX);
+    let slot_l = net.media(l).slot(sl[0]).unwrap();
+    let slot_r = net.media(r).slot(sr[0]).unwrap();
+    assert!(PathEnds::new(slot_l, slot_r).both_flowing());
+    assert!(slot_r.tx_route().is_some());
+}
+
+#[test]
+fn close_tears_down_whole_path() {
+    let mut net = Network::new(SimConfig::paper());
+    let l = net.add_box("phone-l", audio_endpoint(1));
+    let srv = net.add_box("server", Box::new(NullLogic));
+    let r = net.add_box("phone-r", audio_endpoint(2));
+    let (_, sl, srv_l) = net.connect(l, srv, 1);
+    let (_, srv_r, sr) = net.connect(srv, r, 1);
+    net.run_until_quiescent(T_MAX);
+    let (a, b) = (srv_l[0], srv_r[0]);
+    net.apply(srv, move |pb| {
+        pb.media_mut()
+            .set_goal(GoalSpec::Link { a, b })
+            .into_iter()
+            .map(ipmedia_core::BoxCmd::Signal)
+            .collect()
+    });
+    net.run_until_quiescent(T_MAX);
+    net.user(l, sl[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    net.user(l, sl[0], UserCmd::Close);
+    net.run_until_quiescent(T_MAX);
+    let slot_l = net.media(l).slot(sl[0]).unwrap();
+    let slot_r = net.media(r).slot(sr[0]).unwrap();
+    assert!(PathEnds::new(slot_l, slot_r).both_closed());
+    assert!(net.media(srv).slot(srv_l[0]).unwrap().is_closed());
+    assert!(net.media(srv).slot(srv_r[0]).unwrap().is_closed());
+}
+
+#[test]
+fn open_channel_to_unavailable_box() {
+    struct Caller;
+    impl ipmedia_core::AppLogic for Caller {
+        fn handle(&mut self, input: &ipmedia_core::BoxInput, ctx: &mut ipmedia_core::Ctx<'_>) {
+            match input {
+                ipmedia_core::BoxInput::Start => ctx.open_channel("dead-phone", 1, 7),
+                ipmedia_core::BoxInput::Meta { channel, meta } => {
+                    if let ipmedia_core::MetaSignal::Peer(av) = meta {
+                        assert_eq!(*av, ipmedia_core::Availability::Unavailable);
+                        ctx.close_channel(*channel);
+                        ctx.terminate();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut net = Network::new(SimConfig::paper());
+    let dead = net.add_box("dead-phone", audio_endpoint(9));
+    net.set_available(dead, false);
+    let _caller = net.add_box("caller", Box::new(Caller));
+    net.run_until_quiescent(T_MAX);
+    // If the assertion inside Caller didn't fire, the availability
+    // round-trip completed; nothing should be pending.
+    assert_eq!(net.pending_events(), 0);
+}
+
+#[test]
+fn timers_fire_and_cancel() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    struct TimerBox(Arc<AtomicU32>);
+    impl ipmedia_core::AppLogic for TimerBox {
+        fn handle(&mut self, input: &ipmedia_core::BoxInput, ctx: &mut ipmedia_core::Ctx<'_>) {
+            use ipmedia_core::{BoxInput, TimerId};
+            match input {
+                BoxInput::Start => {
+                    ctx.set_timer(TimerId(1), 100);
+                    ctx.set_timer(TimerId(2), 200);
+                    ctx.cancel_timer(TimerId(2));
+                    // Re-arming a timer supersedes the previous schedule.
+                    ctx.set_timer(TimerId(3), 50);
+                    ctx.set_timer(TimerId(3), 300);
+                }
+                BoxInput::Timer(TimerId(1)) => {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+                BoxInput::Timer(TimerId(2)) => panic!("cancelled timer fired"),
+                BoxInput::Timer(TimerId(3)) => {
+                    self.0.fetch_add(100, Ordering::SeqCst);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let fired = Arc::new(AtomicU32::new(0));
+    let mut net = Network::new(SimConfig::paper());
+    net.add_box("timers", Box::new(TimerBox(fired.clone())));
+    net.run_until_quiescent(T_MAX);
+    assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 101);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    fn run() -> Vec<String> {
+        let mut net = Network::new(SimConfig::paper());
+        net.trace_enabled = true;
+        let a = net.add_box("phone-a", audio_endpoint(1));
+        let b = net.add_box("phone-b", audio_endpoint(2));
+        let (_, sa, _) = net.connect(a, b, 2);
+        net.run_until_quiescent(T_MAX);
+        net.user(a, sa[0], UserCmd::Open(Medium::Audio));
+        net.user(a, sa[1], UserCmd::Open(Medium::Audio));
+        net.run_until_quiescent(T_MAX);
+        net.trace()
+            .iter()
+            .map(|e| format!("{} {} {}", e.at, e.to, e.what))
+            .collect()
+    }
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn two_tunnels_are_independent() {
+    // §IX-B: every tunnel is completely independent; controlling audio and
+    // video channels on the same signaling path cannot contend.
+    let mut net = Network::new(SimConfig::paper());
+    let pol = EndpointPolicy {
+        addr: MediaAddr::v4(10, 0, 0, 1, 4000),
+        recv_codecs: vec![Codec::G711, Codec::H263],
+        send_codecs: vec![Codec::G711, Codec::H263],
+        mute_in: false,
+        mute_out: false,
+    };
+    let a = net.add_box(
+        "dev-a",
+        Box::new(EndpointLogic::new(pol.clone(), AcceptMode::Auto)),
+    );
+    let pol_b = EndpointPolicy {
+        addr: MediaAddr::v4(10, 0, 0, 2, 4000),
+        ..pol
+    };
+    let b = net.add_box("dev-b", Box::new(EndpointLogic::new(pol_b, AcceptMode::Auto)));
+    let (_, sa, sb) = net.connect(a, b, 2);
+    net.run_until_quiescent(T_MAX);
+
+    // Open audio one way and video the other way, simultaneously.
+    net.user(a, sa[0], UserCmd::Open(Medium::Audio));
+    net.user(b, sb[1], UserCmd::Open(Medium::Video));
+    net.run_until_quiescent(T_MAX);
+
+    let audio = PathEnds::new(
+        net.media(a).slot(sa[0]).unwrap(),
+        net.media(b).slot(sb[0]).unwrap(),
+    );
+    let video = PathEnds::new(
+        net.media(a).slot(sa[1]).unwrap(),
+        net.media(b).slot(sb[1]).unwrap(),
+    );
+    assert!(audio.both_flowing());
+    assert!(video.both_flowing());
+    assert_eq!(net.media(a).slot(sa[0]).unwrap().medium(), Some(Medium::Audio));
+    assert_eq!(net.media(a).slot(sa[1]).unwrap().medium(), Some(Medium::Video));
+}
+
+#[test]
+fn open_open_race_within_one_tunnel_resolves() {
+    // Both ends open the same tunnel simultaneously: the channel initiator
+    // (side a) wins, the other backs off and accepts (§VI-B).
+    let mut net = Network::new(SimConfig::paper());
+    let a = net.add_box("phone-a", audio_endpoint(1));
+    let b = net.add_box("phone-b", audio_endpoint(2));
+    let (_, sa, sb) = net.connect(a, b, 1);
+    net.run_until_quiescent(T_MAX);
+
+    net.user(a, sa[0], UserCmd::Open(Medium::Audio));
+    net.user(b, sb[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    let slot_a = net.media(a).slot(sa[0]).unwrap();
+    let slot_b = net.media(b).slot(sb[0]).unwrap();
+    assert!(PathEnds::new(slot_a, slot_b).both_flowing());
+}

@@ -1,0 +1,203 @@
+//! Length-prefixed framing over a TCP stream.
+//!
+//! Signaling is low-bandwidth but demands reliability and FIFO order
+//! (paper §I), which TCP provides; framing turns the byte stream back into
+//! discrete signals. Each frame is a 32-bit big-endian length followed by
+//! the payload. A maximum frame size bounds memory against malformed or
+//! malicious peers.
+
+use bytes::{Buf, BytesMut};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+/// Upper bound on a frame payload; signaling messages are tiny, so
+/// anything near this is garbage or an attack.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Errors from the framed transport.
+#[derive(Debug)]
+pub enum FrameError {
+    Io(std::io::Error),
+    TooLarge(usize),
+    /// The peer closed the connection mid-frame.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            FrameError::UnexpectedEof => f.write_str("connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// A framed, buffered connection.
+pub struct Framed<S> {
+    stream: S,
+    read_buf: BytesMut,
+}
+
+impl<S> Framed<S> {
+    pub fn new(stream: S) -> Self {
+        Self {
+            stream,
+            read_buf: BytesMut::with_capacity(4 * 1024),
+        }
+    }
+
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Split into the stream and any bytes already read past the last
+    /// frame boundary. Transferring ownership of a connection mid-stream
+    /// (e.g. handing an accepted socket from the handshake task to the
+    /// per-connection reader) must carry this buffer along or frames that
+    /// arrived piggybacked on the handshake are silently lost.
+    pub fn into_parts(self) -> (S, BytesMut) {
+        (self.stream, self.read_buf)
+    }
+
+    pub fn from_parts(stream: S, read_buf: BytesMut) -> Self {
+        Self { stream, read_buf }
+    }
+}
+
+impl<S: AsyncWriteExt + Unpin> Framed<S> {
+    /// Write one frame (length prefix + payload) and flush.
+    pub async fn write_frame(&mut self, payload: &[u8]) -> Result<(), FrameError> {
+        if payload.len() > MAX_FRAME {
+            return Err(FrameError::TooLarge(payload.len()));
+        }
+        self.stream.write_u32(payload.len() as u32).await?;
+        self.stream.write_all(payload).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+}
+
+impl<S: AsyncReadExt + Unpin> Framed<S> {
+    /// Read the next frame. `Ok(None)` on clean EOF at a frame boundary.
+    pub async fn read_frame(&mut self) -> Result<Option<bytes::Bytes>, FrameError> {
+        loop {
+            if let Some(frame) = self.try_parse()? {
+                return Ok(Some(frame));
+            }
+            let n = self.stream.read_buf(&mut self.read_buf).await?;
+            if n == 0 {
+                return if self.read_buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(FrameError::UnexpectedEof)
+                };
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<bytes::Bytes>, FrameError> {
+        if self.read_buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.read_buf[0..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::TooLarge(len));
+        }
+        if self.read_buf.len() < 4 + len {
+            self.read_buf.reserve(4 + len - self.read_buf.len());
+            return Ok(None);
+        }
+        self.read_buf.advance(4);
+        Ok(Some(self.read_buf.split_to(len).freeze()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::duplex;
+
+    #[tokio::test]
+    async fn frames_round_trip() {
+        // Buffer must hold all three frames: they are written before any
+        // read happens on this single task.
+        let (a, b) = duplex(4096);
+        let mut wa = Framed::new(a);
+        let mut rb = Framed::new(b);
+        wa.write_frame(b"hello").await.unwrap();
+        wa.write_frame(b"").await.unwrap();
+        wa.write_frame(&[7u8; 300]).await.unwrap();
+        assert_eq!(rb.read_frame().await.unwrap().unwrap().as_ref(), b"hello");
+        assert_eq!(rb.read_frame().await.unwrap().unwrap().as_ref(), b"");
+        assert_eq!(rb.read_frame().await.unwrap().unwrap().len(), 300);
+    }
+
+    #[tokio::test]
+    async fn clean_eof_returns_none() {
+        let (a, b) = duplex(64);
+        let mut wa = Framed::new(a);
+        wa.write_frame(b"bye").await.unwrap();
+        drop(wa);
+        let mut rb = Framed::new(b);
+        assert!(rb.read_frame().await.unwrap().is_some());
+        assert!(rb.read_frame().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn eof_mid_frame_is_an_error() {
+        let (mut a, b) = duplex(64);
+        // Write a length prefix promising 10 bytes, deliver 3, then close.
+        a.write_u32(10).await.unwrap();
+        a.write_all(b"abc").await.unwrap();
+        drop(a);
+        let mut rb = Framed::new(b);
+        assert!(matches!(
+            rb.read_frame().await,
+            Err(FrameError::UnexpectedEof)
+        ));
+    }
+
+    #[tokio::test]
+    async fn oversized_frame_rejected_without_allocation() {
+        let (mut a, b) = duplex(64);
+        a.write_u32((MAX_FRAME + 1) as u32).await.unwrap();
+        let mut rb = Framed::new(b);
+        assert!(matches!(rb.read_frame().await, Err(FrameError::TooLarge(_))));
+    }
+
+    #[tokio::test]
+    async fn writer_rejects_oversized_payload() {
+        let (a, _b) = duplex(64);
+        let mut wa = Framed::new(a);
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(
+            wa.write_frame(&huge).await,
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[tokio::test]
+    async fn many_small_frames_stream_through() {
+        let (a, b) = duplex(64); // tiny duplex buffer forces backpressure
+        let writer = tokio::spawn(async move {
+            let mut wa = Framed::new(a);
+            for i in 0..200u32 {
+                wa.write_frame(&i.to_be_bytes()).await.unwrap();
+            }
+        });
+        let mut rb = Framed::new(b);
+        for i in 0..200u32 {
+            let f = rb.read_frame().await.unwrap().unwrap();
+            assert_eq!(f.as_ref(), &i.to_be_bytes());
+        }
+        writer.await.unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! # ipmedia-rt
+//!
+//! The deployment runtime: media-control boxes as tokio tasks, signaling
+//! channels as real TCP connections (FIFO and reliable, exactly the
+//! channel model the paper assumes, §I/§III-A) carrying length-prefixed
+//! binary frames. The same sans-IO state machines that the discrete-event
+//! simulator and the model checker execute are driven here by live
+//! sockets; nothing in `ipmedia-core` knows the difference.
+
+pub mod frame;
+pub mod node;
+pub mod wire;
+
+pub use frame::{Framed, FrameError, MAX_FRAME};
+pub use node::{spawn_node, Directory, NodeHandle, NodeSnapshot, SlotSnapshot};
+pub use wire::{decode, encode, Frame, Hello, WireError, WIRE_VERSION};

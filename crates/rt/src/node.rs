@@ -1,0 +1,571 @@
+//! Running a media-control box as a tokio task with real TCP signaling
+//! channels.
+//!
+//! Each box is one asynchronous actor: an accept loop admits incoming
+//! signaling channels, per-connection reader tasks feed a single inbox,
+//! and the actor serially applies inputs to its [`ProgramBox`] — the same
+//! sans-IO state machines the simulator and the model checker drive. All
+//! I/O is non-blocking; per-connection writer tasks apply backpressure via
+//! bounded channels; shutdown closes every channel with an orderly `Bye`
+//! frame.
+
+use crate::frame::Framed;
+use crate::wire::{self, Frame, Hello};
+use ipmedia_core::goal::UserCmd;
+use ipmedia_core::ids::{ChannelId, SlotId};
+use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerId};
+use ipmedia_core::signal::{Availability, ChannelMsg, MetaSignal};
+use ipmedia_core::{BoxId, Codec, MediaAddr, SlotState};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::{mpsc, watch};
+use tokio::task::JoinHandle;
+use tokio::time::{sleep_until, Duration, Instant};
+
+/// Name → socket address registry (a stand-in for the configuration layer
+/// the paper scopes out, §III-A).
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    inner: Arc<Mutex<HashMap<String, SocketAddr>>>,
+}
+
+impl Directory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&self, name: impl Into<String>, addr: SocketAddr) {
+        self.inner.lock().unwrap().insert(name.into(), addr);
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<SocketAddr> {
+        self.inner.lock().unwrap().get(name).copied()
+    }
+}
+
+/// Observable state of one slot, published after every actor iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    pub slot: SlotId,
+    pub state: SlotState,
+    pub tx_route: Option<(MediaAddr, Codec)>,
+}
+
+/// Observable state of the node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    pub slots: Vec<SlotSnapshot>,
+    pub channels: usize,
+}
+
+/// Control handle for a running node.
+pub struct NodeHandle {
+    pub name: String,
+    /// Local listener address (register it in the [`Directory`]).
+    pub addr: SocketAddr,
+    user_tx: mpsc::Sender<(SlotId, UserCmd)>,
+    input_tx: mpsc::Sender<BoxInput>,
+    shutdown_tx: watch::Sender<bool>,
+    pub snapshot: watch::Receiver<NodeSnapshot>,
+    join: JoinHandle<()>,
+}
+
+impl NodeHandle {
+    /// Issue a user command on a slot (Fig. 5 user events).
+    pub async fn user(&self, slot: SlotId, cmd: UserCmd) {
+        self.user_tx.send((slot, cmd)).await.expect("node alive");
+    }
+
+    /// Inject an application input (meta-signals from local features).
+    pub async fn inject(&self, input: BoxInput) {
+        self.input_tx.send(input).await.expect("node alive");
+    }
+
+    /// Gracefully shut the node down: `Bye` on all channels, then exit.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown_tx.send(true);
+        let _ = self.join.await;
+    }
+
+    /// Wait until the published snapshot satisfies `pred` (with timeout).
+    pub async fn wait_for(
+        &mut self,
+        timeout: Duration,
+        mut pred: impl FnMut(&NodeSnapshot) -> bool,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred(&self.snapshot.borrow()) {
+                return true;
+            }
+            tokio::select! {
+                changed = self.snapshot.changed() => {
+                    if changed.is_err() {
+                        return false;
+                    }
+                }
+                _ = sleep_until(deadline) => return false,
+            }
+        }
+    }
+}
+
+enum Inbox {
+    /// A frame arrived on a connection.
+    Net { channel: ChannelId, frame: Frame },
+    /// A connection was accepted and sent its hello.
+    Accepted {
+        hello: Hello,
+        framed: Framed<TcpStream>,
+    },
+    /// A connection died.
+    Gone { channel: ChannelId },
+}
+
+struct Conn {
+    writer_tx: mpsc::Sender<Frame>,
+    slots: Vec<SlotId>,
+}
+
+/// Spawn a node: bind a listener, run the actor, return its handle.
+pub async fn spawn_node(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+) -> std::io::Result<NodeHandle> {
+    let name = name.into();
+    let listener = TcpListener::bind("127.0.0.1:0").await?;
+    let addr = listener.local_addr()?;
+    dir.register(name.clone(), addr);
+
+    let (user_tx, user_rx) = mpsc::channel(64);
+    let (input_tx, input_rx) = mpsc::channel(64);
+    let (shutdown_tx, shutdown_rx) = watch::channel(false);
+    let (snap_tx, snapshot) = watch::channel(NodeSnapshot::default());
+
+    let actor = Actor {
+        name: name.clone(),
+        pb: ProgramBox::new(box_id, logic),
+        dir,
+        conns: HashMap::new(),
+        next_channel: 0,
+        next_slot: 0,
+        timers: HashMap::new(),
+        timer_heap: Vec::new(),
+        snap_tx,
+    };
+    let join = tokio::spawn(actor.run(listener, user_rx, input_rx, shutdown_rx));
+
+    Ok(NodeHandle {
+        name,
+        addr,
+        user_tx,
+        input_tx,
+        shutdown_tx,
+        snapshot,
+        join,
+    })
+}
+
+struct Actor {
+    name: String,
+    pb: ProgramBox,
+    dir: Directory,
+    conns: HashMap<ChannelId, Conn>,
+    next_channel: u32,
+    next_slot: u16,
+    timers: HashMap<TimerId, u64>,
+    timer_heap: Vec<(Instant, TimerId, u64)>,
+    snap_tx: watch::Sender<NodeSnapshot>,
+}
+
+impl Actor {
+    async fn run(
+        mut self,
+        listener: TcpListener,
+        mut user_rx: mpsc::Receiver<(SlotId, UserCmd)>,
+        mut input_rx: mpsc::Receiver<BoxInput>,
+        mut shutdown_rx: watch::Receiver<bool>,
+    ) {
+        let (inbox_tx, mut inbox_rx) = mpsc::channel::<Inbox>(256);
+
+        // Accept loop: do the hello handshake off the main loop so a slow
+        // opener cannot stall signal processing.
+        let accept_tx = inbox_tx.clone();
+        let accept_task = tokio::spawn(async move {
+            loop {
+                let Ok((socket, _)) = listener.accept().await else {
+                    break;
+                };
+                let tx = accept_tx.clone();
+                tokio::spawn(async move {
+                    socket.set_nodelay(true).ok();
+                    let mut framed = Framed::new(socket);
+                    match framed.read_frame().await {
+                        Ok(Some(bytes)) => {
+                            if let Ok(Frame::Hello(hello)) = wire::decode(bytes) {
+                                let _ = tx.send(Inbox::Accepted { hello, framed }).await;
+                            }
+                        }
+                        _ => {}
+                    }
+                });
+            }
+        });
+
+        let cmds = self.pb.handle(BoxInput::Start);
+        self.execute(cmds, &inbox_tx).await;
+        self.publish();
+
+        loop {
+            let next_timer = self.next_deadline();
+            tokio::select! {
+                biased;
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        break;
+                    }
+                }
+                Some(msg) = inbox_rx.recv() => {
+                    self.on_inbox(msg, &inbox_tx).await;
+                }
+                Some((slot, cmd)) = user_rx.recv() => {
+                    match self.pb.media_mut().user(slot, cmd) {
+                        Ok(out) => {
+                            let cmds = out.into_iter().map(BoxCmd::Signal).collect();
+                            self.execute(cmds, &inbox_tx).await;
+                        }
+                        Err(e) => tracing_stub(&self.name, &format!("user cmd failed: {e}")),
+                    }
+                }
+                Some(input) = input_rx.recv() => {
+                    let cmds = self.pb.handle(input);
+                    self.execute(cmds, &inbox_tx).await;
+                }
+                _ = sleep_until(next_timer.unwrap_or_else(far_future)), if next_timer.is_some() => {
+                    self.fire_due_timers(&inbox_tx).await;
+                }
+            }
+            self.publish();
+        }
+
+        // Graceful shutdown: orderly Bye on every channel.
+        for conn in self.conns.values() {
+            let _ = conn.writer_tx.send(Frame::Bye).await;
+        }
+        accept_task.abort();
+    }
+
+    fn publish(&self) {
+        let media = self.pb.media();
+        let slots = media
+            .slot_ids()
+            .map(|id| {
+                let s = media.slot(id).expect("listed");
+                SlotSnapshot {
+                    slot: id,
+                    state: s.state(),
+                    tx_route: s.tx_route(),
+                }
+            })
+            .collect();
+        let _ = self.snap_tx.send(NodeSnapshot {
+            slots,
+            channels: self.conns.len(),
+        });
+    }
+
+    fn next_deadline(&self) -> Option<Instant> {
+        self.timer_heap.iter().map(|(t, _, _)| *t).min()
+    }
+
+    async fn fire_due_timers(&mut self, inbox_tx: &mpsc::Sender<Inbox>) {
+        let now = Instant::now();
+        let due: Vec<(TimerId, u64)> = self
+            .timer_heap
+            .iter()
+            .filter(|(t, _, _)| *t <= now)
+            .map(|(_, id, generation)| (*id, *generation))
+            .collect();
+        self.timer_heap.retain(|(t, _, _)| *t > now);
+        for (id, generation) in due {
+            if self.timers.get(&id) == Some(&generation) {
+                let cmds = self.pb.handle(BoxInput::Timer(id));
+                self.execute(cmds, inbox_tx).await;
+            }
+        }
+    }
+
+    async fn on_inbox(&mut self, msg: Inbox, inbox_tx: &mpsc::Sender<Inbox>) {
+        match msg {
+            Inbox::Accepted { hello, framed } => {
+                let channel = self.alloc_channel(hello.tunnels, false, framed, inbox_tx);
+                let slots = self.conns[&channel].slots.clone();
+                let cmds = self.pb.handle(BoxInput::ChannelUp {
+                    channel,
+                    slots,
+                    req: None,
+                });
+                self.execute(cmds, inbox_tx).await;
+            }
+            Inbox::Net { channel, frame } => match frame {
+                Frame::Msg(ChannelMsg::Tunnel { tunnel, signal }) => {
+                    let Some(conn) = self.conns.get(&channel) else {
+                        return;
+                    };
+                    let Some(&slot) = conn.slots.get(tunnel.0 as usize) else {
+                        return;
+                    };
+                    let cmds = self.pb.handle(BoxInput::Tunnel { slot, signal });
+                    self.execute(cmds, inbox_tx).await;
+                }
+                Frame::Msg(ChannelMsg::Meta(meta)) => {
+                    let cmds = self.pb.handle(BoxInput::Meta { channel, meta });
+                    self.execute(cmds, inbox_tx).await;
+                }
+                Frame::Bye => self.drop_channel(channel, inbox_tx).await,
+                Frame::Hello(_) => {} // protocol error: hello after setup
+            },
+            Inbox::Gone { channel } => self.drop_channel(channel, inbox_tx).await,
+        }
+    }
+
+    async fn drop_channel(&mut self, channel: ChannelId, inbox_tx: &mpsc::Sender<Inbox>) {
+        let Some(conn) = self.conns.remove(&channel) else {
+            return;
+        };
+        for slot in conn.slots {
+            self.pb.media_mut().remove_slot(slot);
+        }
+        let cmds = self.pb.handle(BoxInput::ChannelDown { channel });
+        self.execute(cmds, inbox_tx).await;
+    }
+
+    /// Register a connection: allocate channel id + slots, spawn reader
+    /// and writer tasks.
+    fn alloc_channel(
+        &mut self,
+        tunnels: u16,
+        initiator: bool,
+        framed: Framed<TcpStream>,
+        inbox_tx: &mpsc::Sender<Inbox>,
+    ) -> ChannelId {
+        let channel = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        let mut slots = Vec::with_capacity(tunnels as usize);
+        for _ in 0..tunnels {
+            let slot = SlotId(self.next_slot);
+            self.next_slot += 1;
+            self.pb.media_mut().add_slot(slot, initiator);
+            slots.push(slot);
+        }
+
+        let (writer_tx, mut writer_rx) = mpsc::channel::<Frame>(64);
+        let (stream, leftover) = framed.into_parts();
+        let (read_half, write_half) = stream.into_split();
+
+        let tx = inbox_tx.clone();
+        tokio::spawn(async move {
+            // Frames that arrived behind the handshake are still in the
+            // buffer; the reader must start from them.
+            let mut reader = Framed::from_parts(read_half, leftover);
+            loop {
+                match reader.read_frame().await {
+                    Ok(Some(bytes)) => match wire::decode(bytes) {
+                        Ok(frame) => {
+                            if tx.send(Inbox::Net { channel, frame }).await.is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = tx.send(Inbox::Gone { channel }).await;
+                            break;
+                        }
+                    },
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(Inbox::Gone { channel }).await;
+                        break;
+                    }
+                }
+            }
+        });
+        tokio::spawn(async move {
+            let mut writer = Framed::new(write_half);
+            while let Some(frame) = writer_rx.recv().await {
+                let bye = matches!(frame, Frame::Bye);
+                if writer.write_frame(&wire::encode(&frame)).await.is_err() {
+                    break;
+                }
+                if bye {
+                    break;
+                }
+            }
+        });
+
+        self.conns.insert(channel, Conn { writer_tx, slots });
+        channel
+    }
+
+    async fn execute(&mut self, cmds: Vec<BoxCmd>, inbox_tx: &mpsc::Sender<Inbox>) {
+        for cmd in cmds {
+            match cmd {
+                BoxCmd::Signal(out) => {
+                    // Find the channel and tunnel of this slot.
+                    let Some((channel, tunnel)) = self.route_of(out.slot) else {
+                        continue;
+                    };
+                    if let Some(conn) = self.conns.get(&channel) {
+                        let _ = conn
+                            .writer_tx
+                            .send(Frame::Msg(ChannelMsg::Tunnel {
+                                tunnel,
+                                signal: out.signal,
+                            }))
+                            .await;
+                    }
+                }
+                BoxCmd::Meta { channel, meta } => {
+                    if let Some(conn) = self.conns.get(&channel) {
+                        let _ = conn.writer_tx.send(Frame::Msg(ChannelMsg::Meta(meta))).await;
+                    }
+                }
+                BoxCmd::OpenChannel { to, tunnels, req } => {
+                    self.open_channel(&to, tunnels, req, inbox_tx).await;
+                }
+                BoxCmd::CloseChannel(channel) => {
+                    if let Some(conn) = self.conns.get(&channel) {
+                        let _ = conn.writer_tx.send(Frame::Bye).await;
+                    }
+                    // Local teardown is immediate; the peer acts on Bye.
+                    if let Some(conn) = self.conns.remove(&channel) {
+                        for slot in conn.slots {
+                            self.pb.media_mut().remove_slot(slot);
+                        }
+                    }
+                }
+                BoxCmd::SetTimer { id, after_ms } => {
+                    let generation = self.timers.entry(id).or_insert(0);
+                    *generation += 1;
+                    self.timer_heap.push((
+                        Instant::now() + Duration::from_millis(after_ms),
+                        id,
+                        *generation,
+                    ));
+                }
+                BoxCmd::CancelTimer(id) => {
+                    *self.timers.entry(id).or_insert(0) += 1;
+                }
+                BoxCmd::Terminate => {
+                    // The actor stays alive to drain signaling, but the
+                    // program is done; nothing further to execute.
+                }
+            }
+        }
+    }
+
+    fn route_of(&self, slot: SlotId) -> Option<(ChannelId, ipmedia_core::TunnelId)> {
+        for (ch, conn) in &self.conns {
+            if let Some(pos) = conn.slots.iter().position(|s| *s == slot) {
+                return Some((*ch, ipmedia_core::TunnelId(pos as u16)));
+            }
+        }
+        None
+    }
+
+    async fn open_channel(
+        &mut self,
+        to: &str,
+        tunnels: u16,
+        req: u32,
+        inbox_tx: &mpsc::Sender<Inbox>,
+    ) {
+        let target = self.dir.lookup(to);
+        let connected = match target {
+            Some(addr) => TcpStream::connect(addr).await.ok(),
+            None => None,
+        };
+        match connected {
+            Some(stream) => {
+                stream.set_nodelay(true).ok();
+                let mut framed = Framed::new(stream);
+                let hello = wire::encode(&Frame::Hello(Hello {
+                    from: self.name.clone(),
+                    tunnels,
+                }));
+                if framed.write_frame(&hello).await.is_err() {
+                    self.report_unavailable(tunnels, req, inbox_tx).await;
+                    return;
+                }
+                let channel = self.alloc_channel(tunnels, true, framed, inbox_tx);
+                let slots = self.conns[&channel].slots.clone();
+                let cmds = self.pb.handle(BoxInput::ChannelUp {
+                    channel,
+                    slots,
+                    req: Some(req),
+                });
+                self.execute_boxed(cmds, inbox_tx).await;
+                let cmds = self.pb.handle(BoxInput::Meta {
+                    channel,
+                    meta: MetaSignal::Peer(Availability::Available),
+                });
+                self.execute_boxed(cmds, inbox_tx).await;
+            }
+            None => {
+                self.report_unavailable(tunnels, req, inbox_tx).await;
+            }
+        }
+    }
+
+    async fn report_unavailable(
+        &mut self,
+        tunnels: u16,
+        req: u32,
+        inbox_tx: &mpsc::Sender<Inbox>,
+    ) {
+        // Half-open channel the program can observe and destroy (Fig. 6).
+        let channel = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        let mut slots = Vec::new();
+        for _ in 0..tunnels {
+            let slot = SlotId(self.next_slot);
+            self.next_slot += 1;
+            self.pb.media_mut().add_slot(slot, true);
+            slots.push(slot);
+        }
+        let (writer_tx, _writer_rx) = mpsc::channel(1);
+        self.conns.insert(channel, Conn { writer_tx, slots: slots.clone() });
+        let cmds = self.pb.handle(BoxInput::ChannelUp {
+            channel,
+            slots,
+            req: Some(req),
+        });
+        self.execute_boxed(cmds, inbox_tx).await;
+        let cmds = self.pb.handle(BoxInput::Meta {
+            channel,
+            meta: MetaSignal::Peer(Availability::Unavailable),
+        });
+        self.execute_boxed(cmds, inbox_tx).await;
+    }
+
+    /// Indirection so `execute` can recurse from `open_channel` without an
+    /// infinitely-sized future.
+    fn execute_boxed<'a>(
+        &'a mut self,
+        cmds: Vec<BoxCmd>,
+        inbox_tx: &'a mpsc::Sender<Inbox>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'a>> {
+        Box::pin(self.execute(cmds, inbox_tx))
+    }
+}
+
+fn far_future() -> Instant {
+    Instant::now() + Duration::from_secs(3600 * 24)
+}
+
+fn tracing_stub(name: &str, msg: &str) {
+    // Intentionally minimal: a hook point for real tracing integration.
+    let _ = (name, msg);
+}

@@ -1,0 +1,564 @@
+//! Binary wire format for signaling-channel messages.
+//!
+//! A signaling channel between physical components is TCP (paper §I); this
+//! module defines the byte encoding of [`ChannelMsg`]s carried in the
+//! length-prefixed frames of [`crate::frame`]. The format is versioned,
+//! self-contained, and deliberately simple: fixed-width tags, big-endian
+//! integers, length-prefixed strings and lists.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ipmedia_core::{
+    AppEvent, Availability, ChannelMsg, Codec, DescTag, Descriptor, MediaAddr, Medium,
+    MetaSignal, MixRow, MovieCommand, Selector, Signal, TunnelId,
+};
+use std::net::IpAddr;
+
+/// Format version carried in every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Errors from decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    Truncated,
+    BadVersion(u8),
+    BadTag(&'static str, u8),
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(what, t) => write!(f, "bad {what} tag {t}"),
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The first frame on a new connection: channel setup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    pub from: String,
+    pub tunnels: u16,
+}
+
+/// Everything that can travel in one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    Hello(Hello),
+    Msg(ChannelMsg),
+    /// Orderly shutdown of the signaling channel.
+    Bye,
+}
+
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    b.put_u8(WIRE_VERSION);
+    match frame {
+        Frame::Hello(h) => {
+            b.put_u8(0);
+            put_str(&mut b, &h.from);
+            b.put_u16(h.tunnels);
+        }
+        Frame::Msg(m) => {
+            b.put_u8(1);
+            encode_msg(&mut b, m);
+        }
+        Frame::Bye => b.put_u8(2),
+    }
+    b.freeze()
+}
+
+pub fn decode(mut buf: Bytes) -> Result<Frame, WireError> {
+    let v = get_u8(&mut buf)?;
+    if v != WIRE_VERSION {
+        return Err(WireError::BadVersion(v));
+    }
+    match get_u8(&mut buf)? {
+        0 => {
+            let from = get_str(&mut buf)?;
+            let tunnels = get_u16(&mut buf)?;
+            Ok(Frame::Hello(Hello { from, tunnels }))
+        }
+        1 => Ok(Frame::Msg(decode_msg(&mut buf)?)),
+        2 => Ok(Frame::Bye),
+        t => Err(WireError::BadTag("frame", t)),
+    }
+}
+
+fn encode_msg(b: &mut BytesMut, m: &ChannelMsg) {
+    match m {
+        ChannelMsg::Tunnel { tunnel, signal } => {
+            b.put_u8(0);
+            b.put_u16(tunnel.0);
+            encode_signal(b, signal);
+        }
+        ChannelMsg::Meta(meta) => {
+            b.put_u8(1);
+            encode_meta(b, meta);
+        }
+    }
+}
+
+fn decode_msg(buf: &mut Bytes) -> Result<ChannelMsg, WireError> {
+    match get_u8(buf)? {
+        0 => {
+            let tunnel = TunnelId(get_u16(buf)?);
+            let signal = decode_signal(buf)?;
+            Ok(ChannelMsg::Tunnel { tunnel, signal })
+        }
+        1 => Ok(ChannelMsg::Meta(decode_meta(buf)?)),
+        t => Err(WireError::BadTag("msg", t)),
+    }
+}
+
+fn encode_signal(b: &mut BytesMut, s: &Signal) {
+    match s {
+        Signal::Open { medium, desc } => {
+            b.put_u8(0);
+            b.put_u8(medium_id(*medium));
+            encode_desc(b, desc);
+        }
+        Signal::Oack { desc } => {
+            b.put_u8(1);
+            encode_desc(b, desc);
+        }
+        Signal::Close => b.put_u8(2),
+        Signal::CloseAck => b.put_u8(3),
+        Signal::Describe { desc } => {
+            b.put_u8(4);
+            encode_desc(b, desc);
+        }
+        Signal::Select { sel } => {
+            b.put_u8(5);
+            encode_sel(b, sel);
+        }
+    }
+}
+
+fn decode_signal(buf: &mut Bytes) -> Result<Signal, WireError> {
+    match get_u8(buf)? {
+        0 => {
+            let medium = medium_from(get_u8(buf)?)?;
+            let desc = decode_desc(buf)?;
+            Ok(Signal::Open { medium, desc })
+        }
+        1 => Ok(Signal::Oack {
+            desc: decode_desc(buf)?,
+        }),
+        2 => Ok(Signal::Close),
+        3 => Ok(Signal::CloseAck),
+        4 => Ok(Signal::Describe {
+            desc: decode_desc(buf)?,
+        }),
+        5 => Ok(Signal::Select {
+            sel: decode_sel(buf)?,
+        }),
+        t => Err(WireError::BadTag("signal", t)),
+    }
+}
+
+fn encode_meta(b: &mut BytesMut, m: &MetaSignal) {
+    match m {
+        MetaSignal::ChannelUp => b.put_u8(0),
+        MetaSignal::Peer(av) => {
+            b.put_u8(1);
+            b.put_u8(matches!(av, Availability::Available) as u8);
+        }
+        MetaSignal::Teardown => b.put_u8(2),
+        MetaSignal::App(app) => {
+            b.put_u8(3);
+            encode_app(b, app);
+        }
+    }
+}
+
+fn decode_meta(buf: &mut Bytes) -> Result<MetaSignal, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(MetaSignal::ChannelUp),
+        1 => Ok(MetaSignal::Peer(if get_u8(buf)? != 0 {
+            Availability::Available
+        } else {
+            Availability::Unavailable
+        })),
+        2 => Ok(MetaSignal::Teardown),
+        3 => Ok(MetaSignal::App(decode_app(buf)?)),
+        t => Err(WireError::BadTag("meta", t)),
+    }
+}
+
+fn encode_app(b: &mut BytesMut, a: &AppEvent) {
+    match a {
+        AppEvent::FundsVerified => b.put_u8(0),
+        AppEvent::MixMatrix(rows) => {
+            b.put_u8(1);
+            b.put_u16(rows.len() as u16);
+            for r in rows {
+                b.put_u16(r.output);
+                b.put_u16(r.hears.len() as u16);
+                for (input, gain) in &r.hears {
+                    b.put_u16(*input);
+                    b.put_u8(*gain);
+                }
+            }
+        }
+        AppEvent::MovieControl(cmd) => {
+            b.put_u8(2);
+            match cmd {
+                MovieCommand::Play => b.put_u8(0),
+                MovieCommand::Pause => b.put_u8(1),
+                MovieCommand::Seek(s) => {
+                    b.put_u8(2);
+                    b.put_u32(*s);
+                }
+            }
+        }
+        AppEvent::Custom(s) => {
+            b.put_u8(3);
+            put_str(b, s);
+        }
+    }
+}
+
+fn decode_app(buf: &mut Bytes) -> Result<AppEvent, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(AppEvent::FundsVerified),
+        1 => {
+            let n = get_u16(buf)? as usize;
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let output = get_u16(buf)?;
+                let k = get_u16(buf)? as usize;
+                let mut hears = Vec::with_capacity(k.min(1024));
+                for _ in 0..k {
+                    let input = get_u16(buf)?;
+                    let gain = get_u8(buf)?;
+                    hears.push((input, gain));
+                }
+                rows.push(MixRow { output, hears });
+            }
+            Ok(AppEvent::MixMatrix(rows))
+        }
+        2 => match get_u8(buf)? {
+            0 => Ok(AppEvent::MovieControl(MovieCommand::Play)),
+            1 => Ok(AppEvent::MovieControl(MovieCommand::Pause)),
+            2 => Ok(AppEvent::MovieControl(MovieCommand::Seek(get_u32(buf)?))),
+            t => Err(WireError::BadTag("movie command", t)),
+        },
+        3 => Ok(AppEvent::Custom(get_str(buf)?)),
+        t => Err(WireError::BadTag("app event", t)),
+    }
+}
+
+fn encode_desc(b: &mut BytesMut, d: &Descriptor) {
+    b.put_u64(d.tag.origin);
+    b.put_u32(d.tag.generation);
+    put_addr_opt(b, d.addr);
+    b.put_u8(d.codecs.len() as u8);
+    for c in &d.codecs {
+        b.put_u8(codec_id(*c));
+    }
+}
+
+fn decode_desc(buf: &mut Bytes) -> Result<Descriptor, WireError> {
+    let tag = DescTag {
+        origin: get_u64(buf)?,
+        generation: get_u32(buf)?,
+    };
+    let addr = get_addr_opt(buf)?;
+    let n = get_u8(buf)? as usize;
+    let mut codecs = Vec::with_capacity(n);
+    for _ in 0..n {
+        codecs.push(codec_from(get_u8(buf)?)?);
+    }
+    if codecs.is_empty() {
+        return Err(WireError::Malformed("descriptor with no codecs"));
+    }
+    Ok(Descriptor { tag, addr, codecs })
+}
+
+fn encode_sel(b: &mut BytesMut, s: &Selector) {
+    b.put_u64(s.answers.origin);
+    b.put_u32(s.answers.generation);
+    put_addr_opt(b, s.sender);
+    b.put_u8(codec_id(s.codec));
+}
+
+fn decode_sel(buf: &mut Bytes) -> Result<Selector, WireError> {
+    let answers = DescTag {
+        origin: get_u64(buf)?,
+        generation: get_u32(buf)?,
+    };
+    let sender = get_addr_opt(buf)?;
+    let codec = codec_from(get_u8(buf)?)?;
+    Ok(Selector {
+        answers,
+        sender,
+        codec,
+    })
+}
+
+fn medium_id(m: Medium) -> u8 {
+    match m {
+        Medium::Audio => 0,
+        Medium::Video => 1,
+        Medium::VideoHd => 2,
+        Medium::Text => 3,
+        Medium::AudioVideo => 4,
+    }
+}
+
+fn medium_from(v: u8) -> Result<Medium, WireError> {
+    Ok(match v {
+        0 => Medium::Audio,
+        1 => Medium::Video,
+        2 => Medium::VideoHd,
+        3 => Medium::Text,
+        4 => Medium::AudioVideo,
+        t => return Err(WireError::BadTag("medium", t)),
+    })
+}
+
+fn codec_id(c: Codec) -> u8 {
+    match c {
+        Codec::NoMedia => 0,
+        Codec::G711 => 1,
+        Codec::G726 => 2,
+        Codec::G729 => 3,
+        Codec::H261 => 4,
+        Codec::H263 => 5,
+        Codec::T140 => 6,
+    }
+}
+
+fn codec_from(v: u8) -> Result<Codec, WireError> {
+    Ok(match v {
+        0 => Codec::NoMedia,
+        1 => Codec::G711,
+        2 => Codec::G726,
+        3 => Codec::G729,
+        4 => Codec::H261,
+        5 => Codec::H263,
+        6 => Codec::T140,
+        t => return Err(WireError::BadTag("codec", t)),
+    })
+}
+
+fn put_addr_opt(b: &mut BytesMut, addr: Option<MediaAddr>) {
+    match addr {
+        None => b.put_u8(0),
+        Some(a) => match a.ip {
+            IpAddr::V4(ip) => {
+                b.put_u8(4);
+                b.put_slice(&ip.octets());
+                b.put_u16(a.port);
+            }
+            IpAddr::V6(ip) => {
+                b.put_u8(6);
+                b.put_slice(&ip.octets());
+                b.put_u16(a.port);
+            }
+        },
+    }
+}
+
+fn get_addr_opt(buf: &mut Bytes) -> Result<Option<MediaAddr>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        4 => {
+            if buf.remaining() < 6 {
+                return Err(WireError::Truncated);
+            }
+            let mut o = [0u8; 4];
+            buf.copy_to_slice(&mut o);
+            let port = buf.get_u16();
+            Ok(Some(MediaAddr::new(IpAddr::from(o), port)))
+        }
+        6 => {
+            if buf.remaining() < 18 {
+                return Err(WireError::Truncated);
+            }
+            let mut o = [0u8; 16];
+            buf.copy_to_slice(&mut o);
+            let port = buf.get_u16();
+            Ok(Some(MediaAddr::new(IpAddr::from(o), port)))
+        }
+        t => Err(WireError::BadTag("addr", t)),
+    }
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u16(s.len() as u16);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    let n = get_u16(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(WireError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(n);
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("utf-8 string"))
+}
+
+macro_rules! getter {
+    ($name:ident, $ty:ty, $size:expr, $get:ident) => {
+        fn $name(buf: &mut Bytes) -> Result<$ty, WireError> {
+            if buf.remaining() < $size {
+                return Err(WireError::Truncated);
+            }
+            Ok(buf.$get())
+        }
+    };
+}
+getter!(get_u8, u8, 1, get_u8);
+getter!(get_u16, u16, 2, get_u16);
+getter!(get_u32, u32, 4, get_u32);
+getter!(get_u64, u64, 8, get_u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = encode(&f);
+        let back = decode(bytes).expect("decodes");
+        assert_eq!(f, back);
+    }
+
+    fn desc() -> Descriptor {
+        Descriptor::media(
+            DescTag {
+                origin: 0xDEAD_BEEF,
+                generation: 7,
+            },
+            MediaAddr::v4(10, 1, 2, 3, 4000),
+            vec![Codec::G711, Codec::G726],
+        )
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip(Frame::Hello(Hello {
+            from: "pbx".into(),
+            tunnels: 5,
+        }));
+    }
+
+    #[test]
+    fn all_signals_roundtrip() {
+        for sig in [
+            Signal::Open {
+                medium: Medium::Video,
+                desc: desc(),
+            },
+            Signal::Oack { desc: desc() },
+            Signal::Close,
+            Signal::CloseAck,
+            Signal::Describe {
+                desc: Descriptor::no_media(DescTag {
+                    origin: 1,
+                    generation: 0,
+                }),
+            },
+            Signal::Select {
+                sel: Selector::sending(
+                    DescTag {
+                        origin: 9,
+                        generation: 3,
+                    },
+                    MediaAddr::v4(1, 2, 3, 4, 5),
+                    Codec::G729,
+                ),
+            },
+            Signal::Select {
+                sel: Selector::not_sending(DescTag {
+                    origin: 2,
+                    generation: 1,
+                }),
+            },
+        ] {
+            roundtrip(Frame::Msg(ChannelMsg::Tunnel {
+                tunnel: TunnelId(3),
+                signal: sig,
+            }));
+        }
+    }
+
+    #[test]
+    fn all_metas_roundtrip() {
+        for meta in [
+            MetaSignal::ChannelUp,
+            MetaSignal::Peer(Availability::Available),
+            MetaSignal::Peer(Availability::Unavailable),
+            MetaSignal::Teardown,
+            MetaSignal::App(AppEvent::FundsVerified),
+            MetaSignal::App(AppEvent::Custom("switch:1".into())),
+            MetaSignal::App(AppEvent::MovieControl(MovieCommand::Seek(3600))),
+            MetaSignal::App(AppEvent::MovieControl(MovieCommand::Play)),
+            MetaSignal::App(AppEvent::MixMatrix(vec![MixRow {
+                output: 1,
+                hears: vec![(0, 100), (2, 30)],
+            }])),
+        ] {
+            roundtrip(Frame::Msg(ChannelMsg::Meta(meta)));
+        }
+    }
+
+    #[test]
+    fn ipv6_addresses_roundtrip() {
+        let d = Descriptor::media(
+            DescTag {
+                origin: 3,
+                generation: 1,
+            },
+            MediaAddr::new("2001:db8::1".parse().unwrap(), 9000),
+            vec![Codec::G711],
+        );
+        roundtrip(Frame::Msg(ChannelMsg::Tunnel {
+            tunnel: TunnelId(0),
+            signal: Signal::Oack { desc: d },
+        }));
+    }
+
+    #[test]
+    fn bye_roundtrip() {
+        roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut b = BytesMut::new();
+        b.put_u8(99);
+        b.put_u8(2);
+        assert_eq!(decode(b.freeze()), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        // Truncate a valid frame at every length and require a clean error
+        // (never a panic).
+        let full = encode(&Frame::Msg(ChannelMsg::Tunnel {
+            tunnel: TunnelId(3),
+            signal: Signal::Open {
+                medium: Medium::Audio,
+                desc: desc(),
+            },
+        }));
+        for cut in 0..full.len() {
+            let partial = full.slice(0..cut);
+            assert!(decode(partial).is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_tags() {
+        let mut b = BytesMut::new();
+        b.put_u8(WIRE_VERSION);
+        b.put_u8(7); // no such frame tag
+        assert!(matches!(decode(b.freeze()), Err(WireError::BadTag("frame", 7))));
+    }
+}

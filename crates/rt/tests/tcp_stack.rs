@@ -1,0 +1,293 @@
+//! End-to-end tests of the tokio runtime: real TCP signaling channels
+//! between boxes running the same state machines as the simulator.
+
+use ipmedia_core::boxes::GoalSpec;
+use ipmedia_core::endpoint::EndpointLogic;
+use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
+use ipmedia_core::ids::SlotId;
+use ipmedia_core::program::{AppLogic, BoxInput, Ctx};
+use ipmedia_core::{BoxId, Codec, MediaAddr, Medium, SlotState};
+use ipmedia_rt::{spawn_node, Directory};
+use tokio::time::Duration;
+
+fn addr(h: u8) -> MediaAddr {
+    MediaAddr::v4(10, 0, 0, h, 4000)
+}
+
+fn phone(h: u8) -> Box<EndpointLogic> {
+    Box::new(EndpointLogic::new(
+        EndpointPolicy::audio(addr(h)),
+        AcceptMode::Auto,
+    ))
+}
+
+/// A box that dials a peer at start and opens one audio tunnel via an
+/// endpoint user agent.
+struct Dialer {
+    target: String,
+}
+
+impl AppLogic for Dialer {
+    fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+        match input {
+            BoxInput::Start => ctx.open_channel(self.target.clone(), 1, 1),
+            BoxInput::ChannelUp { slots, req: Some(1), .. } => {
+                for s in slots {
+                    ctx.set_goal(GoalSpec::User {
+                        slot: *s,
+                        policy: EndpointPolicy::audio(addr(1)),
+                        mode: AcceptMode::Auto,
+                    });
+                }
+                ctx.user(slots[0], UserCmd::Open(Medium::Audio));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A server that dials a target on behalf of incoming callers and links
+/// the legs (like the PC server's basic operation).
+struct Gateway {
+    target: String,
+    caller: Option<SlotId>,
+}
+
+impl AppLogic for Gateway {
+    fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+        match input {
+            BoxInput::ChannelUp { slots, req: None, .. } => {
+                self.caller = Some(slots[0]);
+                ctx.open_channel(self.target.clone(), 1, 9);
+            }
+            BoxInput::ChannelUp { slots, req: Some(9), .. } => {
+                ctx.set_goal(GoalSpec::Link {
+                    a: self.caller.expect("caller first"),
+                    b: slots[0],
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(10);
+
+#[tokio::test]
+async fn direct_call_over_tcp() {
+    let dir = Directory::new();
+    let mut callee = spawn_node("phone-b", BoxId(2), phone(2), dir.clone())
+        .await
+        .unwrap();
+    let mut caller = spawn_node(
+        "phone-a",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "phone-b".into(),
+        }),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+
+    let ok = caller
+        .wait_for(WAIT, |s| {
+            s.slots
+                .iter()
+                .any(|sl| sl.state == SlotState::Flowing && sl.tx_route.is_some())
+        })
+        .await;
+    assert!(ok, "caller reaches flowing with a media route");
+    let ok = callee
+        .wait_for(WAIT, |s| {
+            s.slots
+                .iter()
+                .any(|sl| sl.tx_route == Some((addr(1), Codec::G711)))
+        })
+        .await;
+    assert!(ok, "callee transmits toward the caller's descriptor address");
+
+    caller.shutdown().await;
+    callee.shutdown().await;
+}
+
+#[tokio::test]
+async fn call_through_gateway_server_over_tcp() {
+    // Caller → gateway (flowlink) → callee: three OS processes' worth of
+    // sockets, one transparent media path.
+    let dir = Directory::new();
+    let mut callee = spawn_node("phone-c", BoxId(3), phone(3), dir.clone())
+        .await
+        .unwrap();
+    let _gw = spawn_node(
+        "gateway",
+        BoxId(2),
+        Box::new(Gateway {
+            target: "phone-c".into(),
+            caller: None,
+        }),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+    let mut caller = spawn_node(
+        "phone-a",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "gateway".into(),
+        }),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+
+    let ok = caller
+        .wait_for(WAIT, |s| {
+            s.slots
+                .iter()
+                .any(|sl| sl.tx_route == Some((addr(3), Codec::G711)))
+        })
+        .await;
+    assert!(ok, "caller's media route points directly at the callee");
+    let ok = callee
+        .wait_for(WAIT, |s| {
+            s.slots
+                .iter()
+                .any(|sl| sl.tx_route == Some((addr(1), Codec::G711)))
+        })
+        .await;
+    assert!(ok, "callee's media route points directly at the caller");
+
+    caller.shutdown().await;
+    callee.shutdown().await;
+}
+
+#[tokio::test]
+async fn dialing_unknown_box_reports_unavailable() {
+    struct Probe {
+        outcome: std::sync::Arc<std::sync::Mutex<Option<bool>>>,
+    }
+    impl AppLogic for Probe {
+        fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+            match input {
+                BoxInput::Start => ctx.open_channel("nobody", 1, 1),
+                BoxInput::Meta { channel, meta } => {
+                    if let ipmedia_core::MetaSignal::Peer(av) = meta {
+                        *self.outcome.lock().unwrap() = Some(matches!(
+                            av,
+                            ipmedia_core::Availability::Available
+                        ));
+                        ctx.close_channel(*channel);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let outcome = std::sync::Arc::new(std::sync::Mutex::new(None));
+    let dir = Directory::new();
+    let node = spawn_node(
+        "probe",
+        BoxId(1),
+        Box::new(Probe {
+            outcome: outcome.clone(),
+        }),
+        dir,
+    )
+    .await
+    .unwrap();
+    tokio::time::timeout(WAIT, async {
+        loop {
+            if outcome.lock().unwrap().is_some() {
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        }
+    })
+    .await
+    .expect("availability reported");
+    assert_eq!(*outcome.lock().unwrap(), Some(false));
+    node.shutdown().await;
+}
+
+#[tokio::test]
+async fn user_close_tears_down_over_tcp() {
+    let dir = Directory::new();
+    let mut callee = spawn_node("phone-b", BoxId(2), phone(2), dir.clone())
+        .await
+        .unwrap();
+    let mut caller = spawn_node(
+        "phone-a",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "phone-b".into(),
+        }),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+    assert!(
+        caller
+            .wait_for(WAIT, |s| s
+                .slots
+                .iter()
+                .any(|sl| sl.state == SlotState::Flowing))
+            .await
+    );
+    let slot = caller.snapshot.borrow().slots[0].slot;
+    caller.user(slot, UserCmd::Close).await;
+    assert!(
+        caller
+            .wait_for(WAIT, |s| s
+                .slots
+                .iter()
+                .all(|sl| sl.state == SlotState::Closed))
+            .await,
+        "caller side closed"
+    );
+    assert!(
+        callee
+            .wait_for(WAIT, |s| s
+                .slots
+                .iter()
+                .all(|sl| sl.state == SlotState::Closed))
+            .await,
+        "callee side closed"
+    );
+    caller.shutdown().await;
+    callee.shutdown().await;
+}
+
+#[tokio::test]
+async fn graceful_shutdown_closes_peer_channel() {
+    let dir = Directory::new();
+    let mut callee = spawn_node("phone-b", BoxId(2), phone(2), dir.clone())
+        .await
+        .unwrap();
+    let mut caller = spawn_node(
+        "phone-a",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "phone-b".into(),
+        }),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+    assert!(
+        caller
+            .wait_for(WAIT, |s| s
+                .slots
+                .iter()
+                .any(|sl| sl.state == SlotState::Flowing))
+            .await
+    );
+    // Shut the caller down: the callee must observe channel teardown (its
+    // slots disappear with the channel).
+    caller.shutdown().await;
+    assert!(
+        callee.wait_for(WAIT, |s| s.channels == 0).await,
+        "callee saw the Bye and dropped the channel"
+    );
+    callee.shutdown().await;
+}

@@ -1,0 +1,249 @@
+//! The SIP back-to-back user agent performing the flowlink-equivalent
+//! operation: re-linking the media of its two dialogs by third-party call
+//! control (RFC 3725), exactly as in the paper's Fig. 14.
+//!
+//! To create media flow between its two sides, the server first *solicits
+//! a fresh offer* from one end (an invite with no offer — answers are
+//! relative so cached descriptions cannot be re-used, §IX-B), then forwards
+//! the offer in an invite on the other dialog. Invite transactions cannot
+//! overlap on one dialog: if two servers re-link concurrently, their
+//! invites collide (*glare*), both transactions fail with 491, and each
+//! initiator retries after a randomly chosen delay — the `d` of the
+//! paper's `10n + 11c + d` formula.
+
+use crate::msg::SipMsg;
+use crate::sdp::Sdp;
+use crate::sim::{SipCtx, SipNode};
+use ipmedia_netsim::SimTime;
+use std::sync::{Arc, Mutex};
+
+/// Local dialog (toward this server's own endpoint).
+pub const LEG_LOCAL: u32 = 0;
+/// Remote dialog (toward the rest of the signaling path).
+pub const LEG_REMOTE: u32 = 1;
+
+const TIMER_RETRY: u32 = 1;
+
+/// Observable progress of the relink operation.
+#[derive(Debug, Clone, Default)]
+pub struct RelinkReport {
+    pub completed_at: Option<SimTime>,
+    pub attempts: u32,
+    pub glares: u32,
+}
+
+pub type SharedReport = Arc<Mutex<RelinkReport>>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Offerless invite sent on the local leg; waiting for the offer.
+    Soliciting { local_cseq: u32 },
+    /// Invite with the solicited offer sent on the remote leg.
+    InvitingRemote { remote_cseq: u32, local_cseq: u32 },
+    /// Glare: waiting out the randomized retry delay.
+    BackedOff,
+    Done,
+}
+
+/// State of serving a *peer's* relink arriving on the remote leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Serving {
+    No,
+    /// Forwarded the peer's offer to our local endpoint.
+    AwaitLocalAnswer { remote_cseq: u32, local_cseq: u32 },
+    /// Sent the answer upstream; waiting for the peer's ACK.
+    AwaitRemoteAck { remote_cseq: u32 },
+}
+
+/// A relinking B2BUA.
+pub struct B2bua {
+    /// Start the relink at simulation start?
+    relink_at_start: bool,
+    /// Randomized retry backoff, in ms (inclusive bounds).
+    backoff: (u64, u64),
+    phase: Phase,
+    serving: Serving,
+    /// A relink step deferred because a serving transaction occupies the
+    /// remote dialog (invite transactions cannot overlap, §IX-B).
+    deferred_remote_offer: Option<Sdp>,
+    next_cseq: u32,
+    report: SharedReport,
+}
+
+impl B2bua {
+    pub fn new(relink_at_start: bool, backoff: (u64, u64)) -> (Self, SharedReport) {
+        let report: SharedReport = Arc::new(Mutex::new(RelinkReport::default()));
+        (
+            Self {
+                relink_at_start,
+                backoff,
+                phase: Phase::Idle,
+                serving: Serving::No,
+                deferred_remote_offer: None,
+                next_cseq: 1,
+                report: report.clone(),
+            },
+            report,
+        )
+    }
+
+    fn cseq(&mut self) -> u32 {
+        let c = self.next_cseq;
+        self.next_cseq += 1;
+        c
+    }
+
+    fn start_relink(&mut self, ctx: &mut SipCtx<'_>) {
+        self.report.lock().unwrap().attempts += 1;
+        let cseq = self.cseq();
+        self.phase = Phase::Soliciting { local_cseq: cseq };
+        ctx.send(LEG_LOCAL, SipMsg::Invite { cseq, sdp: None });
+    }
+
+    /// The remote dialog is free of transactions we initiated or serve.
+    fn remote_free(&self) -> bool {
+        self.serving == Serving::No
+    }
+
+    fn send_remote_invite(&mut self, offer: Sdp, local_cseq: u32, ctx: &mut SipCtx<'_>) {
+        let cseq = self.cseq();
+        self.phase = Phase::InvitingRemote {
+            remote_cseq: cseq,
+            local_cseq,
+        };
+        ctx.send(LEG_REMOTE, SipMsg::Invite {
+            cseq,
+            sdp: Some(offer),
+        });
+    }
+}
+
+impl SipNode for B2bua {
+    fn on_start(&mut self, ctx: &mut SipCtx<'_>) {
+        if self.relink_at_start {
+            self.start_relink(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, id: u32, ctx: &mut SipCtx<'_>) {
+        if id == TIMER_RETRY && self.phase == Phase::BackedOff {
+            // Retry the entire operation: a fresh offer must be solicited
+            // again (offers are not supposed to be re-used, §IX-B).
+            self.start_relink(ctx);
+        }
+    }
+
+    fn on_msg(&mut self, dialog: u32, msg: SipMsg, ctx: &mut SipCtx<'_>) {
+        match (dialog, msg) {
+            // --- our own relink, local leg ---
+            (LEG_LOCAL, SipMsg::Ok { cseq, sdp: Some(offer) })
+                if matches!(self.phase, Phase::Soliciting { local_cseq } if local_cseq == cseq) =>
+            {
+                let Phase::Soliciting { local_cseq } = self.phase else {
+                    unreachable!()
+                };
+                if self.remote_free() {
+                    self.send_remote_invite(offer, local_cseq, ctx);
+                } else {
+                    // Wait for the serving transaction to finish.
+                    self.deferred_remote_offer = Some(offer);
+                }
+            }
+            // --- our own relink, remote leg ---
+            (LEG_REMOTE, SipMsg::Ok { cseq, sdp: Some(answer) })
+                if matches!(self.phase, Phase::InvitingRemote { remote_cseq, .. } if remote_cseq == cseq) =>
+            {
+                let Phase::InvitingRemote { local_cseq, .. } = self.phase else {
+                    unreachable!()
+                };
+                // Complete both transactions: empty ACK upstream, the
+                // answer rides our ACK to the solicited endpoint.
+                ctx.send(LEG_REMOTE, SipMsg::Ack { cseq, sdp: None });
+                ctx.send(LEG_LOCAL, SipMsg::Ack {
+                    cseq: local_cseq,
+                    sdp: Some(answer),
+                });
+                self.phase = Phase::Done;
+                let mut r = self.report.lock().unwrap();
+                r.completed_at = Some(ctx.now());
+            }
+            // Glare: an invite lands on the remote dialog while our own
+            // invite is outstanding there.
+            (LEG_REMOTE, SipMsg::Invite { cseq, .. })
+                if matches!(self.phase, Phase::InvitingRemote { .. }) =>
+            {
+                self.report.lock().unwrap().glares += 1;
+                ctx.send(LEG_REMOTE, SipMsg::Reject { cseq });
+            }
+            // Our invite was glare-rejected: finish the local solicit with
+            // a dummy ACK and back off for a random delay.
+            (LEG_REMOTE, SipMsg::Reject { cseq })
+                if matches!(self.phase, Phase::InvitingRemote { remote_cseq, .. } if remote_cseq == cseq) =>
+            {
+                let Phase::InvitingRemote { local_cseq, .. } = self.phase else {
+                    unreachable!()
+                };
+                ctx.send(LEG_REMOTE, SipMsg::RejectAck { cseq });
+                ctx.send(LEG_LOCAL, SipMsg::Ack {
+                    cseq: local_cseq,
+                    sdp: None,
+                });
+                self.phase = Phase::BackedOff;
+                let (lo, hi) = self.backoff;
+                let d = ctx.rand_ms(lo, hi);
+                ctx.set_timer(TIMER_RETRY, d);
+            }
+            (LEG_REMOTE, SipMsg::RejectAck { .. }) => {}
+            // --- serving a peer's relink ---
+            (LEG_REMOTE, SipMsg::Invite { cseq, sdp: Some(offer) }) => {
+                if self.serving != Serving::No {
+                    // A second transaction on a busy dialog: reject.
+                    ctx.send(LEG_REMOTE, SipMsg::Reject { cseq });
+                    return;
+                }
+                let local_cseq = self.cseq();
+                self.serving = Serving::AwaitLocalAnswer {
+                    remote_cseq: cseq,
+                    local_cseq,
+                };
+                ctx.send(LEG_LOCAL, SipMsg::Invite {
+                    cseq: local_cseq,
+                    sdp: Some(offer),
+                });
+            }
+            (LEG_LOCAL, SipMsg::Ok { cseq, sdp: Some(answer) })
+                if matches!(self.serving, Serving::AwaitLocalAnswer { local_cseq, .. } if local_cseq == cseq) =>
+            {
+                let Serving::AwaitLocalAnswer { remote_cseq, .. } = self.serving else {
+                    unreachable!()
+                };
+                ctx.send(LEG_LOCAL, SipMsg::Ack { cseq, sdp: None });
+                ctx.send(LEG_REMOTE, SipMsg::Ok {
+                    cseq: remote_cseq,
+                    sdp: Some(answer),
+                });
+                self.serving = Serving::AwaitRemoteAck { remote_cseq };
+            }
+            (LEG_REMOTE, SipMsg::Ack { cseq, .. })
+                if matches!(self.serving, Serving::AwaitRemoteAck { remote_cseq } if remote_cseq == cseq) =>
+            {
+                self.serving = Serving::No;
+                // A deferred relink step can now take the dialog.
+                if let (Some(offer), Phase::Soliciting { local_cseq }) =
+                    (self.deferred_remote_offer.take(), self.phase.clone())
+                {
+                    self.send_remote_invite(offer, local_cseq, ctx);
+                }
+            }
+            // An offerless invite on the remote leg (a far server
+            // soliciting *through* us) is answered with a reject in this
+            // baseline: the scenarios never require transparent
+            // solicitation relay.
+            (LEG_REMOTE, SipMsg::Invite { cseq, sdp: None }) => {
+                ctx.send(LEG_REMOTE, SipMsg::Reject { cseq });
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! SIP-like messages: the transactional vocabulary of §IX-B.
+
+use crate::sdp::Sdp;
+
+/// Messages of the baseline protocol. Each invite transaction is the
+/// three-signal `Invite` / `Ok` / `Ack` sequence; `Reject` models the 491
+//  ("Request Pending") glare failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SipMsg {
+    /// Open or modify the media session. `sdp: None` is an *offerless*
+    /// invite soliciting a fresh offer from the far end (RFC 3725 third-
+    /// party call control, the flowlink-equivalent operation).
+    Invite { cseq: u32, sdp: Option<Sdp> },
+    /// 200 OK: carries the answer — or, answering an offerless invite, a
+    /// fresh offer.
+    Ok { cseq: u32, sdp: Option<Sdp> },
+    /// Acknowledges the OK; carries the answer when the invite was
+    /// offerless.
+    Ack { cseq: u32, sdp: Option<Sdp> },
+    /// 491 Request Pending: the glare failure. Both colliding transactions
+    /// fail; initiators retry after a randomly chosen delay (§IX-B).
+    Reject { cseq: u32 },
+    /// Acknowledgement of a rejection (the transaction is finished).
+    RejectAck { cseq: u32 },
+    /// Terminate the session.
+    Bye { cseq: u32 },
+    ByeOk { cseq: u32 },
+}
+
+impl SipMsg {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SipMsg::Invite { .. } => "INVITE",
+            SipMsg::Ok { .. } => "200-OK",
+            SipMsg::Ack { .. } => "ACK",
+            SipMsg::Reject { .. } => "491",
+            SipMsg::RejectAck { .. } => "ACK(491)",
+            SipMsg::Bye { .. } => "BYE",
+            SipMsg::ByeOk { .. } => "200(BYE)",
+        }
+    }
+
+    pub fn cseq(&self) -> u32 {
+        match self {
+            SipMsg::Invite { cseq, .. }
+            | SipMsg::Ok { cseq, .. }
+            | SipMsg::Ack { cseq, .. }
+            | SipMsg::Reject { cseq }
+            | SipMsg::RejectAck { cseq }
+            | SipMsg::Bye { cseq }
+            | SipMsg::ByeOk { cseq } => *cseq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_cseq() {
+        assert_eq!(SipMsg::Invite { cseq: 3, sdp: None }.kind(), "INVITE");
+        assert_eq!(SipMsg::Reject { cseq: 3 }.cseq(), 3);
+        assert_eq!(SipMsg::Bye { cseq: 9 }.kind(), "BYE");
+    }
+}

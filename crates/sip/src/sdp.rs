@@ -1,0 +1,127 @@
+//! SDP-like session descriptions with offer/answer negotiation and media
+//! bundling (paper §IX-B).
+//!
+//! In SIP, every signal controlling media refers to *all* media channels of
+//! the path at once: the body is a list with an entry per channel
+//! ([`MLine`]s). Codec choice uses a *negotiation* model — the answer is a
+//! subset of the offer, and either side may later use any codec from the
+//! answer — in contrast to the paper's unilateral descriptors/selectors.
+//! An answer is *relative* to the offer it answers, which is why it can
+//! never be cached and re-used (§IX-B).
+
+use ipmedia_core::{Codec, MediaAddr, Medium};
+
+/// One media line: a channel of the bundled session description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MLine {
+    pub medium: Medium,
+    /// Receive address for this channel; `None` disables it (port 0).
+    pub addr: Option<MediaAddr>,
+    /// Offer: codecs acceptable. Answer: the agreed subset.
+    pub codecs: Vec<Codec>,
+}
+
+/// A bundled session description (all media channels at once).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sdp {
+    pub lines: Vec<MLine>,
+}
+
+impl Sdp {
+    pub fn audio_only(addr: MediaAddr, codecs: Vec<Codec>) -> Self {
+        Self {
+            lines: vec![MLine {
+                medium: Medium::Audio,
+                addr: Some(addr),
+                codecs,
+            }],
+        }
+    }
+
+    /// Negotiate an answer: for each offered line, the subset of codecs
+    /// this endpoint supports (empty/disabled if no overlap).
+    pub fn answer(&self, my_addr: MediaAddr, my_codecs: &[Codec]) -> Sdp {
+        Sdp {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| {
+                    let codecs: Vec<Codec> = l
+                        .codecs
+                        .iter()
+                        .copied()
+                        .filter(|c| my_codecs.contains(c))
+                        .collect();
+                    MLine {
+                        medium: l.medium,
+                        addr: if codecs.is_empty() { None } else { Some(my_addr) },
+                        codecs,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether any line agreed on at least one codec.
+    pub fn usable(&self) -> bool {
+        self.lines.iter().any(|l| l.addr.is_some() && !l.codecs.is_empty())
+    }
+
+    /// The first usable line's address/codec (for media routing).
+    pub fn primary(&self) -> Option<(MediaAddr, Codec)> {
+        self.lines
+            .iter()
+            .find(|l| l.addr.is_some() && !l.codecs.is_empty())
+            .map(|l| (l.addr.unwrap(), l.codecs[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(h: u8) -> MediaAddr {
+        MediaAddr::v4(10, 0, 0, h, 4000)
+    }
+
+    #[test]
+    fn answer_is_subset_of_offer() {
+        let offer = Sdp::audio_only(addr(1), vec![Codec::G711, Codec::G726, Codec::G729]);
+        let answer = offer.answer(addr(2), &[Codec::G726, Codec::G711]);
+        assert_eq!(answer.lines[0].codecs, vec![Codec::G711, Codec::G726]);
+        assert!(answer.usable());
+        assert_eq!(answer.primary(), Some((addr(2), Codec::G711)));
+    }
+
+    #[test]
+    fn no_overlap_disables_line() {
+        let offer = Sdp::audio_only(addr(1), vec![Codec::G729]);
+        let answer = offer.answer(addr(2), &[Codec::G711]);
+        assert!(!answer.usable());
+        assert_eq!(answer.primary(), None);
+    }
+
+    #[test]
+    fn bundling_answers_every_line() {
+        // A bundled offer with audio + video: the answer has an entry per
+        // line, as SIP requires (§IX-B).
+        let offer = Sdp {
+            lines: vec![
+                MLine {
+                    medium: Medium::Audio,
+                    addr: Some(addr(1)),
+                    codecs: vec![Codec::G711],
+                },
+                MLine {
+                    medium: Medium::Video,
+                    addr: Some(addr(1)),
+                    codecs: vec![Codec::H263],
+                },
+            ],
+        };
+        let answer = offer.answer(addr(2), &[Codec::G711]);
+        assert_eq!(answer.lines.len(), 2);
+        assert!(answer.lines[0].addr.is_some());
+        assert!(answer.lines[1].addr.is_none(), "video line refused");
+    }
+}

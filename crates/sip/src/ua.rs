@@ -1,0 +1,208 @@
+//! A SIP endpoint user agent: answers invites with offer/answer
+//! negotiation, produces fresh offers for offerless invites, and publishes
+//! its current media routing for measurement.
+
+use crate::msg::SipMsg;
+use crate::sdp::Sdp;
+use crate::sim::{SipCtx, SipNode};
+use ipmedia_core::{Codec, MediaAddr};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared view of an endpoint's media state, per dialog: where it sends.
+pub type UaState = Arc<Mutex<HashMap<u32, (MediaAddr, Codec)>>>;
+
+struct DialogState {
+    /// cseq of an offerless invite we answered with a fresh offer, whose
+    /// answer arrives in the ACK.
+    awaiting_answer_in_ack: Option<u32>,
+}
+
+/// An auto-answering endpoint UA (the role A, C, and V play in Fig. 14).
+pub struct SipUa {
+    addr: MediaAddr,
+    codecs: Vec<Codec>,
+    dialogs: HashMap<u32, DialogState>,
+    tx: UaState,
+}
+
+impl SipUa {
+    pub fn new(addr: MediaAddr, codecs: Vec<Codec>) -> (Self, UaState) {
+        let tx: UaState = Arc::new(Mutex::new(HashMap::new()));
+        (
+            Self {
+                addr,
+                codecs,
+                dialogs: HashMap::new(),
+                tx: tx.clone(),
+            },
+            tx,
+        )
+    }
+
+    fn fresh_offer(&self) -> Sdp {
+        Sdp::audio_only(self.addr, self.codecs.clone())
+    }
+
+    fn set_route(&mut self, dialog: u32, sdp: &Sdp) {
+        let mut tx = self.tx.lock().unwrap();
+        match sdp.primary() {
+            Some(route) => {
+                tx.insert(dialog, route);
+            }
+            None => {
+                tx.remove(&dialog);
+            }
+        }
+    }
+}
+
+impl SipNode for SipUa {
+    fn on_msg(&mut self, dialog: u32, msg: SipMsg, ctx: &mut SipCtx<'_>) {
+        let d = self
+            .dialogs
+            .entry(dialog)
+            .or_insert(DialogState {
+                awaiting_answer_in_ack: None,
+            });
+        match msg {
+            SipMsg::Invite { cseq, sdp: Some(offer) } => {
+                // Ordinary invite: negotiate and answer. The answerer is
+                // ready to send as soon as it has answered.
+                let answer = offer.answer(self.addr, &self.codecs);
+                d.awaiting_answer_in_ack = None;
+                ctx.send(dialog, SipMsg::Ok {
+                    cseq,
+                    sdp: Some(answer),
+                });
+                self.set_route(dialog, &offer);
+            }
+            SipMsg::Invite { cseq, sdp: None } => {
+                // Offerless invite: supply a fresh offer; the answer comes
+                // back in the ACK. Offers are not supposed to be re-used,
+                // so a fresh one is composed every time (§IX-B).
+                d.awaiting_answer_in_ack = Some(cseq);
+                let offer = self.fresh_offer();
+                ctx.send(dialog, SipMsg::Ok {
+                    cseq,
+                    sdp: Some(offer),
+                });
+            }
+            SipMsg::Ack { cseq, sdp: Some(answer) }
+                if d.awaiting_answer_in_ack == Some(cseq) =>
+            {
+                d.awaiting_answer_in_ack = None;
+                self.set_route(dialog, &answer);
+            }
+            SipMsg::Ack { .. } => {}
+            SipMsg::Bye { cseq } => {
+                self.tx.lock().unwrap().remove(&dialog);
+                ctx.send(dialog, SipMsg::ByeOk { cseq });
+            }
+            // Endpoints in these scenarios never initiate, so a 491 or a
+            // stray OK is ignored.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SipNet;
+    use ipmedia_netsim::SimTime;
+
+    const T: SimTime = SimTime(60_000_000);
+
+    /// Scripted driver node for exercising the UA.
+    struct Driver {
+        script: Vec<SipMsg>,
+        log: Arc<Mutex<Vec<SipMsg>>>,
+    }
+
+    impl SipNode for Driver {
+        fn on_start(&mut self, ctx: &mut SipCtx<'_>) {
+            for m in self.script.drain(..) {
+                ctx.send(0, m);
+            }
+        }
+        fn on_msg(&mut self, _dialog: u32, msg: SipMsg, _ctx: &mut SipCtx<'_>) {
+            self.log.lock().unwrap().push(msg);
+        }
+    }
+
+    fn addr(h: u8) -> MediaAddr {
+        MediaAddr::v4(10, 0, 0, h, 4000)
+    }
+
+    #[test]
+    fn ua_answers_invite_and_becomes_ready() {
+        let mut net = SipNet::paper(1);
+        let (ua, tx) = SipUa::new(addr(2), vec![Codec::G711]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let offer = Sdp::audio_only(addr(1), vec![Codec::G711, Codec::G726]);
+        let d = net.add_node(Box::new(Driver {
+            script: vec![SipMsg::Invite {
+                cseq: 1,
+                sdp: Some(offer),
+            }],
+            log: log.clone(),
+        }));
+        let u = net.add_node(Box::new(ua));
+        net.link(d, 0, u, 0);
+        net.run_until_quiescent(T);
+        let answers = log.lock().unwrap();
+        assert!(matches!(&answers[0], SipMsg::Ok { sdp: Some(a), .. } if a.usable()));
+        assert_eq!(tx.lock().unwrap()[&0], (addr(1), Codec::G711));
+    }
+
+    #[test]
+    fn ua_supplies_fresh_offer_then_takes_answer_in_ack() {
+        let mut net = SipNet::paper(1);
+        let (ua, tx) = SipUa::new(addr(2), vec![Codec::G711]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let answer = Sdp::audio_only(addr(7), vec![Codec::G711]);
+        let d = net.add_node(Box::new(Driver {
+            script: vec![
+                SipMsg::Invite { cseq: 5, sdp: None },
+                SipMsg::Ack {
+                    cseq: 5,
+                    sdp: Some(answer),
+                },
+            ],
+            log: log.clone(),
+        }));
+        let u = net.add_node(Box::new(ua));
+        net.link(d, 0, u, 0);
+        net.run_until_quiescent(T);
+        assert!(matches!(
+            &log.lock().unwrap()[0],
+            SipMsg::Ok { cseq: 5, sdp: Some(o) } if o.usable()
+        ));
+        assert_eq!(tx.lock().unwrap()[&0], (addr(7), Codec::G711));
+    }
+
+    #[test]
+    fn bye_clears_routing() {
+        let mut net = SipNet::paper(1);
+        let (ua, tx) = SipUa::new(addr(2), vec![Codec::G711]);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let offer = Sdp::audio_only(addr(1), vec![Codec::G711]);
+        let d = net.add_node(Box::new(Driver {
+            script: vec![
+                SipMsg::Invite { cseq: 1, sdp: Some(offer) },
+                SipMsg::Bye { cseq: 2 },
+            ],
+            log: log.clone(),
+        }));
+        let u = net.add_node(Box::new(ua));
+        net.link(d, 0, u, 0);
+        net.run_until_quiescent(T);
+        assert!(tx.lock().unwrap().is_empty());
+        assert!(log
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|m| matches!(m, SipMsg::ByeOk { .. })));
+    }
+}

@@ -1,0 +1,116 @@
+//! A three-party audio conference (paper Fig. 7) with the partial-muting
+//! variants of §IV-B, driven through the conference server and the mixing
+//! bridge.
+//!
+//! Run with: `cargo run --example conference`
+
+use ipmedia::apps::conference::{BridgeLogic, ConferenceLogic};
+use ipmedia::apps::MediaNet;
+use ipmedia::core::endpoint::EndpointLogic;
+use ipmedia::core::goal::{AcceptMode, EndpointPolicy, UserCmd};
+use ipmedia::core::ids::ChannelId;
+use ipmedia::core::signal::{AppEvent, MetaSignal};
+use ipmedia::core::{BoxInput, MediaAddr, Medium};
+use ipmedia::media::{MixMatrix, SourceKind};
+use ipmedia::netsim::{Network, SimConfig, SimTime};
+
+const T: SimTime = SimTime(600_000_000);
+
+fn addr(h: u8) -> MediaAddr {
+    MediaAddr::v4(10, 0, 0, h, 4000)
+}
+
+fn main() {
+    let mut net = Network::new(SimConfig::paper());
+    let names = ["alice", "bob", "carol"];
+    let parties: Vec<_> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            net.add_box(
+                *n,
+                Box::new(EndpointLogic::new(
+                    EndpointPolicy::audio(addr(1 + i as u8)),
+                    AcceptMode::Auto,
+                )),
+            )
+        })
+        .collect();
+    let (bridge_logic, shared_matrix, port_map) =
+        BridgeLogic::new(MediaAddr::v4(10, 0, 0, 20, 5000));
+    let bridge = net.add_box("bridge", Box::new(bridge_logic));
+    let conf = net.add_box("conf-server", Box::new(ConferenceLogic::new("bridge")));
+    net.run_until_quiescent(T);
+
+    // Everyone joins.
+    let mut slots = Vec::new();
+    for &p in &parties {
+        let (_, s, _) = net.connect(p, conf, 1);
+        slots.push(s[0]);
+    }
+    net.run_until_quiescent(T);
+    for (i, &p) in parties.iter().enumerate() {
+        net.user(p, slots[i], UserCmd::Open(Medium::Audio));
+    }
+    net.run_until_quiescent(T);
+
+    let mut mn = MediaNet::new(net);
+    mn.endpoint(parties[0], addr(1), SourceKind::SpeechLike(1));
+    mn.endpoint(parties[1], addr(2), SourceKind::SpeechLike(2));
+    mn.endpoint(parties[2], addr(3), SourceKind::Silence);
+    let ports = port_map.lock().unwrap().clone();
+    let port_addrs: Vec<_> = ports.iter().map(|(_, a)| *a).collect();
+    mn.plane.add_bridge(port_addrs, MixMatrix::full(3));
+    for (i, (slot, a)) in ports.iter().enumerate() {
+        mn.port(bridge, *slot, *a, SourceKind::MixPort { bridge: 0, port: i });
+    }
+
+    mn.settle_and_pump(T, 10);
+    println!("full conference (everyone hears everyone else):");
+    for (i, n) in names.iter().enumerate() {
+        let rms = mn.plane.last_rx(addr(1 + i as u8)).unwrap().frame.rms();
+        println!("  {n} hears mix at rms {rms:.0}");
+    }
+
+    // Business muting: bob's noisy line is dropped from every mix.
+    let m = MixMatrix::business(3, &[1]);
+    mn.net.inject_input(
+        conf,
+        BoxInput::Meta {
+            channel: ChannelId(u32::MAX),
+            meta: MetaSignal::App(AppEvent::MixMatrix(m.to_rows())),
+        },
+    );
+    mn.net.run_until_quiescent(T);
+    let rows = shared_matrix.lock().unwrap().clone();
+    mn.plane.set_matrix(0, MixMatrix::from_rows(3, &rows));
+    mn.settle_and_pump(T, 10);
+    println!("\nbusiness muting of bob (input dropped, output kept):");
+    for (i, n) in names.iter().enumerate() {
+        let rms = mn.plane.last_rx(addr(1 + i as u8)).unwrap().frame.rms();
+        println!("  {n} hears mix at rms {rms:.0}");
+    }
+
+    // Whisper coaching: alice = agent, bob = customer, carol = supervisor.
+    let m = MixMatrix::whisper_coach(0, 1, 2);
+    mn.net.inject_input(
+        conf,
+        BoxInput::Meta {
+            channel: ChannelId(u32::MAX),
+            meta: MetaSignal::App(AppEvent::MixMatrix(m.to_rows())),
+        },
+    );
+    mn.net.run_until_quiescent(T);
+    let rows = shared_matrix.lock().unwrap().clone();
+    mn.plane.set_matrix(0, MixMatrix::from_rows(3, &rows));
+    mn.settle_and_pump(T, 10);
+    println!("\nwhisper coaching (carol advises alice; bob must not hear her):");
+    for (i, n) in names.iter().enumerate() {
+        let rms = mn.plane.last_rx(addr(1 + i as u8)).unwrap().frame.rms();
+        println!("  {n} hears mix at rms {rms:.0}");
+    }
+    println!(
+        "\nthe four goal primitives connect the parties; the partial mutes are\n\
+         delegated to the bridge via standardized meta-signals (§IV-B)."
+    );
+}

@@ -1,0 +1,52 @@
+//! The protocol comparison of paper §IX-B: the compositional protocol's
+//! concurrent re-link (Fig. 13) vs. a SIP-like transactional baseline
+//! (Fig. 14), measured on identical timing (n = 34 ms, c = 20 ms).
+//!
+//! Run with: `cargo run --example sip_comparison`
+
+use ipmedia::sip::{common_case, glare_scenario};
+
+fn main() {
+    println!("timing model: n = 34 ms network latency, c = 20 ms compute\n");
+
+    println!("compositional protocol (paper, Fig. 13):");
+    println!("  concurrent re-link by two servers: 2n + 3c = 128 ms");
+    println!("  (measured in this repo by `cargo bench -p ipmedia-bench` /");
+    println!("   the `experiments` binary — see EXPERIMENTS.md table L1)\n");
+
+    let common = common_case(42).expect("SIP common case converges");
+    println!("SIP baseline, common case (no contention):");
+    println!("  formula 7n + 7c = 378 ms");
+    println!(
+        "  measured: {:.0} ms over {} messages (glares: {})",
+        common.converged_after.as_millis_f64(),
+        common.messages,
+        common.glares
+    );
+    println!("  extra costs vs. the compositional protocol (§IX-B):");
+    println!("    - soliciting a fresh offer (answers are relative, offers");
+    println!("      not re-usable): +2n + 2c");
+    println!("    - describing the two ends sequentially rather than in");
+    println!("      parallel: +3n + 2c\n");
+
+    println!("SIP baseline, glare (both servers re-link concurrently, Fig. 14):");
+    println!("  formula 10n + 11c + d, E[d] ≈ 3 s → ≈ 3560 ms");
+    let mut sum = 0.0;
+    let runs = 10;
+    for seed in 0..runs {
+        let g = glare_scenario(seed).expect("glare scenario converges");
+        println!(
+            "  seed {seed}: {:.0} ms ({} messages, {} glare rejections, {} attempts)",
+            g.converged_after.as_millis_f64(),
+            g.messages,
+            g.glares,
+            g.attempts_total
+        );
+        sum += g.converged_after.as_millis_f64();
+    }
+    println!("  average: {:.0} ms", sum / runs as f64);
+    println!("\nconclusion (paper §IX-B): idempotent signaling and unilateral");
+    println!("description beat transactions and negotiation for real-time");
+    println!("communication control — here by a factor of ~3 in the common");
+    println!("case and ~28 under contention.");
+}

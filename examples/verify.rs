@@ -1,0 +1,43 @@
+//! The verification campaign of paper §VIII-A, run against the *actual*
+//! implementation: six path types × {0, 1, 2} flowlinks, exhaustively
+//! explored with nondeterministic initial phases, checked for safety and
+//! the §V temporal specifications.
+//!
+//! The paper model-checked hand-written Promela models with Spin and could
+//! not afford paths with two flowlinks ("something like 900 Gb of memory
+//! and 300 hours"). The canonicalized state representation here checks
+//! them in seconds.
+//!
+//! Run with: `cargo run --release --example verify [budget_scale] [max_links]`
+
+use ipmedia::core::path::PathType;
+use ipmedia::mck::{budgeted, check_path, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u8 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let max_links: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    println!(
+        "verification campaign: budgets scale={scale}, paths with 0..={max_links} flowlinks\n"
+    );
+    let mut results = Vec::new();
+    let mut all_pass = true;
+    for links in 0..=max_links {
+        for pt in PathType::all() {
+            let (l, r) = pt.ends();
+            let cfg = budgeted(links, l, r, scale);
+            let (res, _) = check_path(&cfg, 5_000_000);
+            all_pass &= res.passed();
+            results.push(res);
+        }
+    }
+    println!("{}", render_table(&results));
+    if all_pass {
+        println!("all configurations PASS: safety (clean terminal states) and the");
+        println!("§V path specifications hold over every explored interleaving.");
+    } else {
+        println!("VIOLATIONS FOUND — see the table above.");
+        std::process::exit(1);
+    }
+}
