@@ -88,9 +88,14 @@ impl AppLogic for ClickToDialLogic {
                 ctx.set_timer(ANSWER_TIMER, self.answer_timeout_ms);
                 self.state = CtdState::OneCall;
             }
-            (CtdState::OneCall, BoxInput::ChannelUp { channel, slots, req })
-                if *req == Some(REQ_USER1) =>
-            {
+            (
+                CtdState::OneCall,
+                BoxInput::ChannelUp {
+                    channel,
+                    slots,
+                    req,
+                },
+            ) if *req == Some(REQ_USER1) => {
                 self.ch1 = Some(*channel);
                 self.slot_1a = Some(slots[0]);
                 ctx.set_goal(GoalSpec::Open {
@@ -100,9 +105,13 @@ impl AppLogic for ClickToDialLogic {
                 });
             }
             // isFlowing(1a): user 1 accepted — reach for user 2.
-            (CtdState::OneCall, BoxInput::SlotNote { slot, event: SlotEvent::Oacked })
-                if Some(*slot) == self.slot_1a =>
-            {
+            (
+                CtdState::OneCall,
+                BoxInput::SlotNote {
+                    slot,
+                    event: SlotEvent::Oacked,
+                },
+            ) if Some(*slot) == self.slot_1a => {
                 ctx.cancel_timer(ANSWER_TIMER);
                 ctx.open_channel(self.user2.clone(), 1, REQ_USER2);
                 self.state = CtdState::TwoCalls;
@@ -115,9 +124,14 @@ impl AppLogic for ClickToDialLogic {
                 self.state = CtdState::Done;
                 ctx.terminate();
             }
-            (CtdState::TwoCalls, BoxInput::ChannelUp { channel, slots, req })
-                if *req == Some(REQ_USER2) =>
-            {
+            (
+                CtdState::TwoCalls,
+                BoxInput::ChannelUp {
+                    channel,
+                    slots,
+                    req,
+                },
+            ) if *req == Some(REQ_USER2) => {
                 self.ch2 = Some(*channel);
                 self.slot_2a = Some(slots[0]);
                 // The openSlot(2a) annotation appears in both `twoCalls`
@@ -129,24 +143,33 @@ impl AppLogic for ClickToDialLogic {
                     policy: Policy::Server,
                 });
             }
-            (CtdState::TwoCalls, BoxInput::Meta { meta: MetaSignal::Peer(av), .. }) => {
-                match av {
-                    Availability::Unavailable => {
-                        if let Some(ch) = self.ch2 {
-                            ctx.close_channel(ch);
-                        }
-                        ctx.open_channel(self.tone_box.clone(), 1, REQ_TONE);
-                        self.state = CtdState::BusyTone;
+            (
+                CtdState::TwoCalls,
+                BoxInput::Meta {
+                    meta: MetaSignal::Peer(av),
+                    ..
+                },
+            ) => match av {
+                Availability::Unavailable => {
+                    if let Some(ch) = self.ch2 {
+                        ctx.close_channel(ch);
                     }
-                    Availability::Available => {
-                        ctx.open_channel(self.tone_box.clone(), 1, REQ_TONE);
-                        self.state = CtdState::Ringback;
-                    }
+                    ctx.open_channel(self.tone_box.clone(), 1, REQ_TONE);
+                    self.state = CtdState::BusyTone;
                 }
-            }
-            (CtdState::BusyTone | CtdState::Ringback, BoxInput::ChannelUp { channel, slots, req })
-                if *req == Some(REQ_TONE) =>
-            {
+                Availability::Available => {
+                    ctx.open_channel(self.tone_box.clone(), 1, REQ_TONE);
+                    self.state = CtdState::Ringback;
+                }
+            },
+            (
+                CtdState::BusyTone | CtdState::Ringback,
+                BoxInput::ChannelUp {
+                    channel,
+                    slots,
+                    req,
+                },
+            ) if *req == Some(REQ_TONE) => {
                 self.ch_t = Some(*channel);
                 self.slot_ta = Some(slots[0]);
                 // On entry 1a is flowing and Ta closed: the flowlink's
@@ -158,10 +181,13 @@ impl AppLogic for ClickToDialLogic {
                 });
             }
             // isFlowing(2a): user 2 answered — connect the users.
-            (CtdState::Ringback | CtdState::TwoCalls,
-                BoxInput::SlotNote { slot, event: SlotEvent::Oacked })
-                if Some(*slot) == self.slot_2a =>
-            {
+            (
+                CtdState::Ringback | CtdState::TwoCalls,
+                BoxInput::SlotNote {
+                    slot,
+                    event: SlotEvent::Oacked,
+                },
+            ) if Some(*slot) == self.slot_2a => {
                 if let Some(ch) = self.ch_t.take() {
                     ctx.close_channel(ch);
                 }

@@ -169,12 +169,19 @@ impl AppLogic for CollabPrimaryLogic {
             BoxInput::Start => {
                 ctx.open_channel(self.server_name.clone(), TUNNELS_PRIMARY as u16, REQ_SERVER);
             }
-            BoxInput::ChannelUp { channel, slots, req } if *req == Some(REQ_SERVER) => {
+            BoxInput::ChannelUp {
+                channel,
+                slots,
+                req,
+            } if *req == Some(REQ_SERVER) => {
                 self.server_channel = Some(*channel);
                 self.server_slots = slots.clone();
                 self.try_links(ctx);
             }
-            BoxInput::Meta { meta: MetaSignal::App(AppEvent::Custom(cmd)), .. } => {
+            BoxInput::Meta {
+                meta: MetaSignal::App(AppEvent::Custom(cmd)),
+                ..
+            } => {
                 // "link:<slot>:<tunnel>" — flowlink a device slot (on this
                 // box) to server tunnel <tunnel>.
                 if let Some(rest) = cmd.strip_prefix("link:") {
@@ -185,7 +192,10 @@ impl AppLogic for CollabPrimaryLogic {
                     self.try_links(ctx);
                 }
             }
-            BoxInput::Meta { meta: MetaSignal::App(AppEvent::MovieControl(cmd)), .. } => {
+            BoxInput::Meta {
+                meta: MetaSignal::App(AppEvent::MovieControl(cmd)),
+                ..
+            } => {
                 // The control box mediates movie commands: forward to the
                 // server on the collaboration channel, affecting all five
                 // media channels at once.
@@ -237,7 +247,10 @@ impl CollabSecondaryLogic {
 impl AppLogic for CollabSecondaryLogic {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
-            BoxInput::Meta { meta: MetaSignal::App(AppEvent::Custom(cmd)), .. } => {
+            BoxInput::Meta {
+                meta: MetaSignal::App(AppEvent::Custom(cmd)),
+                ..
+            } => {
                 if let Some(rest) = cmd.strip_prefix("device-slots:") {
                     self.device_slots = parse_slots(rest);
                     if self.uplink_slots.len() == self.device_slots.len() {
@@ -261,14 +274,21 @@ impl AppLogic for CollabSecondaryLogic {
                     );
                 }
             }
-            BoxInput::Meta { meta: MetaSignal::App(AppEvent::MovieControl(cmd)), .. } => {
+            BoxInput::Meta {
+                meta: MetaSignal::App(AppEvent::MovieControl(cmd)),
+                ..
+            } => {
                 // Once independent, this box mediates movie control for
                 // its own view of the movie.
                 if let Some(ch) = self.own_channel {
                     ctx.send_meta(ch, MetaSignal::App(AppEvent::MovieControl(*cmd)));
                 }
             }
-            BoxInput::ChannelUp { channel, slots, req } if *req == Some(REQ_OWN_SERVER) => {
+            BoxInput::ChannelUp {
+                channel,
+                slots,
+                req,
+            } if *req == Some(REQ_OWN_SERVER) => {
                 self.own_channel = Some(*channel);
                 self.own_channel_slots = slots.clone();
                 for (d, s) in self.device_slots.iter().zip(slots.iter()) {

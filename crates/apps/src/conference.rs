@@ -76,7 +76,11 @@ impl ConferenceLogic {
 impl AppLogic for ConferenceLogic {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
-            BoxInput::ChannelUp { channel, slots, req } => match req {
+            BoxInput::ChannelUp {
+                channel,
+                slots,
+                req,
+            } => match req {
                 None => {
                     // A device joined: lease a bridge port for it.
                     let req = self.next_req;
@@ -92,10 +96,8 @@ impl AppLogic for ConferenceLogic {
                     ctx.open_channel(self.bridge_name.clone(), 1, req);
                 }
                 Some(r) => {
-                    if let Some(&(_, idx)) = self
-                        .bridge_channel_of_req
-                        .iter()
-                        .find(|(req, _)| req == r)
+                    if let Some(&(_, idx)) =
+                        self.bridge_channel_of_req.iter().find(|(req, _)| req == r)
                     {
                         self.parties[idx].bridge_slot = Some(slots[0]);
                         if self.bridge_control.is_none() {
@@ -105,7 +107,10 @@ impl AppLogic for ConferenceLogic {
                     }
                 }
             },
-            BoxInput::Meta { meta: MetaSignal::App(ev), .. } => match ev {
+            BoxInput::Meta {
+                meta: MetaSignal::App(ev),
+                ..
+            } => match ev {
                 AppEvent::Custom(cmd) => {
                     if let Some(i) = cmd.strip_prefix("fullmute:") {
                         let i: usize = i.parse().expect("fullmute:<idx>");
@@ -120,10 +125,7 @@ impl AppLogic for ConferenceLogic {
                 AppEvent::MixMatrix(rows) => {
                     // Forward the partial-muting request to the bridge.
                     if let Some(ch) = self.bridge_control {
-                        ctx.send_meta(
-                            ch,
-                            MetaSignal::App(AppEvent::MixMatrix(rows.clone())),
-                        );
+                        ctx.send_meta(ch, MetaSignal::App(AppEvent::MixMatrix(rows.clone())));
                     }
                 }
                 _ => {}
@@ -144,11 +146,14 @@ pub struct BridgeLogic {
     ports: usize,
     matrix: SharedMatrix,
     /// (slot, addr) of each allocated port, shared with the harness.
-    port_map: Arc<Mutex<Vec<(SlotId, MediaAddr)>>>,
+    port_map: SharedPortMap,
 }
 
+/// (slot, addr) of each allocated bridge port, shared with the harness.
+pub type SharedPortMap = Arc<Mutex<Vec<(SlotId, MediaAddr)>>>;
+
 impl BridgeLogic {
-    pub fn new(base: MediaAddr) -> (Self, SharedMatrix, Arc<Mutex<Vec<(SlotId, MediaAddr)>>>) {
+    pub fn new(base: MediaAddr) -> (Self, SharedMatrix, SharedPortMap) {
         let matrix: SharedMatrix = Arc::new(Mutex::new(Vec::new()));
         let port_map = Arc::new(Mutex::new(Vec::new()));
         (

@@ -138,8 +138,7 @@ impl AppLogic for PbxLogic {
                 // slots were already removed by the environment.
                 let active_slot = self.active.map(|i| self.calls[i].slot);
                 self.calls.retain(|c| c.channel != *channel);
-                self.active =
-                    active_slot.and_then(|s| self.calls.iter().position(|c| c.slot == s));
+                self.active = active_slot.and_then(|s| self.calls.iter().position(|c| c.slot == s));
                 self.apply_links(ctx);
             }
             _ => {}

@@ -76,20 +76,28 @@ impl VoicemailLogic {
 impl AppLogic for VoicemailLogic {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
-            BoxInput::ChannelUp { slots, req: None, .. } if self.state == State::Idle => {
+            BoxInput::ChannelUp {
+                slots, req: None, ..
+            } if self.state == State::Idle => {
                 // A caller's signaling channel; the call itself starts
                 // when the open arrives on its tunnel.
                 self.caller = Some(slots[0]);
             }
-            BoxInput::SlotNote { slot, event: SlotEvent::OpenReceived { .. } }
-                if Some(*slot) == self.caller && self.state == State::Idle =>
-            {
+            BoxInput::SlotNote {
+                slot,
+                event: SlotEvent::OpenReceived { .. },
+            } if Some(*slot) == self.caller && self.state == State::Idle => {
                 // The caller dialed: ring the subscriber, start the clock.
                 self.state = State::Ringing;
                 ctx.open_channel(self.device_name.clone(), 1, REQ_DEVICE);
                 ctx.set_timer(RING_TIMER, self.ring_timeout_ms);
             }
-            BoxInput::ChannelUp { channel, slots, req: Some(REQ_DEVICE), .. } => {
+            BoxInput::ChannelUp {
+                channel,
+                slots,
+                req: Some(REQ_DEVICE),
+                ..
+            } => {
                 self.device = Some(slots[0]);
                 self.device_channel = Some(*channel);
                 if let Some(caller) = self.caller {
@@ -99,7 +107,11 @@ impl AppLogic for VoicemailLogic {
                     });
                 }
             }
-            BoxInput::ChannelUp { slots, req: Some(REQ_RECORDER), .. } => {
+            BoxInput::ChannelUp {
+                slots,
+                req: Some(REQ_RECORDER),
+                ..
+            } => {
                 self.recorder = Some(slots[0]);
                 if let Some(caller) = self.caller {
                     ctx.set_goal(GoalSpec::Link {
@@ -108,16 +120,18 @@ impl AppLogic for VoicemailLogic {
                     });
                 }
             }
-            BoxInput::Meta { meta: MetaSignal::Peer(Availability::Unavailable), .. }
-                if self.state == State::Ringing =>
-            {
+            BoxInput::Meta {
+                meta: MetaSignal::Peer(Availability::Unavailable),
+                ..
+            } if self.state == State::Ringing => {
                 // Handheld off the network: straight to voicemail.
                 ctx.cancel_timer(RING_TIMER);
                 self.divert_to_recorder(ctx);
             }
-            BoxInput::SlotNote { slot, event: SlotEvent::Oacked }
-                if Some(*slot) == self.device && self.state == State::Ringing =>
-            {
+            BoxInput::SlotNote {
+                slot,
+                event: SlotEvent::Oacked,
+            } if Some(*slot) == self.device && self.state == State::Ringing => {
                 // The subscriber answered in time.
                 ctx.cancel_timer(RING_TIMER);
                 self.state = State::Connected;
@@ -125,9 +139,10 @@ impl AppLogic for VoicemailLogic {
             BoxInput::Timer(RING_TIMER) if self.state == State::Ringing => {
                 self.divert_to_recorder(ctx);
             }
-            BoxInput::SlotNote { slot, event: SlotEvent::PeerClosed { .. } }
-                if Some(*slot) == self.caller =>
-            {
+            BoxInput::SlotNote {
+                slot,
+                event: SlotEvent::PeerClosed { .. },
+            } if Some(*slot) == self.caller => {
                 // Caller hung up: release whatever leg is active.
                 ctx.cancel_timer(RING_TIMER);
                 if let Some(ch) = self.device_channel.take() {

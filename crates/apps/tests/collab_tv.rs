@@ -9,8 +9,8 @@
 //! between the collaboration boxes disappears.
 
 use ipmedia_apps::collab_tv::{
-    CollabPrimaryLogic, CollabSecondaryLogic, MovieServerLogic, T_A_AUDIO, T_A_VIDEO,
-    T_B_FRENCH, T_C_AUDIO, T_C_VIDEO,
+    CollabPrimaryLogic, CollabSecondaryLogic, MovieServerLogic, T_A_AUDIO, T_A_VIDEO, T_B_FRENCH,
+    T_C_AUDIO, T_C_VIDEO,
 };
 use ipmedia_apps::MediaNet;
 use ipmedia_core::endpoint::EndpointLogic;
@@ -73,12 +73,8 @@ impl World {
             let movie = self.mn.plane.add_movie();
             assert_eq!(movie, ch.movie, "movie indices align");
             for (slot, addr) in &ch.ports {
-                self.mn.port(
-                    self.server,
-                    *slot,
-                    *addr,
-                    SourceKind::MovieVideo { movie },
-                );
+                self.mn
+                    .port(self.server, *slot, *addr, SourceKind::MovieVideo { movie });
             }
         }
         self.registered_channels = chans.len();
@@ -102,10 +98,12 @@ impl World {
 
 fn build() -> World {
     let mut net = Network::new(SimConfig::paper());
-    let (server_logic, state, commands) =
-        MovieServerLogic::new(MediaAddr::v4(10, 0, 0, 30, 6000));
+    let (server_logic, state, commands) = MovieServerLogic::new(MediaAddr::v4(10, 0, 0, 30, 6000));
     let server = net.add_box("movie-server", Box::new(server_logic));
-    let collab_a = net.add_box("collab-a", Box::new(CollabPrimaryLogic::new("movie-server")));
+    let collab_a = net.add_box(
+        "collab-a",
+        Box::new(CollabPrimaryLogic::new("movie-server")),
+    );
     let collab_c = net.add_box(
         "collab-c",
         Box::new(CollabSecondaryLogic::new("movie-server")),
@@ -132,11 +130,26 @@ fn build() -> World {
     net.run_until_quiescent(T_MAX);
 
     // Tell collab-a which device slot maps to which server tunnel.
-    net.inject_input(collab_a, meta(&format!("link:{}:{}", a_tv_slots[0].0, T_A_VIDEO)));
-    net.inject_input(collab_a, meta(&format!("link:{}:{}", a_tv_slots[1].0, T_A_AUDIO)));
-    net.inject_input(collab_a, meta(&format!("link:{}:{}", a_b_slots[0].0, T_B_FRENCH)));
-    net.inject_input(collab_a, meta(&format!("link:{}:{}", a_cc_slots[0].0, T_C_VIDEO)));
-    net.inject_input(collab_a, meta(&format!("link:{}:{}", a_cc_slots[1].0, T_C_AUDIO)));
+    net.inject_input(
+        collab_a,
+        meta(&format!("link:{}:{}", a_tv_slots[0].0, T_A_VIDEO)),
+    );
+    net.inject_input(
+        collab_a,
+        meta(&format!("link:{}:{}", a_tv_slots[1].0, T_A_AUDIO)),
+    );
+    net.inject_input(
+        collab_a,
+        meta(&format!("link:{}:{}", a_b_slots[0].0, T_B_FRENCH)),
+    );
+    net.inject_input(
+        collab_a,
+        meta(&format!("link:{}:{}", a_cc_slots[0].0, T_C_VIDEO)),
+    );
+    net.inject_input(
+        collab_a,
+        meta(&format!("link:{}:{}", a_cc_slots[1].0, T_C_AUDIO)),
+    );
     // And collab-c its relay configuration.
     net.inject_input(
         collab_c,
@@ -147,7 +160,10 @@ fn build() -> World {
     );
     net.inject_input(
         collab_c,
-        meta(&format!("uplink-slots:{},{}", cc_up_slots[0].0, cc_up_slots[1].0)),
+        meta(&format!(
+            "uplink-slots:{},{}",
+            cc_up_slots[0].0, cc_up_slots[1].0
+        )),
     );
     net.inject_input(collab_c, meta(&format!("uplink-channel:{}", uplink.0)));
     net.run_until_quiescent(T_MAX);
@@ -186,7 +202,8 @@ fn shared_movie_plays_in_sync_on_all_devices() {
     let mut w = build();
     // A presses play; the command is mediated by A's control box and
     // affects all five media channels.
-    w.mn.net.inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
+    w.mn.net
+        .inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
     w.settle();
     w.mn.pump_media(10);
 
@@ -201,10 +218,12 @@ fn shared_movie_plays_in_sync_on_all_devices() {
 #[test]
 fn pause_affects_every_stream() {
     let mut w = build();
-    w.mn.net.inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
+    w.mn.net
+        .inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
     w.settle();
     w.mn.pump_media(5);
-    w.mn.net.inject_input(w.collab_a, movie_cmd(MovieCommand::Pause));
+    w.mn.net
+        .inject_input(w.collab_a, movie_cmd(MovieCommand::Pause));
     w.settle();
     w.mn.pump_media(3);
     let frozen = w.pos_at(31).unwrap();
@@ -216,7 +235,8 @@ fn pause_affects_every_stream() {
 #[test]
 fn leaving_the_collaboration_forks_the_time_pointer() {
     let mut w = build();
-    w.mn.net.inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
+    w.mn.net
+        .inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
     w.settle();
     w.mn.pump_media(10);
     let shared = w.pos_at(33).unwrap();
@@ -231,7 +251,8 @@ fn leaving_the_collaboration_forks_the_time_pointer() {
     );
     w.mn.net
         .inject_input(w.collab_c, movie_cmd(MovieCommand::Seek(3_600)));
-    w.mn.net.inject_input(w.collab_c, movie_cmd(MovieCommand::Play));
+    w.mn.net
+        .inject_input(w.collab_c, movie_cmd(MovieCommand::Play));
     w.settle();
     w.mn.pump_media(10);
 
@@ -258,15 +279,15 @@ fn headphones_carry_audio_stream_of_same_movie() {
     // channel — controlled independently, same movie (§IX-B media
     // bundling comparison: our tunnels are independent).
     let mut w = build();
-    w.mn.net.inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
+    w.mn.net
+        .inject_input(w.collab_a, movie_cmd(MovieCommand::Play));
     w.settle();
     w.mn.pump_media(6);
     let hp = w.pos_at(32).expect("headphones stream flows");
     let tv = w.pos_at(31).expect("tv stream flows");
     assert_eq!(hp, tv);
     // Closing the headphones' channel must not disturb the TV.
-    w.mn.net
-        .user(w.phones, SlotId(0), UserCmd::Close);
+    w.mn.net.user(w.phones, SlotId(0), UserCmd::Close);
     w.mn.net.run_until_quiescent(T_MAX);
     w.mn.plane.reset_flows();
     w.mn.pump_media(5);

@@ -70,7 +70,12 @@ fn build(sources: [SourceKind; 3]) -> Conf {
     let addrs: Vec<MediaAddr> = ports.iter().map(|(_, a)| *a).collect();
     mn.plane.add_bridge(addrs, MixMatrix::full(3));
     for (i, (slot, a)) in ports.iter().enumerate() {
-        mn.port(bridge, *slot, *a, SourceKind::MixPort { bridge: 0, port: i });
+        mn.port(
+            bridge,
+            *slot,
+            *a,
+            SourceKind::MixPort { bridge: 0, port: i },
+        );
     }
     Conf { mn, conf, matrix }
 }

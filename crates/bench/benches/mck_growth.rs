@@ -13,17 +13,13 @@ fn bench_campaign(c: &mut Criterion) {
         for pt in [PathType::OpenHold, PathType::CloseOpen, PathType::HoldHold] {
             let (l, r) = pt.ends();
             let cfg = budgeted(links, l, r, 0);
-            g.bench_with_input(
-                BenchmarkId::new(format!("{pt}"), links),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let (res, _) = check_path(cfg, 5_000_000);
-                        assert!(res.passed());
-                        res.states
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{pt}"), links), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let (res, _) = check_path(cfg, 5_000_000);
+                    assert!(res.passed());
+                    res.states
+                })
+            });
         }
     }
     g.finish();

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ipmedia_core::goal::{FlowLink, LinkSide};
-use ipmedia_core::{Codec, DescTag, Descriptor, MediaAddr, Medium, Selector, Signal, Slot, TagSource};
+use ipmedia_core::{
+    Codec, DescTag, Descriptor, MediaAddr, Medium, Selector, Signal, Slot, TagSource,
+};
 use ipmedia_media::{mix_for_port, Frame, MixMatrix, SAMPLES_PER_FRAME};
 
 fn bench_slot_handshake(c: &mut Criterion) {

@@ -11,6 +11,7 @@ use ipmedia_core::goal::{EndpointPolicy, UserCmd};
 use ipmedia_core::ids::{BoxId, SlotId};
 use ipmedia_core::{BoxCmd, MediaAddr, Medium};
 use ipmedia_netsim::{Network, SimConfig, SimDuration, SimTime};
+use ipmedia_obs::{NoopObserver, Observer};
 
 const T_MAX: SimTime = SimTime(3_600_000_000);
 
@@ -38,8 +39,17 @@ pub struct Chain {
 impl Chain {
     /// Build and converge the chain with `k ≥ 1` servers.
     pub fn new(k: usize, cfg: SimConfig) -> Chain {
+        Chain::new_observed(k, cfg, Box::new(NoopObserver))
+    }
+
+    /// [`Chain::new`] with an observer installed before any protocol
+    /// activity, so the whole establishment phase is visible to it.
+    /// Observers are strictly passive: `tests/obs_overhead.rs` pins down
+    /// that traces and latencies are identical with and without one.
+    pub fn new_observed(k: usize, cfg: SimConfig, obs: Box<dyn Observer + Send>) -> Chain {
         assert!(k >= 1);
         let mut net = Network::new(cfg);
+        net.set_observer(obs);
         let l = net.add_box(
             "end-l",
             Box::new(EndpointLogic::resource(EndpointPolicy::audio(l_addr()))),

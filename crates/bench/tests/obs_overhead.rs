@@ -1,0 +1,63 @@
+//! The observability layer must be strictly passive: attaching an
+//! observer to a scenario may not change a single protocol decision.
+//! This pins the guarantee down by running the same `Chain` scenario
+//! three ways — no observer (the `Chain::new` default), an explicit
+//! [`NoopObserver`], and a fully counting observer — and demanding
+//! byte-identical traces and identical measured latencies.
+
+use ipmedia_bench::Chain;
+use ipmedia_netsim::{SimConfig, SimDuration};
+use ipmedia_obs::metrics::{CountingObserver, Registry};
+use ipmedia_obs::{NoopObserver, Observer};
+use std::sync::Arc;
+
+/// Establish a 2-server chain, hold + re-link the first server with
+/// tracing on, and return the full signal trace plus the re-link latency.
+fn run(obs: Option<Box<dyn Observer + Send>>) -> (String, SimDuration) {
+    let mut chain = match obs {
+        Some(obs) => Chain::new_observed(2, SimConfig::paper(), obs),
+        None => Chain::new(2, SimConfig::paper()),
+    };
+    chain.hold(0);
+    chain.net.trace_enabled = true;
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain.relink(0);
+    let latency = chain.measure_reconvergence(t0);
+    // Drain in-flight signals so the sent/received ledgers can balance.
+    chain
+        .net
+        .run_until_quiescent(ipmedia_netsim::SimTime(3_600_000_000));
+    let trace: String = chain
+        .net
+        .trace()
+        .iter()
+        .map(|e| format!("{} {:?} {} {}\n", e.at, e.from, e.to, e.what))
+        .collect();
+    (trace, latency)
+}
+
+#[test]
+fn observers_do_not_perturb_traces_or_latencies() {
+    let (trace_bare, latency_bare) = run(None);
+    let (trace_noop, latency_noop) = run(Some(Box::new(NoopObserver)));
+
+    let registry = Arc::new(Registry::new());
+    let (trace_counted, latency_counted) =
+        run(Some(Box::new(CountingObserver::new(registry.clone()))));
+
+    assert!(!trace_bare.is_empty(), "scenario produced a trace");
+    assert_eq!(trace_bare, trace_noop, "NoopObserver perturbed the trace");
+    assert_eq!(latency_bare, latency_noop);
+    assert_eq!(
+        trace_bare, trace_counted,
+        "CountingObserver perturbed the trace"
+    );
+    assert_eq!(latency_bare, latency_counted);
+
+    // The counting run really observed the protocol it didn't perturb.
+    let snap = registry.snapshot();
+    assert!(snap.signals_sent_total() > 0);
+    assert_eq!(snap.signals_sent_total(), snap.signals_received_total());
+    assert!(snap.goal_activations > 0);
+}

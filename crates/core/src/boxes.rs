@@ -7,12 +7,11 @@
 //! media only by re-assigning goals to slots ([`MediaBox::set_goal`]).
 
 use crate::error::ProtocolError;
-use crate::goal::{
-    self, FlowLink, Goal, LinkSide, Outgoing, UserCmd, UserNote,
-};
+use crate::goal::{self, FlowLink, Goal, LinkSide, Outgoing, UserCmd, UserNote};
 use crate::ids::{BoxId, SlotId};
 use crate::signal::Signal;
-use crate::slot::{Slot, SlotEvent};
+use crate::slot::{Slot, SlotEvent, SlotState};
+use ipmedia_obs::{NoopObserver, Observer};
 use std::collections::BTreeMap;
 
 /// Identity of a goal object within its box.
@@ -132,7 +131,10 @@ impl MediaBox {
 
     /// The goal currently controlling a slot, if any.
     pub fn goal_of(&self, id: SlotId) -> Option<&Goal> {
-        self.maps.get(&id).and_then(|g| self.goals.get(g)).map(|e| &e.goal)
+        self.maps
+            .get(&id)
+            .and_then(|g| self.goals.get(g))
+            .map(|e| &e.goal)
     }
 
     /// Mint a tag origin unique within the system (box id in the high bits).
@@ -143,8 +145,13 @@ impl MediaBox {
     }
 
     fn drop_goal_of(&mut self, slot: SlotId) {
+        self.drop_goal_of_obs(slot, &mut NoopObserver);
+    }
+
+    fn drop_goal_of_obs<O: Observer + ?Sized>(&mut self, slot: SlotId, obs: &mut O) {
         if let Some(gid) = self.maps.remove(&slot) {
             if let Some(entry) = self.goals.remove(&gid) {
+                obs.goal_dropped(self.id.0, slot.0, entry.goal.kind());
                 // A flowlink's other slot loses its controller too; the
                 // program must assign it a new goal.
                 if let Controlled::Two(a, b) = entry.controls {
@@ -155,24 +162,75 @@ impl MediaBox {
         }
     }
 
+    /// Snapshot the protocol states of the slots a change may touch, for
+    /// transition reporting.
+    fn states_of(&self, slots: &[SlotId]) -> Vec<(SlotId, SlotState)> {
+        slots
+            .iter()
+            .filter_map(|s| self.slots.get(s).map(|slot| (*s, slot.state())))
+            .collect()
+    }
+
+    /// Report every state change relative to `before` with the given cause.
+    fn observe_transitions<O: Observer + ?Sized>(
+        &self,
+        obs: &mut O,
+        before: &[(SlotId, SlotState)],
+        cause: &'static str,
+    ) {
+        for (slot, was) in before {
+            if let Some(now) = self.slots.get(slot).map(|s| s.state()) {
+                if now != *was {
+                    obs.slot_transition(self.id.0, slot.0, was.name(), now.name(), cause);
+                }
+            }
+        }
+    }
+
+    /// Report protocol-level meanings of a slot event: races and tolerated
+    /// (idempotently dropped) signals.
+    fn observe_event<O: Observer + ?Sized>(&self, obs: &mut O, slot: SlotId, event: &SlotEvent) {
+        match event {
+            SlotEvent::RaceBackoff { .. } => obs.race_resolved(self.id.0, slot.0, false),
+            SlotEvent::RaceIgnored => obs.race_resolved(self.id.0, slot.0, true),
+            SlotEvent::Ignored(reason) => obs.signal_ignored(self.id.0, slot.0, reason),
+            _ => {}
+        }
+    }
+
     /// Put slots under the control of a new goal object, as a program-state
     /// annotation does. Returns the signals the new goal emits on gaining
     /// control. Reassignment destroys the slots' previous goal objects
     /// ("the slots are moved elsewhere and this goal object becomes
     /// garbage", §VII).
     pub fn set_goal(&mut self, spec: GoalSpec) -> Vec<Outgoing> {
+        self.set_goal_obs(spec, &mut NoopObserver)
+    }
+
+    /// [`MediaBox::set_goal`] with observability: reports the dropped and
+    /// activated goals and any slot transitions the new goal causes.
+    pub fn set_goal_obs<O: Observer + ?Sized>(
+        &mut self,
+        spec: GoalSpec,
+        obs: &mut O,
+    ) -> Vec<Outgoing> {
         let controls = spec.slots();
+        let watched = match controls {
+            Controlled::One(s) => vec![s],
+            Controlled::Two(a, b) => vec![a, b],
+        };
+        let before = self.states_of(&watched);
         match controls {
             Controlled::One(s) => {
                 assert!(self.slots.contains_key(&s), "unknown slot {s}");
-                self.drop_goal_of(s)
+                self.drop_goal_of_obs(s, obs)
             }
             Controlled::Two(a, b) => {
                 assert!(a != b, "flowLink needs two distinct slots");
                 assert!(self.slots.contains_key(&a), "unknown slot {a}");
                 assert!(self.slots.contains_key(&b), "unknown slot {b}");
-                self.drop_goal_of(a);
-                self.drop_goal_of(b);
+                self.drop_goal_of_obs(a, obs);
+                self.drop_goal_of_obs(b, obs);
             }
         }
         let origin = self.fresh_origin();
@@ -228,6 +286,7 @@ impl MediaBox {
                 self.maps.insert(b, gid);
             }
         }
+        obs.goal_activated(self.id.0, watched[0].0, new_goal.kind());
         self.goals.insert(
             gid,
             GoalEntry {
@@ -235,11 +294,49 @@ impl MediaBox {
                 controls,
             },
         );
+        self.observe_transitions(obs, &before, "goal");
         out
     }
 
     /// Deliver one tunnel signal to its slot and the controlling goal.
     pub fn on_signal(&mut self, slot_id: SlotId, signal: Signal) -> (Vec<Outgoing>, Vec<BoxNote>) {
+        self.on_signal_obs(slot_id, signal, &mut NoopObserver)
+    }
+
+    /// [`MediaBox::on_signal`] with observability: reports the received
+    /// signal, any slot transitions it causes (across both slots of a
+    /// flowlink), resolved open/open races, and tolerated stale signals.
+    pub fn on_signal_obs<O: Observer + ?Sized>(
+        &mut self,
+        slot_id: SlotId,
+        signal: Signal,
+        obs: &mut O,
+    ) -> (Vec<Outgoing>, Vec<BoxNote>) {
+        let kind = signal.kind();
+        obs.signal_received(self.id.0, slot_id.0, kind);
+        let watched = match self.maps.get(&slot_id).and_then(|g| self.goals.get(g)) {
+            Some(GoalEntry {
+                controls: Controlled::Two(a, b),
+                ..
+            }) => vec![*a, *b],
+            _ => vec![slot_id],
+        };
+        let before = self.states_of(&watched);
+        let (out, notes) = self.on_signal_inner(slot_id, signal);
+        self.observe_transitions(obs, &before, kind);
+        for note in &notes {
+            if let BoxNote::Slot { slot, event } = note {
+                self.observe_event(obs, *slot, event);
+            }
+        }
+        (out, notes)
+    }
+
+    fn on_signal_inner(
+        &mut self,
+        slot_id: SlotId,
+        signal: Signal,
+    ) -> (Vec<Outgoing>, Vec<BoxNote>) {
         let Some(gid) = self.maps.get(&slot_id).copied() else {
             // Uncontrolled slot: apply protocol-mandated auto responses
             // only, and surface the event so the program can react.
@@ -249,7 +346,10 @@ impl MediaBox {
             let (event, auto) = slot.on_signal(signal);
             let out = auto
                 .into_iter()
-                .map(|signal| Outgoing { slot: slot_id, signal })
+                .map(|signal| Outgoing {
+                    slot: slot_id,
+                    signal,
+                })
                 .collect();
             return (
                 out,
@@ -273,17 +373,26 @@ impl MediaBox {
                 let entry = self.goals.get_mut(&gid).expect("goal exists");
                 let (sigs, user_notes) = goal::on_event_single(&mut entry.goal, &event, slot);
                 out.extend(sigs.into_iter().map(|signal| Outgoing { slot: s, signal }));
-                let mut notes = vec![BoxNote::Slot {
-                    slot: s,
-                    event,
-                }];
-                notes.extend(user_notes.into_iter().map(|note| BoxNote::User { slot: s, note }));
+                let mut notes = vec![BoxNote::Slot { slot: s, event }];
+                notes.extend(
+                    user_notes
+                        .into_iter()
+                        .map(|note| BoxNote::User { slot: s, note }),
+                );
                 (out, notes)
             }
             Controlled::Two(a, b) => {
-                let side = if slot_id == a { LinkSide::A } else { LinkSide::B };
+                let side = if slot_id == a {
+                    LinkSide::A
+                } else {
+                    LinkSide::B
+                };
                 let (mut sa, mut sb) = self.take_two(a, b);
-                let target = if side == LinkSide::A { &mut sa } else { &mut sb };
+                let target = if side == LinkSide::A {
+                    &mut sa
+                } else {
+                    &mut sb
+                };
                 let (event, auto) = target.on_signal(signal);
                 let mut out: Vec<Outgoing> = auto
                     .into_iter()
@@ -297,12 +406,14 @@ impl MediaBox {
                     Goal::Link(l) => l,
                     _ => unreachable!("two-slot goal is a flowlink"),
                 };
-                out.extend(link.on_event(side, &event, &mut sa, &mut sb).into_iter().map(
-                    |(s, signal)| Outgoing {
-                        slot: if s == LinkSide::A { a } else { b },
-                        signal,
-                    },
-                ));
+                out.extend(
+                    link.on_event(side, &event, &mut sa, &mut sb)
+                        .into_iter()
+                        .map(|(s, signal)| Outgoing {
+                            slot: if s == LinkSide::A { a } else { b },
+                            signal,
+                        }),
+                );
                 self.put_two(a, sa, b, sb);
                 (
                     out,
@@ -317,6 +428,30 @@ impl MediaBox {
 
     /// Issue a Fig. 5 user command to a user-agent-controlled slot.
     pub fn user(&mut self, slot_id: SlotId, cmd: UserCmd) -> Result<Vec<Outgoing>, ProtocolError> {
+        self.user_obs(slot_id, cmd, &mut NoopObserver)
+    }
+
+    /// [`MediaBox::user`] with observability: reports any slot transition
+    /// the command causes, with cause `"user"`.
+    pub fn user_obs<O: Observer + ?Sized>(
+        &mut self,
+        slot_id: SlotId,
+        cmd: UserCmd,
+        obs: &mut O,
+    ) -> Result<Vec<Outgoing>, ProtocolError> {
+        let before = self.states_of(&[slot_id]);
+        let out = self.user_inner(slot_id, cmd);
+        if out.is_ok() {
+            self.observe_transitions(obs, &before, "user");
+        }
+        out
+    }
+
+    fn user_inner(
+        &mut self,
+        slot_id: SlotId,
+        cmd: UserCmd,
+    ) -> Result<Vec<Outgoing>, ProtocolError> {
         let gid = self
             .maps
             .get(&slot_id)
@@ -365,8 +500,8 @@ impl MediaBox {
 mod tests {
     use super::*;
     use crate::codec::Medium;
-    use crate::goal::{AcceptMode, EndpointPolicy, Policy};
     use crate::descriptor::MediaAddr;
+    use crate::goal::{AcceptMode, EndpointPolicy, Policy};
     use crate::slot::SlotState;
 
     fn server_box() -> MediaBox {
@@ -444,7 +579,9 @@ mod tests {
                 desc,
             },
         );
-        assert!(out.iter().any(|o| o.slot == SlotId(1) && matches!(o.signal, Signal::Open { .. })));
+        assert!(out
+            .iter()
+            .any(|o| o.slot == SlotId(1) && matches!(o.signal, Signal::Open { .. })));
         assert_eq!(notes.len(), 1);
     }
 
@@ -514,6 +651,123 @@ mod tests {
             _ => unreachable!(),
         };
         assert_ne!(t1.origin, t2.origin);
+    }
+
+    #[test]
+    fn observer_sees_goals_transitions_and_races() {
+        use ipmedia_obs::{ManualClock, ObsEvent, RecordingObserver};
+        use std::sync::Arc;
+
+        let mut obs = RecordingObserver::new(Arc::new(ManualClock::new()));
+        let log = obs.log();
+
+        let mut b = server_box();
+        b.set_goal_obs(
+            GoalSpec::Open {
+                slot: SlotId(0),
+                medium: Medium::Audio,
+                policy: Policy::Server,
+            },
+            &mut obs,
+        );
+        // Re-annotating drops the old goal and activates the new one.
+        b.set_goal_obs(GoalSpec::Close { slot: SlotId(0) }, &mut obs);
+        // An open arriving while Opening at the channel initiator is a won
+        // race... but the goal is now closeSlot, so drive a fresh slot.
+        let mut tags = crate::descriptor::TagSource::new(3);
+        let desc = crate::descriptor::Descriptor::no_media(tags.next());
+        b.on_signal_obs(
+            SlotId(1),
+            Signal::Open {
+                medium: Medium::Audio,
+                desc,
+            },
+            &mut obs,
+        );
+
+        let events: Vec<ObsEvent> = log.lock().unwrap().iter().map(|(_, e)| e.clone()).collect();
+        assert!(events.contains(&ObsEvent::GoalActivated {
+            bx: 1,
+            slot: 0,
+            kind: "openSlot"
+        }));
+        assert!(events.contains(&ObsEvent::SlotTransition {
+            bx: 1,
+            slot: 0,
+            from: "closed",
+            to: "opening",
+            cause: "goal",
+        }));
+        assert!(events.contains(&ObsEvent::GoalDropped {
+            bx: 1,
+            slot: 0,
+            kind: "openSlot"
+        }));
+        assert!(events.contains(&ObsEvent::GoalActivated {
+            bx: 1,
+            slot: 0,
+            kind: "closeSlot"
+        }));
+        assert!(events.contains(&ObsEvent::SignalReceived {
+            bx: 1,
+            slot: 1,
+            kind: "open"
+        }));
+        assert!(events.contains(&ObsEvent::SlotTransition {
+            bx: 1,
+            slot: 1,
+            from: "closed",
+            to: "opened",
+            cause: "open",
+        }));
+    }
+
+    #[test]
+    fn observer_reports_open_open_race() {
+        use ipmedia_obs::{ManualClock, ObsEvent, RecordingObserver};
+        use std::sync::Arc;
+
+        let mut obs = RecordingObserver::new(Arc::new(ManualClock::new()));
+        let log = obs.log();
+
+        // Loser side: not the channel initiator, already Opening.
+        let mut b = MediaBox::new(BoxId(2));
+        b.add_slot(SlotId(0), false);
+        b.set_goal_obs(
+            GoalSpec::Open {
+                slot: SlotId(0),
+                medium: Medium::Audio,
+                policy: Policy::Server,
+            },
+            &mut obs,
+        );
+        let mut tags = crate::descriptor::TagSource::new(9);
+        let desc = crate::descriptor::Descriptor::no_media(tags.next());
+        b.on_signal_obs(
+            SlotId(0),
+            Signal::Open {
+                medium: Medium::Audio,
+                desc,
+            },
+            &mut obs,
+        );
+
+        let events: Vec<ObsEvent> = log.lock().unwrap().iter().map(|(_, e)| e.clone()).collect();
+        assert!(events.contains(&ObsEvent::RaceResolved {
+            bx: 2,
+            slot: 0,
+            won: false
+        }));
+        // The openSlot goal reacts to the backoff within the same stimulus
+        // (it accepts the winning open), so the transition the observer
+        // reports is the net one: opening straight to flowing.
+        assert!(events.contains(&ObsEvent::SlotTransition {
+            bx: 2,
+            slot: 0,
+            from: "opening",
+            to: "flowing",
+            cause: "open",
+        }));
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl TagSource {
     }
 
     /// Mint the next tag for this source.
+    #[allow(clippy::should_implement_trait)] // a tag mint, not an Iterator
     pub fn next(&mut self) -> DescTag {
         let tag = DescTag {
             origin: self.origin,

@@ -77,8 +77,11 @@ mod tests {
         // Bring the slot to flowing by hand.
         peer_open(&mut s, &mut tags);
         let answers = s.peer_desc().unwrap().tag;
-        s.accept(Descriptor::no_media(TagSource::new(2).next()), Selector::not_sending(answers))
-            .unwrap();
+        s.accept(
+            Descriptor::no_media(TagSource::new(2).next()),
+            Selector::not_sending(answers),
+        )
+        .unwrap();
         assert_eq!(s.state(), SlotState::Flowing);
 
         let out = g.attach(&mut s);

@@ -265,7 +265,11 @@ mod tests {
             }
             other => panic!("expected forwarded open, got {other:?}"),
         }
-        assert_eq!(a.state(), SlotState::Opened, "answer deferred until far side described");
+        assert_eq!(
+            a.state(),
+            SlotState::Opened,
+            "answer deferred until far side described"
+        );
         assert_eq!(b.state(), SlotState::Opening);
     }
 
@@ -459,7 +463,13 @@ mod tests {
         );
         assert!(matches!(out[0].1, Signal::Open { .. }));
         let dr = media_desc(&mut r_tags, 2, 5000);
-        inject(&mut fl, LinkSide::B, Signal::Oack { desc: dr.clone() }, &mut a, &mut b);
+        inject(
+            &mut fl,
+            LinkSide::B,
+            Signal::Oack { desc: dr.clone() },
+            &mut a,
+            &mut b,
+        );
         assert_eq!(a.state(), SlotState::Flowing);
         assert_eq!(b.state(), SlotState::Flowing);
 
@@ -467,7 +477,9 @@ mod tests {
         // close toward R.
         let (auto, out) = inject(&mut fl, LinkSide::A, Signal::Close, &mut a, &mut b);
         assert_eq!(auto, vec![Signal::CloseAck]);
-        assert!(out.iter().any(|(s, sig)| *s == LinkSide::B && *sig == Signal::Close));
+        assert!(out
+            .iter()
+            .any(|(s, sig)| *s == LinkSide::B && *sig == Signal::Close));
         assert_eq!(a.state(), SlotState::Closed);
         assert_eq!(b.state(), SlotState::Closing);
 
@@ -488,7 +500,9 @@ mod tests {
             &mut a,
             &mut b,
         );
-        assert!(out.iter().any(|(s, sig)| *s == LinkSide::B && matches!(sig, Signal::Open { .. })));
+        assert!(out
+            .iter()
+            .any(|(s, sig)| *s == LinkSide::B && matches!(sig, Signal::Open { .. })));
     }
 
     #[test]
@@ -514,7 +528,13 @@ mod tests {
             &mut b,
         );
         let dr = media_desc(&mut r_tags, 2, 5000);
-        inject(&mut fl, LinkSide::B, Signal::Oack { desc: dr.clone() }, &mut a, &mut b);
+        inject(
+            &mut fl,
+            LinkSide::B,
+            Signal::Oack { desc: dr.clone() },
+            &mut a,
+            &mut b,
+        );
 
         // R re-describes itself: b's peer descriptor advances to dr2.
         let dr2 = media_desc(&mut r_tags, 2, 5002);
@@ -541,7 +561,8 @@ mod tests {
             &mut b,
         );
         assert!(
-            !out.iter().any(|(_, sig)| matches!(sig, Signal::Select { .. })),
+            !out.iter()
+                .any(|(_, sig)| matches!(sig, Signal::Select { .. })),
             "obsolete selector must be absorbed, got {out:?}"
         );
 
@@ -650,7 +671,13 @@ mod tests {
 
         // R accepts the stale open: b becomes flowing with utd(b) false.
         let dr = media_desc(&mut r_tags, 2, 5000);
-        let (_, out) = inject(&mut fl, LinkSide::B, Signal::Oack { desc: dr.clone() }, &mut a, &mut b);
+        let (_, out) = inject(
+            &mut fl,
+            LinkSide::B,
+            Signal::Oack { desc: dr.clone() },
+            &mut a,
+            &mut b,
+        );
         // The flowlink makes b up-to-date by forwarding a's descriptor...
         assert!(out.iter().any(|(s, sig)| matches!(
             (s, sig),

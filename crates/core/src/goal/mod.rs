@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn goal_kinds() {
-        assert_eq!(Goal::Open(OpenSlot::server(Medium::Audio, 1)).kind(), "openSlot");
+        assert_eq!(
+            Goal::Open(OpenSlot::server(Medium::Audio, 1)).kind(),
+            "openSlot"
+        );
         assert_eq!(Goal::Close(CloseSlot::new()).kind(), "closeSlot");
         assert_eq!(Goal::Hold(HoldSlot::server(1)).kind(), "holdSlot");
         assert_eq!(Goal::Link(FlowLink::new(1)).kind(), "flowLink");

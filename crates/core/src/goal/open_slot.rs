@@ -155,7 +155,13 @@ mod tests {
         let mut s = Slot::new(true);
         let out = g.attach(&mut s);
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0], Signal::Open { medium: Medium::Audio, .. }));
+        assert!(matches!(
+            out[0],
+            Signal::Open {
+                medium: Medium::Audio,
+                ..
+            }
+        ));
         assert_eq!(s.state(), SlotState::Opening);
     }
 

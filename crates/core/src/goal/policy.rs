@@ -54,9 +54,7 @@ impl Policy {
         match self {
             Policy::Server => Descriptor::no_media(tags.next()),
             Policy::Endpoint(p) if p.mute_in => Descriptor::no_media(tags.next()),
-            Policy::Endpoint(p) => {
-                Descriptor::media(tags.next(), p.addr, p.recv_codecs.clone())
-            }
+            Policy::Endpoint(p) => Descriptor::media(tags.next(), p.addr, p.recv_codecs.clone()),
         }
     }
 
@@ -116,7 +114,11 @@ mod tests {
             vec![Codec::G726, Codec::G711],
         );
         let sel = p.selector_for(&peer);
-        assert_eq!(sel.codec, Codec::G726, "respects the receiver's priority order");
+        assert_eq!(
+            sel.codec,
+            Codec::G726,
+            "respects the receiver's priority order"
+        );
     }
 
     #[test]

@@ -270,7 +270,12 @@ mod tests {
         let sigs = ub.command(UserCmd::Reject, &mut sb).unwrap();
         assert_eq!(sigs, vec![Signal::Close]);
         let (ev, auto) = sa.on_signal(Signal::Close);
-        assert!(matches!(ev, SlotEvent::PeerClosed { was: SlotState::Opening }));
+        assert!(matches!(
+            ev,
+            SlotEvent::PeerClosed {
+                was: SlotState::Opening
+            }
+        ));
         assert_eq!(auto, vec![Signal::CloseAck]);
     }
 
@@ -341,7 +346,10 @@ mod tests {
             )
             .unwrap();
         pump((&mut ua, &mut sa), (&mut ub, &mut sb), sigs);
-        assert!(sb.tx_enabled(), "B resumed after A unmuted: recurrence of bothFlowing");
+        assert!(
+            sb.tx_enabled(),
+            "B resumed after A unmuted: recurrence of bothFlowing"
+        );
     }
 
     #[test]
@@ -437,7 +445,10 @@ mod tests {
         match &answer[0] {
             Signal::Select { sel } => {
                 assert_eq!(sel.answers, new_tag);
-                assert!(!sel.is_sending(), "noMedia descriptor must get noMedia answer");
+                assert!(
+                    !sel.is_sending(),
+                    "noMedia descriptor must get noMedia answer"
+                );
             }
             other => panic!("expected select, got {other}"),
         }

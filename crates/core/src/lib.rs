@@ -6,28 +6,31 @@
 //! media-control goal primitives (`openSlot`, `closeSlot`, `holdSlot`,
 //! `flowLink`).
 
+pub mod boxes;
 pub mod codec;
 pub mod descriptor;
-pub mod boxes;
 pub mod endpoint;
 pub mod error;
 pub mod goal;
 pub mod ids;
 pub mod path;
-pub mod retag;
 pub mod program;
+pub mod retag;
 pub mod signal;
 pub mod slot;
 
+pub use boxes::{BoxNote, GoalId, GoalSpec, MediaBox};
 pub use codec::{Codec, Medium};
 pub use descriptor::{DescTag, Descriptor, MediaAddr, Selector, TagSource};
-pub use boxes::{BoxNote, GoalId, GoalSpec, MediaBox};
 pub use endpoint::{EndpointLogic, NullLogic};
 pub use error::ProtocolError;
-pub use goal::{AcceptMode, CloseSlot, EndpointPolicy, FlowLink, Goal, HoldSlot, LinkSide, OpenSlot, Outgoing, Policy, UserAgent, UserCmd, UserNote};
+pub use goal::{
+    AcceptMode, CloseSlot, EndpointPolicy, FlowLink, Goal, HoldSlot, LinkSide, OpenSlot, Outgoing,
+    Policy, UserAgent, UserCmd, UserNote,
+};
 pub use ids::{BoxId, ChannelId, SlotId, SlotRef, TunnelId};
-pub use signal::{AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal};
 pub use path::{EndGoal, PathEnds, PathSpec, PathType};
-pub use retag::Retag;
 pub use program::{AppLogic, BoxCmd, BoxInput, Ctx, ProgramBox, TimerId};
+pub use retag::Retag;
+pub use signal::{AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal};
 pub use slot::{Slot, SlotEvent, SlotState};

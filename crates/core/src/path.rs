@@ -81,13 +81,9 @@ impl PathType {
     /// The specification table of §V.
     pub fn spec(self) -> PathSpec {
         match self {
-            PathType::CloseClose | PathType::CloseHold => {
-                PathSpec::EventuallyAlwaysBothClosed
-            }
+            PathType::CloseClose | PathType::CloseHold => PathSpec::EventuallyAlwaysBothClosed,
             PathType::CloseOpen => PathSpec::EventuallyAlwaysNotBothFlowing,
-            PathType::OpenOpen | PathType::OpenHold => {
-                PathSpec::AlwaysEventuallyBothFlowing
-            }
+            PathType::OpenOpen | PathType::OpenHold => PathSpec::AlwaysEventuallyBothFlowing,
             PathType::HoldHold => PathSpec::ClosedOrFlowing,
         }
     }
@@ -341,9 +337,7 @@ mod tests {
         let mut lt = TagSource::new(3);
         // L re-describes; until R's fresh selector arrives, the path is out
         // of the bothFlowing state (the recurrence property's excursion).
-        let _ = l
-            .send_describe(Descriptor::no_media(lt.next()))
-            .unwrap();
+        let _ = l.send_describe(Descriptor::no_media(lt.next())).unwrap();
         let ends = PathEnds::new(&l, &r);
         assert!(!ends.both_flowing());
     }

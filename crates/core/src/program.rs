@@ -17,6 +17,7 @@ use crate::boxes::{BoxNote, GoalSpec, MediaBox};
 use crate::goal::{Outgoing, UserCmd};
 use crate::ids::{BoxId, ChannelId, SlotId};
 use crate::signal::MetaSignal;
+use ipmedia_obs::{NoopObserver, Observer};
 
 /// Identity of an application timer within its box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -39,7 +40,10 @@ pub enum BoxInput {
     /// A signaling channel was destroyed (all its tunnels and slots die).
     ChannelDown { channel: ChannelId },
     /// A channel-level meta-signal arrived.
-    Meta { channel: ChannelId, meta: MetaSignal },
+    Meta {
+        channel: ChannelId,
+        meta: MetaSignal,
+    },
     /// A tunnel signal arrived for `slot`.
     Tunnel {
         slot: SlotId,
@@ -68,7 +72,10 @@ pub enum BoxCmd {
     /// Transmit a tunnel signal (already applied to the local slot).
     Signal(Outgoing),
     /// Send a channel-level meta-signal.
-    Meta { channel: ChannelId, meta: MetaSignal },
+    Meta {
+        channel: ChannelId,
+        meta: MetaSignal,
+    },
     /// Create a signaling channel toward the named box with `tunnels`
     /// tunnels; the environment answers with [`BoxInput::ChannelUp`]
     /// echoing `req`, and reports far-end availability as a meta-signal.
@@ -81,7 +88,10 @@ pub enum BoxCmd {
     /// slots at both ends).
     CloseChannel(ChannelId),
     /// Start (or restart) an application timer after `after_ms` ms.
-    SetTimer { id: TimerId, after_ms: u64 },
+    SetTimer {
+        id: TimerId,
+        after_ms: u64,
+    },
     CancelTimer(TimerId),
     /// This box's program has terminated.
     Terminate,
@@ -96,8 +106,13 @@ pub trait AppLogic: Send {
 }
 
 /// Mutable view of the box handed to application logic.
+///
+/// Carries the environment's observer as a dyn reference ([`AppLogic`]
+/// must stay object-safe, so `Ctx` cannot be generic over it); goal
+/// re-annotations and user commands issued through the ctx are observed.
 pub struct Ctx<'a> {
     media: &'a mut MediaBox,
+    obs: Option<&'a mut dyn Observer>,
     cmds: Vec<BoxCmd>,
 }
 
@@ -105,6 +120,15 @@ impl<'a> Ctx<'a> {
     pub fn new(media: &'a mut MediaBox) -> Self {
         Self {
             media,
+            obs: None,
+            cmds: Vec::new(),
+        }
+    }
+
+    pub fn with_obs(media: &'a mut MediaBox, obs: &'a mut dyn Observer) -> Self {
+        Self {
+            media,
+            obs: Some(obs),
             cmds: Vec::new(),
         }
     }
@@ -121,13 +145,20 @@ impl<'a> Ctx<'a> {
     /// Annotate slots with a goal (immediately attaches the goal object and
     /// queues the signals it emits).
     pub fn set_goal(&mut self, spec: GoalSpec) {
-        let out = self.media.set_goal(spec);
+        let out = match self.obs.as_deref_mut() {
+            Some(obs) => self.media.set_goal_obs(spec, obs),
+            None => self.media.set_goal(spec),
+        };
         self.cmds.extend(out.into_iter().map(BoxCmd::Signal));
     }
 
     /// Issue a user command on a user-agent slot.
     pub fn user(&mut self, slot: SlotId, cmd: UserCmd) {
-        match self.media.user(slot, cmd) {
+        let result = match self.obs.as_deref_mut() {
+            Some(obs) => self.media.user_obs(slot, cmd, obs),
+            None => self.media.user(slot, cmd),
+        };
+        match result {
             Ok(out) => self.cmds.extend(out.into_iter().map(BoxCmd::Signal)),
             Err(e) => panic!("user command failed: {e}"),
         }
@@ -191,11 +222,20 @@ impl ProgramBox {
     /// Feed one input through the media box (for tunnel signals) and then
     /// the application logic; collect the resulting commands.
     pub fn handle(&mut self, input: BoxInput) -> Vec<BoxCmd> {
+        self.handle_obs(input, &mut NoopObserver)
+    }
+
+    /// [`ProgramBox::handle`] with observability: the stimulus itself, the
+    /// media-layer processing, and everything the logic does through its
+    /// [`Ctx`] are reported to `obs`. (The caller reports the *sending* of
+    /// the returned [`BoxCmd::Signal`]s once it actually transmits them.)
+    pub fn handle_obs(&mut self, input: BoxInput, obs: &mut dyn Observer) -> Vec<BoxCmd> {
+        obs.stimulus(self.media.id().0, input.kind());
         let mut cmds = Vec::new();
         let mut notes: Vec<BoxNote> = Vec::new();
         match &input {
             BoxInput::Tunnel { slot, signal } => {
-                let (out, ns) = self.media.on_signal(*slot, signal.clone());
+                let (out, ns) = self.media.on_signal_obs(*slot, signal.clone(), obs);
                 cmds.extend(out.into_iter().map(BoxCmd::Signal));
                 notes = ns;
             }
@@ -207,12 +247,12 @@ impl ProgramBox {
             _ => {}
         }
         // The logic sees the raw input first, then each surfaced note.
-        let mut ctx = Ctx::new(&mut self.media);
+        let mut ctx = Ctx::with_obs(&mut self.media, obs);
         self.logic.handle(&input, &mut ctx);
         cmds.extend(ctx.finish());
         for note in &notes {
             let input = BoxInput::from_note(note);
-            let mut ctx = Ctx::new(&mut self.media);
+            let mut ctx = Ctx::with_obs(&mut self.media, obs);
             self.logic.handle(&input, &mut ctx);
             cmds.extend(ctx.finish());
         }
@@ -221,6 +261,20 @@ impl ProgramBox {
 }
 
 impl BoxInput {
+    /// Stable class name of this input, for observers and trace records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BoxInput::Start => "start",
+            BoxInput::ChannelUp { .. } => "channel_up",
+            BoxInput::ChannelDown { .. } => "channel_down",
+            BoxInput::Meta { .. } => "meta",
+            BoxInput::Tunnel { .. } => "tunnel",
+            BoxInput::Timer(_) => "timer",
+            BoxInput::SlotNote { .. } => "slot_note",
+            BoxInput::UserNote { .. } => "user_note",
+        }
+    }
+
     /// Notes surfaced by the media layer are re-delivered to the logic as
     /// inputs so programs can guard on slot events (`isFlowing(1a)` etc.).
     fn from_note(note: &BoxNote) -> BoxInput {
@@ -257,7 +311,10 @@ mod tests {
                     medium: Medium::Audio,
                     policy: Policy::Server,
                 }),
-                BoxInput::SlotNote { slot, event: SlotEvent::Oacked } => {
+                BoxInput::SlotNote {
+                    slot,
+                    event: SlotEvent::Oacked,
+                } => {
                     assert!(ctx.media().slot(*slot).unwrap().is_flowing());
                     ctx.set_timer(TimerId(1), 5_000);
                 }

@@ -144,11 +144,7 @@ mod tests {
     fn slot_tags_are_visitable() {
         let mut ts = TagSource::new(5);
         let mut a = Slot::new(true);
-        let d = Descriptor::media(
-            ts.next(),
-            MediaAddr::v4(1, 1, 1, 1, 2),
-            vec![Codec::G711],
-        );
+        let d = Descriptor::media(ts.next(), MediaAddr::v4(1, 1, 1, 1, 2), vec![Codec::G711]);
         a.send_open(Medium::Audio, d).unwrap();
         let mut seen = Vec::new();
         a.visit_tags(&mut |t| seen.push(*t));

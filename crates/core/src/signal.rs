@@ -85,6 +85,19 @@ pub enum MetaSignal {
     App(AppEvent),
 }
 
+impl MetaSignal {
+    /// Stable class name of this meta-signal, for observers and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetaSignal::ChannelUp => "channel_up",
+            MetaSignal::Peer(Availability::Available) => "peer_available",
+            MetaSignal::Peer(Availability::Unavailable) => "peer_unavailable",
+            MetaSignal::Teardown => "teardown",
+            MetaSignal::App(_) => "app",
+        }
+    }
+}
+
 /// Application-level events exchanged between cooperating boxes as
 /// meta-signals. The set is open-ended; these cover the paper's scenarios.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

@@ -37,11 +37,25 @@ impl SlotState {
     /// The paper's Fig. 12 shorthand: `opening`, `opened` and `flowing` are
     /// *live*; `closed` and `closing` are *dead*.
     pub fn is_live(self) -> bool {
-        matches!(self, SlotState::Opening | SlotState::Opened | SlotState::Flowing)
+        matches!(
+            self,
+            SlotState::Opening | SlotState::Opened | SlotState::Flowing
+        )
     }
 
     pub fn is_dead(self) -> bool {
         !self.is_live()
+    }
+
+    /// The paper's lower-case state name, as used in traces and ladders.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlotState::Closed => "closed",
+            SlotState::Opening => "opening",
+            SlotState::Opened => "opened",
+            SlotState::Flowing => "flowing",
+            SlotState::Closing => "closing",
+        }
     }
 }
 
@@ -155,15 +169,13 @@ impl Slot {
     /// is flowing and the selector it most recently sent carries a real
     /// codec.
     pub fn tx_enabled(&self) -> bool {
-        self.state == SlotState::Flowing
-            && self.sent_sel.as_ref().is_some_and(|s| s.is_sending())
+        self.state == SlotState::Flowing && self.sent_sel.as_ref().is_some_and(|s| s.is_sending())
     }
 
     /// This end should be ready to receive media iff it is flowing and the
     /// most recently received selector carries a real codec (§VI-B).
     pub fn rx_expected(&self) -> bool {
-        self.state == SlotState::Flowing
-            && self.peer_sel.as_ref().is_some_and(|s| s.is_sending())
+        self.state == SlotState::Flowing && self.peer_sel.as_ref().is_some_and(|s| s.is_sending())
     }
 
     /// Where and how this end currently transmits media: the address from
@@ -270,11 +282,17 @@ impl Slot {
                 Closing => {
                     // close/close race: acknowledge theirs, keep waiting
                     // for the acknowledgement of ours.
-                    (SlotEvent::Ignored("close/close race"), vec![Signal::CloseAck])
+                    (
+                        SlotEvent::Ignored("close/close race"),
+                        vec![Signal::CloseAck],
+                    )
                 }
                 Closed => {
                     // Defensive: acknowledge so a confused peer cannot hang.
-                    (SlotEvent::Ignored("close while closed"), vec![Signal::CloseAck])
+                    (
+                        SlotEvent::Ignored("close while closed"),
+                        vec![Signal::CloseAck],
+                    )
                 }
             },
             Signal::CloseAck => match self.state {
@@ -310,11 +328,7 @@ impl Slot {
     // ------------------------------------------------------------------
 
     /// Attempt to open a media channel (`!open`). Legal only when closed.
-    pub fn send_open(
-        &mut self,
-        medium: Medium,
-        desc: Descriptor,
-    ) -> Result<Signal, ProtocolError> {
+    pub fn send_open(&mut self, medium: Medium, desc: Descriptor) -> Result<Signal, ProtocolError> {
         if self.state != SlotState::Closed {
             return Err(ProtocolError::BadState {
                 action: "open",
@@ -446,7 +460,12 @@ mod tests {
         assert_eq!(a.state(), SlotState::Opening);
 
         let (ev, auto) = deliver(&mut b, open);
-        assert_eq!(ev, SlotEvent::OpenReceived { medium: Medium::Audio });
+        assert_eq!(
+            ev,
+            SlotEvent::OpenReceived {
+                medium: Medium::Audio
+            }
+        );
         assert!(auto.is_empty());
         assert_eq!(b.state(), SlotState::Opened);
         assert!(b.is_described());
@@ -480,7 +499,12 @@ mod tests {
         assert_eq!(a.state(), SlotState::Closing);
         assert!(!a.tx_enabled(), "leaving flowing disables transmission");
         let (ev, auto) = deliver(&mut b, close);
-        assert_eq!(ev, SlotEvent::PeerClosed { was: SlotState::Flowing });
+        assert_eq!(
+            ev,
+            SlotEvent::PeerClosed {
+                was: SlotState::Flowing
+            }
+        );
         assert_eq!(b.state(), SlotState::Closed);
         let (ev, _) = deliver(&mut a, auto.into_iter().next().unwrap());
         assert_eq!(ev, SlotEvent::CloseAcked);
@@ -497,7 +521,12 @@ mod tests {
         deliver(&mut b, open);
         let close = b.send_close().unwrap(); // reject
         let (ev, auto) = deliver(&mut a, close);
-        assert_eq!(ev, SlotEvent::PeerClosed { was: SlotState::Opening });
+        assert_eq!(
+            ev,
+            SlotEvent::PeerClosed {
+                was: SlotState::Opening
+            }
+        );
         assert_eq!(a.state(), SlotState::Closed);
         let (ev, _) = deliver(&mut b, auto.into_iter().next().unwrap());
         assert_eq!(ev, SlotEvent::CloseAcked);
@@ -521,7 +550,12 @@ mod tests {
         assert_eq!(a.state(), SlotState::Opening);
 
         let (ev, _) = deliver(&mut b, open_a);
-        assert!(matches!(ev, SlotEvent::RaceBackoff { medium: Medium::Audio }));
+        assert!(matches!(
+            ev,
+            SlotEvent::RaceBackoff {
+                medium: Medium::Audio
+            }
+        ));
         assert_eq!(b.state(), SlotState::Opened);
 
         // b now accepts as if it had been opened.
@@ -712,7 +746,10 @@ mod tests {
         let open = a.send_open(Medium::Audio, desc(&mut ta)).unwrap();
         deliver(&mut b, open);
         let [oack, select] = b
-            .accept(desc(&mut tb), Selector::not_sending(a.sent_desc().unwrap().tag))
+            .accept(
+                desc(&mut tb),
+                Selector::not_sending(a.sent_desc().unwrap().tag),
+            )
             .unwrap();
         deliver(&mut a, oack);
         deliver(&mut a, select);

@@ -1,9 +1,23 @@
-//! Run the §VIII-A verification campaign and print the results table.
+//! Run the §VIII-A verification campaign.
 //!
 //! Usage: `campaign [budget_scale] [max_links] [max_states]`
+//!
+//! Stdout carries one JSON record per checked configuration (the
+//! workspace JSONL convention); the aligned results table goes to stderr.
+//! When a check fails, the counterexample trace is rendered as a
+//! Fig.-10-style ladder on stderr.
 
 use ipmedia_core::path::PathType;
-use ipmedia_mck::{budgeted, check_path, render_table};
+use ipmedia_mck::{budgeted, check_path, render_counterexample, render_table, Violation};
+use ipmedia_obs::JsonObj;
+
+fn violation_state(v: &Violation) -> u32 {
+    match v {
+        Violation::DirtyTerminal { state }
+        | Violation::BadTerminal { state }
+        | Violation::BadCycle { state } => *state,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -15,18 +29,46 @@ fn main() {
         .unwrap_or(5_000_000);
 
     let mut results = Vec::new();
+    let mut failures = 0usize;
     for links in 0..=max_links {
         for pt in PathType::all() {
             let (l, r) = pt.ends();
             let cfg = budgeted(links, l, r, scale);
-            let (res, _) = check_path(&cfg, max_states);
+            let (res, g) = check_path(&cfg, max_states);
             eprintln!(
                 "checked {pt} links={links}: {} states in {:.2}s",
                 res.states,
                 res.elapsed.as_secs_f64()
             );
+
+            let mut rec = JsonObj::new()
+                .str("record", "mck_check")
+                .str("path_type", &pt.to_string())
+                .num("links", links as u64)
+                .str("spec", &format!("{:?}", res.spec))
+                .num("states", res.states as u64)
+                .num("transitions", res.transitions as u64)
+                .num("terminals", res.terminals as u64)
+                .float("elapsed_ms", res.elapsed.as_secs_f64() * 1e3)
+                .bool("truncated", res.truncated)
+                .bool("passed", res.passed());
+            let violation = res.safety.as_ref().err().or(res.spec_result.as_ref().err());
+            if let Some(v) = violation {
+                rec = rec.str("violation", &v.to_string());
+                let ladder = render_counterexample(&cfg, &g, violation_state(v));
+                eprintln!("counterexample for {pt} links={links}:\n{ladder}");
+            }
+            println!("{}", rec.finish());
+
+            if !res.passed() {
+                failures += 1;
+            }
             results.push(res);
         }
     }
-    println!("{}", render_table(&results));
+    eprintln!("{}", render_table(&results));
+    if failures > 0 {
+        eprintln!("{failures} configuration(s) failed");
+        std::process::exit(1);
+    }
 }

@@ -135,10 +135,7 @@ mod tests {
         }
     }
 
-    fn violation_trace(
-        g: &crate::explore::StateGraph,
-        v: &Violation,
-    ) -> Vec<crate::state::Action> {
+    fn violation_trace(g: &crate::explore::StateGraph, v: &Violation) -> Vec<crate::state::Action> {
         let idx = match v {
             Violation::DirtyTerminal { state }
             | Violation::BadTerminal { state }

@@ -62,12 +62,12 @@ pub fn explore(cfg: &CheckConfig, max_states: usize) -> StateGraph {
     let mut truncated = false;
 
     let intern = |s: PathState,
-                      from: Option<(u32, Action)>,
-                      index: &mut HashMap<PathState, u32>,
-                      frontier: &mut Vec<PathState>,
-                      succ: &mut Vec<Vec<u32>>,
-                      flags: &mut Vec<StateFlags>,
-                      parent: &mut Vec<Option<(u32, Action)>>|
+                  from: Option<(u32, Action)>,
+                  index: &mut HashMap<PathState, u32>,
+                  frontier: &mut Vec<PathState>,
+                  succ: &mut Vec<Vec<u32>>,
+                  flags: &mut Vec<StateFlags>,
+                  parent: &mut Vec<Option<(u32, Action)>>|
      -> u32 {
         if let Some(&i) = index.get(&s) {
             return i;

@@ -10,11 +10,13 @@
 //! over the explored graph.
 
 pub mod campaign;
+pub mod counterexample;
 pub mod explore;
 pub mod props;
 pub mod state;
 
 pub use campaign::{budgeted, check_path, paper_campaign, render_table, CheckResult};
-pub use explore::{explore, StateGraph, StateFlags};
+pub use counterexample::{render_counterexample, render_trace};
+pub use explore::{explore, StateFlags, StateGraph};
 pub use props::{check_safety, check_spec, cycle_states, Violation};
 pub use state::{Action, CheckConfig, NondetOp, PathState};

@@ -195,7 +195,7 @@ pub fn cycle_states(g: &StateGraph, keep: impl Fn(u32) -> bool) -> Vec<u32> {
             continue;
         }
         let nontrivial = scc_size[scc_of[vs] as usize] > 1;
-        let self_loop = g.succ[vs].iter().any(|&w| w == v);
+        let self_loop = g.succ[vs].contains(&v);
         if nontrivial || self_loop {
             out.push(v);
         }
@@ -211,7 +211,9 @@ mod tests {
 
     fn graph(succ: Vec<Vec<u32>>, flowing: Vec<bool>, closed: Vec<bool>) -> StateGraph {
         let n = succ.len();
-        let terminals = (0..n as u32).filter(|&i| succ[i as usize].is_empty()).collect();
+        let terminals = (0..n as u32)
+            .filter(|&i| succ[i as usize].is_empty())
+            .collect();
         StateGraph {
             flags: (0..n)
                 .map(|i| StateFlags {

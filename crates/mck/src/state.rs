@@ -90,8 +90,13 @@ pub struct EndBox {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LinkMode {
     /// Both slots act nondeterministically and independently.
-    Phase1 { agents: [UserAgent; 2], budget: u8 },
-    Phase2 { link: FlowLink },
+    Phase1 {
+        agents: [UserAgent; 2],
+        budget: u8,
+    },
+    Phase2 {
+        link: FlowLink,
+    },
 }
 
 /// One flowlink box: two slots, left side (toward the left endpoint) at
@@ -147,7 +152,11 @@ pub enum Action {
     /// A phase-2 endpoint's user toggles a mute flag (`modify`, §V).
     EndModify { right: bool, op: NondetOp },
     /// A phase-1 flowlink slot performs a nondeterministic action.
-    LinkNondet { idx: usize, side: usize, op: NondetOp },
+    LinkNondet {
+        idx: usize,
+        side: usize,
+        op: NondetOp,
+    },
     /// A flowlink box attaches its flowlink.
     LinkAttach { idx: usize },
 }
@@ -200,16 +209,8 @@ impl PathState {
                 slots: [Slot::new(false), Slot::new(true)],
                 mode: LinkMode::Phase1 {
                     agents: [
-                        UserAgent::new(
-                            server_like_policy(),
-                            AcceptMode::Manual,
-                            10 + 2 * i as u64,
-                        ),
-                        UserAgent::new(
-                            server_like_policy(),
-                            AcceptMode::Manual,
-                            11 + 2 * i as u64,
-                        ),
+                        UserAgent::new(server_like_policy(), AcceptMode::Manual, 10 + 2 * i as u64),
+                        UserAgent::new(server_like_policy(), AcceptMode::Manual, 11 + 2 * i as u64),
                     ],
                     budget: cfg.link_phase1_budget,
                 },
@@ -248,7 +249,10 @@ impl PathState {
                     }
                     out.push(Action::EndAttach { right });
                 }
-                EndMode::Phase2 { goal, modify_budget } => {
+                EndMode::Phase2 {
+                    goal,
+                    modify_budget,
+                } => {
                     if *modify_budget > 0
                         && end.slot.state() == SlotState::Flowing
                         && !matches!(goal, EndGoalObj::Close(_))
@@ -314,7 +318,11 @@ impl PathState {
     fn deliver(&mut self, pos: usize, from_left: bool, sig: Signal) {
         let n = self.links.len();
         if pos == 0 || pos == n + 1 {
-            let end = if pos == 0 { &mut self.left } else { &mut self.right };
+            let end = if pos == 0 {
+                &mut self.left
+            } else {
+                &mut self.right
+            };
             let (event, auto) = end.slot.on_signal(sig);
             let mut signals = auto;
             match &mut end.mode {
@@ -350,8 +358,7 @@ impl PathState {
             } else {
                 s1.on_signal(sig)
             };
-            let mut signals: Vec<(usize, Signal)> =
-                auto.into_iter().map(|s| (side, s)).collect();
+            let mut signals: Vec<(usize, Signal)> = auto.into_iter().map(|s| (side, s)).collect();
             match &mut link.mode {
                 LinkMode::Phase1 { agents, .. } => {
                     let slot = if side == 0 { s0 } else { s1 };
@@ -361,9 +368,10 @@ impl PathState {
                 LinkMode::Phase2 { link } => {
                     let ls = if side == 0 { LinkSide::A } else { LinkSide::B };
                     let out = link.on_event(ls, &event, s0, s1);
-                    signals.extend(out.into_iter().map(|(ls, s)| {
-                        (if ls == LinkSide::A { 0 } else { 1 }, s)
-                    }));
+                    signals.extend(
+                        out.into_iter()
+                            .map(|(ls, s)| (if ls == LinkSide::A { 0 } else { 1 }, s)),
+                    );
                 }
             }
             for (side, sig) in signals {
@@ -384,7 +392,11 @@ impl PathState {
 
     fn end_nondet(&mut self, right: bool, op: NondetOp) {
         let n = self.links.len();
-        let end = if right { &mut self.right } else { &mut self.left };
+        let end = if right {
+            &mut self.right
+        } else {
+            &mut self.left
+        };
         let EndMode::Phase1 { agent, budget } = &mut end.mode else {
             panic!("nondet action on phase-2 endpoint");
         };
@@ -408,16 +420,18 @@ impl PathState {
         } else {
             (cfg.left, 101u64)
         };
-        let end = if right { &mut self.right } else { &mut self.left };
+        let end = if right {
+            &mut self.right
+        } else {
+            &mut self.left
+        };
         let EndMode::Phase1 { agent, .. } = &end.mode else {
             panic!("attach on phase-2 endpoint");
         };
         // The goal inherits the user's current policy (mute freedom, §V).
         let policy = Policy::Endpoint(agent.policy().clone());
         let mut goal = match kind {
-            EndGoal::Open => {
-                EndGoalObj::Open(OpenSlot::with_policy(Medium::Audio, policy, origin))
-            }
+            EndGoal::Open => EndGoalObj::Open(OpenSlot::with_policy(Medium::Audio, policy, origin)),
             EndGoal::Close => EndGoalObj::Close(CloseSlot::new()),
             EndGoal::Hold => EndGoalObj::Hold(HoldSlot::with_policy(policy, origin)),
         };
@@ -442,8 +456,16 @@ impl PathState {
 
     fn end_modify(&mut self, right: bool, op: NondetOp) {
         let n = self.links.len();
-        let end = if right { &mut self.right } else { &mut self.left };
-        let EndMode::Phase2 { goal, modify_budget } = &mut end.mode else {
+        let end = if right {
+            &mut self.right
+        } else {
+            &mut self.left
+        };
+        let EndMode::Phase2 {
+            goal,
+            modify_budget,
+        } = &mut end.mode
+        else {
             panic!("modify on phase-1 endpoint");
         };
         *modify_budget -= 1;
@@ -506,7 +528,9 @@ impl PathState {
     }
 
     pub fn tunnels_empty(&self) -> bool {
-        self.tunnels.iter().all(|t| t.fwd.is_empty() && t.bwd.is_empty())
+        self.tunnels
+            .iter()
+            .all(|t| t.fwd.is_empty() && t.bwd.is_empty())
     }
 
     /// Evaluate the `bothClosed` path state.
@@ -522,9 +546,7 @@ impl PathState {
             return false;
         }
         match (end_mutes(&self.left), end_mutes(&self.right)) {
-            (Some((li, lo)), Some((ri, ro))) => {
-                ends.both_flowing_with_mutes(li, lo, ri, ro)
-            }
+            (Some((li, lo)), Some((ri, ro))) => ends.both_flowing_with_mutes(li, lo, ri, ro),
             _ => true,
         }
     }
@@ -799,10 +821,13 @@ mod tests {
         }
         assert!(s.both_flowing());
         // Perturb: left toggles muteOut.
-        s = s.apply(&cfg, Action::EndModify {
-            right: false,
-            op: NondetOp::ToggleMuteOut,
-        });
+        s = s.apply(
+            &cfg,
+            Action::EndModify {
+                right: false,
+                op: NondetOp::ToggleMuteOut,
+            },
+        );
         assert!(!s.both_flowing(), "mid-modify the path leaves bothFlowing");
         loop {
             let acts: Vec<_> = s

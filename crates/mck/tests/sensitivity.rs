@@ -8,7 +8,7 @@
 //! pins the exact violation kind the checker reports.
 
 use ipmedia_core::path::{EndGoal, PathSpec};
-use ipmedia_mck::{budgeted, check_spec, explore, check_safety, Violation};
+use ipmedia_mck::{budgeted, check_safety, check_spec, explore, Violation};
 
 #[test]
 fn open_open_violates_eventually_always_closed() {
@@ -70,7 +70,10 @@ fn counterexample_traces_replay() {
     for a in trace {
         s = s.apply(&cfg, a);
     }
-    assert!(!s.both_closed(), "replayed counterexample is not bothClosed");
+    assert!(
+        !s.both_closed(),
+        "replayed counterexample is not bothClosed"
+    );
     assert!(s.actions(&cfg).is_empty(), "and it is terminal");
 }
 

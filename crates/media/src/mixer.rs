@@ -164,7 +164,11 @@ mod tests {
         let out0 = mix_for_port(&m, 0, &[Some(&a), Some(&b), Some(&c)]);
         assert_eq!(out0.audio_samples().unwrap()[0], 200, "c's noise dropped");
         let out2 = mix_for_port(&m, 2, &[Some(&a), Some(&b), Some(&c)]);
-        assert_eq!(out2.audio_samples().unwrap()[0], 300, "muted party still hears");
+        assert_eq!(
+            out2.audio_samples().unwrap()[0],
+            300,
+            "muted party still hears"
+        );
     }
 
     #[test]
@@ -176,7 +180,11 @@ mod tests {
         let out_caller = mix_for_port(&m, 1, &[Some(&a), Some(&b), Some(&c)]);
         assert_eq!(out_caller.audio_samples().unwrap()[0], 0);
         let out_responder = mix_for_port(&m, 2, &[Some(&a), Some(&b), Some(&c)]);
-        assert_eq!(out_responder.audio_samples().unwrap()[0], 300, "hears a and b");
+        assert_eq!(
+            out_responder.audio_samples().unwrap()[0],
+            300,
+            "hears a and b"
+        );
     }
 
     #[test]
@@ -186,8 +194,7 @@ mod tests {
         let to_agent = mix_for_port(&m, 0, &[Some(&agent), Some(&customer), Some(&supervisor)]);
         // customer at unity + supervisor whispered at 30%.
         assert_eq!(to_agent.audio_samples().unwrap()[0], 200 + 300);
-        let to_customer =
-            mix_for_port(&m, 1, &[Some(&agent), Some(&customer), Some(&supervisor)]);
+        let to_customer = mix_for_port(&m, 1, &[Some(&agent), Some(&customer), Some(&supervisor)]);
         assert_eq!(
             to_customer.audio_samples().unwrap()[0],
             100,

@@ -83,10 +83,13 @@ impl MediaPlane {
     /// endpoints with `SourceKind::MixPort`. Returns the bridge index.
     pub fn add_bridge(&mut self, ports: Vec<MediaAddr>, matrix: MixMatrix) -> usize {
         for (i, addr) in ports.iter().enumerate() {
-            self.register(*addr, SourceKind::MixPort {
-                bridge: self.bridges.len(),
-                port: i,
-            });
+            self.register(
+                *addr,
+                SourceKind::MixPort {
+                    bridge: self.bridges.len(),
+                    port: i,
+                },
+            );
         }
         self.bridges.push(Bridge { ports, matrix });
         self.bridges.len() - 1
@@ -272,12 +275,36 @@ mod tests {
 
         let routes = [
             // Each party sends to its port; each port sends the mix back.
-            Route { from: addr(1), to: addr(11), codec: Codec::G711 },
-            Route { from: addr(2), to: addr(12), codec: Codec::G711 },
-            Route { from: addr(3), to: addr(13), codec: Codec::G711 },
-            Route { from: addr(11), to: addr(1), codec: Codec::G711 },
-            Route { from: addr(12), to: addr(2), codec: Codec::G711 },
-            Route { from: addr(13), to: addr(3), codec: Codec::G711 },
+            Route {
+                from: addr(1),
+                to: addr(11),
+                codec: Codec::G711,
+            },
+            Route {
+                from: addr(2),
+                to: addr(12),
+                codec: Codec::G711,
+            },
+            Route {
+                from: addr(3),
+                to: addr(13),
+                codec: Codec::G711,
+            },
+            Route {
+                from: addr(11),
+                to: addr(1),
+                codec: Codec::G711,
+            },
+            Route {
+                from: addr(12),
+                to: addr(2),
+                codec: Codec::G711,
+            },
+            Route {
+                from: addr(13),
+                to: addr(3),
+                codec: Codec::G711,
+            },
         ];
         for _ in 0..4 {
             plane.tick(&routes);
@@ -306,10 +333,20 @@ mod tests {
         plane.register(addr(1), SourceKind::MovieVideo { movie });
         plane.register(addr(2), SourceKind::Silence);
         plane.register(addr(3), SourceKind::Silence);
-        plane.movie_mut(movie).apply(ipmedia_core::MovieCommand::Play);
+        plane
+            .movie_mut(movie)
+            .apply(ipmedia_core::MovieCommand::Play);
         let routes = [
-            Route { from: addr(1), to: addr(2), codec: Codec::H263 },
-            Route { from: addr(1), to: addr(3), codec: Codec::H263 },
+            Route {
+                from: addr(1),
+                to: addr(2),
+                codec: Codec::H263,
+            },
+            Route {
+                from: addr(1),
+                to: addr(3),
+                codec: Codec::H263,
+            },
         ];
         for _ in 0..5 {
             plane.tick(&routes);
@@ -332,12 +369,20 @@ mod tests {
         let movie = plane.add_movie();
         plane.register(addr(1), SourceKind::MovieVideo { movie });
         plane.register(addr(2), SourceKind::Silence);
-        let routes = [Route { from: addr(1), to: addr(2), codec: Codec::H263 }];
-        plane.movie_mut(movie).apply(ipmedia_core::MovieCommand::Play);
+        let routes = [Route {
+            from: addr(1),
+            to: addr(2),
+            codec: Codec::H263,
+        }];
+        plane
+            .movie_mut(movie)
+            .apply(ipmedia_core::MovieCommand::Play);
         for _ in 0..3 {
             plane.tick(&routes);
         }
-        plane.movie_mut(movie).apply(ipmedia_core::MovieCommand::Pause);
+        plane
+            .movie_mut(movie)
+            .apply(ipmedia_core::MovieCommand::Pause);
         let before = plane.movie(movie).frame_pos();
         for _ in 0..3 {
             plane.tick(&routes);

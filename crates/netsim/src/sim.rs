@@ -12,8 +12,12 @@ use ipmedia_core::ids::{BoxId, ChannelId, SlotId, TunnelId};
 use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerId};
 use ipmedia_core::signal::{Availability, MetaSignal};
 use ipmedia_core::MediaBox;
+use ipmedia_obs::clock::ManualClock;
+use ipmedia_obs::ladder::{render, LadderEvent};
+use ipmedia_obs::{NoopObserver, Observer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Timing parameters of the simulated deployment.
 #[derive(Debug, Clone, Copy)]
@@ -47,8 +51,14 @@ impl SimConfig {
 }
 
 enum Ev {
-    /// Deliver an input to a box (and let it process it).
-    Input { to: BoxId, input: BoxInput },
+    /// Deliver an input to a box (and let it process it). `from` is the
+    /// box whose output caused the input, when there is one — it feeds the
+    /// trace's source column and ladder arrows.
+    Input {
+        to: BoxId,
+        input: BoxInput,
+        from: Option<BoxId>,
+    },
     /// An application timer fires, if still current.
     TimerFire { to: BoxId, id: TimerId, gen: u64 },
     /// An externally injected user command.
@@ -110,11 +120,23 @@ struct Channel {
 }
 
 /// One recorded delivery, for debugging and figure generation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     pub at: SimTime,
+    /// The box whose output caused this delivery, when there is one;
+    /// `None` for externally injected inputs (start, user commands,
+    /// harness closures).
+    pub from: Option<BoxId>,
     pub to: BoxId,
     pub what: String,
+}
+
+impl TraceEntry {
+    /// Compatibility accessor for the source box (the field predates
+    /// `from` and older call sites read it through this method).
+    pub fn source(&self) -> Option<BoxId> {
+        self.from
+    }
 }
 
 /// The simulated network of boxes and signaling channels.
@@ -132,6 +154,13 @@ pub struct Network {
     next_channel: u32,
     pub trace_enabled: bool,
     trace: Vec<TraceEntry>,
+    /// Unified observability sink; every protocol event in the simulation
+    /// flows through it (the trace above is a thin adapter kept for
+    /// figure generation and golden tests).
+    obs: Box<dyn Observer + Send>,
+    /// Virtual-time clock kept in sync with `now`, so observers that
+    /// timestamp (e.g. `RecordingObserver`) see simulation time.
+    clock: Arc<ManualClock>,
 }
 
 impl Network {
@@ -149,6 +178,8 @@ impl Network {
             next_channel: 0,
             trace_enabled: false,
             trace: Vec::new(),
+            obs: Box::new(NoopObserver),
+            clock: Arc::new(ManualClock::new()),
         }
     }
 
@@ -162,6 +193,41 @@ impl Network {
 
     pub fn trace(&self) -> &[TraceEntry] {
         &self.trace
+    }
+
+    /// Install an observer; all subsequent simulation activity is reported
+    /// to it. The previous observer is returned (a `NoopObserver` box if
+    /// none was set).
+    pub fn set_observer(&mut self, obs: Box<dyn Observer + Send>) -> Box<dyn Observer + Send> {
+        std::mem::replace(&mut self.obs, obs)
+    }
+
+    /// The simulation's virtual-time clock (microseconds = `SimTime`).
+    /// Hand it to observers that timestamp events.
+    pub fn clock(&self) -> Arc<ManualClock> {
+        self.clock.clone()
+    }
+
+    /// Render the recorded trace as a Fig.-10-style ASCII ladder, one
+    /// column per box. Requires `trace_enabled` to have been set before
+    /// the events of interest.
+    pub fn ladder(&self) -> String {
+        let boxes = self.boxes();
+        let col: HashMap<BoxId, usize> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, (id, _))| (*id, i))
+            .collect();
+        let columns: Vec<&str> = boxes.iter().map(|(_, name)| name.as_str()).collect();
+        let events: Vec<LadderEvent> = self
+            .trace
+            .iter()
+            .map(|t| match t.from {
+                Some(f) => LadderEvent::arrow(t.at.0, col[&f], col[&t.to], t.what.clone()),
+                None => LadderEvent::local(t.at.0, col[&t.to], t.what.clone()),
+            })
+            .collect();
+        render(&columns, &events)
     }
 
     /// Add a box running `logic` under a unique `name`. A `Start` input is
@@ -186,10 +252,14 @@ impl Network {
                 next_slot: 0,
             },
         );
-        self.push(self.now, Ev::Input {
-            to: id,
-            input: BoxInput::Start,
-        });
+        self.push(
+            self.now,
+            Ev::Input {
+                to: id,
+                input: BoxInput::Start,
+                from: None,
+            },
+        );
         id
     }
 
@@ -235,22 +305,30 @@ impl Network {
                 slots_b: slots_b.clone(),
             },
         );
-        self.push(self.now, Ev::Input {
-            to: a,
-            input: BoxInput::ChannelUp {
-                channel: ch,
-                slots: slots_a.clone(),
-                req: None,
+        self.push(
+            self.now,
+            Ev::Input {
+                to: a,
+                input: BoxInput::ChannelUp {
+                    channel: ch,
+                    slots: slots_a.clone(),
+                    req: None,
+                },
+                from: None,
             },
-        });
-        self.push(self.now, Ev::Input {
-            to: b,
-            input: BoxInput::ChannelUp {
-                channel: ch,
-                slots: slots_b.clone(),
-                req: None,
+        );
+        self.push(
+            self.now,
+            Ev::Input {
+                to: b,
+                input: BoxInput::ChannelUp {
+                    channel: ch,
+                    slots: slots_b.clone(),
+                    req: None,
+                },
+                from: None,
             },
-        });
+        );
         (ch, slots_a, slots_b)
     }
 
@@ -282,7 +360,14 @@ impl Network {
     /// scenario drivers to deliver application meta-signals (feature
     /// commands like "switch to call 2") as if a peer had sent them.
     pub fn inject_input(&mut self, to: BoxId, input: BoxInput) {
-        self.push(self.now, Ev::Input { to, input });
+        self.push(
+            self.now,
+            Ev::Input {
+                to,
+                input,
+                from: None,
+            },
+        );
     }
 
     /// Inject a closure over a box at the current time; used by test
@@ -316,15 +401,16 @@ impl Network {
         };
         debug_assert!(sch.at >= self.now);
         self.now = sch.at;
+        self.clock.set(self.now.0);
         match sch.ev {
-            Ev::Input { to, input } => self.deliver(to, input),
+            Ev::Input { to, input, from } => self.deliver(to, input, from),
             Ev::TimerFire { to, id, gen } => {
                 let current = self
                     .nodes
                     .get(&to)
                     .and_then(|n| n.timer_gen.get(&id).copied());
                 if current == Some(gen) {
-                    self.deliver(to, BoxInput::Timer(id));
+                    self.deliver(to, BoxInput::Timer(id), None);
                 }
             }
             Ev::User { to, slot, cmd } => {
@@ -337,7 +423,8 @@ impl Network {
                 let start = self.now.max(node.busy_until);
                 let done = start + self.cfg.compute_cost;
                 node.busy_until = done;
-                match node.pb.media_mut().user(slot, cmd) {
+                self.obs.stimulus(to.0, "user");
+                match node.pb.media_mut().user_obs(slot, cmd, &mut self.obs) {
                     Ok(out) => {
                         let cmds: Vec<BoxCmd> = out.into_iter().map(BoxCmd::Signal).collect();
                         self.execute(to, done, cmds);
@@ -352,6 +439,7 @@ impl Network {
                 let start = self.now.max(node.busy_until);
                 let done = start + self.cfg.compute_cost;
                 node.busy_until = done;
+                self.obs.stimulus(to.0, "apply");
                 let cmds = f(&mut node.pb);
                 self.execute(to, done, cmds);
             }
@@ -359,7 +447,7 @@ impl Network {
         true
     }
 
-    fn deliver(&mut self, to: BoxId, input: BoxInput) {
+    fn deliver(&mut self, to: BoxId, input: BoxInput, from: Option<BoxId>) {
         let Some(node) = self.nodes.get_mut(&to) else {
             return; // box gone (e.g. signal in flight past teardown)
         };
@@ -378,12 +466,20 @@ impl Network {
                 BoxInput::Tunnel { slot, signal } => format!("{slot}:{}", signal.kind()),
                 other => format!("{other:?}"),
             };
-            self.trace.push(TraceEntry { at: self.now, to, what });
+            self.trace.push(TraceEntry {
+                at: self.now,
+                from,
+                to,
+                what,
+            });
+        }
+        if let BoxInput::Meta { channel, meta } = &input {
+            self.obs.meta_signal(to.0, channel.0, meta.kind());
         }
         let start = self.now.max(node.busy_until);
         let done = start + self.cfg.compute_cost;
         node.busy_until = done;
-        let cmds = node.pb.handle(input);
+        let cmds = node.pb.handle_obs(input, &mut self.obs);
         self.execute(to, done, cmds);
     }
 
@@ -404,6 +500,10 @@ impl Network {
                     if !self.nodes.contains_key(&peer) {
                         continue;
                     }
+                    // The routing layer is the one place every transmitted
+                    // signal passes through (logic-driven, user-driven, and
+                    // harness-injected alike), so sends are observed here.
+                    self.obs.signal_sent(from.0, out.slot.0, out.signal.kind());
                     self.push(
                         done + self.cfg.net_latency,
                         Ev::Input {
@@ -412,6 +512,7 @@ impl Network {
                                 slot: peer_slot,
                                 signal: out.signal,
                             },
+                            from: Some(from),
                         },
                     );
                 }
@@ -425,6 +526,7 @@ impl Network {
                         Ev::Input {
                             to: peer,
                             input: BoxInput::Meta { channel, meta },
+                            from: Some(from),
                         },
                     );
                 }
@@ -455,9 +557,7 @@ impl Network {
 
     fn open_channel(&mut self, from: BoxId, to_name: &str, tunnels: u16, req: u32, done: SimTime) {
         let target = self.names.get(to_name).copied();
-        let available = target
-            .map(|t| self.nodes[&t].available)
-            .unwrap_or(false);
+        let available = target.map(|t| self.nodes[&t].available).unwrap_or(false);
         let ch = ChannelId(self.next_channel);
         self.next_channel += 1;
         let slots_from = self.alloc_slots(from, tunnels, true, ch);
@@ -485,23 +585,32 @@ impl Network {
                         slots: slots_to,
                         req: None,
                     },
+                    from: Some(from),
                 },
             );
-            self.push(up_at, Ev::Input {
-                to: from,
-                input: BoxInput::ChannelUp {
-                    channel: ch,
-                    slots: slots_from,
-                    req: Some(req),
+            self.push(
+                up_at,
+                Ev::Input {
+                    to: from,
+                    input: BoxInput::ChannelUp {
+                        channel: ch,
+                        slots: slots_from,
+                        req: Some(req),
+                    },
+                    from: Some(target),
                 },
-            });
-            self.push(up_at, Ev::Input {
-                to: from,
-                input: BoxInput::Meta {
-                    channel: ch,
-                    meta: MetaSignal::Peer(Availability::Available),
+            );
+            self.push(
+                up_at,
+                Ev::Input {
+                    to: from,
+                    input: BoxInput::Meta {
+                        channel: ch,
+                        meta: MetaSignal::Peer(Availability::Available),
+                    },
+                    from: Some(target),
                 },
-            });
+            );
         } else {
             // Target missing or unavailable: a half-open channel the
             // requester can observe and destroy (Fig. 6's busy branch).
@@ -515,21 +624,29 @@ impl Network {
                     slots_b: Vec::new(),
                 },
             );
-            self.push(up_at, Ev::Input {
-                to: from,
-                input: BoxInput::ChannelUp {
-                    channel: ch,
-                    slots: slots_from,
-                    req: Some(req),
+            self.push(
+                up_at,
+                Ev::Input {
+                    to: from,
+                    input: BoxInput::ChannelUp {
+                        channel: ch,
+                        slots: slots_from,
+                        req: Some(req),
+                    },
+                    from: None,
                 },
-            });
-            self.push(up_at, Ev::Input {
-                to: from,
-                input: BoxInput::Meta {
-                    channel: ch,
-                    meta: MetaSignal::Peer(Availability::Unavailable),
+            );
+            self.push(
+                up_at,
+                Ev::Input {
+                    to: from,
+                    input: BoxInput::Meta {
+                        channel: ch,
+                        meta: MetaSignal::Peer(Availability::Unavailable),
+                    },
+                    from: None,
                 },
-            });
+            );
         }
     }
 
@@ -557,15 +674,18 @@ impl Network {
                 self.slot_route.remove(&(peer, *s));
             }
             let slots = peer_slots.clone();
-            self.push(done + self.cfg.net_latency, Ev::Apply {
-                to: peer,
-                f: Box::new(move |pb: &mut ProgramBox| {
-                    for s in &slots {
-                        pb.media_mut().remove_slot(*s);
-                    }
-                    pb.handle(BoxInput::ChannelDown { channel: ch })
-                }),
-            });
+            self.push(
+                done + self.cfg.net_latency,
+                Ev::Apply {
+                    to: peer,
+                    f: Box::new(move |pb: &mut ProgramBox| {
+                        for s in &slots {
+                            pb.media_mut().remove_slot(*s);
+                        }
+                        pb.handle(BoxInput::ChannelDown { channel: ch })
+                    }),
+                },
+            );
         }
         let _ = done;
     }
@@ -610,11 +730,7 @@ impl Network {
     /// legal when no events are pending; used to separate setup from a
     /// measured phase so setup compute time does not queue-delay it.
     pub fn advance(&mut self, d: SimDuration) {
-        assert_eq!(
-            self.events.len(),
-            0,
-            "advance requires a quiescent network"
-        );
+        assert_eq!(self.events.len(), 0, "advance requires a quiescent network");
         self.now += d;
     }
 

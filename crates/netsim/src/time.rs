@@ -106,7 +106,10 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_millis(34) + SimDuration::from_millis(20);
         assert_eq!(t.as_micros(), 54_000);
         assert_eq!((t - SimTime(4_000)).as_millis_f64(), 50.0);
-        assert_eq!(SimDuration::from_millis(34) * 2, SimDuration::from_millis(68));
+        assert_eq!(
+            SimDuration::from_millis(34) * 2,
+            SimDuration::from_millis(68)
+        );
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Golden-trace test: the Fig.-10-style ladder for the paper's open/open
+//! race (§VI-B) must match the checked-in fixture exactly. The simulator
+//! is deterministic, so any rendering or protocol change shows up as a
+//! readable diff against `tests/fixtures/fig10_open_race.txt`.
+
+use ipmedia_core::goal::{EndpointPolicy, UserCmd};
+use ipmedia_core::slot::SlotState;
+use ipmedia_core::{MediaAddr, Medium};
+use ipmedia_netsim::{Network, SimConfig, SimTime};
+use ipmedia_obs::metrics::{CountingObserver, Registry};
+use std::sync::Arc;
+
+const T_MAX: SimTime = SimTime(60_000_000);
+
+fn audio_endpoint(host: u8) -> Box<ipmedia_core::endpoint::EndpointLogic> {
+    Box::new(ipmedia_core::endpoint::EndpointLogic::resource(
+        EndpointPolicy::audio(MediaAddr::v4(10, 0, 0, host, 4000)),
+    ))
+}
+
+/// Drive the open/open race of §VI-B and return the network afterwards:
+/// both ends issue `user open` at the same virtual instant; the channel
+/// initiator (end-l) wins and end-r backs off to become the acceptor.
+fn run_open_race() -> (Network, ipmedia_core::ids::BoxId, ipmedia_core::ids::BoxId) {
+    let mut net = Network::new(SimConfig::paper());
+    let l = net.add_box("end-l", audio_endpoint(1));
+    let r = net.add_box("end-r", audio_endpoint(2));
+    let (_, sl, sr) = net.connect(l, r, 1);
+    net.run_until_quiescent(T_MAX);
+
+    net.trace_enabled = true;
+    net.user(l, sl[0], UserCmd::Open(Medium::Audio));
+    net.user(r, sr[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    assert_eq!(
+        net.media(l).slot(sl[0]).unwrap().state(),
+        SlotState::Flowing
+    );
+    assert_eq!(
+        net.media(r).slot(sr[0]).unwrap().state(),
+        SlotState::Flowing
+    );
+    (net, l, r)
+}
+
+#[test]
+fn open_open_race_ladder_matches_fixture() {
+    let (net, _, _) = run_open_race();
+    let ladder = net.ladder();
+    let golden = include_str!("fixtures/fig10_open_race.txt");
+    assert_eq!(
+        ladder, golden,
+        "ladder drifted from the golden fixture;\nactual:\n{ladder}"
+    );
+}
+
+#[test]
+fn open_open_race_metrics_count_one_resolved_race() {
+    let registry = Arc::new(Registry::new());
+    let mut net = Network::new(SimConfig::paper());
+    net.set_observer(Box::new(CountingObserver::new(registry.clone())));
+    let l = net.add_box("end-l", audio_endpoint(1));
+    let r = net.add_box("end-r", audio_endpoint(2));
+    let (_, sl, sr) = net.connect(l, r, 1);
+    net.run_until_quiescent(T_MAX);
+    net.user(l, sl[0], UserCmd::Open(Medium::Audio));
+    net.user(r, sr[0], UserCmd::Open(Medium::Audio));
+    net.run_until_quiescent(T_MAX);
+
+    let snap = registry.snapshot();
+    // Both ends open simultaneously: two opens sent; the race is resolved
+    // twice, once at each end (winner ignores, loser backs off).
+    assert_eq!(snap.sent("open"), 2);
+    assert_eq!(snap.races_resolved, 2);
+    // The winner's open is answered; the loser's is swallowed by the race
+    // rule, which the idempotent-signal counter records at the winner.
+    assert_eq!(snap.sent("oack"), 1);
+    assert_eq!(snap.received("oack"), 1);
+    assert!(snap.stimuli > 0);
+    assert_eq!(snap.signals_sent_total(), snap.signals_received_total());
+}

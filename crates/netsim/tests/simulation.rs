@@ -117,11 +117,10 @@ fn chain_of_three_flowlinks_still_transparent() {
     let (_, s3r, sr) = net.connect(servers[2], r, 1);
     net.run_until_quiescent(T_MAX);
 
-    for (srv, (a, b)) in servers.iter().zip([
-        (s1l[0], s1r[0]),
-        (s2l[0], s2r[0]),
-        (s3l[0], s3r[0]),
-    ]) {
+    for (srv, (a, b)) in servers
+        .iter()
+        .zip([(s1l[0], s1r[0]), (s2l[0], s2r[0]), (s3l[0], s3r[0])])
+    {
         let (srv, a, b) = (*srv, a, b);
         net.apply(srv, move |pb| {
             pb.media_mut()
@@ -244,12 +243,13 @@ fn open_channel_to_unavailable_box() {
         fn handle(&mut self, input: &ipmedia_core::BoxInput, ctx: &mut ipmedia_core::Ctx<'_>) {
             match input {
                 ipmedia_core::BoxInput::Start => ctx.open_channel("dead-phone", 1, 7),
-                ipmedia_core::BoxInput::Meta { channel, meta } => {
-                    if let ipmedia_core::MetaSignal::Peer(av) = meta {
-                        assert_eq!(*av, ipmedia_core::Availability::Unavailable);
-                        ctx.close_channel(*channel);
-                        ctx.terminate();
-                    }
+                ipmedia_core::BoxInput::Meta {
+                    channel,
+                    meta: ipmedia_core::MetaSignal::Peer(av),
+                } => {
+                    assert_eq!(*av, ipmedia_core::Availability::Unavailable);
+                    ctx.close_channel(*channel);
+                    ctx.terminate();
                 }
                 _ => {}
             }
@@ -342,7 +342,10 @@ fn two_tunnels_are_independent() {
         addr: MediaAddr::v4(10, 0, 0, 2, 4000),
         ..pol
     };
-    let b = net.add_box("dev-b", Box::new(EndpointLogic::new(pol_b, AcceptMode::Auto)));
+    let b = net.add_box(
+        "dev-b",
+        Box::new(EndpointLogic::new(pol_b, AcceptMode::Auto)),
+    );
     let (_, sa, sb) = net.connect(a, b, 2);
     net.run_until_quiescent(T_MAX);
 
@@ -361,8 +364,14 @@ fn two_tunnels_are_independent() {
     );
     assert!(audio.both_flowing());
     assert!(video.both_flowing());
-    assert_eq!(net.media(a).slot(sa[0]).unwrap().medium(), Some(Medium::Audio));
-    assert_eq!(net.media(a).slot(sa[1]).unwrap().medium(), Some(Medium::Video));
+    assert_eq!(
+        net.media(a).slot(sa[0]).unwrap().medium(),
+        Some(Medium::Audio)
+    );
+    assert_eq!(
+        net.media(a).slot(sa[1]).unwrap().medium(),
+        Some(Medium::Video)
+    );
 }
 
 #[test]

@@ -1,0 +1,254 @@
+//! Export formats: hand-rolled JSON (the workspace has no serde) and a
+//! Prometheus-style text rendering of a [`MetricsSnapshot`].
+//!
+//! JSONL convention used by the bin targets: one [`JsonObj`] per line on
+//! stdout is the machine-readable record; anything meant for a human goes
+//! to stderr.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, SIGNAL_KINDS};
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal ordered JSON-object builder. Fields appear in insertion order;
+/// `raw` splices pre-rendered JSON (numbers built elsewhere, nested
+/// objects, arrays).
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    body: String,
+}
+
+impl JsonObj {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":", json_escape(k));
+        &mut self.body
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        let escaped = json_escape(v);
+        let _ = write!(self.key(k), "\"{escaped}\"");
+        self
+    }
+
+    pub fn num(mut self, k: &str, v: u64) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    pub fn float(mut self, k: &str, v: f64) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    JsonObj::new()
+        .raw(
+            "bounds",
+            &json_array(h.bounds.iter().map(|b| b.to_string())),
+        )
+        .raw(
+            "counts",
+            &json_array(h.counts.iter().map(|c| c.to_string())),
+        )
+        .num("sum", h.sum)
+        .num("count", h.total())
+        .finish()
+}
+
+fn kind_counts_json(counts: &[u64; SIGNAL_KINDS.len()]) -> String {
+    let mut obj = JsonObj::new();
+    for (kind, n) in SIGNAL_KINDS.iter().zip(counts) {
+        obj = obj.num(kind, *n);
+    }
+    obj.finish()
+}
+
+/// One JSON object holding the whole snapshot — the payload written to
+/// `BENCH_obs.json` and embedded in JSONL records.
+pub fn snapshot_json(s: &MetricsSnapshot) -> String {
+    JsonObj::new()
+        .raw("signals_sent", &kind_counts_json(&s.signals_sent))
+        .raw("signals_received", &kind_counts_json(&s.signals_received))
+        .num("stimuli", s.stimuli)
+        .num("goal_activations", s.goal_activations)
+        .num("goal_drops", s.goal_drops)
+        .num("races_resolved", s.races_resolved)
+        .num("signals_ignored", s.signals_ignored)
+        .num("meta_signals", s.meta_signals)
+        .raw("tunnel_setup_ms", &histogram_json(&s.tunnel_setup_ms))
+        .raw(
+            "flowlink_convergence_ms",
+            &histogram_json(&s.flowlink_convergence_ms),
+        )
+        .raw(
+            "stimulus_compute_us",
+            &histogram_json(&s.stimulus_compute_us),
+        )
+        .finish()
+}
+
+fn prom_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
+    cumulative += h.overflow();
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.total());
+}
+
+/// Prometheus text exposition of a snapshot, suitable for serving from a
+/// node's debug endpoint or dumping after a run.
+pub fn prometheus_text(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE ipmedia_signals_sent_total counter");
+    for (kind, n) in SIGNAL_KINDS.iter().zip(&s.signals_sent) {
+        let _ = writeln!(out, "ipmedia_signals_sent_total{{kind=\"{kind}\"}} {n}");
+    }
+    let _ = writeln!(out, "# TYPE ipmedia_signals_received_total counter");
+    for (kind, n) in SIGNAL_KINDS.iter().zip(&s.signals_received) {
+        let _ = writeln!(out, "ipmedia_signals_received_total{{kind=\"{kind}\"}} {n}");
+    }
+    for (name, v) in [
+        ("ipmedia_stimuli_total", s.stimuli),
+        ("ipmedia_goal_activations_total", s.goal_activations),
+        ("ipmedia_goal_drops_total", s.goal_drops),
+        ("ipmedia_races_resolved_total", s.races_resolved),
+        ("ipmedia_signals_ignored_total", s.signals_ignored),
+        ("ipmedia_meta_signals_total", s.meta_signals),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    prom_histogram(&mut out, "ipmedia_tunnel_setup_ms", &s.tunnel_setup_ms);
+    prom_histogram(
+        &mut out,
+        "ipmedia_flowlink_convergence_ms",
+        &s.flowlink_convergence_ms,
+    );
+    prom_histogram(
+        &mut out,
+        "ipmedia_stimulus_compute_us",
+        &s.stimulus_compute_us,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_obj_builds_ordered_fields() {
+        let s = JsonObj::new()
+            .str("event", "signal_sent")
+            .num("at", 54000)
+            .bool("won", false)
+            .raw("extra", "[1,2]")
+            .finish();
+        assert_eq!(
+            s,
+            r#"{"event":"signal_sent","at":54000,"won":false,"extra":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed_and_complete() {
+        let r = Registry::new();
+        r.tunnel_setup_ms.observe(236);
+        let json = snapshot_json(&r.snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "signals_sent",
+            "signals_received",
+            "stimuli",
+            "races_resolved",
+            "tunnel_setup_ms",
+            "flowlink_convergence_ms",
+            "stimulus_compute_us",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "missing {key} in {json}"
+            );
+        }
+        assert!(json.contains("\"sum\":236"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let r = Registry::new();
+        r.tunnel_setup_ms.observe(60); // le 100
+        r.tunnel_setup_ms.observe(236); // le 250
+        r.tunnel_setup_ms.observe(9999); // +Inf only
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"50\"} 0"));
+        assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"100\"} 1"));
+        assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"250\"} 2"));
+        assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ipmedia_tunnel_setup_ms_count 3"));
+    }
+}

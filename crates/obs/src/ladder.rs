@@ -1,0 +1,181 @@
+//! ASCII signal-ladder renderer in the style of the paper's Fig. 10.
+//!
+//! Boxes are vertical lifelines; each event is one row, stamped with its
+//! (virtual or wall) time on the left. Signal transmissions draw an arrow
+//! from the sender's lifeline to the receiver's; local events (user
+//! commands, state changes, ignored signals) mark one lifeline with `*`.
+//!
+//! The renderer is deliberately substrate-agnostic: the simulator feeds
+//! it trace entries, the model checker feeds it counterexample steps, and
+//! both get identical diagrams for identical protocol behavior — which is
+//! what makes the golden-trace tests meaningful.
+
+use std::fmt::Write as _;
+
+/// Width of the right-aligned time gutter.
+const TIME_W: usize = 12;
+/// Width allotted to each box column.
+const COL_W: usize = 18;
+
+/// One row of the ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderEvent {
+    /// Timestamp in microseconds since the diagram's epoch.
+    pub at_micros: u64,
+    /// Sending column for an arrow; `None` renders a local `*` event at
+    /// column `to`.
+    pub from: Option<usize>,
+    /// Receiving (or sole) column index.
+    pub to: usize,
+    /// Arrow or event label, e.g. `"slot0:open"` or `"user open"`.
+    pub label: String,
+}
+
+impl LadderEvent {
+    pub fn arrow(at_micros: u64, from: usize, to: usize, label: impl Into<String>) -> Self {
+        LadderEvent {
+            at_micros,
+            from: Some(from),
+            to,
+            label: label.into(),
+        }
+    }
+
+    pub fn local(at_micros: u64, col: usize, label: impl Into<String>) -> Self {
+        LadderEvent {
+            at_micros,
+            from: None,
+            to: col,
+            label: label.into(),
+        }
+    }
+}
+
+fn center(col: usize) -> usize {
+    TIME_W + 2 + col * COL_W + COL_W / 2
+}
+
+fn fmt_time(micros: u64) -> String {
+    format!(
+        "{:>w$}",
+        format!("{:.3}ms", micros as f64 / 1000.0),
+        w = TIME_W
+    )
+}
+
+/// Write `text` into `row` starting at `at`, growing the row if needed.
+fn put(row: &mut Vec<char>, at: usize, text: &str) {
+    let end = at + text.chars().count();
+    if row.len() < end {
+        row.resize(end, ' ');
+    }
+    for (i, c) in text.chars().enumerate() {
+        row[at + i] = c;
+    }
+}
+
+fn row_to_string(row: &[char]) -> String {
+    let s: String = row.iter().collect();
+    s.trim_end().to_string()
+}
+
+/// Render a ladder diagram. `columns` are the box names left to right;
+/// every `LadderEvent` column index must be in range.
+pub fn render(columns: &[&str], events: &[LadderEvent]) -> String {
+    let width = TIME_W + 2 + columns.len() * COL_W;
+    let mut out = String::new();
+
+    // Header: box names centered over their lifelines.
+    let mut header: Vec<char> = vec![' '; width];
+    put(&mut header, TIME_W - 4, "time");
+    for (i, name) in columns.iter().enumerate() {
+        let name: String = name.chars().take(COL_W - 2).collect();
+        let start = center(i).saturating_sub(name.chars().count() / 2);
+        put(&mut header, start, &name);
+    }
+    let _ = writeln!(out, "{}", row_to_string(&header));
+
+    for ev in events {
+        let mut row: Vec<char> = vec![' '; width];
+        // Lifelines first; arrows and markers overwrite them.
+        for i in 0..columns.len() {
+            row[center(i)] = '|';
+        }
+        put(&mut row, 0, &fmt_time(ev.at_micros));
+
+        match ev.from {
+            None => {
+                let c = center(ev.to);
+                row[c] = '*';
+                put(&mut row, c + 2, &ev.label);
+            }
+            Some(from) => {
+                let (a, b) = (center(from), center(ev.to));
+                let (lo, hi) = (a.min(b), a.max(b));
+                for cell in row.iter_mut().take(hi).skip(lo + 1) {
+                    *cell = '-';
+                }
+                if b > a {
+                    row[b - 1] = '>';
+                } else {
+                    row[b + 1] = '<';
+                }
+                // Center the label over the shaft of the arrow.
+                let span = hi - lo - 2;
+                let label: String = ev.label.chars().take(span.max(1)).collect();
+                let start = lo + 1 + (span.saturating_sub(label.chars().count())) / 2;
+                put(&mut row, start, &label);
+            }
+        }
+        let _ = writeln!(out, "{}", row_to_string(&row));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrows_point_the_right_way() {
+        let out = render(
+            &["end-l", "end-r"],
+            &[
+                LadderEvent::arrow(0, 0, 1, "slot0:open"),
+                LadderEvent::arrow(54_000, 1, 0, "slot0:oack"),
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("time"));
+        assert!(lines[0].contains("end-l") && lines[0].contains("end-r"));
+        assert!(lines[1].starts_with("     0.000ms"));
+        assert!(lines[1].contains("slot0:open") && lines[1].contains('>'));
+        assert!(!lines[1].contains('<'));
+        assert!(lines[2].starts_with("    54.000ms"));
+        assert!(lines[2].contains("slot0:oack") && lines[2].contains('<'));
+        assert!(!lines[2].contains('>'));
+    }
+
+    #[test]
+    fn local_events_mark_one_lifeline() {
+        let out = render(
+            &["end-l", "s0", "end-r"],
+            &[LadderEvent::local(1_000, 1, "user open")],
+        );
+        let line = out.lines().nth(1).unwrap();
+        assert!(line.contains('*'));
+        assert!(line.contains("user open"));
+        // Other lifelines still drawn.
+        assert_eq!(line.matches('|').count(), 2);
+    }
+
+    #[test]
+    fn arrows_cross_intermediate_lifelines() {
+        let out = render(&["a", "b", "c"], &[LadderEvent::arrow(0, 0, 2, "open")]);
+        let line = out.lines().nth(1).unwrap();
+        // The middle lifeline is overwritten by the arrow shaft.
+        assert_eq!(line.matches('|').count(), 2);
+        assert!(line.contains('>'));
+    }
+}

@@ -1,0 +1,344 @@
+//! Lock-free metrics: atomic counters keyed by signal kind plus
+//! fixed-bucket latency histograms.
+//!
+//! A [`Registry`] is shared (`Arc`) between the recording side — a
+//! [`CountingObserver`] threaded through the protocol engines, and direct
+//! `observe_*` calls at the points where latencies close — and any number
+//! of reader threads taking [`MetricsSnapshot`]s. All cells are
+//! `AtomicU64` with relaxed ordering: counts are independent facts, no
+//! cross-cell ordering is needed, and a snapshot taken mid-burst is
+//! allowed to be a few events stale.
+
+use crate::Observer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The closed set of protocol signal kinds (`Signal::kind()` in
+/// `ipmedia-core`), plus a catch-all bucket for forward compatibility.
+pub const SIGNAL_KINDS: [&str; 7] = [
+    "open", "oack", "close", "closeack", "describe", "select", "other",
+];
+
+/// Index of a signal kind in [`SIGNAL_KINDS`]; unknown names map to the
+/// final `"other"` bucket instead of being dropped.
+pub fn kind_index(kind: &str) -> usize {
+    SIGNAL_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .unwrap_or(SIGNAL_KINDS.len() - 1)
+}
+
+/// A fixed-bucket histogram with Prometheus `le` (upper-inclusive bound)
+/// semantics and a trailing overflow bucket.
+///
+/// `counts` has `bounds.len() + 1` cells; a value `v` lands in the first
+/// bucket whose bound satisfies `v <= bound`, or in the last cell if it
+/// exceeds every bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|b| *b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Upper-inclusive bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds`, the extra final cell
+    /// counting values above the last bound.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().unwrap_or(&0)
+    }
+}
+
+/// All counters and histograms for one node (or one simulation).
+///
+/// Histogram units are encoded in the field names; the protocol-latency
+/// histograms are in milliseconds (the paper reports setup/convergence
+/// figures in ms) while per-stimulus compute is in microseconds.
+#[derive(Debug)]
+pub struct Registry {
+    signals_sent: [AtomicU64; SIGNAL_KINDS.len()],
+    signals_received: [AtomicU64; SIGNAL_KINDS.len()],
+    stimuli: AtomicU64,
+    goal_activations: AtomicU64,
+    goal_drops: AtomicU64,
+    races_resolved: AtomicU64,
+    signals_ignored: AtomicU64,
+    meta_signals: AtomicU64,
+    /// Channel + first-slot setup latency (§V: 2n+3c for a fresh path).
+    pub tunnel_setup_ms: Histogram,
+    /// Flow-link reconvergence after a relink (§VII, Fig. 13).
+    pub flowlink_convergence_ms: Histogram,
+    /// Single-stimulus compute time inside a box's `handle`.
+    pub stimulus_compute_us: Histogram,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            signals_sent: Default::default(),
+            signals_received: Default::default(),
+            stimuli: AtomicU64::new(0),
+            goal_activations: AtomicU64::new(0),
+            goal_drops: AtomicU64::new(0),
+            races_resolved: AtomicU64::new(0),
+            signals_ignored: AtomicU64::new(0),
+            meta_signals: AtomicU64::new(0),
+            tunnel_setup_ms: Histogram::new(&[50, 100, 150, 200, 250, 300, 400, 500, 750, 1000]),
+            flowlink_convergence_ms: Histogram::new(&[
+                25, 50, 75, 100, 150, 200, 300, 400, 600, 800,
+            ]),
+            stimulus_compute_us: Histogram::new(&[1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000]),
+        }
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            signals_sent: self
+                .signals_sent
+                .each_ref()
+                .map(|c| c.load(Ordering::Relaxed)),
+            signals_received: self
+                .signals_received
+                .each_ref()
+                .map(|c| c.load(Ordering::Relaxed)),
+            stimuli: self.stimuli.load(Ordering::Relaxed),
+            goal_activations: self.goal_activations.load(Ordering::Relaxed),
+            goal_drops: self.goal_drops.load(Ordering::Relaxed),
+            races_resolved: self.races_resolved.load(Ordering::Relaxed),
+            signals_ignored: self.signals_ignored.load(Ordering::Relaxed),
+            meta_signals: self.meta_signals.load(Ordering::Relaxed),
+            tunnel_setup_ms: self.tunnel_setup_ms.snapshot(),
+            flowlink_convergence_ms: self.flowlink_convergence_ms.snapshot(),
+            stimulus_compute_us: self.stimulus_compute_us.snapshot(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], cheap to clone and compare.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Signals sent, indexed by [`SIGNAL_KINDS`].
+    pub signals_sent: [u64; SIGNAL_KINDS.len()],
+    /// Signals received, indexed by [`SIGNAL_KINDS`].
+    pub signals_received: [u64; SIGNAL_KINDS.len()],
+    pub stimuli: u64,
+    pub goal_activations: u64,
+    pub goal_drops: u64,
+    pub races_resolved: u64,
+    pub signals_ignored: u64,
+    pub meta_signals: u64,
+    pub tunnel_setup_ms: HistogramSnapshot,
+    pub flowlink_convergence_ms: HistogramSnapshot,
+    pub stimulus_compute_us: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    pub fn signals_sent_total(&self) -> u64 {
+        self.signals_sent.iter().sum()
+    }
+
+    pub fn signals_received_total(&self) -> u64 {
+        self.signals_received.iter().sum()
+    }
+
+    pub fn sent(&self, kind: &str) -> u64 {
+        self.signals_sent[kind_index(kind)]
+    }
+
+    pub fn received(&self, kind: &str) -> u64 {
+        self.signals_received[kind_index(kind)]
+    }
+}
+
+/// Observer that increments a shared [`Registry`]. Composable with a
+/// structural recorder via [`crate::Fanout`].
+#[derive(Debug, Clone)]
+pub struct CountingObserver {
+    registry: Arc<Registry>,
+}
+
+impl CountingObserver {
+    pub fn new(registry: Arc<Registry>) -> Self {
+        CountingObserver { registry }
+    }
+
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+}
+
+impl Observer for CountingObserver {
+    fn stimulus(&mut self, _bx: u32, _kind: &'static str) {
+        self.registry.stimuli.fetch_add(1, Ordering::Relaxed);
+    }
+    fn signal_sent(&mut self, _bx: u32, _slot: u16, kind: &'static str) {
+        self.registry.signals_sent[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+    fn signal_received(&mut self, _bx: u32, _slot: u16, kind: &'static str) {
+        self.registry.signals_received[kind_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+    fn goal_activated(&mut self, _bx: u32, _slot: u16, _kind: &'static str) {
+        self.registry
+            .goal_activations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    fn goal_dropped(&mut self, _bx: u32, _slot: u16, _kind: &'static str) {
+        self.registry.goal_drops.fetch_add(1, Ordering::Relaxed);
+    }
+    fn race_resolved(&mut self, _bx: u32, _slot: u16, _won: bool) {
+        self.registry.races_resolved.fetch_add(1, Ordering::Relaxed);
+    }
+    fn signal_ignored(&mut self, _bx: u32, _slot: u16, _reason: &'static str) {
+        self.registry
+            .signals_ignored
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    fn meta_signal(&mut self, _bx: u32, _channel: u32, _kind: &'static str) {
+        self.registry.meta_signals.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_are_upper_inclusive() {
+        let h = Histogram::new(&[10, 20, 50]);
+        // Exactly on a bound lands in that bound's bucket (`le` semantics).
+        h.observe(0);
+        h.observe(10); // le 10
+        h.observe(11); // le 20
+        h.observe(20); // le 20
+        h.observe(21); // le 50
+        h.observe(50); // le 50
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![10, 20, 50]);
+        assert_eq!(s.counts, vec![2, 2, 2, 0]);
+        assert_eq!(s.sum, 112);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.overflow(), 0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_catches_values_above_last_bound() {
+        let h = Histogram::new(&[10, 20, 50]);
+        h.observe(51);
+        h.observe(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 0, 0, 2]);
+        assert_eq!(s.overflow(), 2);
+        assert_eq!(s.sum, 1_000_051);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 10, 50]);
+    }
+
+    #[test]
+    fn kind_index_maps_unknowns_to_other() {
+        assert_eq!(kind_index("open"), 0);
+        assert_eq!(kind_index("select"), 5);
+        assert_eq!(kind_index("frobnicate"), SIGNAL_KINDS.len() - 1);
+    }
+
+    #[test]
+    fn counting_observer_updates_registry() {
+        let r = Arc::new(Registry::new());
+        let mut obs = CountingObserver::new(r.clone());
+        obs.stimulus(0, "tunnel");
+        obs.signal_sent(0, 0, "open");
+        obs.signal_sent(0, 0, "open");
+        obs.signal_received(1, 0, "oack");
+        obs.race_resolved(1, 0, false);
+        obs.signal_ignored(1, 0, "close/close race");
+        obs.goal_activated(0, 0, "userAgent");
+        obs.goal_dropped(0, 0, "userAgent");
+        obs.meta_signal(0, 3, "peer");
+
+        let s = r.snapshot();
+        assert_eq!(s.stimuli, 1);
+        assert_eq!(s.sent("open"), 2);
+        assert_eq!(s.received("oack"), 1);
+        assert_eq!(s.signals_sent_total(), 2);
+        assert_eq!(s.signals_received_total(), 1);
+        assert_eq!(s.races_resolved, 1);
+        assert_eq!(s.signals_ignored, 1);
+        assert_eq!(s.goal_activations, 1);
+        assert_eq!(s.goal_drops, 1);
+        assert_eq!(s.meta_signals, 1);
+    }
+
+    #[test]
+    fn registry_histograms_have_paper_scale_buckets() {
+        let r = Registry::new();
+        // Fig. 13: a single concurrent relink converges in 128ms.
+        r.flowlink_convergence_ms.observe(128);
+        // §V fresh setup for k=1: 236ms.
+        r.tunnel_setup_ms.observe(236);
+        let s = r.snapshot();
+        assert_eq!(s.flowlink_convergence_ms.counts[4], 1); // le 150
+        assert_eq!(s.flowlink_convergence_ms.total(), 1);
+        assert_eq!(s.tunnel_setup_ms.counts[4], 1); // le 250
+        assert_eq!(s.tunnel_setup_ms.overflow(), 0);
+    }
+}

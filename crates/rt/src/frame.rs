@@ -170,7 +170,10 @@ mod tests {
         let (mut a, b) = duplex(64);
         a.write_u32((MAX_FRAME + 1) as u32).await.unwrap();
         let mut rb = Framed::new(b);
-        assert!(matches!(rb.read_frame().await, Err(FrameError::TooLarge(_))));
+        assert!(matches!(
+            rb.read_frame().await,
+            Err(FrameError::TooLarge(_))
+        ));
     }
 
     #[tokio::test]

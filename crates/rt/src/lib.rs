@@ -11,6 +11,6 @@ pub mod frame;
 pub mod node;
 pub mod wire;
 
-pub use frame::{Framed, FrameError, MAX_FRAME};
-pub use node::{spawn_node, Directory, NodeHandle, NodeSnapshot, SlotSnapshot};
+pub use frame::{FrameError, Framed, MAX_FRAME};
+pub use node::{spawn_node, spawn_node_obs, Directory, NodeHandle, NodeSnapshot, SlotSnapshot};
 pub use wire::{decode, encode, Frame, Hello, WireError, WIRE_VERSION};

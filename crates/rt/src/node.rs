@@ -16,6 +16,9 @@ use ipmedia_core::ids::{ChannelId, SlotId};
 use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerId};
 use ipmedia_core::signal::{Availability, ChannelMsg, MetaSignal};
 use ipmedia_core::{BoxId, Codec, MediaAddr, SlotState};
+use ipmedia_obs::export::prometheus_text;
+use ipmedia_obs::metrics::{CountingObserver, MetricsSnapshot, Registry};
+use ipmedia_obs::{Fanout, NoopObserver, Observer};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
@@ -58,6 +61,8 @@ pub struct SlotSnapshot {
 pub struct NodeSnapshot {
     pub slots: Vec<SlotSnapshot>,
     pub channels: usize,
+    /// Counters and latency histograms accumulated since spawn.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Control handle for a running node.
@@ -69,6 +74,7 @@ pub struct NodeHandle {
     input_tx: mpsc::Sender<BoxInput>,
     shutdown_tx: watch::Sender<bool>,
     pub snapshot: watch::Receiver<NodeSnapshot>,
+    registry: Arc<Registry>,
     join: JoinHandle<()>,
 }
 
@@ -87,6 +93,16 @@ impl NodeHandle {
     pub async fn shutdown(self) {
         let _ = self.shutdown_tx.send(true);
         let _ = self.join.await;
+    }
+
+    /// Live handle to the node's metrics registry (shared with the actor).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// Current metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        prometheus_text(&self.registry.snapshot())
     }
 
     /// Wait until the published snapshot satisfies `pred` (with timeout).
@@ -136,6 +152,20 @@ pub async fn spawn_node(
     logic: Box<dyn AppLogic>,
     dir: Directory,
 ) -> std::io::Result<NodeHandle> {
+    spawn_node_obs(name, box_id, logic, dir, Box::new(NoopObserver)).await
+}
+
+/// [`spawn_node`] with a caller-supplied structural observer. The node's
+/// metrics registry always counts regardless (fanned out in front of
+/// `observer`); the observer receives the same event stream and can
+/// record, export, or forward it.
+pub async fn spawn_node_obs(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+    observer: Box<dyn Observer + Send>,
+) -> std::io::Result<NodeHandle> {
     let name = name.into();
     let listener = TcpListener::bind("127.0.0.1:0").await?;
     let addr = listener.local_addr()?;
@@ -145,6 +175,7 @@ pub async fn spawn_node(
     let (input_tx, input_rx) = mpsc::channel(64);
     let (shutdown_tx, shutdown_rx) = watch::channel(false);
     let (snap_tx, snapshot) = watch::channel(NodeSnapshot::default());
+    let registry = Arc::new(Registry::new());
 
     let actor = Actor {
         name: name.clone(),
@@ -156,6 +187,8 @@ pub async fn spawn_node(
         timers: HashMap::new(),
         timer_heap: Vec::new(),
         snap_tx,
+        obs: Box::new(Fanout(CountingObserver::new(registry.clone()), observer)),
+        registry: registry.clone(),
     };
     let join = tokio::spawn(actor.run(listener, user_rx, input_rx, shutdown_rx));
 
@@ -166,6 +199,7 @@ pub async fn spawn_node(
         input_tx,
         shutdown_tx,
         snapshot,
+        registry,
         join,
     })
 }
@@ -180,9 +214,30 @@ struct Actor {
     timers: HashMap<TimerId, u64>,
     timer_heap: Vec<(Instant, TimerId, u64)>,
     snap_tx: watch::Sender<NodeSnapshot>,
+    /// Unified event sink: metrics counting fanned out with any observer
+    /// the spawner supplied.
+    obs: Box<dyn Observer + Send>,
+    registry: Arc<Registry>,
 }
 
 impl Actor {
+    /// Apply one stimulus to the program box through the observer, timing
+    /// the synchronous compute cost into `stimulus_compute_us`. Channel
+    /// meta-signals are surfaced here because, as in the simulator, they
+    /// are an environment-level event rather than a box-level one.
+    fn handle(&mut self, input: BoxInput) -> Vec<BoxCmd> {
+        if let BoxInput::Meta { channel, ref meta } = input {
+            self.obs
+                .meta_signal(self.pb.media().id().0, channel.0, meta.kind());
+        }
+        let t0 = std::time::Instant::now();
+        let cmds = self.pb.handle_obs(input, &mut self.obs);
+        self.registry
+            .stimulus_compute_us
+            .observe(t0.elapsed().as_micros() as u64);
+        cmds
+    }
+
     async fn run(
         mut self,
         listener: TcpListener,
@@ -204,19 +259,16 @@ impl Actor {
                 tokio::spawn(async move {
                     socket.set_nodelay(true).ok();
                     let mut framed = Framed::new(socket);
-                    match framed.read_frame().await {
-                        Ok(Some(bytes)) => {
-                            if let Ok(Frame::Hello(hello)) = wire::decode(bytes) {
-                                let _ = tx.send(Inbox::Accepted { hello, framed }).await;
-                            }
+                    if let Ok(Some(bytes)) = framed.read_frame().await {
+                        if let Ok(Frame::Hello(hello)) = wire::decode(bytes) {
+                            let _ = tx.send(Inbox::Accepted { hello, framed }).await;
                         }
-                        _ => {}
                     }
                 });
             }
         });
 
-        let cmds = self.pb.handle(BoxInput::Start);
+        let cmds = self.handle(BoxInput::Start);
         self.execute(cmds, &inbox_tx).await;
         self.publish();
 
@@ -233,7 +285,13 @@ impl Actor {
                     self.on_inbox(msg, &inbox_tx).await;
                 }
                 Some((slot, cmd)) = user_rx.recv() => {
-                    match self.pb.media_mut().user(slot, cmd) {
+                    self.obs.stimulus(self.pb.media().id().0, "user");
+                    let t0 = std::time::Instant::now();
+                    let result = self.pb.media_mut().user_obs(slot, cmd, &mut self.obs);
+                    self.registry
+                        .stimulus_compute_us
+                        .observe(t0.elapsed().as_micros() as u64);
+                    match result {
                         Ok(out) => {
                             let cmds = out.into_iter().map(BoxCmd::Signal).collect();
                             self.execute(cmds, &inbox_tx).await;
@@ -242,7 +300,7 @@ impl Actor {
                     }
                 }
                 Some(input) = input_rx.recv() => {
-                    let cmds = self.pb.handle(input);
+                    let cmds = self.handle(input);
                     self.execute(cmds, &inbox_tx).await;
                 }
                 _ = sleep_until(next_timer.unwrap_or_else(far_future)), if next_timer.is_some() => {
@@ -275,6 +333,7 @@ impl Actor {
         let _ = self.snap_tx.send(NodeSnapshot {
             slots,
             channels: self.conns.len(),
+            metrics: self.registry.snapshot(),
         });
     }
 
@@ -293,7 +352,7 @@ impl Actor {
         self.timer_heap.retain(|(t, _, _)| *t > now);
         for (id, generation) in due {
             if self.timers.get(&id) == Some(&generation) {
-                let cmds = self.pb.handle(BoxInput::Timer(id));
+                let cmds = self.handle(BoxInput::Timer(id));
                 self.execute(cmds, inbox_tx).await;
             }
         }
@@ -304,7 +363,7 @@ impl Actor {
             Inbox::Accepted { hello, framed } => {
                 let channel = self.alloc_channel(hello.tunnels, false, framed, inbox_tx);
                 let slots = self.conns[&channel].slots.clone();
-                let cmds = self.pb.handle(BoxInput::ChannelUp {
+                let cmds = self.handle(BoxInput::ChannelUp {
                     channel,
                     slots,
                     req: None,
@@ -319,11 +378,11 @@ impl Actor {
                     let Some(&slot) = conn.slots.get(tunnel.0 as usize) else {
                         return;
                     };
-                    let cmds = self.pb.handle(BoxInput::Tunnel { slot, signal });
+                    let cmds = self.handle(BoxInput::Tunnel { slot, signal });
                     self.execute(cmds, inbox_tx).await;
                 }
                 Frame::Msg(ChannelMsg::Meta(meta)) => {
-                    let cmds = self.pb.handle(BoxInput::Meta { channel, meta });
+                    let cmds = self.handle(BoxInput::Meta { channel, meta });
                     self.execute(cmds, inbox_tx).await;
                 }
                 Frame::Bye => self.drop_channel(channel, inbox_tx).await,
@@ -340,7 +399,7 @@ impl Actor {
         for slot in conn.slots {
             self.pb.media_mut().remove_slot(slot);
         }
-        let cmds = self.pb.handle(BoxInput::ChannelDown { channel });
+        let cmds = self.handle(BoxInput::ChannelDown { channel });
         self.execute(cmds, inbox_tx).await;
     }
 
@@ -413,6 +472,8 @@ impl Actor {
         for cmd in cmds {
             match cmd {
                 BoxCmd::Signal(out) => {
+                    self.obs
+                        .signal_sent(self.pb.media().id().0, out.slot.0, out.signal.kind());
                     // Find the channel and tunnel of this slot.
                     let Some((channel, tunnel)) = self.route_of(out.slot) else {
                         continue;
@@ -429,7 +490,10 @@ impl Actor {
                 }
                 BoxCmd::Meta { channel, meta } => {
                     if let Some(conn) = self.conns.get(&channel) {
-                        let _ = conn.writer_tx.send(Frame::Msg(ChannelMsg::Meta(meta))).await;
+                        let _ = conn
+                            .writer_tx
+                            .send(Frame::Msg(ChannelMsg::Meta(meta)))
+                            .await;
                     }
                 }
                 BoxCmd::OpenChannel { to, tunnels, req } => {
@@ -482,6 +546,7 @@ impl Actor {
         req: u32,
         inbox_tx: &mpsc::Sender<Inbox>,
     ) {
+        let t0 = std::time::Instant::now();
         let target = self.dir.lookup(to);
         let connected = match target {
             Some(addr) => TcpStream::connect(addr).await.ok(),
@@ -501,17 +566,22 @@ impl Actor {
                 }
                 let channel = self.alloc_channel(tunnels, true, framed, inbox_tx);
                 let slots = self.conns[&channel].slots.clone();
-                let cmds = self.pb.handle(BoxInput::ChannelUp {
+                let cmds = self.handle(BoxInput::ChannelUp {
                     channel,
                     slots,
                     req: Some(req),
                 });
                 self.execute_boxed(cmds, inbox_tx).await;
-                let cmds = self.pb.handle(BoxInput::Meta {
+                let cmds = self.handle(BoxInput::Meta {
                     channel,
                     meta: MetaSignal::Peer(Availability::Available),
                 });
                 self.execute_boxed(cmds, inbox_tx).await;
+                // Channel up and availability processed: the tunnel is
+                // usable from the program's point of view.
+                self.registry
+                    .tunnel_setup_ms
+                    .observe(t0.elapsed().as_millis() as u64);
             }
             None => {
                 self.report_unavailable(tunnels, req, inbox_tx).await;
@@ -519,12 +589,7 @@ impl Actor {
         }
     }
 
-    async fn report_unavailable(
-        &mut self,
-        tunnels: u16,
-        req: u32,
-        inbox_tx: &mpsc::Sender<Inbox>,
-    ) {
+    async fn report_unavailable(&mut self, tunnels: u16, req: u32, inbox_tx: &mpsc::Sender<Inbox>) {
         // Half-open channel the program can observe and destroy (Fig. 6).
         let channel = ChannelId(self.next_channel);
         self.next_channel += 1;
@@ -536,14 +601,20 @@ impl Actor {
             slots.push(slot);
         }
         let (writer_tx, _writer_rx) = mpsc::channel(1);
-        self.conns.insert(channel, Conn { writer_tx, slots: slots.clone() });
-        let cmds = self.pb.handle(BoxInput::ChannelUp {
+        self.conns.insert(
+            channel,
+            Conn {
+                writer_tx,
+                slots: slots.clone(),
+            },
+        );
+        let cmds = self.handle(BoxInput::ChannelUp {
             channel,
             slots,
             req: Some(req),
         });
         self.execute_boxed(cmds, inbox_tx).await;
-        let cmds = self.pb.handle(BoxInput::Meta {
+        let cmds = self.handle(BoxInput::Meta {
             channel,
             meta: MetaSignal::Peer(Availability::Unavailable),
         });

@@ -8,8 +8,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ipmedia_core::{
-    AppEvent, Availability, ChannelMsg, Codec, DescTag, Descriptor, MediaAddr, Medium,
-    MetaSignal, MixRow, MovieCommand, Selector, Signal, TunnelId,
+    AppEvent, Availability, ChannelMsg, Codec, DescTag, Descriptor, MediaAddr, Medium, MetaSignal,
+    MixRow, MovieCommand, Selector, Signal, TunnelId,
 };
 use std::net::IpAddr;
 
@@ -559,6 +559,9 @@ mod tests {
         let mut b = BytesMut::new();
         b.put_u8(WIRE_VERSION);
         b.put_u8(7); // no such frame tag
-        assert!(matches!(decode(b.freeze()), Err(WireError::BadTag("frame", 7))));
+        assert!(matches!(
+            decode(b.freeze()),
+            Err(WireError::BadTag("frame", 7))
+        ));
     }
 }

@@ -7,7 +7,10 @@ use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
 use ipmedia_core::ids::SlotId;
 use ipmedia_core::program::{AppLogic, BoxInput, Ctx};
 use ipmedia_core::{BoxId, Codec, MediaAddr, Medium, SlotState};
-use ipmedia_rt::{spawn_node, Directory};
+use ipmedia_obs::RecordingObserver;
+use ipmedia_obs::{Clock, ObsEvent, WallClock};
+use ipmedia_rt::{spawn_node, spawn_node_obs, Directory};
+use std::sync::Arc;
 use tokio::time::Duration;
 
 fn addr(h: u8) -> MediaAddr {
@@ -31,7 +34,11 @@ impl AppLogic for Dialer {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
             BoxInput::Start => ctx.open_channel(self.target.clone(), 1, 1),
-            BoxInput::ChannelUp { slots, req: Some(1), .. } => {
+            BoxInput::ChannelUp {
+                slots,
+                req: Some(1),
+                ..
+            } => {
                 for s in slots {
                     ctx.set_goal(GoalSpec::User {
                         slot: *s,
@@ -56,11 +63,17 @@ struct Gateway {
 impl AppLogic for Gateway {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
-            BoxInput::ChannelUp { slots, req: None, .. } => {
+            BoxInput::ChannelUp {
+                slots, req: None, ..
+            } => {
                 self.caller = Some(slots[0]);
                 ctx.open_channel(self.target.clone(), 1, 9);
             }
-            BoxInput::ChannelUp { slots, req: Some(9), .. } => {
+            BoxInput::ChannelUp {
+                slots,
+                req: Some(9),
+                ..
+            } => {
                 ctx.set_goal(GoalSpec::Link {
                     a: self.caller.expect("caller first"),
                     b: slots[0],
@@ -105,8 +118,67 @@ async fn direct_call_over_tcp() {
                 .any(|sl| sl.tx_route == Some((addr(1), Codec::G711)))
         })
         .await;
-    assert!(ok, "callee transmits toward the caller's descriptor address");
+    assert!(
+        ok,
+        "callee transmits toward the caller's descriptor address"
+    );
 
+    // The node's metrics ride along in the published snapshot: the caller
+    // sent one open, received its answers, and timed one tunnel setup.
+    let m = caller.snapshot.borrow().metrics.clone();
+    assert_eq!(m.sent("open"), 1);
+    assert!(m.signals_received_total() > 0);
+    assert!(m.stimuli > 0);
+    assert_eq!(m.tunnel_setup_ms.total(), 1);
+    assert_eq!(m.stimulus_compute_us.total(), m.stimuli);
+    assert_eq!(m, caller.registry().snapshot());
+    let text = caller.metrics_text();
+    assert!(text.contains("ipmedia_signals_sent_total{kind=\"open\"} 1"));
+    assert!(text.contains("ipmedia_tunnel_setup_ms_count 1"));
+
+    caller.shutdown().await;
+    callee.shutdown().await;
+}
+
+#[tokio::test]
+async fn spawned_observer_sees_structural_events() {
+    // A caller-supplied observer receives the same event stream the
+    // metrics registry counts, with wall-clock timestamps.
+    let dir = Directory::new();
+    let callee = spawn_node("phone-b", BoxId(2), phone(2), dir.clone())
+        .await
+        .unwrap();
+    let clock = Arc::new(WallClock::new());
+    let rec = RecordingObserver::new(clock.clone() as Arc<dyn Clock + Send + Sync>);
+    let log = rec.log();
+    let mut caller = spawn_node_obs(
+        "phone-a",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "phone-b".into(),
+        }),
+        dir.clone(),
+        Box::new(rec),
+    )
+    .await
+    .unwrap();
+    assert!(
+        caller
+            .wait_for(WAIT, |s| s
+                .slots
+                .iter()
+                .any(|sl| sl.state == SlotState::Flowing))
+            .await
+    );
+    let events = log.lock().unwrap().clone();
+    assert!(events
+        .iter()
+        .any(|(_, e)| matches!(e, ObsEvent::SignalSent { kind: "open", .. })));
+    assert!(events
+        .iter()
+        .any(|(_, e)| matches!(e, ObsEvent::SlotTransition { to: "flowing", .. })));
+    let now = clock.now_micros();
+    assert!(events.iter().all(|(t, _)| *t <= now));
     caller.shutdown().await;
     callee.shutdown().await;
 }
@@ -171,14 +243,13 @@ async fn dialing_unknown_box_reports_unavailable() {
         fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
             match input {
                 BoxInput::Start => ctx.open_channel("nobody", 1, 1),
-                BoxInput::Meta { channel, meta } => {
-                    if let ipmedia_core::MetaSignal::Peer(av) = meta {
-                        *self.outcome.lock().unwrap() = Some(matches!(
-                            av,
-                            ipmedia_core::Availability::Available
-                        ));
-                        ctx.close_channel(*channel);
-                    }
+                BoxInput::Meta {
+                    channel,
+                    meta: ipmedia_core::MetaSignal::Peer(av),
+                } => {
+                    *self.outcome.lock().unwrap() =
+                        Some(matches!(av, ipmedia_core::Availability::Available));
+                    ctx.close_channel(*channel);
                 }
                 _ => {}
             }

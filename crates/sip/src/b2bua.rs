@@ -38,9 +38,14 @@ pub type SharedReport = Arc<Mutex<RelinkReport>>;
 enum Phase {
     Idle,
     /// Offerless invite sent on the local leg; waiting for the offer.
-    Soliciting { local_cseq: u32 },
+    Soliciting {
+        local_cseq: u32,
+    },
     /// Invite with the solicited offer sent on the remote leg.
-    InvitingRemote { remote_cseq: u32, local_cseq: u32 },
+    InvitingRemote {
+        remote_cseq: u32,
+        local_cseq: u32,
+    },
     /// Glare: waiting out the randomized retry delay.
     BackedOff,
     Done,
@@ -51,9 +56,14 @@ enum Phase {
 enum Serving {
     No,
     /// Forwarded the peer's offer to our local endpoint.
-    AwaitLocalAnswer { remote_cseq: u32, local_cseq: u32 },
+    AwaitLocalAnswer {
+        remote_cseq: u32,
+        local_cseq: u32,
+    },
     /// Sent the answer upstream; waiting for the peer's ACK.
-    AwaitRemoteAck { remote_cseq: u32 },
+    AwaitRemoteAck {
+        remote_cseq: u32,
+    },
 }
 
 /// A relinking B2BUA.
@@ -112,10 +122,13 @@ impl B2bua {
             remote_cseq: cseq,
             local_cseq,
         };
-        ctx.send(LEG_REMOTE, SipMsg::Invite {
-            cseq,
-            sdp: Some(offer),
-        });
+        ctx.send(
+            LEG_REMOTE,
+            SipMsg::Invite {
+                cseq,
+                sdp: Some(offer),
+            },
+        );
     }
 }
 
@@ -137,9 +150,13 @@ impl SipNode for B2bua {
     fn on_msg(&mut self, dialog: u32, msg: SipMsg, ctx: &mut SipCtx<'_>) {
         match (dialog, msg) {
             // --- our own relink, local leg ---
-            (LEG_LOCAL, SipMsg::Ok { cseq, sdp: Some(offer) })
-                if matches!(self.phase, Phase::Soliciting { local_cseq } if local_cseq == cseq) =>
-            {
+            (
+                LEG_LOCAL,
+                SipMsg::Ok {
+                    cseq,
+                    sdp: Some(offer),
+                },
+            ) if matches!(self.phase, Phase::Soliciting { local_cseq } if local_cseq == cseq) => {
                 let Phase::Soliciting { local_cseq } = self.phase else {
                     unreachable!()
                 };
@@ -151,8 +168,13 @@ impl SipNode for B2bua {
                 }
             }
             // --- our own relink, remote leg ---
-            (LEG_REMOTE, SipMsg::Ok { cseq, sdp: Some(answer) })
-                if matches!(self.phase, Phase::InvitingRemote { remote_cseq, .. } if remote_cseq == cseq) =>
+            (
+                LEG_REMOTE,
+                SipMsg::Ok {
+                    cseq,
+                    sdp: Some(answer),
+                },
+            ) if matches!(self.phase, Phase::InvitingRemote { remote_cseq, .. } if remote_cseq == cseq) =>
             {
                 let Phase::InvitingRemote { local_cseq, .. } = self.phase else {
                     unreachable!()
@@ -160,10 +182,13 @@ impl SipNode for B2bua {
                 // Complete both transactions: empty ACK upstream, the
                 // answer rides our ACK to the solicited endpoint.
                 ctx.send(LEG_REMOTE, SipMsg::Ack { cseq, sdp: None });
-                ctx.send(LEG_LOCAL, SipMsg::Ack {
-                    cseq: local_cseq,
-                    sdp: Some(answer),
-                });
+                ctx.send(
+                    LEG_LOCAL,
+                    SipMsg::Ack {
+                        cseq: local_cseq,
+                        sdp: Some(answer),
+                    },
+                );
                 self.phase = Phase::Done;
                 let mut r = self.report.lock().unwrap();
                 r.completed_at = Some(ctx.now());
@@ -178,17 +203,19 @@ impl SipNode for B2bua {
             }
             // Our invite was glare-rejected: finish the local solicit with
             // a dummy ACK and back off for a random delay.
-            (LEG_REMOTE, SipMsg::Reject { cseq })
-                if matches!(self.phase, Phase::InvitingRemote { remote_cseq, .. } if remote_cseq == cseq) =>
+            (LEG_REMOTE, SipMsg::Reject { cseq }) if matches!(self.phase, Phase::InvitingRemote { remote_cseq, .. } if remote_cseq == cseq) =>
             {
                 let Phase::InvitingRemote { local_cseq, .. } = self.phase else {
                     unreachable!()
                 };
                 ctx.send(LEG_REMOTE, SipMsg::RejectAck { cseq });
-                ctx.send(LEG_LOCAL, SipMsg::Ack {
-                    cseq: local_cseq,
-                    sdp: None,
-                });
+                ctx.send(
+                    LEG_LOCAL,
+                    SipMsg::Ack {
+                        cseq: local_cseq,
+                        sdp: None,
+                    },
+                );
                 self.phase = Phase::BackedOff;
                 let (lo, hi) = self.backoff;
                 let d = ctx.rand_ms(lo, hi);
@@ -196,7 +223,13 @@ impl SipNode for B2bua {
             }
             (LEG_REMOTE, SipMsg::RejectAck { .. }) => {}
             // --- serving a peer's relink ---
-            (LEG_REMOTE, SipMsg::Invite { cseq, sdp: Some(offer) }) => {
+            (
+                LEG_REMOTE,
+                SipMsg::Invite {
+                    cseq,
+                    sdp: Some(offer),
+                },
+            ) => {
                 if self.serving != Serving::No {
                     // A second transaction on a busy dialog: reject.
                     ctx.send(LEG_REMOTE, SipMsg::Reject { cseq });
@@ -207,26 +240,36 @@ impl SipNode for B2bua {
                     remote_cseq: cseq,
                     local_cseq,
                 };
-                ctx.send(LEG_LOCAL, SipMsg::Invite {
-                    cseq: local_cseq,
-                    sdp: Some(offer),
-                });
+                ctx.send(
+                    LEG_LOCAL,
+                    SipMsg::Invite {
+                        cseq: local_cseq,
+                        sdp: Some(offer),
+                    },
+                );
             }
-            (LEG_LOCAL, SipMsg::Ok { cseq, sdp: Some(answer) })
-                if matches!(self.serving, Serving::AwaitLocalAnswer { local_cseq, .. } if local_cseq == cseq) =>
+            (
+                LEG_LOCAL,
+                SipMsg::Ok {
+                    cseq,
+                    sdp: Some(answer),
+                },
+            ) if matches!(self.serving, Serving::AwaitLocalAnswer { local_cseq, .. } if local_cseq == cseq) =>
             {
                 let Serving::AwaitLocalAnswer { remote_cseq, .. } = self.serving else {
                     unreachable!()
                 };
                 ctx.send(LEG_LOCAL, SipMsg::Ack { cseq, sdp: None });
-                ctx.send(LEG_REMOTE, SipMsg::Ok {
-                    cseq: remote_cseq,
-                    sdp: Some(answer),
-                });
+                ctx.send(
+                    LEG_REMOTE,
+                    SipMsg::Ok {
+                        cseq: remote_cseq,
+                        sdp: Some(answer),
+                    },
+                );
                 self.serving = Serving::AwaitRemoteAck { remote_cseq };
             }
-            (LEG_REMOTE, SipMsg::Ack { cseq, .. })
-                if matches!(self.serving, Serving::AwaitRemoteAck { remote_cseq } if remote_cseq == cseq) =>
+            (LEG_REMOTE, SipMsg::Ack { cseq, .. }) if matches!(self.serving, Serving::AwaitRemoteAck { remote_cseq } if remote_cseq == cseq) =>
             {
                 self.serving = Serving::No;
                 // A deferred relink step can now take the dialog.

@@ -10,21 +10,38 @@ pub enum SipMsg {
     /// Open or modify the media session. `sdp: None` is an *offerless*
     /// invite soliciting a fresh offer from the far end (RFC 3725 third-
     /// party call control, the flowlink-equivalent operation).
-    Invite { cseq: u32, sdp: Option<Sdp> },
+    Invite {
+        cseq: u32,
+        sdp: Option<Sdp>,
+    },
     /// 200 OK: carries the answer — or, answering an offerless invite, a
     /// fresh offer.
-    Ok { cseq: u32, sdp: Option<Sdp> },
+    Ok {
+        cseq: u32,
+        sdp: Option<Sdp>,
+    },
     /// Acknowledges the OK; carries the answer when the invite was
     /// offerless.
-    Ack { cseq: u32, sdp: Option<Sdp> },
+    Ack {
+        cseq: u32,
+        sdp: Option<Sdp>,
+    },
     /// 491 Request Pending: the glare failure. Both colliding transactions
     /// fail; initiators retry after a randomly chosen delay (§IX-B).
-    Reject { cseq: u32 },
+    Reject {
+        cseq: u32,
+    },
     /// Acknowledgement of a rejection (the transaction is finished).
-    RejectAck { cseq: u32 },
+    RejectAck {
+        cseq: u32,
+    },
     /// Terminate the session.
-    Bye { cseq: u32 },
-    ByeOk { cseq: u32 },
+    Bye {
+        cseq: u32,
+    },
+    ByeOk {
+        cseq: u32,
+    },
 }
 
 impl SipMsg {

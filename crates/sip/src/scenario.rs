@@ -71,8 +71,7 @@ fn build(seed: u64, pbx_relinks: bool, pc_relinks: bool) -> World {
 fn converged(w: &World) -> bool {
     let a = w.ua_a.lock().unwrap();
     let c = w.ua_c.lock().unwrap();
-    a.get(&0).map(|(to, _)| *to) == Some(addr_c())
-        && c.get(&0).map(|(to, _)| *to) == Some(addr_a())
+    a.get(&0).map(|(to, _)| *to) == Some(addr_c()) && c.get(&0).map(|(to, _)| *to) == Some(addr_a())
 }
 
 fn run(mut w: World, max: SimTime) -> Option<SipOutcome> {

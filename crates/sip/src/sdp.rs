@@ -54,7 +54,11 @@ impl Sdp {
                         .collect();
                     MLine {
                         medium: l.medium,
-                        addr: if codecs.is_empty() { None } else { Some(my_addr) },
+                        addr: if codecs.is_empty() {
+                            None
+                        } else {
+                            Some(my_addr)
+                        },
                         codecs,
                     }
                 })
@@ -64,7 +68,9 @@ impl Sdp {
 
     /// Whether any line agreed on at least one codec.
     pub fn usable(&self) -> bool {
-        self.lines.iter().any(|l| l.addr.is_some() && !l.codecs.is_empty())
+        self.lines
+            .iter()
+            .any(|l| l.addr.is_some() && !l.codecs.is_empty())
     }
 
     /// The first usable line's address/codec (for media routing).

@@ -55,9 +55,18 @@ pub trait SipNode: Send {
 }
 
 enum Ev {
-    Deliver { to: NodeId, dialog: u32, msg: SipMsg },
-    Timer { to: NodeId, id: u32 },
-    Start { to: NodeId },
+    Deliver {
+        to: NodeId,
+        dialog: u32,
+        msg: SipMsg,
+    },
+    Timer {
+        to: NodeId,
+        id: u32,
+    },
+    Start {
+        to: NodeId,
+    },
 }
 
 struct Scheduled {

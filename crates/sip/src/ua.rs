@@ -59,22 +59,25 @@ impl SipUa {
 
 impl SipNode for SipUa {
     fn on_msg(&mut self, dialog: u32, msg: SipMsg, ctx: &mut SipCtx<'_>) {
-        let d = self
-            .dialogs
-            .entry(dialog)
-            .or_insert(DialogState {
-                awaiting_answer_in_ack: None,
-            });
+        let d = self.dialogs.entry(dialog).or_insert(DialogState {
+            awaiting_answer_in_ack: None,
+        });
         match msg {
-            SipMsg::Invite { cseq, sdp: Some(offer) } => {
+            SipMsg::Invite {
+                cseq,
+                sdp: Some(offer),
+            } => {
                 // Ordinary invite: negotiate and answer. The answerer is
                 // ready to send as soon as it has answered.
                 let answer = offer.answer(self.addr, &self.codecs);
                 d.awaiting_answer_in_ack = None;
-                ctx.send(dialog, SipMsg::Ok {
-                    cseq,
-                    sdp: Some(answer),
-                });
+                ctx.send(
+                    dialog,
+                    SipMsg::Ok {
+                        cseq,
+                        sdp: Some(answer),
+                    },
+                );
                 self.set_route(dialog, &offer);
             }
             SipMsg::Invite { cseq, sdp: None } => {
@@ -83,14 +86,18 @@ impl SipNode for SipUa {
                 // so a fresh one is composed every time (§IX-B).
                 d.awaiting_answer_in_ack = Some(cseq);
                 let offer = self.fresh_offer();
-                ctx.send(dialog, SipMsg::Ok {
-                    cseq,
-                    sdp: Some(offer),
-                });
+                ctx.send(
+                    dialog,
+                    SipMsg::Ok {
+                        cseq,
+                        sdp: Some(offer),
+                    },
+                );
             }
-            SipMsg::Ack { cseq, sdp: Some(answer) }
-                if d.awaiting_answer_in_ack == Some(cseq) =>
-            {
+            SipMsg::Ack {
+                cseq,
+                sdp: Some(answer),
+            } if d.awaiting_answer_in_ack == Some(cseq) => {
                 d.awaiting_answer_in_ack = None;
                 self.set_route(dialog, &answer);
             }
@@ -190,7 +197,10 @@ mod tests {
         let offer = Sdp::audio_only(addr(1), vec![Codec::G711]);
         let d = net.add_node(Box::new(Driver {
             script: vec![
-                SipMsg::Invite { cseq: 1, sdp: Some(offer) },
+                SipMsg::Invite {
+                    cseq: 1,
+                    sdp: Some(offer),
+                },
                 SipMsg::Bye { cseq: 2 },
             ],
             log: log.clone(),

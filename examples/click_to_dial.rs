@@ -72,7 +72,11 @@ fn main() {
 
     mn.plane.reset_flows();
     mn.pump_media(10);
-    let tone_level = mn.plane.last_rx(addr(1)).map(|p| p.frame.rms()).unwrap_or(0.0);
+    let tone_level = mn
+        .plane
+        .last_rx(addr(1))
+        .map(|p| p.frame.rms())
+        .unwrap_or(0.0);
     println!("user 1 hears ringback from the tone generator (rms = {tone_level:.0})");
 
     mn.net.user(u2, SlotId(0), UserCmd::Accept);

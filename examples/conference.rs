@@ -62,7 +62,12 @@ fn main() {
     let port_addrs: Vec<_> = ports.iter().map(|(_, a)| *a).collect();
     mn.plane.add_bridge(port_addrs, MixMatrix::full(3));
     for (i, (slot, a)) in ports.iter().enumerate() {
-        mn.port(bridge, *slot, *a, SourceKind::MixPort { bridge: 0, port: i });
+        mn.port(
+            bridge,
+            *slot,
+            *a,
+            SourceKind::MixPort { bridge: 0, port: i },
+        );
     }
 
     mn.settle_and_pump(T, 10);

@@ -74,7 +74,11 @@ fn main() {
     mn.endpoint(a, addr(1), SourceKind::SpeechLike(1));
     mn.endpoint(b, addr(2), SourceKind::SpeechLike(2));
     mn.endpoint(c, addr(3), SourceKind::SpeechLike(3));
-    mn.endpoint(mn.net.box_id("ivr").unwrap(), addr(4), SourceKind::SpeechLike(4));
+    mn.endpoint(
+        mn.net.box_id("ivr").unwrap(),
+        addr(4),
+        SourceKind::SpeechLike(4),
+    );
 
     // A calls B through the PBX.
     mn.net.user(a, SlotId(0), UserCmd::Open(Medium::Audio));

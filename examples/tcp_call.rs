@@ -21,7 +21,11 @@ impl AppLogic for Dialer {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
             BoxInput::Start => ctx.open_channel("gateway", 1, 1),
-            BoxInput::ChannelUp { slots, req: Some(1), .. } => {
+            BoxInput::ChannelUp {
+                slots,
+                req: Some(1),
+                ..
+            } => {
                 ctx.set_goal(GoalSpec::User {
                     slot: slots[0],
                     policy: EndpointPolicy::audio(MediaAddr::v4(127, 0, 0, 1, 40010)),
@@ -42,11 +46,17 @@ struct Gateway {
 impl AppLogic for Gateway {
     fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
         match input {
-            BoxInput::ChannelUp { slots, req: None, .. } => {
+            BoxInput::ChannelUp {
+                slots, req: None, ..
+            } => {
                 self.caller = Some(slots[0]);
                 ctx.open_channel("callee", 1, 9);
             }
-            BoxInput::ChannelUp { slots, req: Some(9), .. } => {
+            BoxInput::ChannelUp {
+                slots,
+                req: Some(9),
+                ..
+            } => {
                 ctx.set_goal(GoalSpec::Link {
                     a: self.caller.expect("caller connected first"),
                     b: slots[0],
@@ -72,8 +82,13 @@ async fn main() -> std::io::Result<()> {
     .await?;
     println!("callee listening on {}", callee.addr);
 
-    let gateway = spawn_node("gateway", BoxId(2), Box::new(Gateway { caller: None }), dir.clone())
-        .await?;
+    let gateway = spawn_node(
+        "gateway",
+        BoxId(2),
+        Box::new(Gateway { caller: None }),
+        dir.clone(),
+    )
+    .await?;
     println!("gateway listening on {}", gateway.addr);
 
     let mut caller = spawn_node("caller", BoxId(1), Box::new(Dialer), dir.clone()).await?;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Workspace gate: formatting, lints, tests. Run before every push.
+#
+# Usage: scripts/check.sh [--offline]
+#
+# Any argument is forwarded to cargo (the CI container builds with
+# --offline against the vendored shims).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check" >&2
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings" >&2
+cargo clippy "$@" --workspace --all-targets -- -D warnings
+
+echo "== cargo test" >&2
+cargo test "$@" --workspace -q
+
+echo "all checks passed" >&2

@@ -1,0 +1,343 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Patched in by the root manifest because the build environment has no
+//! crates.io access. Implements the strategy combinators, `proptest!`
+//! macro, and assertion macros this workspace uses, generating inputs from
+//! a deterministic per-case SplitMix64 stream. Failing inputs are *not*
+//! shrunk — the panic message reports the case number instead, which is
+//! enough to reproduce deterministically.
+
+/// Deterministic per-case random stream (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        let mul = (self.next_u64() as u128) * (bound as u128);
+        (mul >> 64) as usize
+    }
+}
+
+/// A generator of test inputs. Unlike real proptest there is no value
+/// tree: strategies produce plain values and failures are not shrunk.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $S:ident),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "vec strategy with empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below(self.len.end - self.len.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for order-preserving subsequences of a source vector.
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T> {
+        source: Vec<T>,
+        size: std::ops::RangeInclusive<usize>,
+    }
+
+    pub fn subsequence<T: Clone>(
+        source: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        let size = size.into().0;
+        assert!(
+            *size.end() <= source.len(),
+            "subsequence size exceeds source length"
+        );
+        Subsequence { source, size }
+    }
+
+    /// Size specification accepted by [`subsequence`].
+    pub struct SizeRange(std::ops::RangeInclusive<usize>);
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..=n)
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let lo = *self.size.start();
+            let hi = *self.size.end();
+            let n = lo + rng.below(hi - lo + 1);
+            // Reservoir-style pick of n indices, then sort to preserve order.
+            let mut idx: Vec<usize> = (0..self.source.len()).collect();
+            for i in 0..n {
+                let j = i + rng.below(idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..n].to_vec();
+            chosen.sort_unstable();
+            chosen.iter().map(|&i| self.source[i].clone()).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` matters to this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Like `assert!`, inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Like `assert_eq!`, inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Like `assert_ne!`, inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test runs `cases` times with a deterministic per-case seed; a
+/// failure panics with the case number (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            // Stable per-test seed: the test name hashed into the stream.
+            let __test_seed = {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            };
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng = $crate::TestRng::new(__test_seed ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let __run = || $body;
+                if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed (deterministic seed; rerun reproduces it)",
+                        __case + 1,
+                        __cfg.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in (any::<u8>(), any::<bool>()).prop_map(|(a, b)| (a as u16, b)),
+            xs in crate::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assert!(v.0 <= 255);
+            prop_assert!(xs.len() < 16);
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            sub in crate::sample::subsequence(vec![1u8, 2, 3, 4, 5], 1..=3),
+        ) {
+            prop_assert!(!sub.is_empty() && sub.len() <= 3);
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Patched in by the root manifest because the build environment has no
+//! crates.io access. Provides a deterministic, seedable `StdRng` backed by
+//! SplitMix64 — statistically fine for simulation jitter and property
+//! tests, not for cryptography — plus the `SeedableRng`/`RngExt` trait
+//! surface this workspace uses.
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling operations this workspace uses.
+pub trait RngExt {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from an inclusive range (Lemire-style rejection-free
+    /// widening multiply; bias is < 2^-64 per draw, irrelevant here).
+    fn random_range(&mut self, range: std::ops::RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "random_range: empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let mul = (self.next_u64() as u128) * ((span + 1) as u128);
+        lo + (mul >> 64) as u64
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(10..=34);
+            assert!((10..=34).contains(&v));
+        }
+        assert_eq!(r.random_range(5..=5), 5);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the `tokio` crate.
+//!
+//! The build environment has no crates.io access, so the root manifest
+//! patches `tokio` to this crate. It is a real (if small) multi-threaded
+//! async runtime implementing exactly the API surface this workspace uses:
+//!
+//! - a thread-pool executor with `spawn`/`JoinHandle`/`abort` and a
+//!   parker-based `block_on` (used by `#[tokio::main]`/`#[tokio::test]`);
+//! - a timer thread backing `time::{sleep, sleep_until, timeout}`;
+//! - nonblocking TCP (`net::{TcpListener, TcpStream}`) polled via short
+//!   timer retries rather than epoll — signaling traffic is low-rate, so
+//!   a 1 ms retry granularity is invisible under the protocol's timers;
+//! - `sync::{mpsc, watch}` channels and an in-memory `io::duplex` pipe;
+//! - a `select!` macro with tokio's pattern/guard semantics (always
+//!   biased: branches are polled in declaration order).
+//!
+//! Single-flavor runtime: `rt-multi-thread` et al. are accepted as feature
+//! names but do not change behavior.
+
+pub mod io;
+pub mod macros;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+/// `#[tokio::main]` / `#[tokio::test]` attribute macros.
+pub use tokio_macros::{main, test};

@@ -1,0 +1,182 @@
+//! Support types for `select!`.
+//!
+//! Branch futures live in a nested tuple `(Option<F0>, (Option<F1>, ...,
+//! ()))`; [`SelectSet`] polls them in order (always biased) and returns
+//! the first ready value as a nested [`SelEither`] whose nesting depth
+//! identifies the branch. `None` marks a disabled branch (false guard, or
+//! a ready value that failed its pattern — tokio semantics).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Nested sum type carrying "which branch fired" plus its value.
+pub enum SelEither<L, R> {
+    L(L),
+    R(R),
+}
+
+/// A heterogeneous list of optional futures polled in order.
+pub trait SelectSet {
+    type Output;
+
+    fn poll_set(&mut self, cx: &mut Context<'_>) -> Poll<Self::Output>;
+    fn all_disabled(&self) -> bool;
+}
+
+impl SelectSet for () {
+    type Output = std::convert::Infallible;
+
+    fn poll_set(&mut self, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Poll::Pending
+    }
+
+    fn all_disabled(&self) -> bool {
+        true
+    }
+}
+
+impl<F: Future + Unpin, Rest: SelectSet> SelectSet for (Option<F>, Rest) {
+    type Output = SelEither<F::Output, Rest::Output>;
+
+    fn poll_set(&mut self, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(f) = self.0.as_mut() {
+            if let Poll::Ready(v) = Pin::new(f).poll(cx) {
+                // The future completed; it must not be polled again even
+                // if the branch pattern ends up rejecting the value.
+                self.0 = None;
+                return Poll::Ready(SelEither::L(v));
+            }
+        }
+        match self.1.poll_set(cx) {
+            Poll::Ready(v) => Poll::Ready(SelEither::R(v)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+
+    fn all_disabled(&self) -> bool {
+        self.0.is_none() && self.1.all_disabled()
+    }
+}
+
+/// Wait on multiple async branches, running the body of the first that
+/// completes with a matching pattern. Supports `biased;` (a no-op: this
+/// implementation is always biased) and `, if guard` preconditions.
+#[macro_export]
+macro_rules! select {
+    (biased; $($rest:tt)*) => { $crate::select_internal!(@parse [] $($rest)*) };
+    ($($rest:tt)*) => { $crate::select_internal!(@parse [] $($rest)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! select_internal {
+    // ---- parse: accumulate branches as {(pat) (future) (guard) (body)} ----
+    (@parse [$($acc:tt)*] , $($rest:tt)*) => {
+        $crate::select_internal!(@parse [$($acc)*] $($rest)*)
+    };
+    (@parse [$($acc:tt)*] $p:pat = $f:expr, if $g:expr => $body:block $($rest:tt)*) => {
+        $crate::select_internal!(@parse [$($acc)* {($p) ($f) ($g) ($body)}] $($rest)*)
+    };
+    (@parse [$($acc:tt)*] $p:pat = $f:expr => $body:block $($rest:tt)*) => {
+        $crate::select_internal!(@parse [$($acc)* {($p) ($f) (true) ($body)}] $($rest)*)
+    };
+    (@parse [$($acc:tt)*] $p:pat = $f:expr, if $g:expr => $body:expr, $($rest:tt)*) => {
+        $crate::select_internal!(@parse [$($acc)* {($p) ($f) ($g) ($body)}] $($rest)*)
+    };
+    (@parse [$($acc:tt)*] $p:pat = $f:expr, if $g:expr => $body:expr) => {
+        $crate::select_internal!(@parse [$($acc)* {($p) ($f) ($g) ($body)}])
+    };
+    (@parse [$($acc:tt)*] $p:pat = $f:expr => $body:expr, $($rest:tt)*) => {
+        $crate::select_internal!(@parse [$($acc)* {($p) ($f) (true) ($body)}] $($rest)*)
+    };
+    (@parse [$($acc:tt)*] $p:pat = $f:expr => $body:expr) => {
+        $crate::select_internal!(@parse [$($acc)* {($p) ($f) (true) ($body)}])
+    };
+    (@parse [$($branches:tt)*]) => {
+        $crate::select_internal!(@expand [$($branches)*])
+    };
+
+    // ---- expand ----
+    (@expand [$($branch:tt)*]) => {{
+        let mut __select_futs = $crate::select_internal!(@futs [$($branch)*]);
+        // Phase 1: find the first ready value whose pattern matches. A
+        // mismatch disables that branch and re-polls the rest. No user
+        // code runs inside this loop, so `break`/`return`/`?` in branch
+        // bodies still target the caller's scopes.
+        let __select_matched = loop {
+            let __ready = ::std::future::poll_fn(|__cx| {
+                if $crate::macros::SelectSet::all_disabled(&__select_futs) {
+                    panic!("select!: all branches are disabled or failed their patterns");
+                }
+                $crate::macros::SelectSet::poll_set(&mut __select_futs, __cx)
+            })
+            .await;
+            if let ::std::option::Option::Some(m) =
+                $crate::select_internal!(@test __ready, [$($branch)*])
+            {
+                break m;
+            }
+        };
+        let _ = __select_futs;
+        // Phase 2: run the winning branch's body at the caller's scope.
+        $crate::select_internal!(@dispatch __select_matched, [$($branch)*])
+    }};
+
+    // Nested tuple (Option<fut>, (Option<fut>, ... ())) honoring guards.
+    (@futs []) => { () };
+    (@futs [{($($p:tt)*) ($($f:tt)*) ($($g:tt)*) ($($body:tt)*)} $($rest:tt)*]) => {
+        (
+            if $($g)* { ::std::option::Option::Some($($f)*) } else { ::std::option::Option::None },
+            $crate::select_internal!(@futs [$($rest)*]),
+        )
+    };
+
+    // Pattern-test a ready value without running user code. At the base
+    // `$v` is the `Infallible` output of the `()` SelectSet, so wrapping
+    // it in `Some` pins the innermost nested type for inference without
+    // introducing diverging (and thus lint-flagged) code.
+    (@test $v:expr, []) => {
+        ::std::option::Option::Some($v)
+    };
+    (@test $v:expr, [{($($p:tt)*) ($($f:tt)*) ($($g:tt)*) ($($body:tt)*)} $($rest:tt)*]) => {
+        match $v {
+            $crate::macros::SelEither::L(__val) => {
+                #[allow(unused_variables)]
+                let __is_match = match &__val {
+                    $($p)* => true,
+                    #[allow(unreachable_patterns)]
+                    _ => false,
+                };
+                if __is_match {
+                    ::std::option::Option::Some($crate::macros::SelEither::L(__val))
+                } else {
+                    ::std::option::Option::None
+                }
+            }
+            $crate::macros::SelEither::R(__rest) => {
+                match $crate::select_internal!(@test __rest, [$($rest)*]) {
+                    ::std::option::Option::Some(m) => {
+                        ::std::option::Option::Some($crate::macros::SelEither::R(m))
+                    }
+                    ::std::option::Option::None => ::std::option::Option::None,
+                }
+            }
+        }
+    };
+
+    // Destructure the winning value with its pattern and run the body.
+    (@dispatch $v:expr, []) => { match $v {} };
+    (@dispatch $v:expr, [{($($p:tt)*) ($($f:tt)*) ($($g:tt)*) ($($body:tt)*)} $($rest:tt)*]) => {
+        match $v {
+            $crate::macros::SelEither::L(__val) => match __val {
+                $($p)* => { $($body)* }
+                #[allow(unreachable_patterns, unreachable_code)]
+                _ => unreachable!("select!: value no longer matches its pattern"),
+            },
+            $crate::macros::SelEither::R(__rest) => {
+                $crate::select_internal!(@dispatch __rest, [$($rest)*])
+            }
+        }
+    };
+}

@@ -1,0 +1,178 @@
+//! Nonblocking TCP polled via short timer retries.
+//!
+//! Instead of an epoll reactor, a `WouldBlock` result re-arms a 1 ms
+//! timer wake and returns `Pending`. Signaling channels carry a handful
+//! of tiny frames per call setup, so the extra millisecond of latency per
+//! hop is far below the protocol's own timescales.
+
+use crate::io::{AsyncRead, AsyncWrite};
+use crate::time::{register, Instant, IO_RETRY};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr};
+use std::task::{Context, Poll};
+
+fn retry_later(cx: &mut Context<'_>) {
+    register(Instant::now() + IO_RETRY, cx.waker().clone());
+}
+
+/// Nonblocking TCP listener.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        std::future::poll_fn(|cx| match self.inner.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(true)?;
+                Poll::Ready(Ok((TcpStream { inner: stream }, peer)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                retry_later(cx);
+                Poll::Pending
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// Nonblocking TCP stream.
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        // A blocking connect briefly occupies one worker thread; loopback
+        // connects resolve in microseconds and the timeout bounds the rest.
+        let inner =
+            std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(10))?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Split into independently owned read/write halves (via the OS-level
+    /// handle duplicated by `try_clone`). Dropping the write half shuts
+    /// down the write direction so the peer sees EOF.
+    pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+        let clone = self.inner.try_clone().expect("duplicate socket handle");
+        (
+            OwnedReadHalf { inner: self.inner },
+            OwnedWriteHalf { inner: clone },
+        )
+    }
+}
+
+fn poll_read_inner(
+    mut sock: &std::net::TcpStream,
+    cx: &mut Context<'_>,
+    buf: &mut [u8],
+) -> Poll<io::Result<usize>> {
+    // `impl Read for &TcpStream` lets the split halves share the socket.
+    match sock.read(buf) {
+        Ok(n) => Poll::Ready(Ok(n)),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            retry_later(cx);
+            Poll::Pending
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        Err(e) => Poll::Ready(Err(e)),
+    }
+}
+
+fn poll_write_inner(
+    mut sock: &std::net::TcpStream,
+    cx: &mut Context<'_>,
+    buf: &[u8],
+) -> Poll<io::Result<usize>> {
+    match sock.write(buf) {
+        Ok(n) => Poll::Ready(Ok(n)),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+            retry_later(cx);
+            Poll::Pending
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+        Err(e) => Poll::Ready(Err(e)),
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        poll_read_inner(&self.inner, cx, buf)
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        poll_write_inner(&self.inner, cx, buf)
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+/// Read side of a split [`TcpStream`].
+pub struct OwnedReadHalf {
+    inner: std::net::TcpStream,
+}
+
+impl AsyncRead for OwnedReadHalf {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        poll_read_inner(&self.inner, cx, buf)
+    }
+}
+
+/// Write side of a split [`TcpStream`].
+pub struct OwnedWriteHalf {
+    inner: std::net::TcpStream,
+}
+
+impl AsyncWrite for OwnedWriteHalf {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        poll_write_inner(&self.inner, cx, buf)
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for OwnedWriteHalf {
+    fn drop(&mut self) {
+        let _ = self.inner.shutdown(Shutdown::Write);
+    }
+}

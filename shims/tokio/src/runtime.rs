@@ -1,0 +1,212 @@
+//! The executor: a fixed thread pool fed by a global injector queue, plus
+//! a parker-based `block_on` for the main thread.
+//!
+//! Each task is an `Arc<Task>` that is its own waker (`std::task::Wake`).
+//! A per-task state machine (idle / queued / running / notified / done)
+//! guarantees a task is polled by at most one worker at a time and that a
+//! wake arriving *during* a poll re-queues the task afterwards instead of
+//! being lost — the two classic races of naive executors.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+pub(crate) struct Task {
+    state: AtomicU8,
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+    /// Runs if the task is dropped before completion (JoinHandle::abort).
+    cancel: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    pub(crate) aborted: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.clone().schedule();
+    }
+}
+
+impl Task {
+    pub(crate) fn new(
+        future: Pin<Box<dyn Future<Output = ()> + Send>>,
+        cancel: Box<dyn FnOnce() + Send>,
+    ) -> Arc<Task> {
+        Arc::new(Task {
+            state: AtomicU8::new(IDLE),
+            future: Mutex::new(Some(future)),
+            cancel: Mutex::new(Some(cancel)),
+            aborted: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn schedule(self: Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        pool().push(self);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already flagged, or finished.
+                _ => return,
+            }
+        }
+    }
+
+    /// Poll once on a worker thread.
+    fn run(self: Arc<Self>) {
+        self.state.store(RUNNING, Ordering::Release);
+
+        if self.aborted.load(Ordering::Acquire) {
+            *self.future.lock().unwrap() = None;
+            if let Some(cancel) = self.cancel.lock().unwrap().take() {
+                cancel();
+            }
+            self.state.store(DONE, Ordering::Release);
+            return;
+        }
+
+        let waker = Waker::from(self.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap();
+        let Some(fut) = slot.as_mut() else {
+            self.state.store(DONE, Ordering::Release);
+            return;
+        };
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *slot = None;
+                drop(slot);
+                self.cancel.lock().unwrap().take();
+                self.state.store(DONE, Ordering::Release);
+            }
+            Poll::Pending => {
+                drop(slot);
+                // A wake that arrived mid-poll left us NOTIFIED: requeue.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    self.state.store(QUEUED, Ordering::Release);
+                    pool().push(self);
+                }
+            }
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn push(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().clamp(2, 8))
+            .unwrap_or(4);
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("tokio-shim-worker-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn worker thread");
+        }
+        Pool {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    })
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = pool.available.wait(q).unwrap();
+            }
+        };
+        task.run();
+    }
+}
+
+pub(crate) fn inject(task: Arc<Task>) {
+    task.schedule();
+}
+
+struct Parker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drive a future to completion on the current thread; spawned tasks run
+/// on the pool meanwhile. This is what `#[tokio::main]` expands to.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let parker = Arc::new(Parker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !parker.notified.swap(false, Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Channels: bounded multi-producer `mpsc` and broadcast-latest `watch`.
+
+/// Bounded multi-producer, single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Chan<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+        tx_wakers: Vec<Waker>,
+    }
+
+    impl<T> Chan<T> {
+        fn wake_senders(&mut self) {
+            for w in self.tx_wakers.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// Error returned when sending to a channel whose receiver is gone;
+    /// carries the unsent value.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Mutex<Chan<T>>>,
+    }
+
+    pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Mutex::new(Chan {
+            queue: VecDeque::new(),
+            cap: cap.max(1),
+            senders: 1,
+            rx_alive: true,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+        }));
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().unwrap().senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut c = self.chan.lock().unwrap();
+            c.senders -= 1;
+            if c.senders == 0 {
+                if let Some(w) = c.rx_waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut c = self.chan.lock().unwrap();
+            c.rx_alive = false;
+            c.wake_senders();
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Wait for capacity, then enqueue. Errors iff the receiver is gone.
+        pub fn send(&self, value: T) -> Send<'_, T> {
+            Send {
+                chan: &self.chan,
+                value: Some(value),
+            }
+        }
+    }
+
+    /// Future returned by [`Sender::send`].
+    pub struct Send<'a, T> {
+        chan: &'a Arc<Mutex<Chan<T>>>,
+        value: Option<T>,
+    }
+
+    impl<T> Unpin for Send<'_, T> {}
+
+    impl<T> Future for Send<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = &mut *self;
+            let mut c = this.chan.lock().unwrap();
+            let value = this.value.take().expect("polled after completion");
+            if !c.rx_alive {
+                return Poll::Ready(Err(SendError(value)));
+            }
+            if c.queue.len() < c.cap {
+                c.queue.push_back(value);
+                if let Some(w) = c.rx_waker.take() {
+                    w.wake();
+                }
+                Poll::Ready(Ok(()))
+            } else {
+                this.value = Some(value);
+                c.tx_wakers.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Wait for the next value; `None` once all senders are dropped
+        /// and the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv {
+                chan: &self.chan,
+            }
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`].
+    pub struct Recv<'a, T> {
+        chan: &'a Arc<Mutex<Chan<T>>>,
+    }
+
+    impl<T> Unpin for Recv<'_, T> {}
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut c = self.chan.lock().unwrap();
+            if let Some(v) = c.queue.pop_front() {
+                c.wake_senders();
+                Poll::Ready(Some(v))
+            } else if c.senders == 0 {
+                Poll::Ready(None)
+            } else {
+                c.rx_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Single-value broadcast channel: receivers observe the latest value.
+pub mod watch {
+    use std::future::Future;
+    use std::ops::Deref;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex, MutexGuard};
+    use std::task::{Context, Poll, Waker};
+
+    struct Shared<T> {
+        value: T,
+        version: u64,
+        sender_alive: bool,
+        wakers: Vec<Waker>,
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Mutex<Shared<T>>>,
+        seen: u64,
+    }
+
+    /// Error from [`Receiver::changed`] after the sender dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError(());
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("watch sender dropped")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error from [`Sender::send`]; carries the unsent value.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Mutex::new(Shared {
+            value: init,
+            version: 0,
+            sender_alive: true,
+            wakers: Vec::new(),
+        }));
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Publish a new value, waking all pending `changed` calls.
+        /// Unlike tokio this never errors: the value is stored even with
+        /// no receivers, which is the behavior callers here rely on.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut s = self.shared.lock().unwrap();
+            s.value = value;
+            s.version += 1;
+            for w in s.wakers.drain(..) {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock().unwrap();
+            s.sender_alive = false;
+            for w in s.wakers.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: self.shared.clone(),
+                seen: self.seen,
+            }
+        }
+    }
+
+    /// Shared borrow of the current value (holds the channel lock).
+    pub struct Ref<'a, T>(MutexGuard<'a, Shared<T>>);
+
+    impl<T> Deref for Ref<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0.value
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref(self.shared.lock().unwrap())
+        }
+
+        /// Resolves when a value newer than the last seen one is
+        /// published; errors once the sender is gone with nothing new.
+        pub fn changed(&mut self) -> Changed<'_, T> {
+            Changed { rx: self }
+        }
+    }
+
+    /// Future returned by [`Receiver::changed`].
+    pub struct Changed<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Unpin for Changed<'_, T> {}
+
+    impl<T> Future for Changed<'_, T> {
+        type Output = Result<(), RecvError>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let rx = &mut *self.rx;
+            let mut s = rx.shared.lock().unwrap();
+            if s.version != rx.seen {
+                rx.seen = s.version;
+                Poll::Ready(Ok(()))
+            } else if !s.sender_alive {
+                Poll::Ready(Err(RecvError(())))
+            } else {
+                s.wakers.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Timers: a dedicated thread holding a deadline heap wakes registered
+//! wakers when their instants pass. `Sleep` re-registers on every poll, so
+//! stale heap entries only cause spurious (harmless) wakes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+
+pub use std::time::{Duration, Instant};
+
+struct Entry {
+    at: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, o: &Self) -> bool {
+        (self.at, self.seq) == (o.at, o.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(o.at, o.seq))
+    }
+}
+
+struct Timer {
+    heap: Mutex<(BinaryHeap<Reverse<Entry>>, u64)>,
+    changed: Condvar,
+}
+
+fn timer() -> &'static Timer {
+    static TIMER: OnceLock<Timer> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("tokio-shim-timer".into())
+            .spawn(timer_loop)
+            .expect("spawn timer thread");
+        Timer {
+            heap: Mutex::new((BinaryHeap::new(), 0)),
+            changed: Condvar::new(),
+        }
+    })
+}
+
+fn timer_loop() {
+    let t = timer();
+    let mut due: Vec<Waker> = Vec::new();
+    loop {
+        {
+            let mut guard = t.heap.lock().unwrap();
+            loop {
+                let now = Instant::now();
+                while guard.0.peek().is_some_and(|Reverse(e)| e.at <= now) {
+                    due.push(guard.0.pop().unwrap().0.waker);
+                }
+                if !due.is_empty() {
+                    break;
+                }
+                guard = match guard.0.peek() {
+                    Some(Reverse(e)) => {
+                        let wait = e.at.saturating_duration_since(now);
+                        t.changed.wait_timeout(guard, wait).unwrap().0
+                    }
+                    None => t.changed.wait(guard).unwrap(),
+                };
+            }
+        }
+        for w in due.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Wake `waker` once `at` has passed.
+pub(crate) fn register(at: Instant, waker: Waker) {
+    let t = timer();
+    let mut guard = t.heap.lock().unwrap();
+    let seq = guard.1;
+    guard.1 += 1;
+    guard.0.push(Reverse(Entry { at, seq, waker }));
+    t.changed.notify_one();
+}
+
+/// Retry interval for nonblocking I/O that returned `WouldBlock`.
+pub(crate) const IO_RETRY: Duration = Duration::from_millis(1);
+
+/// Future resolving once its deadline passes.
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            register(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// Error returned when a `timeout` elapses before its future completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future racing an inner future against a deadline.
+pub struct Timeout<F> {
+    future: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Structural pinning of `future`: it is never moved out of `this`
+        // and `Timeout` has no Drop impl, so the projection is sound.
+        let this = unsafe { self.get_unchecked_mut() };
+        let inner = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(v) = inner.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed(()))),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        sleep: sleep(duration),
+    }
+}

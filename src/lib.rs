@@ -1,7 +1,8 @@
+pub use ipmedia_apps as apps;
 pub use ipmedia_core as core;
-pub use ipmedia_netsim as netsim;
 pub use ipmedia_mck as mck;
 pub use ipmedia_media as media;
-pub use ipmedia_sip as sip;
-pub use ipmedia_apps as apps;
+pub use ipmedia_netsim as netsim;
+pub use ipmedia_obs as obs;
 pub use ipmedia_rt as rt;
+pub use ipmedia_sip as sip;

@@ -11,10 +11,7 @@ use proptest::prelude::*;
 use std::collections::VecDeque;
 
 fn arb_codecs() -> impl Strategy<Value = Vec<Codec>> {
-    proptest::sample::subsequence(
-        vec![Codec::G711, Codec::G726, Codec::G729],
-        1..=3,
-    )
+    proptest::sample::subsequence(vec![Codec::G711, Codec::G726, Codec::G729], 1..=3)
 }
 
 fn arb_policy(host: u8) -> impl Strategy<Value = EndpointPolicy> {
@@ -72,7 +69,10 @@ impl World {
                 for s in auto {
                     self.queues[1].push_back(s);
                 }
-                for (side, s) in self.fl.on_event(LinkSide::A, &ev, &mut self.fa, &mut self.fb) {
+                for (side, s) in self
+                    .fl
+                    .on_event(LinkSide::A, &ev, &mut self.fa, &mut self.fb)
+                {
                     let qi = if side == LinkSide::A { 1 } else { 2 };
                     self.queues[qi].push_back(s);
                 }
@@ -102,7 +102,10 @@ impl World {
                 for s in auto {
                     self.queues[2].push_back(s);
                 }
-                for (side, s) in self.fl.on_event(LinkSide::B, &ev, &mut self.fa, &mut self.fb) {
+                for (side, s) in self
+                    .fl
+                    .on_event(LinkSide::B, &ev, &mut self.fa, &mut self.fb)
+                {
                     let qi = if side == LinkSide::A { 1 } else { 2 };
                     self.queues[qi].push_back(s);
                 }
