@@ -12,11 +12,13 @@
 //! spaces, same verdicts).
 
 use ipmedia_bench::{
-    count_signals_for_relink, fig13_concurrent_relink, fresh_setup_latency, relink_latency, Chain,
+    count_signals_for_relink, fig13_concurrent_relink, flowlink_convergence_under_loss,
+    fresh_setup_latency, relink_latency, Chain,
 };
 use ipmedia_core::path::PathType;
 use ipmedia_mck::{budgeted, check_path, render_table, CheckResult};
 use ipmedia_netsim::SimConfig;
+use ipmedia_netsim::SimDuration;
 use ipmedia_obs::export::snapshot_json;
 use ipmedia_obs::metrics::{CountingObserver, Registry};
 use ipmedia_obs::JsonObj;
@@ -157,6 +159,51 @@ fn main() {
                 )
                 .float("measured_ms", d.as_millis_f64())
                 .finish()
+        );
+    }
+
+    // ----- L5: convergence under loss -----
+    eprintln!("\n[L5] Robustness — flowlink convergence time vs loss rate (§VI");
+    eprintln!("     idempotent retransmission; chaos adds 10% dup + 10% reorder)\n");
+    eprintln!(
+        "  {:>6} {:>8} {:>12} {:>12} {:>8} {:>8}",
+        "loss", "seeds", "mean(ms)", "worst(ms)", "faults", "retx"
+    );
+    let budget = SimDuration::from_millis(60_000);
+    let seeds: u64 = if full { 12 } else { 5 };
+    for loss in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let (mut sum, mut worst, mut faults, mut retx) = (0.0, 0.0f64, 0u64, 0u64);
+        for seed in 0..seeds {
+            let run = flowlink_convergence_under_loss(loss, 0.10, 0.10, seed, budget)
+                .expect("loss sweep must converge within budget");
+            let ms = run.converged.as_millis_f64();
+            sum += ms;
+            worst = worst.max(ms);
+            faults += run.faults;
+            retx += run.retransmissions;
+            registry.flowlink_convergence_ms.observe(ms as u64);
+        }
+        let mean = sum / seeds as f64;
+        println!(
+            "{}",
+            JsonObj::new()
+                .str("record", "loss_convergence")
+                .float("loss", loss)
+                .num("seeds", seeds)
+                .float("mean_ms", mean)
+                .float("worst_ms", worst)
+                .num("faults", faults)
+                .num("retransmissions", retx)
+                .finish()
+        );
+        eprintln!(
+            "  {:>5.0}% {:>8} {:>12.0} {:>12.0} {:>8} {:>8}",
+            loss * 100.0,
+            seeds,
+            mean,
+            worst,
+            faults,
+            retx
         );
     }
 

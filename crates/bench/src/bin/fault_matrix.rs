@@ -1,0 +1,90 @@
+//! Fault-matrix smoke gate for `scripts/check.sh`.
+//!
+//! Runs the flowlinked-call scenario over the matrix
+//! loss ∈ {0, 1%, 10%} × {dup/reorder off, dup/reorder on (10% each)},
+//! three seeds per cell, and requires every run to converge to an
+//! end-to-end flowing path within a bounded virtual-time budget. Exits
+//! nonzero (and says which cell failed) otherwise.
+//!
+//! Usage: `cargo run -p ipmedia-bench --bin fault_matrix`
+//!
+//! Output follows the workspace convention: one JSON record per cell on
+//! stdout, the human-readable table on stderr.
+
+use ipmedia_bench::flowlink_convergence_under_loss;
+use ipmedia_netsim::SimDuration;
+use ipmedia_obs::JsonObj;
+
+fn main() {
+    // 60 virtual seconds is ~250× the fault-free setup time: generous
+    // enough for deep retransmission backoff, tight enough to catch a
+    // livelocked recovery loop.
+    let budget = SimDuration::from_millis(60_000);
+    let seeds: u64 = 3;
+    let mut failures = 0usize;
+
+    eprintln!("fault matrix: loss x dup/reorder, {seeds} seeds per cell, budget {budget}");
+    eprintln!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>8} {:>8}  verdict",
+        "loss", "dup/reord", "mean(ms)", "worst(ms)", "faults", "retx"
+    );
+    for loss in [0.0, 0.01, 0.10] {
+        for chaos in [false, true] {
+            let (dup, reorder) = if chaos { (0.10, 0.10) } else { (0.0, 0.0) };
+            let (mut sum, mut worst, mut faults, mut retx) = (0.0, 0.0f64, 0u64, 0u64);
+            let mut err: Option<String> = None;
+            for seed in 0..seeds {
+                match flowlink_convergence_under_loss(loss, dup, reorder, seed, budget) {
+                    Ok(run) => {
+                        let ms = run.converged.as_millis_f64();
+                        sum += ms;
+                        worst = worst.max(ms);
+                        faults += run.faults;
+                        retx += run.retransmissions;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            let ok = err.is_none();
+            let mean = sum / seeds as f64;
+            println!(
+                "{}",
+                JsonObj::new()
+                    .str("record", "fault_matrix")
+                    .float("loss", loss)
+                    .bool("dup_reorder", chaos)
+                    .num("seeds", seeds)
+                    .float("mean_ms", mean)
+                    .float("worst_ms", worst)
+                    .num("faults", faults)
+                    .num("retransmissions", retx)
+                    .bool("passed", ok)
+                    .finish()
+            );
+            eprintln!(
+                "  {:>5.0}% {:>12} {:>12.0} {:>12.0} {:>8} {:>8}  {}",
+                loss * 100.0,
+                if chaos { "on" } else { "off" },
+                mean,
+                worst,
+                faults,
+                retx,
+                match &err {
+                    None => "PASS".to_string(),
+                    Some(e) => format!("FAIL: {e}"),
+                }
+            );
+            if !ok {
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("fault matrix: {failures} cell(s) failed");
+        std::process::exit(1);
+    }
+    eprintln!("fault matrix: all cells converged within budget");
+}

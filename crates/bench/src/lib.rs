@@ -9,9 +9,12 @@ use ipmedia_core::boxes::GoalSpec;
 use ipmedia_core::endpoint::{EndpointLogic, NullLogic};
 use ipmedia_core::goal::{EndpointPolicy, UserCmd};
 use ipmedia_core::ids::{BoxId, SlotId};
+use ipmedia_core::reliable::ReliableConfig;
 use ipmedia_core::{BoxCmd, MediaAddr, Medium};
-use ipmedia_netsim::{Network, SimConfig, SimDuration, SimTime};
+use ipmedia_netsim::{FaultPlan, Network, SimConfig, SimDuration, SimTime};
+use ipmedia_obs::metrics::{CountingObserver, Registry};
 use ipmedia_obs::{NoopObserver, Observer};
+use std::sync::Arc;
 
 const T_MAX: SimTime = SimTime(3_600_000_000);
 
@@ -214,6 +217,108 @@ pub fn fresh_setup_latency(k: usize, cfg: SimConfig) -> SimDuration {
     chain.measure_reconvergence(t0)
 }
 
+/// Outcome of one [`flowlink_convergence_under_loss`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossRun {
+    pub loss: f64,
+    pub duplicate: f64,
+    pub reorder: f64,
+    pub seed: u64,
+    /// Virtual time from the user's open to an end-to-end flowing path.
+    pub converged: SimDuration,
+    /// Faults the plans actually injected over the whole run.
+    pub faults: u64,
+    /// Retransmissions the reliability layer needed.
+    pub retransmissions: u64,
+}
+
+/// The robustness experiment (E10): a flowlinked call `L — S — R` with a
+/// chaotic network on both channels and the §VI retransmission layer on
+/// every box. Measures the virtual time from the user's open action to an
+/// end-to-end flowing path (both ends transmitting at each other's
+/// negotiated addresses). Returns `Err` if the path has not converged
+/// within `budget` of virtual time — the failure mode the fault-matrix
+/// gate in `scripts/check.sh` exists to catch.
+pub fn flowlink_convergence_under_loss(
+    loss: f64,
+    duplicate: f64,
+    reorder: f64,
+    seed: u64,
+    budget: SimDuration,
+) -> Result<LossRun, String> {
+    let registry = Arc::new(Registry::new());
+    let mut net = Network::new(SimConfig::paper());
+    net.set_observer(Box::new(CountingObserver::new(registry.clone())));
+    let l = net.add_box(
+        "end-l",
+        Box::new(EndpointLogic::resource(EndpointPolicy::audio(l_addr()))),
+    );
+    let srv = net.add_box("server", Box::new(NullLogic));
+    let r = net.add_box(
+        "end-r",
+        Box::new(EndpointLogic::resource(EndpointPolicy::audio(r_addr()))),
+    );
+    let (ch_l, l_slots, srv_l) = net.connect(l, srv, 1);
+    let (ch_r, srv_r, r_slots) = net.connect(srv, r, 1);
+    let plan = |s: u64| {
+        FaultPlan::new(s)
+            .with_drop(loss)
+            .with_duplicate(duplicate)
+            .with_reorder(reorder)
+    };
+    net.set_fault_plan(ch_l, plan(seed));
+    net.set_fault_plan(ch_r, plan(seed ^ 0x9E37_79B9_7F4A_7C15));
+    for id in [l, srv, r] {
+        net.enable_reliability(id, ReliableConfig::default());
+    }
+    net.run_until_quiescent(T_MAX);
+
+    let (a, b) = (srv_l[0], srv_r[0]);
+    net.apply(srv, move |pb| {
+        pb.media_mut()
+            .set_goal(GoalSpec::Link { a, b })
+            .into_iter()
+            .map(BoxCmd::Signal)
+            .collect()
+    });
+    net.run_until_quiescent(T_MAX);
+
+    let t0 = net.now();
+    net.user(l, l_slots[0], UserCmd::Open(Medium::Audio));
+    let (ls, rs) = (l_slots[0], r_slots[0]);
+    let ok = net.run_until(SimTime(t0.0 + budget.0), |n| {
+        let sl = n.media(l).slot(ls).unwrap();
+        let sr = n.media(r).slot(rs).unwrap();
+        sl.tx_route().map(|(to, _)| to) == Some(r_addr())
+            && sr.tx_route().map(|(to, _)| to) == Some(l_addr())
+    });
+    if !ok {
+        return Err(format!(
+            "no convergence within {budget} (loss={loss}, dup={duplicate}, \
+             reorder={reorder}, seed={seed})"
+        ));
+    }
+    let converged = net.busy_until(l).max(net.busy_until(r)) - t0;
+    // Drain the remaining retransmission timers so the counters cover the
+    // whole run, then check nothing was left half-recovered.
+    net.run_until_quiescent(T_MAX);
+    if !net.all_converged() {
+        return Err(format!(
+            "pending awaits after quiescence (loss={loss}, seed={seed})"
+        ));
+    }
+    let s = registry.snapshot();
+    Ok(LossRun {
+        loss,
+        duplicate,
+        reorder,
+        seed,
+        converged,
+        faults: s.faults_total(),
+        retransmissions: s.retransmissions,
+    })
+}
+
 /// Signals delivered during one re-link, for the protocol-cost table.
 pub fn count_signals_for_relink(k: usize) -> usize {
     let mut chain = Chain::new(k, SimConfig::paper());
@@ -257,6 +362,33 @@ mod tests {
         assert_eq!(
             fresh_setup_latency(2, SimConfig::paper()),
             SimDuration::from_millis(344)
+        );
+    }
+
+    #[test]
+    fn lossy_convergence_costs_more_than_clean() {
+        // The loss sweep's anchor points: a fault-free run converges in
+        // the deterministic fresh-setup time with no retransmissions; a
+        // 10% chaos run still converges, but pays for it.
+        let budget = SimDuration::from_millis(60_000);
+        let clean = flowlink_convergence_under_loss(0.0, 0.0, 0.0, 1, budget).unwrap();
+        assert_eq!(clean.faults, 0);
+        assert_eq!(clean.retransmissions, 0);
+        // Within one compute-step slack of the 4n+5c fresh-setup formula
+        // (the reliability layer's bookkeeping adds compute, not latency).
+        assert!(
+            clean.converged <= SimDuration::from_millis(236 + 2 * 20),
+            "clean convergence took {}",
+            clean.converged
+        );
+
+        let chaos = flowlink_convergence_under_loss(0.10, 0.10, 0.10, 1, budget).unwrap();
+        assert!(chaos.faults > 0, "chaos plan must inject faults");
+        assert!(
+            chaos.converged >= clean.converged,
+            "faults cannot make convergence faster: {} vs {}",
+            chaos.converged,
+            clean.converged
         );
     }
 

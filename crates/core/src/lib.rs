@@ -15,6 +15,7 @@ pub mod goal;
 pub mod ids;
 pub mod path;
 pub mod program;
+pub mod reliable;
 pub mod retag;
 pub mod signal;
 pub mod slot;
@@ -30,7 +31,8 @@ pub use goal::{
 };
 pub use ids::{BoxId, ChannelId, SlotId, SlotRef, TunnelId};
 pub use path::{EndGoal, PathEnds, PathSpec, PathType};
-pub use program::{AppLogic, BoxCmd, BoxInput, Ctx, ProgramBox, TimerId};
+pub use program::{AppLogic, BoxCmd, BoxInput, Ctx, ProgramBox, TimerGenerations, TimerId};
+pub use reliable::{Reliability, ReliableConfig};
 pub use retag::Retag;
 pub use signal::{AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal};
 pub use slot::{Slot, SlotEvent, SlotState};

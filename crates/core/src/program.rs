@@ -18,10 +18,55 @@ use crate::goal::{Outgoing, UserCmd};
 use crate::ids::{BoxId, ChannelId, SlotId};
 use crate::signal::MetaSignal;
 use ipmedia_obs::{NoopObserver, Observer};
+use std::collections::HashMap;
 
 /// Identity of an application timer within its box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub u32);
+
+/// Per-timer generation bookkeeping for environments that execute
+/// [`BoxCmd::SetTimer`] / [`BoxCmd::CancelTimer`].
+///
+/// [`BoxCmd::SetTimer`] *restarts* a timer, and a cancelled timer must not
+/// fire — but an environment that has already scheduled a wakeup (a
+/// simulator event, a heap entry) usually cannot unschedule it cheaply.
+/// The standard fix is generation stamping: every arm or cancel bumps the
+/// timer's generation, each scheduled fire carries the generation current
+/// when it was armed, and a fire whose generation is no longer current is
+/// stale and must be dropped. Both the discrete-event simulator and the
+/// tokio actor use this type so the two substrates cannot drift.
+#[derive(Debug, Clone, Default)]
+pub struct TimerGenerations {
+    gens: HashMap<TimerId, u64>,
+}
+
+impl TimerGenerations {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm (or restart) a timer: returns the generation to stamp on the
+    /// scheduled fire. Any previously scheduled fire becomes stale.
+    pub fn arm(&mut self, id: TimerId) -> u64 {
+        let g = self.gens.entry(id).or_insert(0);
+        *g += 1;
+        *g
+    }
+
+    /// Cancel a timer: any scheduled fire becomes stale. Cancelling a timer
+    /// that was never armed is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        if let Some(g) = self.gens.get_mut(&id) {
+            *g += 1;
+        }
+    }
+
+    /// True iff a fire stamped with `gen` is still current and must be
+    /// delivered to the application.
+    pub fn is_current(&self, id: TimerId, gen: u64) -> bool {
+        self.gens.get(&id) == Some(&gen)
+    }
+}
 
 /// Inputs delivered to a box by its environment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -325,6 +370,29 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn timer_generations_invalidate_stale_fires() {
+        let mut tg = TimerGenerations::new();
+        let g1 = tg.arm(TimerId(1));
+        assert!(tg.is_current(TimerId(1), g1));
+
+        // Restarting invalidates the first scheduled fire.
+        let g2 = tg.arm(TimerId(1));
+        assert!(!tg.is_current(TimerId(1), g1));
+        assert!(tg.is_current(TimerId(1), g2));
+
+        // Cancelling invalidates without arming a new fire.
+        tg.cancel(TimerId(1));
+        assert!(!tg.is_current(TimerId(1), g2));
+
+        // Other timers are independent; unknown timers are never current.
+        let g = tg.arm(TimerId(2));
+        assert!(tg.is_current(TimerId(2), g));
+        assert!(!tg.is_current(TimerId(3), 1));
+        tg.cancel(TimerId(3)); // no-op
+        assert!(!tg.is_current(TimerId(3), 1));
     }
 
     #[test]

@@ -271,6 +271,7 @@ impl Slot {
                     self.peer_desc = Some(desc);
                     (SlotEvent::Oacked, vec![])
                 }
+                Closed => (SlotEvent::Ignored("oack while closed"), vec![Signal::Close]),
                 _ => (SlotEvent::Ignored("stale oack"), vec![]),
             },
             Signal::Close => match self.state {
@@ -304,9 +305,24 @@ impl Slot {
             },
             Signal::Describe { desc } => match self.state {
                 Flowing => {
-                    self.peer_desc = Some(desc);
-                    (SlotEvent::Described, vec![])
+                    // A reordered describe from an earlier generation of the
+                    // same source must not regress the current descriptor
+                    // (tag generations order descriptors per origin).
+                    let stale = self.peer_desc.as_ref().is_some_and(|cur| {
+                        cur.tag.origin == desc.tag.origin
+                            && desc.tag.generation < cur.tag.generation
+                    });
+                    if stale {
+                        (SlotEvent::Ignored("stale describe"), vec![])
+                    } else {
+                        self.peer_desc = Some(desc);
+                        (SlotEvent::Described, vec![])
+                    }
                 }
+                Closed => (
+                    SlotEvent::Ignored("describe while closed"),
+                    vec![Signal::Close],
+                ),
                 _ => (SlotEvent::Ignored("describe in non-flowing state"), vec![]),
             },
             Signal::Select { sel } => match self.state {
@@ -315,9 +331,26 @@ impl Slot {
                         .sent_desc
                         .as_ref()
                         .is_some_and(|d| sel.answers == d.tag);
-                    self.peer_sel = Some(sel);
-                    (SlotEvent::Selected { fresh }, vec![])
+                    // A stale selector (answering an outdated descriptor)
+                    // never overwrites a fresh answer — a reordered network
+                    // must not regress converged state (§VI).
+                    let have_fresh = !fresh
+                        && self
+                            .sent_desc
+                            .as_ref()
+                            .zip(self.peer_sel.as_ref())
+                            .is_some_and(|(d, p)| p.answers == d.tag);
+                    if have_fresh {
+                        (SlotEvent::Ignored("stale selector"), vec![])
+                    } else {
+                        self.peer_sel = Some(sel);
+                        (SlotEvent::Selected { fresh }, vec![])
+                    }
                 }
+                Closed => (
+                    SlotEvent::Ignored("select while closed"),
+                    vec![Signal::Close],
+                ),
                 _ => (SlotEvent::Ignored("select in non-flowing state"), vec![]),
             },
         }
@@ -667,6 +700,66 @@ mod tests {
     }
 
     #[test]
+    fn stale_selector_never_overwrites_fresh_answer() {
+        // A re-describes (d1 → d3) and B's fresh answer to d3 arrives
+        // first; the reordered old answer to d1 must not regress it.
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let d1 = desc(&mut ta);
+        let open = a.send_open(Medium::Audio, d1.clone()).unwrap();
+        deliver(&mut b, open);
+        let d2 = desc(&mut tb);
+        let [oack, select] = b.accept(d2, Selector::not_sending(d1.tag)).unwrap();
+        deliver(&mut a, oack);
+        deliver(&mut a, select);
+
+        let d3 = desc(&mut ta);
+        let _ = a.send_describe(d3.clone()).unwrap();
+        let fresh = Selector::sending(d3.tag, MediaAddr::v4(10, 0, 0, 2, 5000), Codec::G726);
+        let (ev, _) = deliver(&mut a, Signal::Select { sel: fresh.clone() });
+        assert_eq!(ev, SlotEvent::Selected { fresh: true });
+
+        // The late answer to d1 arrives out of order: ignored.
+        let stale = Selector::sending(d1.tag, MediaAddr::v4(10, 0, 0, 2, 5000), Codec::G711);
+        let (ev, _) = deliver(&mut a, Signal::Select { sel: stale });
+        assert_eq!(ev, SlotEvent::Ignored("stale selector"));
+        assert_eq!(a.peer_sel(), Some(&fresh));
+    }
+
+    #[test]
+    fn stale_describe_never_regresses_current_descriptor() {
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+        let mut tb = TagSource::new(2);
+
+        let d1 = desc(&mut ta);
+        let open = a.send_open(Medium::Audio, d1.clone()).unwrap();
+        deliver(&mut b, open);
+        let d2 = desc(&mut tb);
+        let [oack, select] = b.accept(d2, Selector::not_sending(d1.tag)).unwrap();
+        deliver(&mut a, oack);
+        deliver(&mut a, select);
+
+        // A's second descriptor overtakes the duplicate of its first.
+        let d3 = desc(&mut ta);
+        let (ev, _) = deliver(&mut b, Signal::Describe { desc: d3.clone() });
+        assert_eq!(ev, SlotEvent::Described);
+        let (ev, _) = deliver(&mut b, Signal::Describe { desc: d1 });
+        assert_eq!(ev, SlotEvent::Ignored("stale describe"));
+        assert_eq!(b.peer_desc().unwrap().tag, d3.tag);
+
+        // A duplicate of the *current* descriptor is re-processed (it
+        // re-triggers the goal's answer — the lost-select recovery path).
+        let (ev, _) = deliver(&mut b, Signal::Describe { desc: d3.clone() });
+        assert_eq!(ev, SlotEvent::Described);
+        assert_eq!(b.peer_desc().unwrap().tag, d3.tag);
+    }
+
+    #[test]
     fn stale_select_send_is_rejected() {
         let mut a = Slot::new(true);
         let mut b = Slot::new(false);
@@ -716,10 +809,17 @@ mod tests {
         let mut s = Slot::new(true);
         let mut ts = TagSource::new(9);
         let d = nm_desc(&mut ts);
-        // All of these arrive while closed and are dropped.
+        // A stray closeack while closed is dropped silently.
+        let (ev, auto) = s.on_signal(Signal::CloseAck);
+        assert!(matches!(ev, SlotEvent::Ignored(_)));
+        assert!(auto.is_empty());
+        assert_eq!(s.state(), SlotState::Closed);
+        // Flowing-phase signals while closed are rejected with a close:
+        // the sender believes the connection exists (e.g. a duplicated
+        // open re-created its side after we closed), and only an explicit
+        // close can tear that half-open state down.
         for sig in [
             Signal::Oack { desc: d.clone() },
-            Signal::CloseAck,
             Signal::Describe { desc: d.clone() },
             Signal::Select {
                 sel: Selector::not_sending(d.tag),
@@ -727,13 +827,59 @@ mod tests {
         ] {
             let (ev, auto) = s.on_signal(sig);
             assert!(matches!(ev, SlotEvent::Ignored(_)));
-            assert!(auto.is_empty());
+            assert_eq!(auto, vec![Signal::Close]);
             assert_eq!(s.state(), SlotState::Closed);
         }
         // A close while closed is acknowledged defensively.
         let (ev, auto) = s.on_signal(Signal::Close);
         assert!(matches!(ev, SlotEvent::Ignored(_)));
         assert_eq!(auto, vec![Signal::CloseAck]);
+    }
+
+    #[test]
+    fn closed_slot_rejects_half_open_peer_with_close() {
+        // A duplicated open re-delivered after a full open/close cycle can
+        // re-open the answering side while the initiator stays closed. The
+        // initiator's close-rejection of the answerer's oack must tear the
+        // half-open connection back down.
+        let mut a = Slot::new(true);
+        let mut b = Slot::new(false);
+        let mut ta = TagSource::new(1);
+
+        let d1 = nm_desc(&mut ta);
+        let open = a.send_open(Medium::Audio, d1.clone()).unwrap();
+        deliver(&mut b, open.clone());
+        let close = a.send_close().unwrap();
+        let (_, autos) = deliver(&mut b, close);
+        for sig in autos {
+            deliver(&mut a, sig); // closeack -> a is Closed
+        }
+        assert_eq!(a.state(), SlotState::Closed);
+        assert_eq!(b.state(), SlotState::Closed);
+
+        // The adversary re-delivers the duplicated open: b re-opens and
+        // its application (unaware this open is stale) accepts.
+        let mut tb = TagSource::new(2);
+        let d2 = nm_desc(&mut tb);
+        let (_, autos) = deliver(&mut b, open);
+        assert!(autos.is_empty());
+        assert_eq!(b.state(), SlotState::Opened);
+        let [oack, select] = b.accept(d2.clone(), Selector::not_sending(d1.tag)).unwrap();
+        assert_eq!(b.state(), SlotState::Flowing);
+
+        // b's oack and select hit a's closed slot; the auto-closes they
+        // provoke must bring b back down, and the closeacks are absorbed
+        // silently.
+        let mut queue: Vec<Signal> = vec![oack, select];
+        while let Some(sig) = queue.pop() {
+            let (_, back) = deliver(&mut a, sig);
+            for sig in back {
+                let (_, more) = deliver(&mut b, sig);
+                queue.extend(more);
+            }
+        }
+        assert_eq!(a.state(), SlotState::Closed);
+        assert_eq!(b.state(), SlotState::Closed);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Property tests for freshness-tag comparison (§VI-B, §VII).
+//!
+//! Descriptors are unilateral and cacheable, so the network may replay
+//! arbitrarily old copies of them — and of the selectors that answer
+//! them. The slot's only defense is the tag algebra: a selector is fresh
+//! iff it answers the *current* sent descriptor's tag, and a descriptor
+//! from a known origin is stale iff its generation is below the cached
+//! one. These tests drive random signal histories through a real
+//! [`Slot`] and check the invariants the retransmission layer depends
+//! on: stale input never overwrites fresh state, whatever the order.
+
+use ipmedia_core::{
+    Codec, DescTag, Descriptor, MediaAddr, Medium, Selector, Signal, Slot, SlotEvent, SlotState,
+};
+use proptest::prelude::*;
+
+/// Tags drawn from a handful of origins and small generations, so random
+/// histories collide often enough to exercise every comparison branch.
+fn arb_tag() -> impl Strategy<Value = DescTag> {
+    (any::<u8>(), any::<u8>()).prop_map(|(o, g)| DescTag {
+        origin: (o % 4) as u64,
+        generation: (g % 8) as u32,
+    })
+}
+
+fn arb_selector() -> impl Strategy<Value = Selector> {
+    (arb_tag(), any::<bool>(), any::<u16>()).prop_map(|(tag, sending, port)| {
+        if sending {
+            Selector::sending(tag, MediaAddr::v4(10, 9, 9, 9, port | 1), Codec::G711)
+        } else {
+            Selector::not_sending(tag)
+        }
+    })
+}
+
+/// A flowing slot whose current sent descriptor carries `tag`.
+fn flowing_slot(tag: DescTag, peer: DescTag) -> Slot {
+    let mut s = Slot::new(true);
+    let d = Descriptor::media(tag, MediaAddr::v4(10, 0, 0, 1, 4000), vec![Codec::G711]);
+    s.send_open(Medium::Audio, d).expect("closed slot opens");
+    let pd = Descriptor::media(peer, MediaAddr::v4(10, 0, 0, 2, 4000), vec![Codec::G711]);
+    s.on_signal(Signal::Oack { desc: pd });
+    assert_eq!(s.state(), SlotState::Flowing);
+    s
+}
+
+const MINE: DescTag = DescTag {
+    origin: 100,
+    generation: 3,
+};
+const PEER: DescTag = DescTag {
+    origin: 200,
+    generation: 0,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn stale_selector_never_overwrites_fresh_state(sels in proptest::collection::vec(arb_selector(), 1..24)) {
+        // Once a fresh answer (to the current descriptor) is cached, no
+        // replayed selector with any other tag may replace it.
+        let mut s = flowing_slot(MINE, PEER);
+        let fresh = Selector::not_sending(MINE);
+        s.on_signal(Signal::Select { sel: fresh.clone() });
+        prop_assert_eq!(s.peer_sel(), Some(&fresh));
+        for sel in sels {
+            let stale = sel.answers != MINE;
+            let (ev, auto) = s.on_signal(Signal::Select { sel: sel.clone() });
+            prop_assert!(auto.is_empty());
+            if stale {
+                prop_assert!(matches!(ev, SlotEvent::Ignored(_)), "stale {sel} accepted");
+            } else {
+                prop_assert!(matches!(ev, SlotEvent::Selected { fresh: true }));
+            }
+            // The invariant proper: whatever arrived, the cached answer
+            // still answers the current descriptor.
+            prop_assert_eq!(s.peer_sel().map(|p| p.answers), Some(MINE));
+        }
+    }
+
+    #[test]
+    fn fresh_selector_is_always_accepted(before in proptest::collection::vec(arb_selector(), 0..16)) {
+        // However much stale noise arrived first, a selector answering the
+        // current descriptor is stored the moment it lands.
+        let mut s = flowing_slot(MINE, PEER);
+        for sel in before {
+            s.on_signal(Signal::Select { sel });
+        }
+        let fresh = Selector::sending(MINE, MediaAddr::v4(10, 0, 0, 2, 5002), Codec::G711);
+        let (ev, _) = s.on_signal(Signal::Select { sel: fresh.clone() });
+        prop_assert!(matches!(ev, SlotEvent::Selected { fresh: true }));
+        prop_assert_eq!(s.peer_sel(), Some(&fresh));
+    }
+
+    #[test]
+    fn peer_descriptor_generation_never_regresses(gens in proptest::collection::vec(any::<u8>(), 1..24)) {
+        // Replayed describes from the peer's origin: the cached generation
+        // is monotone, and always the max seen so far.
+        let mut s = flowing_slot(MINE, PEER);
+        let mut max_seen = PEER.generation;
+        for g in gens {
+            let g = (g % 8) as u32;
+            let tag = DescTag { origin: PEER.origin, generation: g };
+            let d = Descriptor::media(tag, MediaAddr::v4(10, 0, 0, 2, 4000), vec![Codec::G726]);
+            let (ev, _) = s.on_signal(Signal::Describe { desc: d });
+            if g < max_seen {
+                prop_assert!(matches!(ev, SlotEvent::Ignored(_)), "gen {g} < {max_seen} accepted");
+            } else {
+                prop_assert!(matches!(ev, SlotEvent::Described));
+                max_seen = g;
+            }
+            prop_assert_eq!(s.peer_desc().map(|d| d.tag.generation), Some(max_seen));
+        }
+    }
+
+    #[test]
+    fn selector_validity_requires_exact_tag_match(a in arb_tag(), b in arb_tag()) {
+        let d = Descriptor::media(a, MediaAddr::v4(10, 0, 0, 1, 4000), vec![Codec::G711]);
+        let sel = Selector::sending(b, MediaAddr::v4(10, 0, 0, 2, 4000), Codec::G711);
+        prop_assert_eq!(sel.answers_validly(&d), a == b);
+        // not_sending is the universal answer shape: valid iff tags match.
+        let quiet = Selector::not_sending(b);
+        prop_assert_eq!(quiet.answers_validly(&d), a == b);
+    }
+
+    #[test]
+    fn any_selector_history_leaves_fresh_state_if_one_was_fresh(
+        sels in proptest::collection::vec(arb_selector(), 0..24),
+        force_fresh_at in any::<u8>(),
+    ) {
+        // Mixed histories: if at least one delivered selector answered the
+        // current descriptor, the slot ends converged on a fresh answer.
+        let mut s = flowing_slot(MINE, PEER);
+        let mut sels = sels;
+        if !sels.is_empty() {
+            let i = force_fresh_at as usize % sels.len();
+            sels[i].answers = MINE;
+        }
+        let any_fresh = sels.iter().any(|sel| sel.answers == MINE);
+        for sel in sels {
+            s.on_signal(Signal::Select { sel });
+        }
+        if any_fresh {
+            prop_assert_eq!(s.peer_sel().map(|p| p.answers), Some(MINE));
+        }
+    }
+}

@@ -72,7 +72,31 @@ pub fn budgeted(links: usize, left: EndGoal, right: EndGoal, scale: u8) -> Check
         end_phase1_budget: 1 + scale,
         link_phase1_budget: scale.min(1),
         modify_budget: 1,
+        fault_budget: 0,
     }
+}
+
+/// The fault campaign: every path type checked with the adversary allowed
+/// `faults` drop/duplicate faults on each tunnel (and the matching
+/// recovery machinery enabled). Budgets are kept minimal — the point is
+/// the interleaving of faults with the protocol, not phase-1 breadth.
+pub fn fault_campaign(links: usize, faults: u8, max_states: usize) -> Vec<CheckResult> {
+    let mut out = Vec::new();
+    for pt in PathType::all() {
+        let (l, r) = pt.ends();
+        let cfg = CheckConfig {
+            links,
+            left: l,
+            right: r,
+            end_phase1_budget: 1,
+            link_phase1_budget: 0,
+            modify_budget: 1,
+            fault_budget: faults,
+        };
+        let (res, _) = check_path(&cfg, max_states);
+        out.push(res);
+    }
+    out
 }
 
 /// Render campaign results as an aligned text table (the `V1` table of
@@ -133,6 +157,39 @@ mod tests {
                     .map(|v| violation_trace(&g, v)),
             );
         }
+    }
+
+    #[test]
+    fn direct_paths_pass_with_one_fault_per_tunnel() {
+        // Acceptance: every path type still satisfies safety and its §V
+        // spec when the adversary may drop or duplicate one signal on
+        // each channel (with the recovery machinery enabled).
+        for res in fault_campaign(0, 1, 4_000_000) {
+            assert!(
+                res.passed(),
+                "{} (0 links, 1 fault) failed: safety={:?} spec={:?} states={}",
+                res.path_type,
+                res.safety,
+                res.spec_result,
+                res.states,
+            );
+        }
+    }
+
+    #[test]
+    fn fault_budget_grows_the_explored_space() {
+        // The fault actions genuinely branch the exploration: the same
+        // model with a fault budget must visit strictly more states.
+        let cfg = budgeted(0, EndGoal::Open, EndGoal::Hold, 0);
+        let (plain, _) = check_path(&cfg, 2_000_000);
+        let (faulty, _) = check_path(&cfg.with_faults(1), 4_000_000);
+        assert!(faulty.passed(), "faulty open–hold must still pass");
+        assert!(
+            faulty.states > plain.states,
+            "faults explored: {} vs {}",
+            faulty.states,
+            plain.states
+        );
     }
 
     fn violation_trace(g: &crate::explore::StateGraph, v: &Violation) -> Vec<crate::state::Action> {

@@ -67,6 +67,24 @@ pub fn render_trace(cfg: &CheckConfig, trace: &[Action]) -> String {
                 LadderEvent::local(at, idx + 1, format!("s{side} user:{}", op_name(op)))
             }
             Action::LinkAttach { idx } => LadderEvent::local(at, idx + 1, "attach flowlink"),
+            Action::DropFwd(t) => {
+                let kind = state.tunnels[t].fwd.front().expect("enabled action").kind();
+                LadderEvent::local(at, t, format!("drop fwd:{kind}"))
+            }
+            Action::DropBwd(t) => {
+                let kind = state.tunnels[t].bwd.front().expect("enabled action").kind();
+                LadderEvent::local(at, t + 1, format!("drop bwd:{kind}"))
+            }
+            Action::DupFwd(t) => {
+                let kind = state.tunnels[t].fwd.front().expect("enabled action").kind();
+                LadderEvent::local(at, t, format!("dup fwd:{kind}"))
+            }
+            Action::DupBwd(t) => {
+                let kind = state.tunnels[t].bwd.front().expect("enabled action").kind();
+                LadderEvent::local(at, t + 1, format!("dup bwd:{kind}"))
+            }
+            Action::RetransmitFwd(t) => LadderEvent::local(at, t, "retransmit"),
+            Action::RetransmitBwd(t) => LadderEvent::local(at, t + 1, "retransmit"),
         };
         events.push(ev);
         state = state.apply(cfg, action);

@@ -152,6 +152,7 @@ mod tests {
             end_phase1_budget: 1,
             link_phase1_budget: 0,
             modify_budget: 0,
+            fault_budget: 0,
         };
         let g = explore(&cfg, 1_000_000);
         assert!(!g.truncated);
@@ -173,6 +174,7 @@ mod tests {
             end_phase1_budget: 0,
             link_phase1_budget: 0,
             modify_budget: 0,
+            fault_budget: 0,
         };
         let g = explore(&cfg, 1_000_000);
         assert!(!g.truncated);

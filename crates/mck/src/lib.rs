@@ -15,7 +15,9 @@ pub mod explore;
 pub mod props;
 pub mod state;
 
-pub use campaign::{budgeted, check_path, paper_campaign, render_table, CheckResult};
+pub use campaign::{
+    budgeted, check_path, fault_campaign, paper_campaign, render_table, CheckResult,
+};
 pub use counterexample::{render_counterexample, render_trace};
 pub use explore::{explore, StateFlags, StateGraph};
 pub use props::{check_safety, check_spec, cycle_states, Violation};

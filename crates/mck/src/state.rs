@@ -22,6 +22,7 @@ use ipmedia_core::goal::{
     UserAgent, UserCmd,
 };
 use ipmedia_core::path::{EndGoal, PathEnds};
+use ipmedia_core::reliable;
 use ipmedia_core::retag::Retag;
 use ipmedia_core::signal::Signal;
 use ipmedia_core::slot::{Slot, SlotState};
@@ -43,6 +44,13 @@ pub struct CheckConfig {
     /// Mute-flag `modify` perturbations available to each endpoint after
     /// attaching its goal (drives the recurrence check of §V).
     pub modify_budget: u8,
+    /// Channel faults (drops and duplications) available to the adversary
+    /// on EACH tunnel. The budget lives in the tunnel state, so the space
+    /// stays finite; with a nonzero budget the checker also enables the
+    /// recovery machinery (duplicate re-acknowledgement on delivery and
+    /// budgeted retransmissions compensating each drop), mirroring the
+    /// reliability layer the simulator and runtime use.
+    pub fault_budget: u8,
 }
 
 impl CheckConfig {
@@ -56,7 +64,14 @@ impl CheckConfig {
             end_phase1_budget: 2,
             link_phase1_budget: 1,
             modify_budget: 1,
+            fault_budget: 0,
         }
+    }
+
+    /// Allow the adversary `budget` drop/duplicate faults per tunnel.
+    pub fn with_faults(mut self, budget: u8) -> Self {
+        self.fault_budget = budget;
+        self
     }
 }
 
@@ -114,6 +129,17 @@ pub struct Tunnel {
     pub fwd: VecDeque<Signal>,
     /// Signals travelling right → left.
     pub bwd: VecDeque<Signal>,
+    /// Remaining drop/duplicate faults the adversary may inject here.
+    pub faults_left: u8,
+    /// Retransmission credits earned by drops, per direction. A drop of a
+    /// *request* (open/close/describe) credits the direction it travelled
+    /// — its sender still awaits the answer and will retransmit; a drop
+    /// of a *response* (oack/closeack/select) credits the opposite
+    /// direction — the requester re-requests and the receiver re-answers
+    /// from cache. Terminal states require zero credits, so every drop is
+    /// eventually compensated, exactly like the timer-driven layer.
+    pub lost_fwd: u8,
+    pub lost_bwd: u8,
 }
 
 /// A global state of the signaling path.
@@ -159,6 +185,21 @@ pub enum Action {
     },
     /// A flowlink box attaches its flowlink.
     LinkAttach { idx: usize },
+    /// The adversary drops the head of `tunnels[t].fwd` (costs a fault).
+    DropFwd(usize),
+    /// The adversary drops the head of `tunnels[t].bwd` (costs a fault).
+    DropBwd(usize),
+    /// The adversary duplicates the head of `tunnels[t].fwd`, appending
+    /// the copy at the back of the queue (duplication + reordering in one
+    /// action; costs a fault).
+    DupFwd(usize),
+    /// As [`Action::DupFwd`], backward direction.
+    DupBwd(usize),
+    /// The element sending forward into `tunnels[t]` retransmits its
+    /// cached signals (spends a `lost_fwd` credit).
+    RetransmitFwd(usize),
+    /// As [`Action::RetransmitFwd`], backward direction.
+    RetransmitBwd(usize),
 }
 
 fn end_policy(host: u8) -> EndpointPolicy {
@@ -216,7 +257,13 @@ impl PathState {
                 },
             })
             .collect();
-        let tunnels = vec![Tunnel::default(); cfg.links + 1];
+        let tunnels = vec![
+            Tunnel {
+                faults_left: cfg.fault_budget,
+                ..Tunnel::default()
+            };
+            cfg.links + 1
+        ];
         let mut s = Self {
             left,
             links,
@@ -233,9 +280,23 @@ impl PathState {
         for (t, tun) in self.tunnels.iter().enumerate() {
             if !tun.fwd.is_empty() {
                 out.push(Action::DeliverFwd(t));
+                if tun.faults_left > 0 {
+                    out.push(Action::DropFwd(t));
+                    out.push(Action::DupFwd(t));
+                }
             }
             if !tun.bwd.is_empty() {
                 out.push(Action::DeliverBwd(t));
+                if tun.faults_left > 0 {
+                    out.push(Action::DropBwd(t));
+                    out.push(Action::DupBwd(t));
+                }
+            }
+            if tun.lost_fwd > 0 {
+                out.push(Action::RetransmitFwd(t));
+            }
+            if tun.lost_bwd > 0 {
+                out.push(Action::RetransmitBwd(t));
             }
         }
         for right in [false, true] {
@@ -294,34 +355,79 @@ impl PathState {
     /// Apply an action, producing the canonicalized successor state.
     pub fn apply(&self, cfg: &CheckConfig, action: Action) -> PathState {
         let mut s = self.clone();
+        let reack = cfg.fault_budget > 0;
         match action {
             Action::DeliverFwd(t) => {
                 let sig = s.tunnels[t].fwd.pop_front().expect("enabled action");
-                s.deliver(t + 1, true, sig);
+                s.deliver(t + 1, true, sig, reack);
             }
             Action::DeliverBwd(t) => {
                 let sig = s.tunnels[t].bwd.pop_front().expect("enabled action");
-                s.deliver(t, false, sig);
+                s.deliver(t, false, sig, reack);
             }
             Action::EndNondet { right, op } => s.end_nondet(right, op),
             Action::EndAttach { right } => s.end_attach(cfg, right),
             Action::EndModify { right, op } => s.end_modify(right, op),
             Action::LinkNondet { idx, side, op } => s.link_nondet(idx, side, op),
             Action::LinkAttach { idx } => s.link_attach(idx),
+            Action::DropFwd(t) => {
+                let sig = s.tunnels[t].fwd.pop_front().expect("enabled action");
+                s.tunnels[t].faults_left -= 1;
+                if is_request(&sig) {
+                    s.tunnels[t].lost_fwd += 1;
+                } else {
+                    s.tunnels[t].lost_bwd += 1;
+                }
+            }
+            Action::DropBwd(t) => {
+                let sig = s.tunnels[t].bwd.pop_front().expect("enabled action");
+                s.tunnels[t].faults_left -= 1;
+                if is_request(&sig) {
+                    s.tunnels[t].lost_bwd += 1;
+                } else {
+                    s.tunnels[t].lost_fwd += 1;
+                }
+            }
+            Action::DupFwd(t) => {
+                let sig = s.tunnels[t].fwd.front().cloned().expect("enabled action");
+                s.tunnels[t].fwd.push_back(sig);
+                s.tunnels[t].faults_left -= 1;
+            }
+            Action::DupBwd(t) => {
+                let sig = s.tunnels[t].bwd.front().cloned().expect("enabled action");
+                s.tunnels[t].bwd.push_back(sig);
+                s.tunnels[t].faults_left -= 1;
+            }
+            Action::RetransmitFwd(t) => {
+                s.tunnels[t].lost_fwd -= 1;
+                s.retransmit(t, true);
+            }
+            Action::RetransmitBwd(t) => {
+                s.tunnels[t].lost_bwd -= 1;
+                s.retransmit(t, false);
+            }
         }
         s.canonicalize();
         s
     }
 
     /// Deliver a signal to the element at `pos`. `from_left` says the
-    /// signal came from the element's left side.
-    fn deliver(&mut self, pos: usize, from_left: bool, sig: Signal) {
+    /// signal came from the element's left side. With `reack` set (fault
+    /// checking), duplicate opens and describes are re-answered from the
+    /// receiving slot's cached state before the signal is applied — the
+    /// deterministic half of the reliability layer (§VI idempotence).
+    fn deliver(&mut self, pos: usize, from_left: bool, sig: Signal, reack: bool) {
         let n = self.links.len();
         if pos == 0 || pos == n + 1 {
             let end = if pos == 0 {
                 &mut self.left
             } else {
                 &mut self.right
+            };
+            let reacks = if reack {
+                reliable::reack_signals(&end.slot, &sig)
+            } else {
+                vec![]
             };
             let (event, auto) = end.slot.on_signal(sig);
             let mut signals = auto;
@@ -339,6 +445,7 @@ impl PathState {
                     signals.extend(sigs);
                 }
             }
+            signals.extend(reacks);
             let t = if pos == 0 { 0 } else { n };
             for sig in signals {
                 if pos == 0 {
@@ -353,6 +460,11 @@ impl PathState {
             let link = &mut self.links[idx];
             // Split the two slots to satisfy the flowlink's signature.
             let [ref mut s0, ref mut s1] = link.slots;
+            let reacks = if reack {
+                reliable::reack_signals(if side == 0 { s0 } else { s1 }, &sig)
+            } else {
+                vec![]
+            };
             let (event, auto) = if side == 0 {
                 s0.on_signal(sig)
             } else {
@@ -374,8 +486,36 @@ impl PathState {
                     );
                 }
             }
+            signals.extend(reacks.into_iter().map(|s| (side, s)));
             for (side, sig) in signals {
                 self.push_from_link(idx, side, sig);
+            }
+        }
+    }
+
+    /// Spend a retransmission credit: the element sending into tunnel `t`
+    /// in the given direction re-emits its cached signals, exactly what
+    /// the timer-driven reliability layer would resend.
+    fn retransmit(&mut self, t: usize, fwd: bool) {
+        let n = self.links.len();
+        let slot = if fwd {
+            if t == 0 {
+                &self.left.slot
+            } else {
+                &self.links[t - 1].slots[1]
+            }
+        } else if t == n {
+            &self.right.slot
+        } else {
+            &self.links[t].slots[0]
+        };
+        let sigs = reliable::resend_signals(slot);
+        let tun = &mut self.tunnels[t];
+        for sig in sigs {
+            if fwd {
+                tun.fwd.push_back(sig);
+            } else {
+                tun.bwd.push_back(sig);
             }
         }
     }
@@ -655,6 +795,15 @@ fn policy_mutes(p: &Policy) -> Option<(bool, bool)> {
         Policy::Endpoint(e) => Some((e.mute_in, e.mute_out)),
         Policy::Server => Some((true, true)),
     }
+}
+
+/// Requests are retransmitted by their sender; responses are recovered by
+/// the requester re-requesting (the receiver re-answers from cache).
+fn is_request(sig: &Signal) -> bool {
+    matches!(
+        sig,
+        Signal::Open { .. } | Signal::Close | Signal::Describe { .. }
+    )
 }
 
 /// Legal nondeterministic user actions in a slot state.

@@ -1,0 +1,209 @@
+//! Per-channel fault injection for the simulator.
+//!
+//! A [`FaultPlan`] describes the misbehavior of one signaling channel:
+//! independent per-signal probabilities of drop and duplication, and a
+//! probability of bounded extra delay large enough to reorder a signal
+//! past later ones. All randomness comes from a seeded deterministic
+//! generator ([`rand::rngs::StdRng`]) consumed in event order, so a run
+//! with faults is exactly as reproducible as a fault-free run — same
+//! seed, same schedule, same trace.
+//!
+//! Box crash/restart events are scheduled separately in virtual time by
+//! [`crate::Network::schedule_crash`]; this module only decides the fate
+//! of individual transmitted signals.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The fault behavior of one signaling channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the channel's private PRNG stream.
+    pub seed: u64,
+    /// Probability a transmitted signal is silently lost.
+    pub drop: f64,
+    /// Probability a delivered signal arrives twice.
+    pub duplicate: f64,
+    /// Probability a delivered copy is held back by a uniform extra delay
+    /// in `1..=max_extra_delay`, letting later signals overtake it.
+    pub reorder: f64,
+    /// Upper bound on the extra delay drawn for a reordered copy.
+    pub max_extra_delay: SimDuration,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (but still owns a PRNG stream).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            max_extra_delay: SimDuration::from_millis(150),
+        }
+    }
+
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    pub fn with_max_extra_delay(mut self, d: SimDuration) -> Self {
+        self.max_extra_delay = d;
+        self
+    }
+
+    /// The acceptance-criteria chaos mix: the given loss rate plus 10%
+    /// duplication and 10% reordering.
+    pub fn chaos(seed: u64, loss: f64) -> Self {
+        Self::new(seed)
+            .with_drop(loss)
+            .with_duplicate(0.10)
+            .with_reorder(0.10)
+    }
+}
+
+/// One scheduled copy of a transmitted signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Delay added on top of the channel's network latency.
+    pub extra_delay: SimDuration,
+    /// The fault kind to report for this copy (`None` for an untouched
+    /// primary copy).
+    pub fault: Option<&'static str>,
+}
+
+/// The fate of one transmitted signal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendFate {
+    /// The signal vanishes.
+    Dropped,
+    /// Deliver these copies (always at least one).
+    Deliver(Vec<Delivery>),
+}
+
+impl SendFate {
+    /// The fate on a fault-free channel: one prompt copy.
+    pub fn clean() -> Self {
+        SendFate::Deliver(vec![Delivery {
+            extra_delay: SimDuration::ZERO,
+            fault: None,
+        }])
+    }
+}
+
+/// A [`FaultPlan`] plus its live PRNG stream.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(plan.seed),
+            plan,
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next transmitted signal, consuming PRNG
+    /// draws in a fixed order (drop, primary jitter, duplicate, duplicate
+    /// jitter).
+    pub fn fate(&mut self) -> SendFate {
+        if self.plan.drop > 0.0 && self.rng.random_bool(self.plan.drop) {
+            return SendFate::Dropped;
+        }
+        let mut copies = vec![self.copy(None)];
+        if self.plan.duplicate > 0.0 && self.rng.random_bool(self.plan.duplicate) {
+            copies.push(self.copy(Some("duplicate")));
+        }
+        SendFate::Deliver(copies)
+    }
+
+    fn copy(&mut self, fault: Option<&'static str>) -> Delivery {
+        let jittered = self.plan.reorder > 0.0
+            && self.plan.max_extra_delay > SimDuration::ZERO
+            && self.rng.random_bool(self.plan.reorder);
+        let extra_delay = if jittered {
+            SimDuration(self.rng.random_range(1..=self.plan.max_extra_delay.0))
+        } else {
+            SimDuration::ZERO
+        };
+        Delivery {
+            extra_delay,
+            fault: fault.or(jittered.then_some("reorder")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fates() {
+        let plan = FaultPlan::chaos(42, 0.2);
+        let mut a = FaultState::new(plan);
+        let mut b = FaultState::new(plan);
+        for _ in 0..200 {
+            assert_eq!(a.fate(), b.fate());
+        }
+    }
+
+    #[test]
+    fn zero_plan_is_transparent() {
+        let mut f = FaultState::new(FaultPlan::new(7));
+        for _ in 0..100 {
+            assert_eq!(f.fate(), SendFate::clean());
+        }
+    }
+
+    #[test]
+    fn certain_drop_always_drops() {
+        let mut f = FaultState::new(FaultPlan::new(7).with_drop(1.0));
+        for _ in 0..100 {
+            assert_eq!(f.fate(), SendFate::Dropped);
+        }
+    }
+
+    #[test]
+    fn duplicates_and_reorders_show_up_at_high_rates() {
+        let mut f = FaultState::new(
+            FaultPlan::new(3)
+                .with_duplicate(0.5)
+                .with_reorder(0.5)
+                .with_max_extra_delay(SimDuration::from_millis(10)),
+        );
+        let (mut dups, mut reorders) = (0, 0);
+        for _ in 0..400 {
+            if let SendFate::Deliver(copies) = f.fate() {
+                dups += copies
+                    .iter()
+                    .filter(|c| c.fault == Some("duplicate"))
+                    .count();
+                reorders += copies.iter().filter(|c| c.fault == Some("reorder")).count();
+                for c in &copies {
+                    assert!(c.extra_delay <= SimDuration::from_millis(10));
+                }
+            }
+        }
+        assert!(dups > 100, "expected many duplicates, got {dups}");
+        assert!(reorders > 80, "expected many reorders, got {reorders}");
+    }
+}

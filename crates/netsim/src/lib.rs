@@ -8,8 +8,10 @@
 //! formulas (2n+3c for Fig. 13, pn+(p+1)c in general) are *measured* on
 //! this substrate rather than merely derived.
 
+pub mod fault;
 pub mod sim;
 pub mod time;
 
+pub use fault::{FaultPlan, FaultState, SendFate};
 pub use sim::{Network, SimConfig, TraceEntry};
 pub use time::{SimDuration, SimTime};

@@ -6,10 +6,12 @@
 //! send, and processes stimuli serially (paper §VIII-C). All scheduling is
 //! deterministic: events are ordered by (time, sequence number).
 
+use crate::fault::{FaultPlan, FaultState, SendFate};
 use crate::time::{SimDuration, SimTime};
-use ipmedia_core::goal::UserCmd;
+use ipmedia_core::goal::{Outgoing, UserCmd};
 use ipmedia_core::ids::{BoxId, ChannelId, SlotId, TunnelId};
-use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerId};
+use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerGenerations, TimerId};
+use ipmedia_core::reliable::{self, Reliability, ReliableConfig, TimerAction};
 use ipmedia_core::signal::{Availability, MetaSignal};
 use ipmedia_core::MediaBox;
 use ipmedia_obs::clock::ManualClock;
@@ -74,6 +76,12 @@ enum Ev {
         to: BoxId,
         f: Box<dyn FnOnce(&mut ProgramBox) -> Vec<BoxCmd> + Send>,
     },
+    /// The box goes down: inputs and timer fires addressed to it are lost
+    /// until the matching `Restart`. Protocol state survives (a transient
+    /// outage, not a state wipe).
+    Crash { to: BoxId },
+    /// The box comes back up; its reliability layer (if any) re-arms.
+    Restart { to: BoxId },
 }
 
 struct Scheduled {
@@ -104,10 +112,16 @@ struct Node {
     name: String,
     /// The box processes stimuli serially; this is when it frees up.
     busy_until: SimTime,
-    /// Current generation per timer id; stale fires are dropped.
-    timer_gen: HashMap<TimerId, u64>,
+    /// Current generation per timer id; stale fires are dropped. Shared
+    /// semantics with the tokio runtime via `core::program`.
+    timer_gen: TimerGenerations,
     available: bool,
     terminated: bool,
+    /// Crashed (between `Ev::Crash` and `Ev::Restart`): all deliveries
+    /// and timer fires are lost.
+    down: bool,
+    /// Retransmission layer, when enabled for this box.
+    reliab: Option<Reliability>,
     next_slot: u16,
 }
 
@@ -145,6 +159,8 @@ pub struct Network {
     nodes: HashMap<BoxId, Node>,
     names: HashMap<String, BoxId>,
     channels: HashMap<ChannelId, Channel>,
+    /// Per-channel fault injection; channels absent here are perfect.
+    faults: HashMap<ChannelId, FaultState>,
     /// (box, slot) → (channel, tunnel) for outgoing routing.
     slot_route: HashMap<(BoxId, SlotId), (ChannelId, TunnelId)>,
     events: BinaryHeap<Reverse<Scheduled>>,
@@ -170,6 +186,7 @@ impl Network {
             nodes: HashMap::new(),
             names: HashMap::new(),
             channels: HashMap::new(),
+            faults: HashMap::new(),
             slot_route: HashMap::new(),
             events: BinaryHeap::new(),
             now: SimTime::ZERO,
@@ -246,9 +263,11 @@ impl Network {
                 pb: ProgramBox::new(id, logic),
                 name,
                 busy_until: SimTime::ZERO,
-                timer_gen: HashMap::new(),
+                timer_gen: TimerGenerations::new(),
                 available: true,
                 terminated: false,
+                down: false,
+                reliab: None,
                 next_slot: 0,
             },
         );
@@ -267,6 +286,52 @@ impl Network {
     /// `Peer(Unavailable)` and delivers no far-end `ChannelUp`.
     pub fn set_available(&mut self, id: BoxId, available: bool) {
         self.nodes.get_mut(&id).expect("box exists").available = available;
+    }
+
+    /// Install a fault plan on a channel. Signals transmitted on the
+    /// channel (in either direction) are subject to the plan from now on;
+    /// replacing a plan resets its PRNG stream.
+    pub fn set_fault_plan(&mut self, ch: ChannelId, plan: FaultPlan) {
+        self.faults.insert(ch, FaultState::new(plan));
+    }
+
+    /// Enable the §VI retransmission/recovery layer on a box. Awaits
+    /// already outstanding are armed immediately.
+    pub fn enable_reliability(&mut self, id: BoxId, cfg: ReliableConfig) {
+        self.nodes.get_mut(&id).expect("box exists").reliab = Some(Reliability::new(cfg));
+        let now = self.now;
+        self.sync_reliability(id, now);
+    }
+
+    /// Schedule a crash at `at` and the matching restart `down_for` later.
+    /// While down the box loses every input and timer fire; its protocol
+    /// state survives and its reliability layer re-arms on restart.
+    pub fn schedule_crash(&mut self, id: BoxId, at: SimTime, down_for: SimDuration) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, Ev::Crash { to: id });
+        self.push(at + down_for, Ev::Restart { to: id });
+    }
+
+    /// True iff every slot of the box has converged (§VI quiescence: no
+    /// unanswered open/close/describe).
+    pub fn converged(&self, id: BoxId) -> bool {
+        reliable::converged(self.nodes[&id].pb.media())
+    }
+
+    /// True iff every box in the network has converged.
+    pub fn all_converged(&self) -> bool {
+        self.nodes
+            .values()
+            .all(|n| reliable::converged(n.pb.media()))
+    }
+
+    /// Slots of `id` that exhausted their retries and parked.
+    pub fn parked_slots(&self, id: BoxId) -> Vec<SlotId> {
+        self.nodes[&id]
+            .reliab
+            .as_ref()
+            .map(|r| r.parked_slots().collect())
+            .unwrap_or_default()
     }
 
     pub fn box_id(&self, name: &str) -> Option<BoxId> {
@@ -405,11 +470,15 @@ impl Network {
         match sch.ev {
             Ev::Input { to, input, from } => self.deliver(to, input, from),
             Ev::TimerFire { to, id, gen } => {
-                let current = self
-                    .nodes
-                    .get(&to)
-                    .and_then(|n| n.timer_gen.get(&id).copied());
-                if current == Some(gen) {
+                let Some(node) = self.nodes.get(&to) else {
+                    return true;
+                };
+                if node.down || !node.timer_gen.is_current(id, gen) {
+                    return true;
+                }
+                if node.reliab.is_some() && reliable::timer_slot(id).is_some() {
+                    self.retransmit_fire(to, id);
+                } else {
                     self.deliver(to, BoxInput::Timer(id), None);
                 }
             }
@@ -443,6 +512,30 @@ impl Network {
                 let cmds = f(&mut node.pb);
                 self.execute(to, done, cmds);
             }
+            Ev::Crash { to } => {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    node.down = true;
+                    self.obs.fault_injected(to.0, "crash");
+                }
+            }
+            Ev::Restart { to } => {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    if !node.down {
+                        return true;
+                    }
+                    node.down = false;
+                    // Fires swallowed while down never come back, so the
+                    // reliability layer restarts from scratch and re-arms
+                    // every outstanding await.
+                    if let Some(rel) = node.reliab.as_ref() {
+                        let cfg = *rel.config();
+                        node.reliab = Some(Reliability::new(cfg));
+                    }
+                    self.obs.fault_injected(to.0, "restart");
+                    let now = self.now;
+                    self.sync_reliability(to, now);
+                }
+            }
         }
         true
     }
@@ -451,14 +544,33 @@ impl Network {
         let Some(node) = self.nodes.get_mut(&to) else {
             return; // box gone (e.g. signal in flight past teardown)
         };
-        if node.terminated {
-            return;
+        if node.terminated || node.down {
+            return; // crashed boxes lose their inputs
         }
         // Drop tunnel signals whose slot no longer exists (channel died
         // while the signal was in flight).
         if let BoxInput::Tunnel { slot, .. } = &input {
             if node.pb.media().slot(*slot).is_none() {
                 return;
+            }
+        }
+        // Reliability re-ack: a duplicate open hitting a flowing acceptor
+        // means the original oack/select may have been lost; the slot will
+        // ignore the duplicate, so re-emit the cached acknowledgement.
+        let mut reack = Vec::new();
+        if node.reliab.is_some() {
+            if let BoxInput::Tunnel { slot, signal } = &input {
+                if let Some(s) = node.pb.media().slot(*slot) {
+                    let sigs = reliable::reack_signals(s, signal);
+                    if !sigs.is_empty() {
+                        let slot = *slot;
+                        reack.extend(
+                            sigs.into_iter()
+                                .map(|signal| BoxCmd::Signal(Outgoing { slot, signal })),
+                        );
+                        self.obs.retransmission(to.0, slot.0, "reack");
+                    }
+                }
             }
         }
         if self.trace_enabled {
@@ -479,7 +591,8 @@ impl Network {
         let start = self.now.max(node.busy_until);
         let done = start + self.cfg.compute_cost;
         node.busy_until = done;
-        let cmds = node.pb.handle_obs(input, &mut self.obs);
+        let mut cmds = node.pb.handle_obs(input, &mut self.obs);
+        cmds.extend(reack);
         self.execute(to, done, cmds);
     }
 
@@ -504,17 +617,35 @@ impl Network {
                     // signal passes through (logic-driven, user-driven, and
                     // harness-injected alike), so sends are observed here.
                     self.obs.signal_sent(from.0, out.slot.0, out.signal.kind());
-                    self.push(
-                        done + self.cfg.net_latency,
-                        Ev::Input {
-                            to: peer,
-                            input: BoxInput::Tunnel {
-                                slot: peer_slot,
-                                signal: out.signal,
-                            },
-                            from: Some(from),
-                        },
-                    );
+                    // The channel's fault plan decides the signal's fate;
+                    // perfect channels take the clean single-copy path.
+                    let fate = match self.faults.get_mut(&ch) {
+                        Some(f) => f.fate(),
+                        None => SendFate::clean(),
+                    };
+                    match fate {
+                        SendFate::Dropped => {
+                            self.obs.fault_injected(from.0, "drop");
+                        }
+                        SendFate::Deliver(copies) => {
+                            for copy in copies {
+                                if let Some(kind) = copy.fault {
+                                    self.obs.fault_injected(from.0, kind);
+                                }
+                                self.push(
+                                    done + self.cfg.net_latency + copy.extra_delay,
+                                    Ev::Input {
+                                        to: peer,
+                                        input: BoxInput::Tunnel {
+                                            slot: peer_slot,
+                                            signal: out.signal.clone(),
+                                        },
+                                        from: Some(from),
+                                    },
+                                );
+                            }
+                        }
+                    }
                 }
                 BoxCmd::Meta { channel, meta } => {
                     let Some(chan) = self.channels.get(&channel) else {
@@ -536,9 +667,7 @@ impl Network {
                 BoxCmd::CloseChannel(ch) => self.close_channel(from, ch, done),
                 BoxCmd::SetTimer { id, after_ms } => {
                     let node = self.nodes.get_mut(&from).expect("box exists");
-                    let gen = node.timer_gen.entry(id).or_insert(0);
-                    *gen += 1;
-                    let gen = *gen;
+                    let gen = node.timer_gen.arm(id);
                     self.push(
                         done + SimDuration::from_millis(after_ms),
                         Ev::TimerFire { to: from, id, gen },
@@ -546,11 +675,78 @@ impl Network {
                 }
                 BoxCmd::CancelTimer(id) => {
                     let node = self.nodes.get_mut(&from).expect("box exists");
-                    *node.timer_gen.entry(id).or_insert(0) += 1;
+                    node.timer_gen.cancel(id);
                 }
                 BoxCmd::Terminate => {
                     self.nodes.get_mut(&from).expect("box exists").terminated = true;
                 }
+            }
+        }
+        // Any activity can create or resolve awaits; reconcile the box's
+        // retransmission timers with its new slot state. The nested
+        // `execute` below only ever carries timer commands, so recursion
+        // stops at the second (no-change) sync.
+        self.sync_reliability(from, done);
+    }
+
+    /// Reconcile a box's reliability layer with its slot state: cancel
+    /// timers for resolved awaits (reporting recoveries), arm timers for
+    /// new ones.
+    fn sync_reliability(&mut self, id: BoxId, done: SimTime) {
+        let now_ms = self.now.0 / 1_000;
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let Some(rel) = node.reliab.as_mut() else {
+            return;
+        };
+        let (cmds, recoveries) = rel.sync(node.pb.media(), now_ms);
+        for r in &recoveries {
+            self.obs.recovered(id.0, r.slot.0, r.attempts, r.elapsed_ms);
+        }
+        if !cmds.is_empty() {
+            self.execute(id, done, cmds);
+        }
+    }
+
+    /// A retransmission timer fired: re-emit the slot's cached signals and
+    /// re-arm with backoff, or park the slot once retries are exhausted.
+    fn retransmit_fire(&mut self, to: BoxId, id: TimerId) {
+        let Some(node) = self.nodes.get_mut(&to) else {
+            return;
+        };
+        if node.terminated || node.down {
+            return;
+        }
+        let Some(rel) = node.reliab.as_mut() else {
+            return;
+        };
+        let Some(action) = rel.on_timer(node.pb.media(), id) else {
+            return;
+        };
+        match action {
+            TimerAction::Stale | TimerAction::Parked { .. } => {}
+            TimerAction::Resend {
+                slot,
+                signals,
+                rearm_ms,
+            } => {
+                // Retransmission costs a stimulus like any other activity.
+                let start = self.now.max(node.busy_until);
+                let done = start + self.cfg.compute_cost;
+                node.busy_until = done;
+                let kind = signals.first().map(|s| s.kind()).unwrap_or("resend");
+                self.obs.stimulus(to.0, "retransmit");
+                self.obs.retransmission(to.0, slot.0, kind);
+                let mut cmds: Vec<BoxCmd> = signals
+                    .into_iter()
+                    .map(|signal| BoxCmd::Signal(Outgoing { slot, signal }))
+                    .collect();
+                cmds.push(BoxCmd::SetTimer {
+                    id,
+                    after_ms: rearm_ms,
+                });
+                self.execute(to, done, cmds);
             }
         }
     }

@@ -5,7 +5,7 @@
 //! stdout is the machine-readable record; anything meant for a human goes
 //! to stderr.
 
-use crate::metrics::{HistogramSnapshot, MetricsSnapshot, SIGNAL_KINDS};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, FAULT_KINDS, SIGNAL_KINDS};
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -107,9 +107,9 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
         .finish()
 }
 
-fn kind_counts_json(counts: &[u64; SIGNAL_KINDS.len()]) -> String {
+fn kind_counts_json(kinds: &[&str], counts: &[u64]) -> String {
     let mut obj = JsonObj::new();
-    for (kind, n) in SIGNAL_KINDS.iter().zip(counts) {
+    for (kind, n) in kinds.iter().zip(counts) {
         obj = obj.num(kind, *n);
     }
     obj.finish()
@@ -119,14 +119,26 @@ fn kind_counts_json(counts: &[u64; SIGNAL_KINDS.len()]) -> String {
 /// `BENCH_obs.json` and embedded in JSONL records.
 pub fn snapshot_json(s: &MetricsSnapshot) -> String {
     JsonObj::new()
-        .raw("signals_sent", &kind_counts_json(&s.signals_sent))
-        .raw("signals_received", &kind_counts_json(&s.signals_received))
+        .raw(
+            "signals_sent",
+            &kind_counts_json(&SIGNAL_KINDS, &s.signals_sent),
+        )
+        .raw(
+            "signals_received",
+            &kind_counts_json(&SIGNAL_KINDS, &s.signals_received),
+        )
         .num("stimuli", s.stimuli)
         .num("goal_activations", s.goal_activations)
         .num("goal_drops", s.goal_drops)
         .num("races_resolved", s.races_resolved)
         .num("signals_ignored", s.signals_ignored)
         .num("meta_signals", s.meta_signals)
+        .raw(
+            "faults_injected",
+            &kind_counts_json(&FAULT_KINDS, &s.faults_injected),
+        )
+        .num("retransmissions", s.retransmissions)
+        .num("recoveries", s.recoveries)
         .raw("tunnel_setup_ms", &histogram_json(&s.tunnel_setup_ms))
         .raw(
             "flowlink_convergence_ms",
@@ -135,6 +147,10 @@ pub fn snapshot_json(s: &MetricsSnapshot) -> String {
         .raw(
             "stimulus_compute_us",
             &histogram_json(&s.stimulus_compute_us),
+        )
+        .raw(
+            "recovery_latency_ms",
+            &histogram_json(&s.recovery_latency_ms),
         )
         .finish()
 }
@@ -164,6 +180,10 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
     for (kind, n) in SIGNAL_KINDS.iter().zip(&s.signals_received) {
         let _ = writeln!(out, "ipmedia_signals_received_total{{kind=\"{kind}\"}} {n}");
     }
+    let _ = writeln!(out, "# TYPE ipmedia_faults_injected_total counter");
+    for (kind, n) in FAULT_KINDS.iter().zip(&s.faults_injected) {
+        let _ = writeln!(out, "ipmedia_faults_injected_total{{kind=\"{kind}\"}} {n}");
+    }
     for (name, v) in [
         ("ipmedia_stimuli_total", s.stimuli),
         ("ipmedia_goal_activations_total", s.goal_activations),
@@ -171,6 +191,8 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         ("ipmedia_races_resolved_total", s.races_resolved),
         ("ipmedia_signals_ignored_total", s.signals_ignored),
         ("ipmedia_meta_signals_total", s.meta_signals),
+        ("ipmedia_retransmissions_total", s.retransmissions),
+        ("ipmedia_recoveries_total", s.recoveries),
     ] {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
@@ -185,6 +207,11 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         &mut out,
         "ipmedia_stimulus_compute_us",
         &s.stimulus_compute_us,
+    );
+    prom_histogram(
+        &mut out,
+        "ipmedia_recovery_latency_ms",
+        &s.recovery_latency_ms,
     );
     out
 }

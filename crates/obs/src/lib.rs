@@ -101,6 +101,26 @@ pub trait Observer {
     fn meta_signal(&mut self, bx: u32, channel: u32, kind: &'static str) {
         let _ = (bx, channel, kind);
     }
+
+    /// The environment injected a network fault affecting `bx` (`kind` is
+    /// one of [`metrics::FAULT_KINDS`]: `"drop"`, `"duplicate"`,
+    /// `"reorder"`, `"crash"`, `"restart"`).
+    fn fault_injected(&mut self, bx: u32, kind: &'static str) {
+        let _ = (bx, kind);
+    }
+
+    /// The reliability layer re-emitted signals for `slot` at `bx`; `kind`
+    /// names the retransmitted await (`"open"`, `"close"`, `"refresh"`,
+    /// `"reack"`).
+    fn retransmission(&mut self, bx: u32, slot: u16, kind: &'static str) {
+        let _ = (bx, slot, kind);
+    }
+
+    /// A pending await at `bx`/`slot` resolved after `attempts`
+    /// retransmissions, `elapsed_ms` after it first appeared.
+    fn recovered(&mut self, bx: u32, slot: u16, attempts: u32, elapsed_ms: u64) {
+        let _ = (bx, slot, attempts, elapsed_ms);
+    }
 }
 
 /// The zero-cost observer: every hook is the empty default.
@@ -144,6 +164,15 @@ impl<T: Observer + ?Sized> Observer for Box<T> {
     fn meta_signal(&mut self, bx: u32, channel: u32, kind: &'static str) {
         (**self).meta_signal(bx, channel, kind)
     }
+    fn fault_injected(&mut self, bx: u32, kind: &'static str) {
+        (**self).fault_injected(bx, kind)
+    }
+    fn retransmission(&mut self, bx: u32, slot: u16, kind: &'static str) {
+        (**self).retransmission(bx, slot, kind)
+    }
+    fn recovered(&mut self, bx: u32, slot: u16, attempts: u32, elapsed_ms: u64) {
+        (**self).recovered(bx, slot, attempts, elapsed_ms)
+    }
 }
 
 impl<T: Observer + ?Sized> Observer for &mut T {
@@ -180,6 +209,15 @@ impl<T: Observer + ?Sized> Observer for &mut T {
     }
     fn meta_signal(&mut self, bx: u32, channel: u32, kind: &'static str) {
         (**self).meta_signal(bx, channel, kind)
+    }
+    fn fault_injected(&mut self, bx: u32, kind: &'static str) {
+        (**self).fault_injected(bx, kind)
+    }
+    fn retransmission(&mut self, bx: u32, slot: u16, kind: &'static str) {
+        (**self).retransmission(bx, slot, kind)
+    }
+    fn recovered(&mut self, bx: u32, slot: u16, attempts: u32, elapsed_ms: u64) {
+        (**self).recovered(bx, slot, attempts, elapsed_ms)
     }
 }
 
@@ -230,6 +268,18 @@ impl<A: Observer, B: Observer> Observer for Fanout<A, B> {
     fn meta_signal(&mut self, bx: u32, channel: u32, kind: &'static str) {
         self.0.meta_signal(bx, channel, kind);
         self.1.meta_signal(bx, channel, kind);
+    }
+    fn fault_injected(&mut self, bx: u32, kind: &'static str) {
+        self.0.fault_injected(bx, kind);
+        self.1.fault_injected(bx, kind);
+    }
+    fn retransmission(&mut self, bx: u32, slot: u16, kind: &'static str) {
+        self.0.retransmission(bx, slot, kind);
+        self.1.retransmission(bx, slot, kind);
+    }
+    fn recovered(&mut self, bx: u32, slot: u16, attempts: u32, elapsed_ms: u64) {
+        self.0.recovered(bx, slot, attempts, elapsed_ms);
+        self.1.recovered(bx, slot, attempts, elapsed_ms);
     }
 }
 
@@ -282,6 +332,21 @@ pub enum ObsEvent {
         bx: u32,
         channel: u32,
         kind: &'static str,
+    },
+    FaultInjected {
+        bx: u32,
+        kind: &'static str,
+    },
+    Retransmission {
+        bx: u32,
+        slot: u16,
+        kind: &'static str,
+    },
+    Recovered {
+        bx: u32,
+        slot: u16,
+        attempts: u32,
+        elapsed_ms: u64,
     },
 }
 
@@ -353,6 +418,20 @@ impl Observer for RecordingObserver {
     }
     fn meta_signal(&mut self, bx: u32, channel: u32, kind: &'static str) {
         self.push(ObsEvent::MetaSignal { bx, channel, kind });
+    }
+    fn fault_injected(&mut self, bx: u32, kind: &'static str) {
+        self.push(ObsEvent::FaultInjected { bx, kind });
+    }
+    fn retransmission(&mut self, bx: u32, slot: u16, kind: &'static str) {
+        self.push(ObsEvent::Retransmission { bx, slot, kind });
+    }
+    fn recovered(&mut self, bx: u32, slot: u16, attempts: u32, elapsed_ms: u64) {
+        self.push(ObsEvent::Recovered {
+            bx,
+            slot,
+            attempts,
+            elapsed_ms,
+        });
     }
 }
 

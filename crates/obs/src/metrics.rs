@@ -28,6 +28,27 @@ pub fn kind_index(kind: &str) -> usize {
         .unwrap_or(SIGNAL_KINDS.len() - 1)
 }
 
+/// The closed set of injectable network-fault kinds, plus a catch-all
+/// bucket mirroring [`SIGNAL_KINDS`].
+pub const FAULT_KINDS: [&str; 7] = [
+    "drop",
+    "duplicate",
+    "reorder",
+    "delay",
+    "crash",
+    "restart",
+    "other",
+];
+
+/// Index of a fault kind in [`FAULT_KINDS`]; unknown names map to the
+/// final `"other"` bucket.
+pub fn fault_index(kind: &str) -> usize {
+    FAULT_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .unwrap_or(FAULT_KINDS.len() - 1)
+}
+
 /// A fixed-bucket histogram with Prometheus `le` (upper-inclusive bound)
 /// semantics and a trailing overflow bucket.
 ///
@@ -115,12 +136,18 @@ pub struct Registry {
     races_resolved: AtomicU64,
     signals_ignored: AtomicU64,
     meta_signals: AtomicU64,
+    faults_injected: [AtomicU64; FAULT_KINDS.len()],
+    retransmissions: AtomicU64,
+    recoveries: AtomicU64,
     /// Channel + first-slot setup latency (§V: 2n+3c for a fresh path).
     pub tunnel_setup_ms: Histogram,
     /// Flow-link reconvergence after a relink (§VII, Fig. 13).
     pub flowlink_convergence_ms: Histogram,
     /// Single-stimulus compute time inside a box's `handle`.
     pub stimulus_compute_us: Histogram,
+    /// Time from a pending await first appearing to its resolution, for
+    /// awaits that needed at least one retransmission.
+    pub recovery_latency_ms: Histogram,
 }
 
 impl Registry {
@@ -134,11 +161,17 @@ impl Registry {
             races_resolved: AtomicU64::new(0),
             signals_ignored: AtomicU64::new(0),
             meta_signals: AtomicU64::new(0),
+            faults_injected: Default::default(),
+            retransmissions: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
             tunnel_setup_ms: Histogram::new(&[50, 100, 150, 200, 250, 300, 400, 500, 750, 1000]),
             flowlink_convergence_ms: Histogram::new(&[
                 25, 50, 75, 100, 150, 200, 300, 400, 600, 800,
             ]),
             stimulus_compute_us: Histogram::new(&[1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000]),
+            // One retransmission round trip is ≥ the 200ms backoff base, so
+            // buckets span one to several doubling rounds.
+            recovery_latency_ms: Histogram::new(&[200, 400, 800, 1600, 3200, 6400, 12_800, 25_600]),
         }
     }
 
@@ -158,9 +191,16 @@ impl Registry {
             races_resolved: self.races_resolved.load(Ordering::Relaxed),
             signals_ignored: self.signals_ignored.load(Ordering::Relaxed),
             meta_signals: self.meta_signals.load(Ordering::Relaxed),
+            faults_injected: self
+                .faults_injected
+                .each_ref()
+                .map(|c| c.load(Ordering::Relaxed)),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
             tunnel_setup_ms: self.tunnel_setup_ms.snapshot(),
             flowlink_convergence_ms: self.flowlink_convergence_ms.snapshot(),
             stimulus_compute_us: self.stimulus_compute_us.snapshot(),
+            recovery_latency_ms: self.recovery_latency_ms.snapshot(),
         }
     }
 }
@@ -184,9 +224,14 @@ pub struct MetricsSnapshot {
     pub races_resolved: u64,
     pub signals_ignored: u64,
     pub meta_signals: u64,
+    /// Faults injected by the environment, indexed by [`FAULT_KINDS`].
+    pub faults_injected: [u64; FAULT_KINDS.len()],
+    pub retransmissions: u64,
+    pub recoveries: u64,
     pub tunnel_setup_ms: HistogramSnapshot,
     pub flowlink_convergence_ms: HistogramSnapshot,
     pub stimulus_compute_us: HistogramSnapshot,
+    pub recovery_latency_ms: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -204,6 +249,14 @@ impl MetricsSnapshot {
 
     pub fn received(&self, kind: &str) -> u64 {
         self.signals_received[kind_index(kind)]
+    }
+
+    pub fn faults_total(&self) -> u64 {
+        self.faults_injected.iter().sum()
+    }
+
+    pub fn faults(&self, kind: &str) -> u64 {
+        self.faults_injected[fault_index(kind)]
     }
 }
 
@@ -252,6 +305,18 @@ impl Observer for CountingObserver {
     }
     fn meta_signal(&mut self, _bx: u32, _channel: u32, _kind: &'static str) {
         self.registry.meta_signals.fetch_add(1, Ordering::Relaxed);
+    }
+    fn fault_injected(&mut self, _bx: u32, kind: &'static str) {
+        self.registry.faults_injected[fault_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+    fn retransmission(&mut self, _bx: u32, _slot: u16, _kind: &'static str) {
+        self.registry
+            .retransmissions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    fn recovered(&mut self, _bx: u32, _slot: u16, _attempts: u32, elapsed_ms: u64) {
+        self.registry.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.registry.recovery_latency_ms.observe(elapsed_ms);
     }
 }
 
@@ -326,6 +391,31 @@ mod tests {
         assert_eq!(s.goal_activations, 1);
         assert_eq!(s.goal_drops, 1);
         assert_eq!(s.meta_signals, 1);
+    }
+
+    #[test]
+    fn counting_observer_tracks_faults_and_recovery() {
+        let r = Arc::new(Registry::new());
+        let mut obs = CountingObserver::new(r.clone());
+        obs.fault_injected(0, "drop");
+        obs.fault_injected(0, "drop");
+        obs.fault_injected(1, "duplicate");
+        obs.fault_injected(1, "cosmic-ray");
+        obs.retransmission(0, 0, "open");
+        obs.retransmission(0, 0, "refresh");
+        obs.recovered(0, 0, 2, 450);
+
+        let s = r.snapshot();
+        assert_eq!(s.faults("drop"), 2);
+        assert_eq!(s.faults("duplicate"), 1);
+        assert_eq!(s.faults("other"), 1);
+        assert_eq!(s.faults_total(), 4);
+        assert_eq!(s.retransmissions, 2);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.recovery_latency_ms.total(), 1);
+        assert_eq!(s.recovery_latency_ms.sum, 450);
+        // 450ms lands in the `le 800` bucket.
+        assert_eq!(s.recovery_latency_ms.counts[2], 1);
     }
 
     #[test]

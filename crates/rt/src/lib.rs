@@ -12,5 +12,8 @@ pub mod node;
 pub mod wire;
 
 pub use frame::{FrameError, Framed, MAX_FRAME};
-pub use node::{spawn_node, spawn_node_obs, Directory, NodeHandle, NodeSnapshot, SlotSnapshot};
+pub use node::{
+    spawn_node, spawn_node_obs, spawn_node_with, Directory, NodeHandle, NodeSnapshot,
+    ReconnectPolicy, SlotSnapshot,
+};
 pub use wire::{decode, encode, Frame, Hello, WireError, WIRE_VERSION};

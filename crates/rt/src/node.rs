@@ -11,9 +11,10 @@
 
 use crate::frame::Framed;
 use crate::wire::{self, Frame, Hello};
-use ipmedia_core::goal::UserCmd;
+use ipmedia_core::goal::{Outgoing, UserCmd};
 use ipmedia_core::ids::{ChannelId, SlotId};
-use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerId};
+use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerGenerations, TimerId};
+use ipmedia_core::reliable;
 use ipmedia_core::signal::{Availability, ChannelMsg, MetaSignal};
 use ipmedia_core::{BoxId, Codec, MediaAddr, SlotState};
 use ipmedia_obs::export::prometheus_text;
@@ -25,7 +26,40 @@ use std::sync::{Arc, Mutex};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::{mpsc, watch};
 use tokio::task::JoinHandle;
-use tokio::time::{sleep_until, Duration, Instant};
+use tokio::time::{sleep, sleep_until, timeout, Duration, Instant};
+
+/// Real-world fault-tolerance knobs: the runtime counterparts of the
+/// simulator's retransmission layer. TCP already gives per-channel
+/// reliability, so what is left to handle is the connection itself dying
+/// — slow peers (send timeout), transient outages (reconnect with capped
+/// exponential backoff), and permanent ones (orderly channel teardown
+/// after the attempts are exhausted, never a panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Attempts for the *initial* dial of an outgoing channel.
+    pub connect_attempts: u32,
+    /// Attempts to re-dial a lost channel before giving up. Zero disables
+    /// reconnection: a lost connection tears the channel down immediately.
+    pub reconnect_attempts: u32,
+    /// First retry delay; doubled per attempt up to `max_delay`.
+    pub base_delay: Duration,
+    pub max_delay: Duration,
+    /// Bound on any single connect or frame write before the connection
+    /// is declared dead.
+    pub send_timeout: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            connect_attempts: 3,
+            reconnect_attempts: 8,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            send_timeout: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Name → socket address registry (a stand-in for the configuration layer
 /// the paper scopes out, §III-A).
@@ -61,6 +95,9 @@ pub struct SlotSnapshot {
 pub struct NodeSnapshot {
     pub slots: Vec<SlotSnapshot>,
     pub channels: usize,
+    /// Channels whose connection died and are being re-dialed; their
+    /// slots are parked (state retained) until recovery or give-up.
+    pub recovering: usize,
     /// Counters and latency histograms accumulated since spawn.
     pub metrics: MetricsSnapshot,
 }
@@ -138,11 +175,25 @@ enum Inbox {
     },
     /// A connection died.
     Gone { channel: ChannelId },
+    /// A background re-dial of a lost channel succeeded.
+    Reconnected {
+        channel: ChannelId,
+        framed: Framed<TcpStream>,
+        attempts: u32,
+        elapsed_ms: u64,
+    },
+    /// A background re-dial exhausted its attempts.
+    ReconnectFailed { channel: ChannelId },
 }
 
 struct Conn {
     writer_tx: mpsc::Sender<Frame>,
     slots: Vec<SlotId>,
+    /// Dial target when this end initiated the channel; reconnection is
+    /// only possible (and only attempted) from the initiating side.
+    peer: Option<String>,
+    /// The connection died and a background re-dial is in flight.
+    recovering: bool,
 }
 
 /// Spawn a node: bind a listener, run the actor, return its handle.
@@ -166,6 +217,26 @@ pub async fn spawn_node_obs(
     dir: Directory,
     observer: Box<dyn Observer + Send>,
 ) -> std::io::Result<NodeHandle> {
+    spawn_node_with(
+        name,
+        box_id,
+        logic,
+        dir,
+        ReconnectPolicy::default(),
+        observer,
+    )
+    .await
+}
+
+/// [`spawn_node_obs`] with an explicit [`ReconnectPolicy`].
+pub async fn spawn_node_with(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+    policy: ReconnectPolicy,
+    observer: Box<dyn Observer + Send>,
+) -> std::io::Result<NodeHandle> {
     let name = name.into();
     let listener = TcpListener::bind("127.0.0.1:0").await?;
     let addr = listener.local_addr()?;
@@ -184,7 +255,8 @@ pub async fn spawn_node_obs(
         conns: HashMap::new(),
         next_channel: 0,
         next_slot: 0,
-        timers: HashMap::new(),
+        policy,
+        timers: TimerGenerations::new(),
         timer_heap: Vec::new(),
         snap_tx,
         obs: Box::new(Fanout(CountingObserver::new(registry.clone()), observer)),
@@ -211,7 +283,8 @@ struct Actor {
     conns: HashMap<ChannelId, Conn>,
     next_channel: u32,
     next_slot: u16,
-    timers: HashMap<TimerId, u64>,
+    policy: ReconnectPolicy,
+    timers: TimerGenerations,
     timer_heap: Vec<(Instant, TimerId, u64)>,
     snap_tx: watch::Sender<NodeSnapshot>,
     /// Unified event sink: metrics counting fanned out with any observer
@@ -333,6 +406,7 @@ impl Actor {
         let _ = self.snap_tx.send(NodeSnapshot {
             slots,
             channels: self.conns.len(),
+            recovering: self.conns.values().filter(|c| c.recovering).count(),
             metrics: self.registry.snapshot(),
         });
     }
@@ -351,7 +425,7 @@ impl Actor {
             .collect();
         self.timer_heap.retain(|(t, _, _)| *t > now);
         for (id, generation) in due {
-            if self.timers.get(&id) == Some(&generation) {
+            if self.timers.is_current(id, generation) {
                 let cmds = self.handle(BoxInput::Timer(id));
                 self.execute(cmds, inbox_tx).await;
             }
@@ -361,7 +435,7 @@ impl Actor {
     async fn on_inbox(&mut self, msg: Inbox, inbox_tx: &mpsc::Sender<Inbox>) {
         match msg {
             Inbox::Accepted { hello, framed } => {
-                let channel = self.alloc_channel(hello.tunnels, false, framed, inbox_tx);
+                let channel = self.alloc_channel(hello.tunnels, false, None, framed, inbox_tx);
                 let slots = self.conns[&channel].slots.clone();
                 let cmds = self.handle(BoxInput::ChannelUp {
                     channel,
@@ -388,8 +462,124 @@ impl Actor {
                 Frame::Bye => self.drop_channel(channel, inbox_tx).await,
                 Frame::Hello(_) => {} // protocol error: hello after setup
             },
-            Inbox::Gone { channel } => self.drop_channel(channel, inbox_tx).await,
+            Inbox::Gone { channel } => self.on_conn_lost(channel, inbox_tx).await,
+            Inbox::Reconnected {
+                channel,
+                framed,
+                attempts,
+                elapsed_ms,
+            } => {
+                self.on_reconnected(channel, framed, attempts, elapsed_ms, inbox_tx)
+                    .await
+            }
+            Inbox::ReconnectFailed { channel } => {
+                // Graceful degradation: the peer stayed unreachable, so
+                // the channel is torn down in order (ChannelDown to the
+                // program), exactly as if the peer had said Bye.
+                self.drop_channel(channel, inbox_tx).await;
+            }
         }
+    }
+
+    /// The TCP connection behind `channel` died without a Bye. If this
+    /// end initiated the channel, park its slots (state retained, nothing
+    /// removed) and re-dial in the background with capped exponential
+    /// backoff; otherwise tear the channel down as before.
+    async fn on_conn_lost(&mut self, channel: ChannelId, inbox_tx: &mpsc::Sender<Inbox>) {
+        let bx = self.pb.media().id().0;
+        let Some(conn) = self.conns.get_mut(&channel) else {
+            return;
+        };
+        if conn.recovering {
+            return; // reader and writer can both report the same death
+        }
+        let peer = conn.peer.clone();
+        let tunnels = conn.slots.len() as u16;
+        let Some(peer) = peer.filter(|_| self.policy.reconnect_attempts > 0) else {
+            self.drop_channel(channel, inbox_tx).await;
+            return;
+        };
+        self.conns.get_mut(&channel).expect("present").recovering = true;
+        self.obs.fault_injected(bx, "disconnect");
+        let dir = self.dir.clone();
+        let name = self.name.clone();
+        let policy = self.policy;
+        let tx = inbox_tx.clone();
+        tokio::spawn(async move {
+            let t0 = std::time::Instant::now();
+            let mut delay = policy.base_delay;
+            for attempt in 1..=policy.reconnect_attempts {
+                sleep(delay).await;
+                delay = (delay * 2).min(policy.max_delay);
+                // Look the peer up anew each attempt: a restarted box
+                // re-registers under the same name at a fresh address.
+                let Some(addr) = dir.lookup(&peer) else {
+                    continue;
+                };
+                let Ok(Ok(stream)) = timeout(policy.send_timeout, TcpStream::connect(addr)).await
+                else {
+                    continue;
+                };
+                stream.set_nodelay(true).ok();
+                let mut framed = Framed::new(stream);
+                let hello = wire::encode(&Frame::Hello(Hello {
+                    from: name.clone(),
+                    tunnels,
+                }));
+                if framed.write_frame(&hello).await.is_err() {
+                    continue;
+                }
+                let _ = tx
+                    .send(Inbox::Reconnected {
+                        channel,
+                        framed,
+                        attempts: attempt,
+                        elapsed_ms: t0.elapsed().as_millis() as u64,
+                    })
+                    .await;
+                return;
+            }
+            let _ = tx.send(Inbox::ReconnectFailed { channel }).await;
+        });
+    }
+
+    /// A re-dial landed: swap the new connection in under the existing
+    /// channel id, then retransmit each parked slot's cached signals so
+    /// the (idempotent, §VI) protocol re-establishes peer state.
+    async fn on_reconnected(
+        &mut self,
+        channel: ChannelId,
+        framed: Framed<TcpStream>,
+        attempts: u32,
+        elapsed_ms: u64,
+        inbox_tx: &mpsc::Sender<Inbox>,
+    ) {
+        if !self.conns.contains_key(&channel) {
+            return; // torn down while the dial was in flight
+        }
+        let writer_tx = self.spawn_io_tasks(channel, framed, inbox_tx);
+        let conn = self.conns.get_mut(&channel).expect("checked above");
+        conn.writer_tx = writer_tx;
+        conn.recovering = false;
+        let slots = conn.slots.clone();
+        let bx = self.pb.media().id().0;
+        self.obs.fault_injected(bx, "reconnect");
+        let mut cmds = Vec::new();
+        for slot in slots {
+            let Some(s) = self.pb.media().slot(slot) else {
+                continue;
+            };
+            let signals = reliable::resend_signals(s);
+            if signals.is_empty() {
+                continue;
+            }
+            for signal in signals {
+                self.obs.retransmission(bx, slot.0, signal.kind());
+                cmds.push(BoxCmd::Signal(Outgoing { slot, signal }));
+            }
+            self.obs.recovered(bx, slot.0, attempts, elapsed_ms);
+        }
+        self.execute(cmds, inbox_tx).await;
     }
 
     async fn drop_channel(&mut self, channel: ChannelId, inbox_tx: &mpsc::Sender<Inbox>) {
@@ -404,11 +594,13 @@ impl Actor {
     }
 
     /// Register a connection: allocate channel id + slots, spawn reader
-    /// and writer tasks.
+    /// and writer tasks. `peer` is the dial target when this end opened
+    /// the connection (it enables reconnection).
     fn alloc_channel(
         &mut self,
         tunnels: u16,
         initiator: bool,
+        peer: Option<String>,
         framed: Framed<TcpStream>,
         inbox_tx: &mpsc::Sender<Inbox>,
     ) -> ChannelId {
@@ -421,7 +613,30 @@ impl Actor {
             self.pb.media_mut().add_slot(slot, initiator);
             slots.push(slot);
         }
+        let writer_tx = self.spawn_io_tasks(channel, framed, inbox_tx);
+        self.conns.insert(
+            channel,
+            Conn {
+                writer_tx,
+                slots,
+                peer,
+                recovering: false,
+            },
+        );
+        channel
+    }
 
+    /// Spawn the reader and writer tasks for one live connection and
+    /// return the writer's input queue. Both report a dead connection as
+    /// [`Inbox::Gone`]; a frame write that exceeds the send timeout
+    /// counts as dead (backpressure on a stalled peer must not wedge the
+    /// channel silently).
+    fn spawn_io_tasks(
+        &self,
+        channel: ChannelId,
+        framed: Framed<TcpStream>,
+        inbox_tx: &mpsc::Sender<Inbox>,
+    ) -> mpsc::Sender<Frame> {
         let (writer_tx, mut writer_rx) = mpsc::channel::<Frame>(64);
         let (stream, leftover) = framed.into_parts();
         let (read_half, write_half) = stream.into_split();
@@ -451,21 +666,27 @@ impl Actor {
                 }
             }
         });
+        let tx = inbox_tx.clone();
+        let send_timeout = self.policy.send_timeout;
         tokio::spawn(async move {
             let mut writer = Framed::new(write_half);
             while let Some(frame) = writer_rx.recv().await {
                 let bye = matches!(frame, Frame::Bye);
-                if writer.write_frame(&wire::encode(&frame)).await.is_err() {
-                    break;
+                match timeout(send_timeout, writer.write_frame(&wire::encode(&frame))).await {
+                    Ok(Ok(())) => {}
+                    _ => {
+                        if !bye {
+                            let _ = tx.send(Inbox::Gone { channel }).await;
+                        }
+                        break;
+                    }
                 }
                 if bye {
                     break;
                 }
             }
         });
-
-        self.conns.insert(channel, Conn { writer_tx, slots });
-        channel
+        writer_tx
     }
 
     async fn execute(&mut self, cmds: Vec<BoxCmd>, inbox_tx: &mpsc::Sender<Inbox>) {
@@ -511,16 +732,15 @@ impl Actor {
                     }
                 }
                 BoxCmd::SetTimer { id, after_ms } => {
-                    let generation = self.timers.entry(id).or_insert(0);
-                    *generation += 1;
+                    let generation = self.timers.arm(id);
                     self.timer_heap.push((
                         Instant::now() + Duration::from_millis(after_ms),
                         id,
-                        *generation,
+                        generation,
                     ));
                 }
                 BoxCmd::CancelTimer(id) => {
-                    *self.timers.entry(id).or_insert(0) += 1;
+                    self.timers.cancel(id);
                 }
                 BoxCmd::Terminate => {
                     // The actor stays alive to drain signaling, but the
@@ -547,12 +767,7 @@ impl Actor {
         inbox_tx: &mpsc::Sender<Inbox>,
     ) {
         let t0 = std::time::Instant::now();
-        let target = self.dir.lookup(to);
-        let connected = match target {
-            Some(addr) => TcpStream::connect(addr).await.ok(),
-            None => None,
-        };
-        match connected {
+        match self.dial(to).await {
             Some(stream) => {
                 stream.set_nodelay(true).ok();
                 let mut framed = Framed::new(stream);
@@ -564,7 +779,8 @@ impl Actor {
                     self.report_unavailable(tunnels, req, inbox_tx).await;
                     return;
                 }
-                let channel = self.alloc_channel(tunnels, true, framed, inbox_tx);
+                let channel =
+                    self.alloc_channel(tunnels, true, Some(to.to_string()), framed, inbox_tx);
                 let slots = self.conns[&channel].slots.clone();
                 let cmds = self.handle(BoxInput::ChannelUp {
                     channel,
@@ -589,6 +805,27 @@ impl Actor {
         }
     }
 
+    /// Dial a named box: fail fast when the directory has no entry (the
+    /// name is simply wrong), otherwise retry the TCP connect with capped
+    /// exponential backoff up to `connect_attempts`, each attempt bounded
+    /// by the send timeout.
+    async fn dial(&mut self, to: &str) -> Option<TcpStream> {
+        let mut delay = self.policy.base_delay;
+        for attempt in 0..self.policy.connect_attempts.max(1) {
+            if attempt > 0 {
+                sleep(delay).await;
+                delay = (delay * 2).min(self.policy.max_delay);
+            }
+            let addr = self.dir.lookup(to)?;
+            if let Ok(Ok(stream)) =
+                timeout(self.policy.send_timeout, TcpStream::connect(addr)).await
+            {
+                return Some(stream);
+            }
+        }
+        None
+    }
+
     async fn report_unavailable(&mut self, tunnels: u16, req: u32, inbox_tx: &mpsc::Sender<Inbox>) {
         // Half-open channel the program can observe and destroy (Fig. 6).
         let channel = ChannelId(self.next_channel);
@@ -606,6 +843,8 @@ impl Actor {
             Conn {
                 writer_tx,
                 slots: slots.clone(),
+                peer: None,
+                recovering: false,
             },
         );
         let cmds = self.handle(BoxInput::ChannelUp {

@@ -1,0 +1,179 @@
+//! Connection-fault recovery over real TCP: the runtime counterparts of
+//! the simulator's fault-injection tests. The test plays the peer with a
+//! raw listener so it can kill connections without a Bye and watch what
+//! the node retransmits after reconnecting.
+
+use ipmedia_core::boxes::GoalSpec;
+use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
+use ipmedia_core::program::{AppLogic, BoxInput, Ctx};
+use ipmedia_core::signal::{ChannelMsg, Signal};
+use ipmedia_core::{BoxId, MediaAddr, Medium, SlotState};
+use ipmedia_obs::NoopObserver;
+use ipmedia_rt::{spawn_node_with, wire, Directory, Frame, Framed, ReconnectPolicy};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(10);
+
+fn addr(h: u8) -> MediaAddr {
+    MediaAddr::v4(10, 0, 0, h, 4000)
+}
+
+/// Dials a peer at start and opens one audio tunnel.
+struct Dialer {
+    target: String,
+}
+
+impl AppLogic for Dialer {
+    fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+        match input {
+            BoxInput::Start => ctx.open_channel(self.target.clone(), 1, 1),
+            BoxInput::ChannelUp {
+                slots,
+                req: Some(1),
+                ..
+            } => {
+                for s in slots {
+                    ctx.set_goal(GoalSpec::User {
+                        slot: *s,
+                        policy: EndpointPolicy::audio(addr(1)),
+                        mode: AcceptMode::Auto,
+                    });
+                }
+                ctx.user(slots[0], UserCmd::Open(Medium::Audio));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn fast_policy(reconnect_attempts: u32) -> ReconnectPolicy {
+    ReconnectPolicy {
+        connect_attempts: 3,
+        reconnect_attempts,
+        base_delay: Duration::from_millis(20),
+        max_delay: Duration::from_millis(100),
+        send_timeout: Duration::from_secs(2),
+    }
+}
+
+/// Accept one connection and return it with its Hello consumed.
+async fn accept_peer(listener: &TcpListener) -> Framed<TcpStream> {
+    let (sock, _) = listener.accept().await.unwrap();
+    let mut framed = Framed::new(sock);
+    let bytes = framed.read_frame().await.unwrap().expect("hello frame");
+    assert!(matches!(wire::decode(bytes).unwrap(), Frame::Hello(_)));
+    framed
+}
+
+/// Read frames until a tunnel signal shows up; return it.
+async fn next_signal(framed: &mut Framed<TcpStream>) -> Signal {
+    loop {
+        let bytes = framed.read_frame().await.unwrap().expect("open connection");
+        if let Frame::Msg(ChannelMsg::Tunnel { signal, .. }) = wire::decode(bytes).unwrap() {
+            return signal;
+        }
+    }
+}
+
+#[tokio::test]
+async fn connection_loss_parks_slot_and_reconnect_retransmits() {
+    let dir = Directory::new();
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    dir.register("flaky", listener.local_addr().unwrap());
+    let mut node = spawn_node_with(
+        "caller",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "flaky".into(),
+        }),
+        dir.clone(),
+        fast_policy(20),
+        Box::new(NoopObserver),
+    )
+    .await
+    .unwrap();
+
+    // First life of the connection: hello, then the slot's Open arrives.
+    let mut peer = accept_peer(&listener).await;
+    assert!(matches!(next_signal(&mut peer).await, Signal::Open { .. }));
+
+    // Kill the connection without a Bye and take the listener down too:
+    // the next few re-dial attempts must fail and back off.
+    drop(peer);
+    drop(listener);
+
+    // The slot parks — still present, state retained, nothing panics.
+    assert!(
+        node.wait_for(WAIT, |s| s.recovering == 1).await,
+        "node notices the dead connection and starts recovering"
+    );
+    {
+        let snap = node.snapshot.borrow();
+        assert_eq!(snap.channels, 1, "parked channel is not torn down");
+        assert!(
+            snap.slots.iter().any(|sl| sl.state == SlotState::Opening),
+            "parked slot keeps its protocol state"
+        );
+    }
+
+    // The peer comes back under the same name at a NEW address (the
+    // re-dial looks the directory up again on every attempt).
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    dir.register("flaky", listener.local_addr().unwrap());
+    let mut peer = accept_peer(&listener).await;
+
+    // Idempotent recovery: the parked Opening slot's Open is
+    // retransmitted over the new pipe, unchanged.
+    assert!(matches!(next_signal(&mut peer).await, Signal::Open { .. }));
+    assert!(
+        node.wait_for(WAIT, |s| s.recovering == 0 && s.channels == 1)
+            .await,
+        "channel recovers under its original id"
+    );
+
+    let m = node.registry().snapshot();
+    assert!(m.faults("other") >= 2, "disconnect + reconnect observed");
+    assert!(m.retransmissions >= 1, "recovery retransmitted the open");
+    assert!(m.recoveries >= 1);
+    assert_eq!(m.recovery_latency_ms.total(), m.recoveries);
+
+    node.shutdown().await;
+}
+
+#[tokio::test]
+async fn reconnect_exhaustion_degrades_to_orderly_teardown() {
+    let dir = Directory::new();
+    let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+    dir.register("flaky", listener.local_addr().unwrap());
+    let mut node = spawn_node_with(
+        "caller",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "flaky".into(),
+        }),
+        dir.clone(),
+        fast_policy(2),
+        Box::new(NoopObserver),
+    )
+    .await
+    .unwrap();
+
+    let mut peer = accept_peer(&listener).await;
+    assert!(matches!(next_signal(&mut peer).await, Signal::Open { .. }));
+
+    // The peer is gone for good: after the bounded re-dial attempts the
+    // node gives up and tears the channel down in order — ChannelDown to
+    // the program, slots removed, no panic, no stuck recovering state.
+    drop(peer);
+    drop(listener);
+    assert!(
+        node.wait_for(WAIT, |s| {
+            s.channels == 0 && s.recovering == 0 && s.slots.is_empty()
+        })
+        .await,
+        "exhausted reconnection degrades to channel teardown"
+    );
+
+    node.shutdown().await;
+}

@@ -18,4 +18,7 @@ cargo clippy "$@" --workspace --all-targets -- -D warnings
 echo "== cargo test" >&2
 cargo test "$@" --workspace -q
 
+echo "== fault-matrix smoke (loss x dup/reorder, bounded virtual time)" >&2
+cargo run "$@" -q -p ipmedia-bench --bin fault_matrix >/dev/null
+
 echo "all checks passed" >&2
