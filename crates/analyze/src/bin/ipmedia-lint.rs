@@ -1,0 +1,139 @@
+//! `ipmedia-lint` — static analysis CLI over scenario models.
+//!
+//! ```text
+//! ipmedia-lint --all-examples                # lint the built-in registry
+//! ipmedia-lint path/to/scenario.ipm ...      # lint serialized scenarios
+//! ipmedia-lint --all-examples --deny warnings --jsonl
+//! ```
+//!
+//! Rendered diagnostics and the summary go to stderr; with `--jsonl` each
+//! diagnostic (and a final summary record) is emitted as one JSON object
+//! per line on stdout, following the workspace observability convention.
+//!
+//! Exit status: 0 when clean, 1 when any error was found (or any warning
+//! under `--deny warnings`), 2 on usage or I/O problems.
+
+use ipmedia_analyze::{analyze_scenario, parse_scenario, Severity};
+use ipmedia_core::program::model::ScenarioModel;
+use ipmedia_obs::{json_str_array, JsonObj};
+use std::process::ExitCode;
+
+struct Options {
+    all_examples: bool,
+    deny_warnings: bool,
+    jsonl: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: ipmedia-lint [--all-examples] [--deny warnings] [--jsonl] [FILE.ipm ...]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        all_examples: false,
+        deny_warnings: false,
+        jsonl: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all-examples" => opts.all_examples = true,
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => opts.deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny expects `warnings`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--jsonl" => opts.jsonl = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if !opts.all_examples && opts.files.is_empty() {
+        return Err(format!("nothing to lint\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn load_scenarios(opts: &Options) -> Result<Vec<ScenarioModel>, String> {
+    let mut scenarios = Vec::new();
+    if opts.all_examples {
+        scenarios.extend(ipmedia_apps::models::all_scenarios());
+    }
+    for path in &opts.files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let sc = parse_scenario(&src).map_err(|e| format!("{path}: {e}"))?;
+        scenarios.push(sc);
+    }
+    Ok(scenarios)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenarios = match load_scenarios(&opts) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("ipmedia-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut names: Vec<String> = Vec::new();
+    for sc in &scenarios {
+        names.push(sc.name.clone());
+        let diags = analyze_scenario(sc);
+        for d in &diags {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            eprintln!("{}\n", d.render());
+            if opts.jsonl {
+                println!("{}", d.to_json());
+            }
+        }
+    }
+
+    let failed = errors > 0 || (opts.deny_warnings && warnings > 0);
+    eprintln!(
+        "ipmedia-lint: {} scenario(s), {errors} error(s), {warnings} warning(s){}",
+        scenarios.len(),
+        if failed { "" } else { " — clean" }
+    );
+    if opts.jsonl {
+        println!(
+            "{}",
+            JsonObj::new()
+                .str("type", "lint_summary")
+                .raw(
+                    "scenarios",
+                    &json_str_array(names.iter().map(String::as_str))
+                )
+                .num("errors", errors as u64)
+                .num("warnings", warnings as u64)
+                .bool("deny_warnings", opts.deny_warnings)
+                .bool("failed", failed)
+                .finish()
+        );
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

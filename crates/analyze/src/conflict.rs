@@ -1,0 +1,158 @@
+//! Pass 2: goal-conflict detection (`AZ2xx`).
+//!
+//! In the paper's architecture each slot is read and written by exactly
+//! one goal object at a time (§IV): two live goals claiming the same slot
+//! race on its signals. The pass inspects every program state's §IV-A
+//! annotations:
+//!
+//! * `AZ201` (error) — a slot claimed by two goals with incompatible
+//!   intents (one wants media flowing, the other parks or tears down the
+//!   channel — e.g. `holdSlot` vs `flowLink` — or any pairing with
+//!   `closeSlot`, or two distinct `flowLink`s fighting over one slot);
+//! * `AZ202` (warning) — a slot claimed twice with the *same* intent
+//!   (redundant, and still a signal-ownership race);
+//! * `AZ203` (error) — a `flowLink` linking a slot to itself.
+
+use crate::diag::Diagnostic;
+use ipmedia_core::program::model::{GoalAnnotation, ProgramModel};
+use ipmedia_core::GoalKind;
+use std::collections::BTreeMap;
+
+fn incompatible(a: &GoalAnnotation, b: &GoalAnnotation) -> bool {
+    // closeSlot tears the channel down; nothing can share a slot with it.
+    a.kind == GoalKind::CloseSlot
+        || b.kind == GoalKind::CloseSlot
+        || a.kind.wants_flow() != b.kind.wants_flow()
+        // Two flowlinks would splice the slot into two different flows.
+        || (a.kind == GoalKind::FlowLink && b.kind == GoalKind::FlowLink)
+}
+
+/// Run the conflict pass over every state of the model.
+pub fn analyze(model: &ProgramModel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for st in &model.states {
+        for g in &st.goals {
+            if g.kind == GoalKind::FlowLink && g.slots.len() == 2 && g.slots[0] == g.slots[1] {
+                diags.push(
+                    Diagnostic::error(
+                        "AZ203",
+                        format!("flowLink links slot `{}` to itself", g.slots[0]),
+                    )
+                    .in_program(&model.name)
+                    .at_state(&st.name),
+                );
+            }
+        }
+        let mut claims: BTreeMap<&str, Vec<&GoalAnnotation>> = BTreeMap::new();
+        for g in &st.goals {
+            for slot in &g.slots {
+                claims.entry(slot.as_str()).or_default().push(g);
+            }
+        }
+        for (slot, goals) in claims {
+            for (i, a) in goals.iter().enumerate() {
+                for b in &goals[i + 1..] {
+                    if std::ptr::eq(*a, *b) {
+                        continue; // self-link already reported as AZ203
+                    }
+                    let d = if incompatible(a, b) {
+                        Diagnostic::error(
+                            "AZ201",
+                            format!("slot `{slot}` is claimed by conflicting goals {a} and {b}"),
+                        )
+                        .with_note(
+                            "each slot is read and written by exactly one goal object; \
+                             these two would race on its signals"
+                                .to_string(),
+                        )
+                    } else {
+                        Diagnostic::warning(
+                            "AZ202",
+                            format!("slot `{slot}` is claimed twice ({a} and {b})"),
+                        )
+                    };
+                    diags.push(d.in_program(&model.name).at_state(&st.name));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmedia_core::program::model::StateModel;
+
+    fn state_with(goals: Vec<GoalAnnotation>) -> ProgramModel {
+        let mut st = StateModel::new("s").final_state();
+        for g in goals {
+            st = st.goal(g);
+        }
+        ProgramModel::new("p")
+            .slot("a", None)
+            .slot("b", None)
+            .slot("c", None)
+            .state(st)
+    }
+
+    #[test]
+    fn hold_vs_flowlink_conflicts() {
+        let m = state_with(vec![
+            GoalAnnotation::one(GoalKind::HoldSlot, "a"),
+            GoalAnnotation::link("a", "b"),
+        ]);
+        let diags = analyze(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ201" && d.message.contains("`a`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn close_slot_conflicts_with_anything() {
+        let m = state_with(vec![
+            GoalAnnotation::one(GoalKind::CloseSlot, "a"),
+            GoalAnnotation::one(GoalKind::HoldSlot, "a"),
+        ]);
+        assert!(analyze(&m).iter().any(|d| d.code == "AZ201"));
+    }
+
+    #[test]
+    fn two_flowlinks_on_one_slot_conflict() {
+        let m = state_with(vec![
+            GoalAnnotation::link("a", "b"),
+            GoalAnnotation::link("a", "c"),
+        ]);
+        assert!(analyze(&m).iter().any(|d| d.code == "AZ201"));
+    }
+
+    #[test]
+    fn self_link_reported() {
+        let m = state_with(vec![GoalAnnotation::link("a", "a")]);
+        let diags = analyze(&m);
+        assert!(diags.iter().any(|d| d.code == "AZ203"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.code == "AZ201"), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_same_intent_is_a_warning() {
+        let m = state_with(vec![
+            GoalAnnotation::one(GoalKind::OpenSlot, "a"),
+            GoalAnnotation::one(GoalKind::OpenSlot, "a"),
+        ]);
+        let diags = analyze(&m);
+        assert!(diags.iter().any(|d| d.code == "AZ202"), "{diags:?}");
+    }
+
+    #[test]
+    fn disjoint_goals_are_clean() {
+        let m = state_with(vec![
+            GoalAnnotation::link("a", "b"),
+            GoalAnnotation::one(GoalKind::HoldSlot, "c"),
+        ]);
+        assert!(analyze(&m).is_empty());
+    }
+}

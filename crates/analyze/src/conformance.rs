@@ -1,0 +1,395 @@
+//! Pass 1: slot-protocol conformance (`AZ1xx`).
+//!
+//! Abstract interpretation of a [`ProgramModel`] over the Fig.-9 protocol
+//! FSM. For each program state the pass computes, per slot, the set of
+//! protocol states the slot can possibly be in (plus *unbound*: the slot's
+//! channel is not up). Every `UserAction` effect is then judged against
+//! [`SlotState::after_send`] — i.e. against the same [`SEND_RULES`] table
+//! the runtime `Slot` validates with. An action that is legal in **no**
+//! possible state is statically impossible (`AZ101`): the program would hit
+//! `ProtocolError::BadState` on every execution that reaches it. This is
+//! the static form of the "action on a `Closed` slot" failure class the
+//! fault-injection campaign catches dynamically.
+//!
+//! [`SEND_RULES`]: ipmedia_core::slot::SEND_RULES
+
+use crate::diag::Diagnostic;
+use ipmedia_core::program::model::{ModelEffect, ModelTrigger, ProgramModel};
+use ipmedia_core::{GoalKind, SlotState};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Abstract protocol state of one slot: either *unbound* (its channel is
+/// not up, so no protocol state exists) or one of the five Fig.-9 states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AbsState {
+    /// The slot's channel is not up; no slot exists to act on.
+    Unbound,
+    /// The slot is bound and in the given protocol state.
+    In(SlotState),
+}
+
+impl AbsState {
+    /// Short printable name (`unbound` or the protocol state name).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbsState::Unbound => "unbound",
+            AbsState::In(s) => s.name(),
+        }
+    }
+}
+
+/// The set of abstract states a slot may be in at a program point.
+pub type AbsSet = BTreeSet<AbsState>;
+
+/// Per-state, per-slot abstract result: `state name -> slot name -> set`.
+/// The map records the *post-entry* view (after goal widening), which is
+/// what the leak pass needs at final states.
+pub type AbsMap = BTreeMap<String, BTreeMap<String, AbsSet>>;
+
+fn all_bound() -> AbsSet {
+    SlotState::ALL.iter().copied().map(AbsState::In).collect()
+}
+
+/// States a slot controlled by a goal of `kind` may be driven through
+/// while the program dwells in the annotated state. `closeSlot` drives
+/// monotonically dead; every other primitive may take the slot anywhere
+/// short of `Closing` (goals close only on teardown).
+fn goal_range(kind: GoalKind) -> AbsSet {
+    match kind {
+        GoalKind::CloseSlot => [
+            AbsState::In(SlotState::Closing),
+            AbsState::In(SlotState::Closed),
+        ]
+        .into_iter()
+        .collect(),
+        GoalKind::OpenSlot | GoalKind::HoldSlot | GoalKind::UserAgent | GoalKind::FlowLink => {
+            all_bound()
+        }
+    }
+}
+
+/// Apply the §IV-A goal annotations of `state`: a claimed slot is driven
+/// by its goal object, so its possible states widen to the goal's range
+/// (claiming also binds — incoming channels are bound by the environment).
+fn widen_by_goals(
+    model: &ProgramModel,
+    state: &str,
+    mut slots: BTreeMap<String, AbsSet>,
+) -> BTreeMap<String, AbsSet> {
+    if let Some(st) = model.state_named(state) {
+        for g in &st.goals {
+            for slot in &g.slots {
+                if let Some(set) = slots.get_mut(slot) {
+                    *set = goal_range(g.kind);
+                }
+            }
+        }
+    }
+    slots
+}
+
+fn rides(model: &ProgramModel, slot: &str, channel: &str) -> bool {
+    model
+        .slot_named(slot)
+        .and_then(|d| d.channel.as_deref())
+        .is_some_and(|c| c == channel)
+}
+
+/// Refine the slot map by what the trigger implies. Slot-predicate
+/// triggers pin the slot's state (and bind it — an incoming `open` means
+/// the channel is up); channel triggers bind or unbind the riding slots.
+fn refine_by_trigger(
+    model: &ProgramModel,
+    trigger: &ModelTrigger,
+    slots: &mut BTreeMap<String, AbsSet>,
+) {
+    match trigger {
+        ModelTrigger::SlotOpened(s) => {
+            slots.insert(s.clone(), [AbsState::In(SlotState::Opened)].into());
+        }
+        ModelTrigger::SlotFlowing(s) => {
+            slots.insert(s.clone(), [AbsState::In(SlotState::Flowing)].into());
+        }
+        ModelTrigger::SlotClosed(s) => {
+            slots.insert(s.clone(), [AbsState::In(SlotState::Closed)].into());
+        }
+        ModelTrigger::ChannelUp(c) => {
+            for (name, set) in slots.iter_mut() {
+                if rides(model, name, c) && set.contains(&AbsState::Unbound) {
+                    set.remove(&AbsState::Unbound);
+                    set.insert(AbsState::In(SlotState::Closed));
+                }
+            }
+        }
+        ModelTrigger::ChannelDown(c) => {
+            for (name, set) in slots.iter_mut() {
+                if rides(model, name, c) {
+                    *set = [AbsState::Unbound].into();
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Apply one effect to the slot map, reporting protocol violations for
+/// `UserAction`s when `diags` is given (the reporting pass).
+fn apply_effect(
+    model: &ProgramModel,
+    state: &str,
+    effect: &ModelEffect,
+    slots: &mut BTreeMap<String, AbsSet>,
+    diags: Option<&mut Vec<Diagnostic>>,
+) {
+    match effect {
+        ModelEffect::OpenChannel(c) => {
+            for (name, set) in slots.iter_mut() {
+                if rides(model, name, c) && set.contains(&AbsState::Unbound) {
+                    set.remove(&AbsState::Unbound);
+                    set.insert(AbsState::In(SlotState::Closed));
+                }
+            }
+        }
+        ModelEffect::CloseChannel(c) => {
+            for (name, set) in slots.iter_mut() {
+                if rides(model, name, c) {
+                    *set = [AbsState::Unbound].into();
+                }
+            }
+        }
+        ModelEffect::UserAction { slot, action } => {
+            let Some(set) = slots.get_mut(slot) else {
+                return; // undeclared slot: reported as AZ001 by validate()
+            };
+            let mut next: AbsSet = AbsSet::new();
+            let mut legal = 0usize;
+            let mut illegal: Vec<&'static str> = Vec::new();
+            for abs in set.iter() {
+                match abs {
+                    AbsState::In(s) => {
+                        if let Some(n) = s.after_send(*action) {
+                            legal += 1;
+                            next.insert(AbsState::In(n));
+                        } else {
+                            illegal.push(s.name());
+                            next.insert(*abs);
+                        }
+                    }
+                    AbsState::Unbound => {
+                        illegal.push("unbound");
+                        next.insert(AbsState::Unbound);
+                    }
+                }
+            }
+            if let Some(diags) = diags {
+                if legal == 0 {
+                    diags.push(
+                        Diagnostic::error(
+                            "AZ101",
+                            format!(
+                                "user action `{}` on slot `{slot}` can never be legal",
+                                action.name()
+                            ),
+                        )
+                        .in_program(&model.name)
+                        .at_state(state)
+                        .with_note(format!(
+                            "possible protocol states for `{slot}` here: {}; \
+                             the Fig.-9 send table permits `{}` in none of them",
+                            illegal.join(", "),
+                            action.name()
+                        )),
+                    );
+                } else if !illegal.is_empty() {
+                    diags.push(
+                        Diagnostic::warning(
+                            "AZ102",
+                            format!(
+                                "user action `{}` on slot `{slot}` is illegal on some paths",
+                                action.name()
+                            ),
+                        )
+                        .in_program(&model.name)
+                        .at_state(state)
+                        .with_note(format!("illegal when `{slot}` is {}", illegal.join(" or "))),
+                    );
+                }
+            }
+            *set = next;
+        }
+        ModelEffect::SetTimer(_) | ModelEffect::CancelTimer(_) | ModelEffect::Terminate => {}
+    }
+}
+
+fn initial_map(model: &ProgramModel) -> BTreeMap<String, AbsSet> {
+    model
+        .slots
+        .iter()
+        .map(|d| {
+            // A slot riding a declared channel starts unbound (the channel
+            // is down); a channel-less slot is bound by the environment
+            // before the program starts.
+            let init = if d.channel.is_some() {
+                AbsState::Unbound
+            } else {
+                AbsState::In(SlotState::Closed)
+            };
+            (d.name.clone(), AbsSet::from([init]))
+        })
+        .collect()
+}
+
+fn join_into(target: &mut BTreeMap<String, AbsSet>, src: &BTreeMap<String, AbsSet>) -> bool {
+    let mut grew = false;
+    for (name, set) in src {
+        let entry = target.entry(name.clone()).or_default();
+        for abs in set {
+            grew |= entry.insert(*abs);
+        }
+    }
+    grew
+}
+
+/// Run the conformance pass: returns the diagnostics plus the stable
+/// per-state abstract slot map (consumed by the leak pass).
+pub fn analyze(model: &ProgramModel) -> (Vec<Diagnostic>, AbsMap) {
+    // Fixpoint over state-entry maps: joins only grow finite sets.
+    let mut entry: AbsMap = AbsMap::new();
+    entry.insert(model.initial.clone(), initial_map(model));
+    loop {
+        let mut grew = false;
+        for st in &model.states {
+            let Some(at_entry) = entry.get(&st.name).cloned() else {
+                continue; // not (yet) reachable
+            };
+            let post = widen_by_goals(model, &st.name, at_entry);
+            for t in &st.transitions {
+                let mut slots = post.clone();
+                refine_by_trigger(model, &t.trigger, &mut slots);
+                for e in &t.effects {
+                    apply_effect(model, &st.name, e, &mut slots, None);
+                }
+                grew |= join_into(entry.entry(t.to.clone()).or_default(), &slots);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Reporting pass over the stable maps.
+    let mut diags = Vec::new();
+    let mut post_map: AbsMap = AbsMap::new();
+    for st in &model.states {
+        let Some(at_entry) = entry.get(&st.name).cloned() else {
+            continue;
+        };
+        let post = widen_by_goals(model, &st.name, at_entry);
+        for t in &st.transitions {
+            let mut slots = post.clone();
+            refine_by_trigger(model, &t.trigger, &mut slots);
+            for e in &t.effects {
+                apply_effect(model, &st.name, e, &mut slots, Some(&mut diags));
+            }
+        }
+        post_map.insert(st.name.clone(), post);
+    }
+    (diags, post_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmedia_core::program::model::StateModel;
+    use ipmedia_core::SlotAction;
+
+    /// The planted PR-2 failure class, statically: `select` on a slot that
+    /// is still `Closed` (nothing ever opened it).
+    #[test]
+    fn select_on_closed_slot_is_an_error() {
+        let m = ProgramModel::new("ua")
+            .slot("s", None)
+            .state(StateModel::new("init").on(
+                ModelTrigger::Start,
+                "done",
+                vec![ModelEffect::UserAction {
+                    slot: "s".into(),
+                    action: SlotAction::Select,
+                }],
+            ))
+            .state(StateModel::new("done").final_state());
+        let (diags, _) = analyze(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ101" && d.message.contains("`select`")),
+            "{diags:?}"
+        );
+    }
+
+    /// Opening a channel binds the slot `Closed`, after which `open` is
+    /// legal — no diagnostics.
+    #[test]
+    fn open_after_channel_up_is_clean() {
+        let m = ProgramModel::new("dialer")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("init").on(
+                ModelTrigger::Start,
+                "dialing",
+                vec![
+                    ModelEffect::OpenChannel("c".into()),
+                    ModelEffect::UserAction {
+                        slot: "s".into(),
+                        action: SlotAction::Open,
+                    },
+                ],
+            ))
+            .state(StateModel::new("dialing").final_state());
+        let (diags, map) = analyze(&m);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(
+            map["dialing"]["s"],
+            AbsSet::from([AbsState::In(SlotState::Opening)])
+        );
+    }
+
+    /// Acting on a slot whose channel was never opened is the unbound
+    /// variant of the same class.
+    #[test]
+    fn action_on_unbound_slot_is_an_error() {
+        let m = ProgramModel::new("p")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("init").on(
+                ModelTrigger::Start,
+                "done",
+                vec![ModelEffect::UserAction {
+                    slot: "s".into(),
+                    action: SlotAction::Open,
+                }],
+            ))
+            .state(StateModel::new("done").final_state());
+        let (diags, _) = analyze(&m);
+        assert!(diags.iter().any(|d| d.code == "AZ101"), "{diags:?}");
+    }
+
+    /// A slot-flowing trigger pins the state, making `describe` legal.
+    #[test]
+    fn trigger_refinement_enables_flowing_actions() {
+        let m = ProgramModel::new("p")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("init").on(
+                ModelTrigger::SlotFlowing("s".into()),
+                "talk",
+                vec![ModelEffect::UserAction {
+                    slot: "s".into(),
+                    action: SlotAction::Describe,
+                }],
+            ))
+            .state(StateModel::new("talk").final_state());
+        let (diags, _) = analyze(&m);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,364 @@
+//! Parser for the `.ipm` scenario text format, so `ipmedia-lint` can
+//! analyze serialized models as well as the built-in example registry.
+//!
+//! The format is line-oriented; `#` starts a comment. Triggers and
+//! effects use the same concrete syntax the model types `Display` with,
+//! so diagnostics and sources read alike:
+//!
+//! ```text
+//! scenario demo
+//! box ua
+//! box peer
+//! link ua peer 1
+//!
+//! program ua
+//!   channel c
+//!   slot s c
+//!   timer t
+//!   state init
+//!     goal openSlot s
+//!     on start -> waiting ! openChannel(c); setTimer(t)
+//!   state waiting final
+//!     goal flowLink s s2     # (two slot names for flowLink)
+//! ```
+
+use ipmedia_core::path::Topology;
+use ipmedia_core::program::model::{
+    GoalAnnotation, ModelEffect, ModelTrigger, ProgramModel, ScenarioModel, StateModel,
+    TransitionModel,
+};
+use ipmedia_core::{GoalKind, SlotAction};
+
+/// Parse error: line number (1-based) plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line the error is on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Split `name(arg)` into `(name, arg)`; a bare word has an empty arg.
+fn call(token: &str) -> (&str, &str) {
+    match token.find('(') {
+        Some(i) if token.ends_with(')') => (&token[..i], &token[i + 1..token.len() - 1]),
+        _ => (token, ""),
+    }
+}
+
+fn parse_trigger(token: &str, line: usize) -> Result<ModelTrigger, ParseError> {
+    let (name, arg) = call(token);
+    let need = |what: &str| -> Result<String, ParseError> {
+        if arg.is_empty() {
+            Err(err(
+                line,
+                format!("trigger `{name}` needs a {what} argument"),
+            ))
+        } else {
+            Ok(arg.to_string())
+        }
+    };
+    Ok(match name {
+        "start" => ModelTrigger::Start,
+        "channelUp" => ModelTrigger::ChannelUp(need("channel")?),
+        "channelDown" => ModelTrigger::ChannelDown(need("channel")?),
+        "peerAvailable" => ModelTrigger::PeerAvailable(need("channel")?),
+        "peerUnavailable" => ModelTrigger::PeerUnavailable(need("channel")?),
+        "isOpened" => ModelTrigger::SlotOpened(need("slot")?),
+        "isFlowing" => ModelTrigger::SlotFlowing(need("slot")?),
+        "isClosed" => ModelTrigger::SlotClosed(need("slot")?),
+        "timer" => ModelTrigger::Timer(need("timer")?),
+        "app" => ModelTrigger::App(need("event")?),
+        "user" => ModelTrigger::User(need("event")?),
+        other => return Err(err(line, format!("unknown trigger `{other}`"))),
+    })
+}
+
+fn parse_effect(token: &str, line: usize) -> Result<ModelEffect, ParseError> {
+    let (name, arg) = call(token);
+    let need = |what: &str| -> Result<String, ParseError> {
+        if arg.is_empty() {
+            Err(err(
+                line,
+                format!("effect `{name}` needs a {what} argument"),
+            ))
+        } else {
+            Ok(arg.to_string())
+        }
+    };
+    let action = |a: SlotAction| -> Result<ModelEffect, ParseError> {
+        Ok(ModelEffect::UserAction {
+            slot: need("slot")?,
+            action: a,
+        })
+    };
+    match name {
+        "openChannel" => Ok(ModelEffect::OpenChannel(need("channel")?)),
+        "closeChannel" => Ok(ModelEffect::CloseChannel(need("channel")?)),
+        "setTimer" => Ok(ModelEffect::SetTimer(need("timer")?)),
+        "cancelTimer" => Ok(ModelEffect::CancelTimer(need("timer")?)),
+        "terminate" => Ok(ModelEffect::Terminate),
+        "open" => action(SlotAction::Open),
+        "accept" => action(SlotAction::Accept),
+        "select" => action(SlotAction::Select),
+        "describe" => action(SlotAction::Describe),
+        "close" => action(SlotAction::Close),
+        other => Err(err(line, format!("unknown effect `{other}`"))),
+    }
+}
+
+fn parse_goal_kind(token: &str, line: usize) -> Result<GoalKind, ParseError> {
+    GoalKind::ALL
+        .into_iter()
+        .find(|k| k.name() == token)
+        .ok_or_else(|| err(line, format!("unknown goal kind `{token}`")))
+}
+
+/// Parse a full `.ipm` scenario source.
+pub fn parse_scenario(src: &str) -> Result<ScenarioModel, ParseError> {
+    let mut scenario = ScenarioModel::new("scenario");
+    let mut topology = Topology::new();
+    // (box name, program under construction, state under construction)
+    let mut program: Option<(String, ProgramModel)> = None;
+    let mut state: Option<StateModel> = None;
+
+    let flush_state = |program: &mut Option<(String, ProgramModel)>,
+                       state: &mut Option<StateModel>| {
+        if let (Some((_, m)), Some(st)) = (program.as_mut(), state.take()) {
+            let built = std::mem::take(m);
+            *m = built.state(st);
+        }
+    };
+    let flush_program = |scenario: &mut ScenarioModel,
+                         program: &mut Option<(String, ProgramModel)>,
+                         state: &mut Option<StateModel>| {
+        flush_state(program, state);
+        if let Some((box_name, m)) = program.take() {
+            let built = std::mem::take(scenario);
+            *scenario = built.program(box_name, m);
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut words = text.split_whitespace();
+        let keyword = words.next().unwrap_or("");
+        let rest: Vec<&str> = words.collect();
+        match keyword {
+            "scenario" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line, "scenario needs a name"))?;
+                scenario.name = (*name).to_string();
+            }
+            "box" => {
+                let name = rest.first().ok_or_else(|| err(line, "box needs a name"))?;
+                topology = topology.with_box(*name);
+            }
+            "link" => {
+                let [from, to, tunnels] = rest.as_slice() else {
+                    return Err(err(line, "link needs: link <from> <to> <tunnels>"));
+                };
+                let n: u16 = tunnels
+                    .parse()
+                    .map_err(|_| err(line, format!("bad tunnel count `{tunnels}`")))?;
+                topology = topology.with_link(*from, *to, n);
+            }
+            "program" => {
+                flush_program(&mut scenario, &mut program, &mut state);
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line, "program needs a box name"))?;
+                program = Some(((*name).to_string(), ProgramModel::new(*name)));
+            }
+            "channel" | "slot" | "timer" => {
+                let Some((_, m)) = program.as_mut() else {
+                    return Err(err(line, format!("`{keyword}` outside a program")));
+                };
+                // Declarations must precede states (states are flushed in
+                // order, so late declarations would be fine structurally,
+                // but the format keeps them grouped for readability).
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line, format!("{keyword} needs a name")))?;
+                let built = std::mem::take(m);
+                *m = match keyword {
+                    "channel" => built.channel(*name),
+                    "slot" => built.slot(*name, rest.get(1).copied()),
+                    _ => built.timer(*name),
+                };
+            }
+            "state" => {
+                if program.is_none() {
+                    return Err(err(line, "`state` outside a program"));
+                }
+                flush_state(&mut program, &mut state);
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line, "state needs a name"))?;
+                let mut st = StateModel::new(*name);
+                match rest.get(1) {
+                    Some(&"final") => st = st.final_state(),
+                    Some(other) => {
+                        return Err(err(line, format!("unexpected `{other}` after state name")))
+                    }
+                    None => {}
+                }
+                state = Some(st);
+            }
+            "goal" => {
+                let Some(st) = state.as_mut() else {
+                    return Err(err(line, "`goal` outside a state"));
+                };
+                let kind_tok = rest.first().ok_or_else(|| err(line, "goal needs a kind"))?;
+                let kind = parse_goal_kind(kind_tok, line)?;
+                let slots: Vec<String> = rest[1..].iter().map(|s| (*s).to_string()).collect();
+                if slots.is_empty() {
+                    return Err(err(line, "goal needs at least one slot"));
+                }
+                st.goals.push(GoalAnnotation { kind, slots });
+            }
+            "on" => {
+                let Some(st) = state.as_mut() else {
+                    return Err(err(line, "`on` outside a state"));
+                };
+                // on <trigger> -> <target> [! <effect>; <effect>...]
+                let arrow = rest
+                    .iter()
+                    .position(|w| *w == "->")
+                    .ok_or_else(|| err(line, "transition needs `->`"))?;
+                if arrow != 1 {
+                    return Err(err(
+                        line,
+                        "transition needs exactly one trigger before `->`",
+                    ));
+                }
+                let trigger = parse_trigger(rest[0], line)?;
+                let target = rest
+                    .get(arrow + 1)
+                    .ok_or_else(|| err(line, "transition needs a target state"))?;
+                let mut effects = Vec::new();
+                match rest.get(arrow + 2) {
+                    None => {}
+                    Some(&"!") => {
+                        let effect_src = rest[arrow + 3..].join(" ");
+                        for tok in effect_src.split(';') {
+                            let tok = tok.trim();
+                            if !tok.is_empty() {
+                                effects.push(parse_effect(tok, line)?);
+                            }
+                        }
+                    }
+                    Some(other) => {
+                        return Err(err(
+                            line,
+                            format!("expected `!` before effects, got `{other}`"),
+                        ))
+                    }
+                }
+                st.transitions.push(TransitionModel {
+                    trigger,
+                    to: (*target).to_string(),
+                    effects,
+                });
+            }
+            other => return Err(err(line, format!("unknown keyword `{other}`"))),
+        }
+    }
+    flush_program(&mut scenario, &mut program, &mut state);
+    Ok(scenario.with_topology(topology))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "
+scenario demo
+box ua
+box peer
+link ua peer 1
+
+program ua
+  channel c
+  slot s c
+  timer t
+  state init
+    goal openSlot s
+    on start -> waiting ! openChannel(c); setTimer(t)
+  state waiting final
+    on isFlowing(s) -> waiting ! describe(s)
+";
+
+    #[test]
+    fn parses_demo_scenario() {
+        let sc = parse_scenario(DEMO).expect("parse");
+        assert_eq!(sc.name, "demo");
+        assert!(sc.topology.has_box("ua"));
+        assert_eq!(sc.topology.links.len(), 1);
+        let m = sc.program_for("ua").expect("program");
+        assert_eq!(m.initial, "init");
+        assert_eq!(m.states.len(), 2);
+        assert!(m.validate().is_empty(), "{:?}", m.validate());
+        let waiting = m.state_named("waiting").unwrap();
+        assert!(waiting.is_final);
+        assert_eq!(
+            waiting.transitions[0].effects,
+            vec![ModelEffect::UserAction {
+                slot: "s".into(),
+                action: SlotAction::Describe,
+            }]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let sc = parse_scenario("# hello\n\nscenario x\nbox a # trailing\n").expect("parse");
+        assert_eq!(sc.name, "x");
+        assert!(sc.topology.has_box("a"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_scenario("scenario x\nbogus y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn goal_outside_state_rejected() {
+        assert!(parse_scenario("goal openSlot s\n").is_err());
+    }
+
+    #[test]
+    fn trigger_round_trips_display_syntax() {
+        for (src, want) in [
+            ("start", ModelTrigger::Start),
+            ("channelUp(c)", ModelTrigger::ChannelUp("c".into())),
+            ("isOpened(s)", ModelTrigger::SlotOpened("s".into())),
+            ("timer(t)", ModelTrigger::Timer("t".into())),
+            ("app(go)", ModelTrigger::App("go".into())),
+        ] {
+            let got = parse_trigger(src, 1).expect(src);
+            assert_eq!(got, want);
+            assert_eq!(got.to_string(), src, "Display should round-trip");
+        }
+    }
+}

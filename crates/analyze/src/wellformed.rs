@@ -1,0 +1,205 @@
+//! Pass 4: signaling-path well-formedness (`AZ4xx`).
+//!
+//! The paper's signaling graph is a tree of boxes joined by channels;
+//! media paths are threaded through it as chains of tunnels (§V). The
+//! pass checks the scenario topology:
+//!
+//! * `AZ401` (error) — a program is attached to a box the topology does
+//!   not declare;
+//! * `AZ402` (error) — a channel link ends at an undeclared box (dangling
+//!   channel);
+//! * `AZ403` (error) — the undirected channel graph has a cycle: a media
+//!   path could be threaded through the same box twice, breaking the
+//!   tunnel model's assumption that paths are simple chains;
+//! * `AZ404` (warning) — a box is isolated (no channel touches it);
+//! * `AZ405` (error) — a channel declares zero tunnels, so no slot can
+//!   ever ride it.
+
+use crate::diag::Diagnostic;
+use ipmedia_core::program::model::ScenarioModel;
+use std::collections::BTreeMap;
+
+/// Union-find over box names, for cycle detection in the channel graph.
+struct Forest<'a> {
+    parent: BTreeMap<&'a str, &'a str>,
+}
+
+impl<'a> Forest<'a> {
+    fn new() -> Self {
+        Self {
+            parent: BTreeMap::new(),
+        }
+    }
+
+    fn find(&mut self, x: &'a str) -> &'a str {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    /// Union the classes of `a` and `b`; false iff already joined (cycle).
+    fn union(&mut self, a: &'a str, b: &'a str) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent.insert(ra, rb);
+        true
+    }
+}
+
+/// Run the well-formedness pass over a scenario's topology and program
+/// attachments.
+pub fn analyze(scenario: &ScenarioModel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let topo = &scenario.topology;
+
+    for (box_name, _) in &scenario.programs {
+        if !topo.has_box(box_name) {
+            diags.push(
+                Diagnostic::error(
+                    "AZ401",
+                    format!("program attached to undeclared box `{box_name}`"),
+                )
+                .in_scenario(&scenario.name),
+            );
+        }
+    }
+
+    let mut forest = Forest::new();
+    for link in &topo.links {
+        for end in [&link.from, &link.to] {
+            if !topo.has_box(end) {
+                diags.push(
+                    Diagnostic::error(
+                        "AZ402",
+                        format!(
+                            "channel {} -- {} ends at undeclared box `{end}`",
+                            link.from, link.to
+                        ),
+                    )
+                    .in_scenario(&scenario.name)
+                    .with_note("a dangling channel can carry no tunnels".to_string()),
+                );
+            }
+        }
+        if link.tunnels == 0 {
+            diags.push(
+                Diagnostic::error(
+                    "AZ405",
+                    format!("channel {} -- {} declares zero tunnels", link.from, link.to),
+                )
+                .in_scenario(&scenario.name),
+            );
+        }
+        if !forest.union(&link.from, &link.to) {
+            diags.push(
+                Diagnostic::error(
+                    "AZ403",
+                    format!(
+                        "channel {} -- {} closes a cycle in the signaling graph",
+                        link.from, link.to
+                    ),
+                )
+                .in_scenario(&scenario.name)
+                .with_note(
+                    "the tunnel model threads media paths as simple chains; \
+                     a cyclic signaling graph can thread a path through one \
+                     box twice"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+
+    for b in &topo.boxes {
+        if topo.degree(b) == 0 {
+            diags.push(
+                Diagnostic::warning("AZ404", format!("box `{b}` is isolated (no channel)"))
+                    .in_scenario(&scenario.name),
+            );
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmedia_core::path::Topology;
+
+    fn scenario_with(topo: Topology) -> ScenarioModel {
+        ScenarioModel::new("t").with_topology(topo)
+    }
+
+    #[test]
+    fn dangling_channel_flagged() {
+        let s = scenario_with(Topology::new().with_box("a").with_link("a", "ghost", 1));
+        let diags = analyze(&s);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ402" && d.message.contains("ghost")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_flagged() {
+        let s = scenario_with(
+            Topology::new()
+                .with_box("a")
+                .with_box("b")
+                .with_box("c")
+                .with_link("a", "b", 1)
+                .with_link("b", "c", 1)
+                .with_link("c", "a", 1),
+        );
+        let diags = analyze(&s);
+        assert!(diags.iter().any(|d| d.code == "AZ403"), "{diags:?}");
+    }
+
+    #[test]
+    fn tree_is_clean() {
+        let s = scenario_with(
+            Topology::new()
+                .with_box("a")
+                .with_box("b")
+                .with_box("c")
+                .with_link("a", "b", 1)
+                .with_link("b", "c", 2),
+        );
+        assert!(analyze(&s).is_empty(), "{:?}", analyze(&s));
+    }
+
+    #[test]
+    fn isolated_box_warned() {
+        let s = scenario_with(Topology::new().with_box("lonely"));
+        assert!(analyze(&s).iter().any(|d| d.code == "AZ404"));
+    }
+
+    #[test]
+    fn zero_tunnel_channel_flagged() {
+        let s = scenario_with(
+            Topology::new()
+                .with_box("a")
+                .with_box("b")
+                .with_link("a", "b", 0),
+        );
+        assert!(analyze(&s).iter().any(|d| d.code == "AZ405"));
+    }
+
+    #[test]
+    fn program_on_undeclared_box_flagged() {
+        use ipmedia_core::program::model::ProgramModel;
+        let s = ScenarioModel::new("t")
+            .program("ghost", ProgramModel::new("p"))
+            .with_topology(Topology::new().with_box("a"));
+        assert!(analyze(&s).iter().any(|d| d.code == "AZ401"));
+    }
+}

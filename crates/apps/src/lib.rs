@@ -19,6 +19,7 @@ pub mod click_to_dial;
 pub mod collab_tv;
 pub mod conference;
 pub mod harness;
+pub mod models;
 pub mod pbx;
 pub mod prepaid;
 pub mod voicemail;
@@ -26,6 +27,7 @@ pub mod voicemail;
 pub use click_to_dial::{ClickToDialLogic, CtdState};
 pub use conference::{BridgeLogic, ConferenceLogic};
 pub use harness::MediaNet;
+pub use models::{all_scenarios, scenario, EXAMPLE_NAMES};
 pub use pbx::PbxLogic;
 pub use prepaid::PrepaidLogic;
 pub use voicemail::VoicemailLogic;

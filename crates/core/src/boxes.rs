@@ -35,34 +35,60 @@ struct GoalEntry {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BoxNote {
     /// A slot event occurred (after the goal object reacted to it).
-    Slot { slot: SlotId, event: SlotEvent },
+    Slot {
+        /// The slot the event happened on.
+        slot: SlotId,
+        /// The event itself.
+        event: SlotEvent,
+    },
     /// A user-agent goal surfaced a Fig. 5 `?` event.
-    User { slot: SlotId, note: UserNote },
+    User {
+        /// The user-agent slot the note concerns.
+        slot: SlotId,
+        /// The surfaced note.
+        note: UserNote,
+    },
 }
 
 /// The desired goal for a slot (or pair), as written in a program-state
 /// annotation (§IV-A).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GoalSpec {
+    /// Annotate `slot` with an `openSlot` goal.
     Open {
+        /// The slot to control.
         slot: SlotId,
+        /// Medium to open.
         medium: crate::codec::Medium,
+        /// Receiving policy of this end.
         policy: goal::Policy,
     },
+    /// Annotate `slot` with a `closeSlot` goal.
     Close {
+        /// The slot to control.
         slot: SlotId,
     },
+    /// Annotate `slot` with a `holdSlot` goal.
     Hold {
+        /// The slot to control.
         slot: SlotId,
+        /// Receiving policy of this end while held.
         policy: goal::Policy,
     },
+    /// Annotate `slot` with an interactive `userAgent` goal.
     User {
+        /// The slot to control.
         slot: SlotId,
+        /// The endpoint's media policy.
         policy: goal::EndpointPolicy,
+        /// How incoming opens are answered.
         mode: goal::AcceptMode,
     },
+    /// Annotate slots `a` and `b` with one `flowLink` goal.
     Link {
+        /// One linked slot.
         a: SlotId,
+        /// The other linked slot.
         b: SlotId,
     },
 }
@@ -92,6 +118,7 @@ pub struct MediaBox {
 }
 
 impl MediaBox {
+    /// New empty box with the given identity.
     pub fn new(id: BoxId) -> Self {
         Self {
             id,
@@ -103,6 +130,7 @@ impl MediaBox {
         }
     }
 
+    /// This box's identity.
     pub fn id(&self) -> BoxId {
         self.id
     }
@@ -121,10 +149,12 @@ impl MediaBox {
         self.drop_goal_of(id);
     }
 
+    /// Read access to a slot, for guard predicates.
     pub fn slot(&self, id: SlotId) -> Option<&Slot> {
         self.slots.get(&id)
     }
 
+    /// All registered slot ids, in order.
     pub fn slot_ids(&self) -> impl Iterator<Item = SlotId> + '_ {
         self.slots.keys().copied()
     }
@@ -139,7 +169,7 @@ impl MediaBox {
 
     /// Mint a tag origin unique within the system (box id in the high bits).
     fn fresh_origin(&mut self) -> u64 {
-        let o = ((self.id.0 as u64) << 24) | self.next_origin;
+        let o = (u64::from(self.id.0) << 24) | self.next_origin;
         self.next_origin += 1;
         o
     }
@@ -179,7 +209,7 @@ impl MediaBox {
         cause: &'static str,
     ) {
         for (slot, was) in before {
-            if let Some(now) = self.slots.get(slot).map(|s| s.state()) {
+            if let Some(now) = self.slots.get(slot).map(super::slot::Slot::state) {
                 if now != *was {
                     obs.slot_transition(self.id.0, slot.0, was.name(), now.name(), cause);
                 }
@@ -223,7 +253,7 @@ impl MediaBox {
         match controls {
             Controlled::One(s) => {
                 assert!(self.slots.contains_key(&s), "unknown slot {s}");
-                self.drop_goal_of_obs(s, obs)
+                self.drop_goal_of_obs(s, obs);
             }
             Controlled::Two(a, b) => {
                 assert!(a != b, "flowLink needs two distinct slots");
@@ -258,9 +288,8 @@ impl MediaBox {
             }
             Controlled::Two(a, b) => {
                 let (mut sa, mut sb) = self.take_two(a, b);
-                let link = match &mut new_goal {
-                    Goal::Link(l) => l,
-                    _ => unreachable!(),
+                let Goal::Link(link) = &mut new_goal else {
+                    unreachable!()
                 };
                 let out = link
                     .attach(&mut sa, &mut sb)
@@ -402,9 +431,8 @@ impl MediaBox {
                     })
                     .collect();
                 let entry = self.goals.get_mut(&gid).expect("goal exists");
-                let link = match &mut entry.goal {
-                    Goal::Link(l) => l,
-                    _ => unreachable!("two-slot goal is a flowlink"),
+                let Goal::Link(link) = &mut entry.goal else {
+                    unreachable!("two-slot goal is a flowlink")
                 };
                 out.extend(
                     link.on_event(side, &event, &mut sa, &mut sb)

@@ -14,10 +14,13 @@ use std::fmt;
 /// tiers, text, or combined encodings are also possible (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Medium {
+    /// Audio (voice).
     Audio,
+    /// Video.
     Video,
     /// High-definition variant of video (media may be subdivided by quality).
     VideoHd,
+    /// Real-time text.
     Text,
     /// A single medium encoding audio and video together.
     AudioVideo,

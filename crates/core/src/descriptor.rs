@@ -21,11 +21,14 @@ use std::net::{IpAddr, Ipv4Addr};
 /// Transport address of a media endpoint: where RTP-like packets are sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MediaAddr {
+    /// IP address packets are sent to.
     pub ip: IpAddr,
+    /// UDP/RTP port packets are sent to.
     pub port: u16,
 }
 
 impl MediaAddr {
+    /// Address from an ip/port pair.
     pub fn new(ip: IpAddr, port: u16) -> Self {
         Self { ip, port }
     }
@@ -75,6 +78,7 @@ pub struct TagSource {
 }
 
 impl TagSource {
+    /// A source minting tags with the given unique origin.
     pub fn new(origin: u64) -> Self {
         Self {
             origin,
@@ -82,6 +86,7 @@ impl TagSource {
         }
     }
 
+    /// The origin stamped on every tag this source mints.
     pub fn origin(&self) -> u64 {
         self.origin
     }
@@ -113,6 +118,7 @@ impl TagSource {
 /// A descriptor: one endpoint's unilateral self-description as a receiver.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Descriptor {
+    /// Freshness tag identifying this particular description.
     pub tag: DescTag,
     /// Where to send media. `None` only for `noMedia` descriptors.
     pub addr: Option<MediaAddr>,
@@ -233,6 +239,7 @@ impl Selector {
         }
     }
 
+    /// True iff this selector declares real sending intent (not `noMedia`).
     pub fn is_sending(&self) -> bool {
         self.codec.is_real()
     }
@@ -301,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic = "at least one real codec"]
     fn media_descriptor_rejects_no_media_codec() {
         Descriptor::media(
             tags().next(),

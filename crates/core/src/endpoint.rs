@@ -14,6 +14,7 @@ pub struct EndpointLogic {
 }
 
 impl EndpointLogic {
+    /// An endpoint with the given media policy and accept mode.
     pub fn new(policy: EndpointPolicy, mode: AcceptMode) -> Self {
         Self { policy, mode }
     }

@@ -13,7 +13,9 @@ use std::fmt;
 pub enum ProtocolError {
     /// The requested signal cannot be sent in the slot's current state.
     BadState {
+        /// The attempted protocol action.
         action: &'static str,
+        /// The slot state that forbids it.
         state: SlotState,
     },
     /// A selector was submitted that does not answer the slot's current

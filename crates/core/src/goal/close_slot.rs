@@ -8,10 +8,13 @@
 use crate::signal::Signal;
 use crate::slot::{Slot, SlotEvent};
 
+/// The `closeSlot` goal object (§IV): drives its slot to Closed and
+/// rejects any incoming open while it is in control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CloseSlot;
 
 impl CloseSlot {
+    /// A fresh `closeSlot` goal.
     pub fn new() -> Self {
         CloseSlot
     }
@@ -25,6 +28,8 @@ impl CloseSlot {
         }
     }
 
+    /// React to a slot event; emits the signals needed to keep the slot
+    /// closed.
     pub fn on_event(&mut self, event: &SlotEvent, slot: &mut Slot) -> Vec<Signal> {
         match event {
             // Reject an incoming open immediately (§IV-A), including one

@@ -31,11 +31,14 @@ use crate::slot::{Slot, SlotEvent, SlotState};
 /// Which of the flowlink's two slots an event or signal belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkSide {
+    /// The first linked slot.
     A,
+    /// The second linked slot.
     B,
 }
 
 impl LinkSide {
+    /// The opposite side.
     pub fn other(self) -> LinkSide {
         match self {
             LinkSide::A => LinkSide::B,
@@ -61,6 +64,7 @@ impl FlowLink {
         &mut self.tags
     }
 
+    /// A fresh `flowLink` goal.
     pub fn new(tag_origin: u64) -> Self {
         Self {
             tags: TagSource::new(tag_origin),

@@ -14,6 +14,8 @@ use crate::goal::policy::Policy;
 use crate::signal::Signal;
 use crate::slot::{Slot, SlotEvent, SlotState};
 
+/// The `holdSlot` goal object (§IV): keeps its slot's channel open but
+/// parked — accepting incoming opens, muting flow per its policy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct HoldSlot {
     policy: Policy,
@@ -35,6 +37,7 @@ impl HoldSlot {
         Self::with_policy(Policy::Server, tag_origin)
     }
 
+    /// `holdSlot(s)` with an explicit receiving policy.
     pub fn with_policy(policy: Policy, tag_origin: u64) -> Self {
         Self {
             policy,
@@ -42,6 +45,7 @@ impl HoldSlot {
         }
     }
 
+    /// This end's receiving policy while the slot is held.
     pub fn policy(&self) -> &Policy {
         &self.policy
     }
@@ -89,6 +93,8 @@ impl HoldSlot {
         out
     }
 
+    /// React to a slot event; emits the signals needed to keep the channel
+    /// open but parked.
     pub fn on_event(&mut self, event: &SlotEvent, slot: &mut Slot) -> Vec<Signal> {
         match event {
             SlotEvent::OpenReceived { .. } | SlotEvent::RaceBackoff { .. } => self.accept(slot),

@@ -27,24 +27,96 @@ use crate::slot::{Slot, SlotEvent};
 /// A goal object controlling one slot (or two, for a flowlink).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Goal {
+    /// Open a media channel through the slot (`openSlot`, §IV).
     Open(OpenSlot),
+    /// Close the slot's media channel (`closeSlot`, §IV).
     Close(CloseSlot),
+    /// Keep the slot's channel open but parked (`holdSlot`, §IV).
     Hold(HoldSlot),
+    /// Expose the slot to interactive user control (`userAgent`).
     User(UserAgent),
+    /// Splice two slots into one media flow (`flowLink`, §V).
     Link(FlowLink),
 }
 
-impl Goal {
-    pub fn kind(&self) -> &'static str {
+/// The payload-free kind of a [`Goal`]: the four paper primitives plus the
+/// endpoint user agent.
+///
+/// Goal annotations in declarative program models
+/// ([`crate::program::ProgramModel`]) and the goal-conflict pass of
+/// `ipmedia-analyze` are expressed over this alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GoalKind {
+    /// `openSlot` — open a media channel through the slot.
+    OpenSlot,
+    /// `closeSlot` — close the slot's media channel.
+    CloseSlot,
+    /// `holdSlot` — keep the channel open but parked (no flow).
+    HoldSlot,
+    /// `userAgent` — interactive endpoint control of the slot.
+    UserAgent,
+    /// `flowLink` — splice two slots into one media flow.
+    FlowLink,
+}
+
+impl GoalKind {
+    /// Every goal kind, in paper order.
+    pub const ALL: [GoalKind; 5] = [
+        GoalKind::OpenSlot,
+        GoalKind::CloseSlot,
+        GoalKind::HoldSlot,
+        GoalKind::UserAgent,
+        GoalKind::FlowLink,
+    ];
+
+    /// The paper's camel-case name for this primitive.
+    pub fn name(self) -> &'static str {
         match self {
-            Goal::Open(_) => "openSlot",
-            Goal::Close(_) => "closeSlot",
-            Goal::Hold(_) => "holdSlot",
-            Goal::User(_) => "userAgent",
-            Goal::Link(_) => "flowLink",
+            GoalKind::OpenSlot => "openSlot",
+            GoalKind::CloseSlot => "closeSlot",
+            GoalKind::HoldSlot => "holdSlot",
+            GoalKind::UserAgent => "userAgent",
+            GoalKind::FlowLink => "flowLink",
         }
     }
 
+    /// Whether this goal wants media to flow through the slot.
+    ///
+    /// `holdSlot` deliberately parks the channel, and `closeSlot` tears it
+    /// down; the others either drive toward flow or permit it. Two live
+    /// goals on the same slot that disagree on this are in conflict.
+    pub fn wants_flow(self) -> bool {
+        matches!(
+            self,
+            GoalKind::OpenSlot | GoalKind::UserAgent | GoalKind::FlowLink
+        )
+    }
+}
+
+impl core::fmt::Display for GoalKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Goal {
+    /// The payload-free kind of this goal.
+    pub fn kind_enum(&self) -> GoalKind {
+        match self {
+            Goal::Open(_) => GoalKind::OpenSlot,
+            Goal::Close(_) => GoalKind::CloseSlot,
+            Goal::Hold(_) => GoalKind::HoldSlot,
+            Goal::User(_) => GoalKind::UserAgent,
+            Goal::Link(_) => GoalKind::FlowLink,
+        }
+    }
+
+    /// The paper's camel-case name for this goal's primitive.
+    pub fn kind(&self) -> &'static str {
+        self.kind_enum().name()
+    }
+
+    /// Whether this is a `flowLink` (the only two-slot goal).
     pub fn is_link(&self) -> bool {
         matches!(self, Goal::Link(_))
     }
@@ -54,7 +126,9 @@ impl Goal {
 /// carry it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outgoing {
+    /// The slot (hence tunnel) that carries the signal.
     pub slot: SlotId,
+    /// The signal to transmit.
     pub signal: Signal,
 }
 

@@ -12,6 +12,8 @@ use crate::goal::policy::Policy;
 use crate::signal::Signal;
 use crate::slot::{Slot, SlotEvent, SlotState};
 
+/// The `openSlot` goal object (§IV): drives its slot toward a flowing
+/// media channel of its medium, re-opening whenever the channel closes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OpenSlot {
     medium: Medium,
@@ -32,6 +34,7 @@ impl OpenSlot {
         Self::with_policy(medium, Policy::Server, tag_origin)
     }
 
+    /// `openSlot(s, m)` with an explicit receiving policy.
     pub fn with_policy(medium: Medium, policy: Policy, tag_origin: u64) -> Self {
         Self {
             medium,
@@ -40,10 +43,12 @@ impl OpenSlot {
         }
     }
 
+    /// The medium this goal opens.
     pub fn medium(&self) -> Medium {
         self.medium
     }
 
+    /// This end's receiving policy.
     pub fn policy(&self) -> &Policy {
         &self.policy
     }

@@ -18,18 +18,30 @@ use crate::slot::{Slot, SlotEvent, SlotState};
 /// always answers) or surfaced to the user first (a ringing telephone).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AcceptMode {
+    /// Accept incoming opens automatically.
     Auto,
+    /// Surface incoming opens to the user as [`UserNote::Ringing`].
     Manual,
 }
 
 /// User-initiated events of Fig. 5 (those marked `!` there).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UserCmd {
+    /// Open a media channel of the given medium.
     Open(Medium),
+    /// Accept a pending incoming open.
     Accept,
+    /// Reject a pending incoming open.
     Reject,
+    /// Close the channel.
     Close,
-    Modify { mute_in: bool, mute_out: bool },
+    /// Change this end's mute choices.
+    Modify {
+        /// Stop receiving (advertise `noMedia`).
+        mute_in: bool,
+        /// Stop sending (select `noMedia`).
+        mute_out: bool,
+    },
 }
 
 /// Peer-initiated events of Fig. 5 (those marked `?`), surfaced to the user.
@@ -62,6 +74,7 @@ impl UserAgent {
         &mut self.tags
     }
 
+    /// A user agent with the given endpoint policy and accept mode.
     pub fn new(policy: EndpointPolicy, accept_mode: AcceptMode, tag_origin: u64) -> Self {
         Self {
             policy,
@@ -70,6 +83,7 @@ impl UserAgent {
         }
     }
 
+    /// The endpoint's current media policy.
     pub fn policy(&self) -> &EndpointPolicy {
         &self.policy
     }

@@ -34,11 +34,14 @@ pub struct SlotId(pub u16);
 /// Globally unique reference to a slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotRef {
+    /// The box owning the slot.
     pub box_id: BoxId,
+    /// The slot, local to its box.
     pub slot: SlotId,
 }
 
 impl SlotRef {
+    /// Reference to `slot` within `box_id`.
     pub fn new(box_id: BoxId, slot: SlotId) -> Self {
         Self { box_id, slot }
     }

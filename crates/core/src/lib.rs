@@ -1,10 +1,30 @@
 //! # ipmedia-core
 //!
 //! Core implementation of *Compositional Control of IP Media* (Zave &
-//! Cheung, CoNEXT 2006): the architecture-independent descriptive model,
+//! Cheung, `CoNEXT` 2006): the architecture-independent descriptive model,
 //! the idempotent unilateral signaling protocol, and the four high-level
 //! media-control goal primitives (`openSlot`, `closeSlot`, `holdSlot`,
 //! `flowLink`).
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// Pedantic allowlist: these lints fight the codebase's established idiom
+// (paper-faithful naming, sans-IO event plumbing) without catching bugs.
+#![allow(
+    clippy::module_name_repetitions,
+    clippy::must_use_candidate,
+    clippy::missing_errors_doc,
+    clippy::missing_panics_doc,
+    clippy::return_self_not_must_use,
+    clippy::match_same_arms,
+    clippy::similar_names,
+    clippy::too_many_lines,
+    clippy::items_after_statements,
+    clippy::struct_excessive_bools,
+    clippy::fn_params_excessive_bools,
+    clippy::needless_pass_by_value,
+    clippy::uninlined_format_args
+)]
 
 pub mod boxes;
 pub mod codec;
@@ -26,13 +46,20 @@ pub use descriptor::{DescTag, Descriptor, MediaAddr, Selector, TagSource};
 pub use endpoint::{EndpointLogic, NullLogic};
 pub use error::ProtocolError;
 pub use goal::{
-    AcceptMode, CloseSlot, EndpointPolicy, FlowLink, Goal, HoldSlot, LinkSide, OpenSlot, Outgoing,
-    Policy, UserAgent, UserCmd, UserNote,
+    AcceptMode, CloseSlot, EndpointPolicy, FlowLink, Goal, GoalKind, HoldSlot, LinkSide, OpenSlot,
+    Outgoing, Policy, UserAgent, UserCmd, UserNote,
 };
 pub use ids::{BoxId, ChannelId, SlotId, SlotRef, TunnelId};
-pub use path::{EndGoal, PathEnds, PathSpec, PathType};
-pub use program::{AppLogic, BoxCmd, BoxInput, Ctx, ProgramBox, TimerGenerations, TimerId};
+pub use path::{ChannelLink, EndGoal, PathEnds, PathSpec, PathType, Topology};
+pub use program::{
+    AppLogic, BoxCmd, BoxInput, Ctx, GoalAnnotation, ModelEffect, ModelTrigger, ProgramBox,
+    ProgramModel, ScenarioModel, SlotDecl, StateModel, TimerGenerations, TimerId, TransitionModel,
+};
 pub use reliable::{Reliability, ReliableConfig};
 pub use retag::Retag;
-pub use signal::{AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal};
-pub use slot::{Slot, SlotEvent, SlotState};
+pub use signal::{
+    AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal, SignalKind,
+};
+pub use slot::{
+    RecvRule, SendRule, Slot, SlotAction, SlotEvent, SlotState, RECV_RULES, SEND_RULES,
+};

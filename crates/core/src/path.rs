@@ -33,19 +33,28 @@ use std::fmt;
 /// depending on the user's current intent; §V.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EndGoal {
+    /// The end wants media flow (`openSlot`-like intent).
     Open,
+    /// The end wants the path closed (`closeSlot`-like intent).
     Close,
+    /// The end wants the path open but parked (`holdSlot`-like intent).
     Hold,
 }
 
 /// The six path types of §V, up to symmetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PathType {
+    /// Both ends closing.
     CloseClose,
+    /// One end closing, one holding.
     CloseHold,
+    /// One end closing, one opening.
     CloseOpen,
+    /// Both ends opening.
     OpenOpen,
+    /// One end opening, one holding.
     OpenHold,
+    /// Both ends holding.
     HoldHold,
 }
 
@@ -67,7 +76,7 @@ pub enum PathSpec {
 impl PathType {
     /// Classify a path by its two end goals (order-insensitive).
     pub fn of(a: EndGoal, b: EndGoal) -> PathType {
-        use EndGoal::*;
+        use EndGoal::{Close, Hold, Open};
         match (a.min_k(), b.min_k()) {
             _ if (a, b) == (Close, Close) => PathType::CloseClose,
             _ if matches!((a, b), (Close, Hold) | (Hold, Close)) => PathType::CloseHold,
@@ -140,11 +149,14 @@ impl fmt::Display for PathType {
 /// The two endpoint slots of a signaling path, for evaluating path states.
 #[derive(Debug, Clone, Copy)]
 pub struct PathEnds<'a> {
+    /// The path's left endpoint slot.
     pub left: &'a Slot,
+    /// The path's right endpoint slot.
     pub right: &'a Slot,
 }
 
 impl<'a> PathEnds<'a> {
+    /// View over the path's two endpoint slots.
     pub fn new(left: &'a Slot, right: &'a Slot) -> Self {
         Self { left, right }
     }
@@ -207,6 +219,76 @@ impl<'a> PathEnds<'a> {
         self.both_flowing()
             && (self.ltr_enabled() == (!l_mute_out && !r_mute_in))
             && (self.rtl_enabled() == (!r_mute_out && !l_mute_in))
+    }
+}
+
+/// One signaling channel in a scenario topology, between two named boxes.
+///
+/// Direction matters for bookkeeping only (the `from` box initiates channel
+/// setup); signaling paths treat channels as undirected edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelLink {
+    /// Initiating box.
+    pub from: String,
+    /// Accepting box.
+    pub to: String,
+    /// Number of tunnels (hence slot pairs) the channel carries.
+    pub tunnels: u16,
+}
+
+/// A static signaling-graph topology: the boxes of a scenario and the
+/// channels between them (Fig. 1's configurations, viewed as a graph).
+///
+/// Signaling paths are maximal chains of tunnels and flowlinks through this
+/// graph, so its shape determines which paths can exist; the analyzer's
+/// well-formedness pass checks it for dangling channels and tunnel-model
+/// violations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Topology {
+    /// Declared boxes.
+    pub boxes: Vec<String>,
+    /// Declared channels.
+    pub links: Vec<ChannelLink>,
+}
+
+impl Topology {
+    /// New empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a box.
+    pub fn with_box(mut self, name: impl Into<String>) -> Self {
+        self.boxes.push(name.into());
+        self
+    }
+
+    /// Declare a channel from `from` to `to` with `tunnels` tunnels.
+    pub fn with_link(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        tunnels: u16,
+    ) -> Self {
+        self.links.push(ChannelLink {
+            from: from.into(),
+            to: to.into(),
+            tunnels,
+        });
+        self
+    }
+
+    /// True iff `name` is a declared box.
+    pub fn has_box(&self, name: &str) -> bool {
+        self.boxes.iter().any(|b| b == name)
+    }
+
+    /// Degree of a box in the undirected channel graph.
+    pub fn degree(&self, name: &str) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.from == name || l.to == name)
+            .count()
     }
 }
 

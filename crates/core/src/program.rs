@@ -13,6 +13,13 @@
 //! environment (the discrete-event simulator or the tokio runtime) feeds it
 //! [`BoxInput`]s and executes the [`BoxCmd`]s it returns.
 
+pub mod model;
+
+pub use model::{
+    GoalAnnotation, ModelEffect, ModelTrigger, ProgramModel, ScenarioModel, SlotDecl, StateModel,
+    TransitionModel,
+};
+
 use crate::boxes::{BoxNote, GoalSpec, MediaBox};
 use crate::goal::{Outgoing, UserCmd};
 use crate::ids::{BoxId, ChannelId, SlotId};
@@ -41,6 +48,7 @@ pub struct TimerGenerations {
 }
 
 impl TimerGenerations {
+    /// New bookkeeping with no timers armed.
     pub fn new() -> Self {
         Self::default()
     }
@@ -78,20 +86,30 @@ pub enum BoxInput {
     /// initiated by a peer, `req` is `None`. `slots` lists the slot ids
     /// registered for the channel's tunnels, in tunnel order.
     ChannelUp {
+        /// The channel that came up.
         channel: ChannelId,
+        /// Slot ids registered for the channel's tunnels, in tunnel order.
         slots: Vec<SlotId>,
+        /// Echo of the [`BoxCmd::OpenChannel`] request tag, if we initiated.
         req: Option<u32>,
     },
     /// A signaling channel was destroyed (all its tunnels and slots die).
-    ChannelDown { channel: ChannelId },
+    ChannelDown {
+        /// The destroyed channel.
+        channel: ChannelId,
+    },
     /// A channel-level meta-signal arrived.
     Meta {
+        /// The channel the meta-signal arrived on.
         channel: ChannelId,
+        /// The meta-signal itself.
         meta: MetaSignal,
     },
     /// A tunnel signal arrived for `slot`.
     Tunnel {
+        /// The slot at this end of the tunnel.
         slot: SlotId,
+        /// The protocol signal.
         signal: crate::signal::Signal,
     },
     /// An application timer fired.
@@ -100,13 +118,17 @@ pub enum BoxInput {
     /// goal layer, surfaced so programs can guard on it (the `isFlowing(1a)`
     /// style guards of §IV-A are predicates over slot state at this point).
     SlotNote {
+        /// The slot the event happened on.
         slot: SlotId,
+        /// The surfaced slot event.
         event: crate::slot::SlotEvent,
     },
     /// Synthesized by [`ProgramBox`]: a Fig. 5 `?` event surfaced by a
     /// user-agent goal.
     UserNote {
+        /// The user-agent slot the note concerns.
         slot: SlotId,
+        /// The surfaced user note.
         note: crate::goal::UserNote,
     },
 }
@@ -118,15 +140,20 @@ pub enum BoxCmd {
     Signal(Outgoing),
     /// Send a channel-level meta-signal.
     Meta {
+        /// The channel to send on.
         channel: ChannelId,
+        /// The meta-signal to send.
         meta: MetaSignal,
     },
     /// Create a signaling channel toward the named box with `tunnels`
     /// tunnels; the environment answers with [`BoxInput::ChannelUp`]
     /// echoing `req`, and reports far-end availability as a meta-signal.
     OpenChannel {
+        /// Name of the far box.
         to: String,
+        /// Number of tunnels to create.
         tunnels: u16,
+        /// Request tag echoed back in [`BoxInput::ChannelUp`].
         req: u32,
     },
     /// Destroy a signaling channel (meta-action; destroys its tunnels and
@@ -134,9 +161,12 @@ pub enum BoxCmd {
     CloseChannel(ChannelId),
     /// Start (or restart) an application timer after `after_ms` ms.
     SetTimer {
+        /// The timer to arm.
         id: TimerId,
+        /// Delay until it fires, in milliseconds.
         after_ms: u64,
     },
+    /// Cancel an application timer; a cancelled timer must not fire.
     CancelTimer(TimerId),
     /// This box's program has terminated.
     Terminate,
@@ -162,6 +192,7 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    /// Ctx over a media box, without observability.
     pub fn new(media: &'a mut MediaBox) -> Self {
         Self {
             media,
@@ -170,6 +201,7 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Ctx over a media box, reporting goal/user activity to `obs`.
     pub fn with_obs(media: &'a mut MediaBox, obs: &'a mut dyn Observer) -> Self {
         Self {
             media,
@@ -183,6 +215,7 @@ impl<'a> Ctx<'a> {
         self.media
     }
 
+    /// Identity of the box this ctx controls.
     pub fn box_id(&self) -> BoxId {
         self.media.id()
     }
@@ -209,10 +242,12 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Queue a channel-level meta-signal ([`BoxCmd::Meta`]).
     pub fn send_meta(&mut self, channel: ChannelId, meta: MetaSignal) {
         self.cmds.push(BoxCmd::Meta { channel, meta });
     }
 
+    /// Queue a channel-open request ([`BoxCmd::OpenChannel`]).
     pub fn open_channel(&mut self, to: impl Into<String>, tunnels: u16, req: u32) {
         self.cmds.push(BoxCmd::OpenChannel {
             to: to.into(),
@@ -221,18 +256,22 @@ impl<'a> Ctx<'a> {
         });
     }
 
+    /// Queue destruction of a signaling channel ([`BoxCmd::CloseChannel`]).
     pub fn close_channel(&mut self, channel: ChannelId) {
         self.cmds.push(BoxCmd::CloseChannel(channel));
     }
 
+    /// Queue arming (or restarting) of an application timer.
     pub fn set_timer(&mut self, id: TimerId, after_ms: u64) {
         self.cmds.push(BoxCmd::SetTimer { id, after_ms });
     }
 
+    /// Queue cancellation of an application timer.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.cmds.push(BoxCmd::CancelTimer(id));
     }
 
+    /// Declare the program terminated ([`BoxCmd::Terminate`]).
     pub fn terminate(&mut self) {
         self.cmds.push(BoxCmd::Terminate);
     }
@@ -249,6 +288,7 @@ pub struct ProgramBox {
 }
 
 impl ProgramBox {
+    /// A fresh media box with the given identity, driven by `logic`.
     pub fn new(id: BoxId, logic: Box<dyn AppLogic>) -> Self {
         Self {
             media: MediaBox::new(id),
@@ -256,10 +296,12 @@ impl ProgramBox {
         }
     }
 
+    /// Read access to the underlying media box.
     pub fn media(&self) -> &MediaBox {
         &self.media
     }
 
+    /// Mutable access to the underlying media box (slot registration).
     pub fn media_mut(&mut self) -> &mut MediaBox {
         &mut self.media
     }

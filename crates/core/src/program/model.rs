@@ -1,0 +1,600 @@
+//! Declarative mirror models of box programs (paper §IV-A), consumed by
+//! the static analyzer (`ipmedia-analyze`).
+//!
+//! An [`AppLogic`](super::AppLogic) implementation is arbitrary Rust, which
+//! no static pass can see through. A [`ProgramModel`] is the same program
+//! written the way the paper draws it (Fig. 6): a finite set of named
+//! states, each annotated with the goals that hold while the program dwells
+//! there (§IV-A), and transitions triggered by meta-events. Shipping the
+//! model next to the `AppLogic` keeps the checkable artifact and the
+//! executable artifact side by side; the analyzer exhaustively checks the
+//! model, and `mck` checks the executable, so the two tools complement
+//! rather than duplicate each other.
+//!
+//! Names are plain strings so models can also be parsed from serialized
+//! text (the `ipmedia-lint` CLI accepts `.ipm` files).
+
+use crate::goal::GoalKind;
+use crate::path::Topology;
+use crate::slot::SlotAction;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A slot declared by a program model, optionally bound to one of the
+/// program's signaling channels (slots ride on a channel's tunnels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotDecl {
+    /// Name of the slot, unique within the program (e.g. `"callee"`).
+    pub name: String,
+    /// Channel the slot rides on, if declared. A slot with no channel is
+    /// bound by the environment (e.g. handed over at `ChannelUp`).
+    pub channel: Option<String>,
+}
+
+/// A declarative finite-state model of one box program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramModel {
+    /// Program name (matches the example / `AppLogic` it mirrors).
+    pub name: String,
+    /// Name of the initial state; must name an entry of `states`.
+    pub initial: String,
+    /// Slots the program controls.
+    pub slots: Vec<SlotDecl>,
+    /// Signaling channels the program opens or receives.
+    pub channels: Vec<String>,
+    /// Application timers the program arms.
+    pub timers: Vec<String>,
+    /// The program's states, in declaration order.
+    pub states: Vec<StateModel>,
+}
+
+/// One state of a [`ProgramModel`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateModel {
+    /// State name, unique within the program.
+    pub name: String,
+    /// Whether the program may legitimately rest here forever (Fig. 6's
+    /// "done" states). Termination lints treat non-final states without
+    /// outgoing transitions as dead ends.
+    pub is_final: bool,
+    /// Goal annotations that hold while the program dwells here (§IV-A).
+    pub goals: Vec<GoalAnnotation>,
+    /// Outgoing transitions.
+    pub transitions: Vec<TransitionModel>,
+}
+
+/// A goal annotation: one paper primitive applied to one slot (or two,
+/// for `flowLink`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoalAnnotation {
+    /// Which primitive.
+    pub kind: GoalKind,
+    /// The slot name(s) the goal claims; two entries iff `kind` is
+    /// [`GoalKind::FlowLink`].
+    pub slots: Vec<String>,
+}
+
+/// A transition of a [`StateModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionModel {
+    /// The event that fires the transition.
+    pub trigger: ModelTrigger,
+    /// Target state name.
+    pub to: String,
+    /// Effects executed when the transition fires, in order.
+    pub effects: Vec<ModelEffect>,
+}
+
+/// Events a model transition can be triggered by — the meta-event alphabet
+/// of §IV-A (programs see meta-signals and slot-state predicates, never raw
+/// media signals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelTrigger {
+    /// The box has been started.
+    Start,
+    /// The named signaling channel came up.
+    ChannelUp(String),
+    /// The named signaling channel went down.
+    ChannelDown(String),
+    /// The far end of the named channel reported available.
+    PeerAvailable(String),
+    /// The far end of the named channel reported unavailable.
+    PeerUnavailable(String),
+    /// An open arrived on the named slot (`isOpened` became true).
+    SlotOpened(String),
+    /// The named slot started flowing (`isFlowing` became true).
+    SlotFlowing(String),
+    /// The named slot closed (`isClosed` became true).
+    SlotClosed(String),
+    /// The named application timer fired.
+    Timer(String),
+    /// A named application-level meta-event arrived (e.g. `fundsVerified`).
+    App(String),
+    /// A named user request arrived (Fig. 5 `?` events).
+    User(String),
+}
+
+impl ModelTrigger {
+    /// The channel this trigger refers to, if any.
+    pub fn channel(&self) -> Option<&str> {
+        match self {
+            ModelTrigger::ChannelUp(c)
+            | ModelTrigger::ChannelDown(c)
+            | ModelTrigger::PeerAvailable(c)
+            | ModelTrigger::PeerUnavailable(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The slot this trigger refers to, if any.
+    pub fn slot(&self) -> Option<&str> {
+        match self {
+            ModelTrigger::SlotOpened(s)
+            | ModelTrigger::SlotFlowing(s)
+            | ModelTrigger::SlotClosed(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The timer this trigger refers to, if any.
+    pub fn timer(&self) -> Option<&str> {
+        match self {
+            ModelTrigger::Timer(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ModelTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelTrigger::Start => f.write_str("start"),
+            ModelTrigger::ChannelUp(c) => write!(f, "channelUp({c})"),
+            ModelTrigger::ChannelDown(c) => write!(f, "channelDown({c})"),
+            ModelTrigger::PeerAvailable(c) => write!(f, "peerAvailable({c})"),
+            ModelTrigger::PeerUnavailable(c) => write!(f, "peerUnavailable({c})"),
+            ModelTrigger::SlotOpened(s) => write!(f, "isOpened({s})"),
+            ModelTrigger::SlotFlowing(s) => write!(f, "isFlowing({s})"),
+            ModelTrigger::SlotClosed(s) => write!(f, "isClosed({s})"),
+            ModelTrigger::Timer(t) => write!(f, "timer({t})"),
+            ModelTrigger::App(e) => write!(f, "app({e})"),
+            ModelTrigger::User(e) => write!(f, "user({e})"),
+        }
+    }
+}
+
+/// Effects a model transition can perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelEffect {
+    /// Open the named signaling channel.
+    OpenChannel(String),
+    /// Close the named signaling channel (destroys its slots).
+    CloseChannel(String),
+    /// Send a raw protocol action on a slot, outside any goal — the
+    /// escape hatch user-agent programs use, and exactly what the
+    /// conformance pass checks against the Fig.-9 send table.
+    UserAction {
+        /// Slot the action is sent on.
+        slot: String,
+        /// The protocol action.
+        action: SlotAction,
+    },
+    /// Arm (or restart) the named application timer.
+    SetTimer(String),
+    /// Cancel the named application timer.
+    CancelTimer(String),
+    /// The program terminates.
+    Terminate,
+}
+
+impl fmt::Display for ModelEffect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelEffect::OpenChannel(c) => write!(f, "openChannel({c})"),
+            ModelEffect::CloseChannel(c) => write!(f, "closeChannel({c})"),
+            ModelEffect::UserAction { slot, action } => {
+                write!(f, "{}({slot})", action.name())
+            }
+            ModelEffect::SetTimer(t) => write!(f, "setTimer({t})"),
+            ModelEffect::CancelTimer(t) => write!(f, "cancelTimer({t})"),
+            ModelEffect::Terminate => f.write_str("terminate"),
+        }
+    }
+}
+
+impl GoalAnnotation {
+    /// Single-slot annotation.
+    pub fn one(kind: GoalKind, slot: impl Into<String>) -> Self {
+        Self {
+            kind,
+            slots: vec![slot.into()],
+        }
+    }
+
+    /// `flowLink` annotation over two slots.
+    pub fn link(a: impl Into<String>, b: impl Into<String>) -> Self {
+        Self {
+            kind: GoalKind::FlowLink,
+            slots: vec![a.into(), b.into()],
+        }
+    }
+}
+
+impl fmt::Display for GoalAnnotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.kind.name(), self.slots.join(", "))
+    }
+}
+
+impl StateModel {
+    /// New (non-final) state with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Mark this state final (the program may rest here).
+    pub fn final_state(mut self) -> Self {
+        self.is_final = true;
+        self
+    }
+
+    /// Add a goal annotation.
+    pub fn goal(mut self, ann: GoalAnnotation) -> Self {
+        self.goals.push(ann);
+        self
+    }
+
+    /// Add a transition.
+    pub fn on(
+        mut self,
+        trigger: ModelTrigger,
+        to: impl Into<String>,
+        effects: Vec<ModelEffect>,
+    ) -> Self {
+        self.transitions.push(TransitionModel {
+            trigger,
+            to: to.into(),
+            effects,
+        });
+        self
+    }
+}
+
+impl ProgramModel {
+    /// New empty model. The first state added becomes the initial state
+    /// unless [`ProgramModel::initial`] is set explicitly.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Declare a slot, optionally bound to a channel.
+    pub fn slot(mut self, name: impl Into<String>, channel: Option<&str>) -> Self {
+        self.slots.push(SlotDecl {
+            name: name.into(),
+            channel: channel.map(str::to_owned),
+        });
+        self
+    }
+
+    /// Declare a signaling channel.
+    pub fn channel(mut self, name: impl Into<String>) -> Self {
+        self.channels.push(name.into());
+        self
+    }
+
+    /// Declare an application timer.
+    pub fn timer(mut self, name: impl Into<String>) -> Self {
+        self.timers.push(name.into());
+        self
+    }
+
+    /// Add a state. The first state added becomes the initial state.
+    pub fn state(mut self, state: StateModel) -> Self {
+        if self.initial.is_empty() {
+            self.initial.clone_from(&state.name);
+        }
+        self.states.push(state);
+        self
+    }
+
+    /// Look up a state by name.
+    pub fn state_named(&self, name: &str) -> Option<&StateModel> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a slot declaration by name.
+    pub fn slot_named(&self, name: &str) -> Option<&SlotDecl> {
+        self.slots.iter().find(|s| s.name == name)
+    }
+
+    /// Names of states reachable from the initial state by following
+    /// transitions (fixpoint reachability).
+    pub fn reachable_states(&self) -> BTreeSet<&str> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut work: Vec<&str> = vec![self.initial.as_str()];
+        while let Some(name) = work.pop() {
+            if !seen.insert(name) {
+                continue;
+            }
+            if let Some(state) = self.state_named(name) {
+                for t in &state.transitions {
+                    work.push(t.to.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Structural validity errors: missing initial state, duplicate state
+    /// names, transitions to undeclared states, references to undeclared
+    /// slots / channels / timers, and malformed goal annotations. An empty
+    /// result means the model is well formed enough for the analyzer.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.state_named(&self.initial).is_none() {
+            errs.push(format!(
+                "initial state `{}` is not declared in program `{}`",
+                self.initial, self.name
+            ));
+        }
+        let mut seen_states: BTreeSet<&str> = BTreeSet::new();
+        for s in &self.states {
+            if !seen_states.insert(s.name.as_str()) {
+                errs.push(format!("duplicate state name `{}`", s.name));
+            }
+        }
+        let slot_names: BTreeSet<&str> = self.slots.iter().map(|s| s.name.as_str()).collect();
+        let chan_names: BTreeSet<&str> = self.channels.iter().map(String::as_str).collect();
+        let timer_names: BTreeSet<&str> = self.timers.iter().map(String::as_str).collect();
+        let check_slot = |slot: &str, at: &str, errs: &mut Vec<String>| {
+            if !slot_names.contains(slot) {
+                errs.push(format!("undeclared slot `{slot}` referenced {at}"));
+            }
+        };
+        for decl in &self.slots {
+            if let Some(ch) = &decl.channel {
+                if !chan_names.contains(ch.as_str()) {
+                    errs.push(format!(
+                        "slot `{}` rides undeclared channel `{ch}`",
+                        decl.name
+                    ));
+                }
+            }
+        }
+        for state in &self.states {
+            for g in &state.goals {
+                let want = if g.kind == GoalKind::FlowLink { 2 } else { 1 };
+                if g.slots.len() != want {
+                    errs.push(format!(
+                        "goal {} in state `{}` names {} slot(s), expected {want}",
+                        g.kind,
+                        state.name,
+                        g.slots.len()
+                    ));
+                }
+                for slot in &g.slots {
+                    check_slot(
+                        slot,
+                        &format!("by goal in state `{}`", state.name),
+                        &mut errs,
+                    );
+                }
+            }
+            for t in &state.transitions {
+                if self.state_named(&t.to).is_none() {
+                    errs.push(format!(
+                        "transition `{}` from state `{}` targets undeclared state `{}`",
+                        t.trigger, state.name, t.to
+                    ));
+                }
+                if let Some(ch) = t.trigger.channel() {
+                    if !chan_names.contains(ch) {
+                        errs.push(format!(
+                            "trigger `{}` in state `{}` names undeclared channel",
+                            t.trigger, state.name
+                        ));
+                    }
+                }
+                if let Some(slot) = t.trigger.slot() {
+                    check_slot(
+                        slot,
+                        &format!("by trigger in state `{}`", state.name),
+                        &mut errs,
+                    );
+                }
+                if let Some(timer) = t.trigger.timer() {
+                    if !timer_names.contains(timer) {
+                        errs.push(format!(
+                            "trigger `{}` in state `{}` names undeclared timer",
+                            t.trigger, state.name
+                        ));
+                    }
+                }
+                for e in &t.effects {
+                    match e {
+                        ModelEffect::OpenChannel(ch) | ModelEffect::CloseChannel(ch) => {
+                            if !chan_names.contains(ch.as_str()) {
+                                errs.push(format!(
+                                    "effect `{e}` in state `{}` names undeclared channel",
+                                    state.name
+                                ));
+                            }
+                        }
+                        ModelEffect::UserAction { slot, .. } => check_slot(
+                            slot,
+                            &format!("by effect in state `{}`", state.name),
+                            &mut errs,
+                        ),
+                        ModelEffect::SetTimer(t) | ModelEffect::CancelTimer(t) => {
+                            if !timer_names.contains(t.as_str()) {
+                                errs.push(format!(
+                                    "effect `{e}` in state `{}` names undeclared timer",
+                                    state.name
+                                ));
+                            }
+                        }
+                        ModelEffect::Terminate => {}
+                    }
+                }
+            }
+        }
+        errs
+    }
+
+    /// True iff no state has two transitions on the same trigger — the
+    /// determinism every Fig.-6 program in the paper has.
+    pub fn is_deterministic(&self) -> bool {
+        self.states.iter().all(|s| {
+            let mut seen: Vec<&ModelTrigger> = Vec::new();
+            s.transitions.iter().all(|t| {
+                if seen.contains(&&t.trigger) {
+                    false
+                } else {
+                    seen.push(&t.trigger);
+                    true
+                }
+            })
+        })
+    }
+
+    /// Every trigger used anywhere in the model — the program's declared
+    /// event alphabet. Unhandled triggers in a state are implicit
+    /// self-loops (programs ignore events they are not waiting for).
+    pub fn trigger_alphabet(&self) -> Vec<&ModelTrigger> {
+        let mut out: Vec<&ModelTrigger> = Vec::new();
+        for s in &self.states {
+            for t in &s.transitions {
+                if !out.contains(&&t.trigger) {
+                    out.push(&t.trigger);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A whole scenario: a box/channel topology plus a [`ProgramModel`] for
+/// each programmed box (pure endpoints and media servers appear only in
+/// the topology).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScenarioModel {
+    /// Scenario name (matches the example it mirrors).
+    pub name: String,
+    /// Signaling-graph topology.
+    pub topology: Topology,
+    /// `(box name, program)` pairs; box names must appear in the topology.
+    pub programs: Vec<(String, ProgramModel)>,
+}
+
+impl ScenarioModel {
+    /// New empty scenario.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Set the signaling-graph topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Attach a program to a topology box.
+    pub fn program(mut self, box_name: impl Into<String>, model: ProgramModel) -> Self {
+        self.programs.push((box_name.into(), model));
+        self
+    }
+
+    /// The program attached to `box_name`, if any.
+    pub fn program_for(&self, box_name: &str) -> Option<&ProgramModel> {
+        self.programs
+            .iter()
+            .find(|(b, _)| b == box_name)
+            .map(|(_, m)| m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProgramModel {
+        ProgramModel::new("tiny")
+            .channel("c")
+            .slot("s", Some("c"))
+            .timer("t")
+            .state(
+                StateModel::new("init")
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s"))
+                    .on(
+                        ModelTrigger::Start,
+                        "waiting",
+                        vec![ModelEffect::OpenChannel("c".into())],
+                    ),
+            )
+            .state(StateModel::new("waiting").on(
+                ModelTrigger::SlotFlowing("s".into()),
+                "done",
+                vec![ModelEffect::Terminate],
+            ))
+            .state(StateModel::new("done").final_state())
+    }
+
+    #[test]
+    fn builder_sets_initial_and_validates() {
+        let m = tiny();
+        assert_eq!(m.initial, "init");
+        assert!(m.validate().is_empty(), "{:?}", m.validate());
+        assert!(m.is_deterministic());
+        assert_eq!(
+            m.reachable_states().into_iter().collect::<Vec<_>>(),
+            vec!["done", "init", "waiting"]
+        );
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        let m = ProgramModel::new("bad")
+            .slot("s", Some("nochan"))
+            .state(StateModel::new("a").on(ModelTrigger::Timer("t".into()), "ghost", vec![]))
+            .state(StateModel::new("a"));
+        let errs = m.validate();
+        assert!(
+            errs.iter().any(|e| e.contains("duplicate state")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("ghost")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("nochan")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("undeclared timer")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn flowlink_annotation_arity_checked() {
+        let m = ProgramModel::new("link")
+            .slot("a", None)
+            .state(StateModel::new("s").goal(GoalAnnotation {
+                kind: GoalKind::FlowLink,
+                slots: vec!["a".into()],
+            }));
+        assert!(m.validate().iter().any(|e| e.contains("expected 2")));
+    }
+
+    #[test]
+    fn unreachable_state_detected_via_reachability() {
+        let m = ProgramModel::new("orphan")
+            .state(StateModel::new("init").final_state())
+            .state(StateModel::new("island").final_state());
+        assert!(!m.reachable_states().contains("island"));
+    }
+}

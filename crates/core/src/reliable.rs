@@ -45,7 +45,7 @@ pub const RETRANSMIT_TIMER_BASE: u32 = 0x4000_0000;
 
 /// The retransmission timer of a slot.
 pub fn retransmit_timer(slot: SlotId) -> TimerId {
-    TimerId(RETRANSMIT_TIMER_BASE + slot.0 as u32)
+    TimerId(RETRANSMIT_TIMER_BASE + u32::from(slot.0))
 }
 
 /// Inverse of [`retransmit_timer`]: `Some(slot)` iff `id` is in the
@@ -204,8 +204,11 @@ struct Pending {
 /// i.e. an actual recovery from a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Recovery {
+    /// The slot that recovered.
     pub slot: SlotId,
+    /// Retransmission attempts made before the await resolved.
     pub attempts: u32,
+    /// Time from first send to resolution, in milliseconds.
     pub elapsed_ms: u64,
 }
 
@@ -214,13 +217,19 @@ pub struct Recovery {
 pub enum TimerAction {
     /// Re-emit `signals` on the slot's tunnel and re-arm after `rearm_ms`.
     Resend {
+        /// The slot whose await is still pending.
         slot: SlotId,
+        /// The signals to re-emit, in order.
         signals: Vec<Signal>,
+        /// Delay until the next retransmission timer, in milliseconds.
         rearm_ms: u64,
     },
     /// Retries exhausted: the slot parks in a recovering state (it keeps
     /// its protocol state; a later peer signal or goal change un-parks it).
-    Parked { slot: SlotId },
+    Parked {
+        /// The slot that parked.
+        slot: SlotId,
+    },
     /// The await already resolved; nothing to do.
     Stale,
 }
@@ -235,6 +244,7 @@ pub struct Reliability {
 }
 
 impl Reliability {
+    /// Bookkeeping with the given retransmission configuration.
     pub fn new(cfg: ReliableConfig) -> Self {
         Self {
             cfg,
@@ -243,6 +253,7 @@ impl Reliability {
         }
     }
 
+    /// The retransmission configuration in force.
     pub fn config(&self) -> &ReliableConfig {
         &self.cfg
     }

@@ -29,19 +29,19 @@ pub trait Retag {
 
 impl Retag for DescTag {
     fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
-        f(self)
+        f(self);
     }
 }
 
 impl Retag for Descriptor {
     fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
-        f(&mut self.tag)
+        f(&mut self.tag);
     }
 }
 
 impl Retag for Selector {
     fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
-        f(&mut self.answers)
+        f(&mut self.answers);
     }
 }
 
@@ -49,7 +49,7 @@ impl Retag for Signal {
     fn visit_tags(&mut self, f: &mut dyn FnMut(&mut DescTag)) {
         match self {
             Signal::Open { desc, .. } | Signal::Oack { desc } | Signal::Describe { desc } => {
-                desc.visit_tags(f)
+                desc.visit_tags(f);
             }
             Signal::Select { sel } => sel.visit_tags(f),
             Signal::Close | Signal::CloseAck => {}
@@ -77,21 +77,21 @@ impl Retag for Slot {
 impl Retag for TagSource {
     fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
     fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
-        f(self)
+        f(self);
     }
 }
 
 impl Retag for OpenSlot {
     fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
     fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
-        f(self.tags_mut())
+        f(self.tags_mut());
     }
 }
 
 impl Retag for HoldSlot {
     fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
     fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
-        f(self.tags_mut())
+        f(self.tags_mut());
     }
 }
 
@@ -102,14 +102,14 @@ impl Retag for CloseSlot {
 impl Retag for FlowLink {
     fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
     fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
-        f(self.tags_mut())
+        f(self.tags_mut());
     }
 }
 
 impl Retag for UserAgent {
     fn visit_tags(&mut self, _f: &mut dyn FnMut(&mut DescTag)) {}
     fn visit_sources(&mut self, f: &mut dyn FnMut(&mut TagSource)) {
-        f(self.tags_mut())
+        f(self.tags_mut());
     }
 }
 

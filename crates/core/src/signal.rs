@@ -16,10 +16,18 @@ use std::fmt;
 pub enum Signal {
     /// Attempt to open a media channel: carries the requested medium and a
     /// descriptor of the opener as a receiver of media.
-    Open { medium: Medium, desc: Descriptor },
+    Open {
+        /// The requested medium.
+        medium: Medium,
+        /// The opener's self-description as a receiver.
+        desc: Descriptor,
+    },
     /// Affirmative response to `Open`: carries a descriptor of the acceptor
     /// as a receiver of media.
-    Oack { desc: Descriptor },
+    Oack {
+        /// The acceptor's self-description as a receiver.
+        desc: Descriptor,
+    },
     /// Close the media channel (also plays the role of *reject*). Must be
     /// acknowledged by `CloseAck`.
     Close,
@@ -28,24 +36,86 @@ pub enum Signal {
     /// A new self-description of this end as a receiver; may be sent at any
     /// time after `Oack` has been sent or received. The receiver must
     /// respond with a `Select`.
-    Describe { desc: Descriptor },
+    Describe {
+        /// The new self-description.
+        desc: Descriptor,
+    },
     /// Declaration of sending intent, answering a previously received
     /// descriptor. May be sent at any time; signals in the two directions
     /// of a tunnel do not constrain each other (§VI-C).
-    Select { sel: Selector },
+    Select {
+        /// The sending-intent declaration.
+        sel: Selector,
+    },
+}
+
+/// The six signal classes of the protocol, without payloads.
+///
+/// This is the alphabet of the Fig.-9 protocol FSM: the slot transition
+/// tables in [`crate::slot`] and the static analyzer (`ipmedia-analyze`)
+/// are indexed by it, so protocol knowledge has one source of truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SignalKind {
+    /// `open` — attempt to open a media channel.
+    Open,
+    /// `oack` — affirmative response to `open`.
+    Oack,
+    /// `close` — close (or reject) the media channel.
+    Close,
+    /// `closeack` — acknowledgement of `close`.
+    CloseAck,
+    /// `describe` — a new self-description as a receiver.
+    Describe,
+    /// `select` — declaration of sending intent.
+    Select,
+}
+
+impl SignalKind {
+    /// Every signal class, in protocol order.
+    pub const ALL: [SignalKind; 6] = [
+        SignalKind::Open,
+        SignalKind::Oack,
+        SignalKind::Close,
+        SignalKind::CloseAck,
+        SignalKind::Describe,
+        SignalKind::Select,
+    ];
+
+    /// Short protocol name, as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SignalKind::Open => "open",
+            SignalKind::Oack => "oack",
+            SignalKind::Close => "close",
+            SignalKind::CloseAck => "closeack",
+            SignalKind::Describe => "describe",
+            SignalKind::Select => "select",
+        }
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl Signal {
+    /// The payload-free class of this signal.
+    pub fn kind_enum(&self) -> SignalKind {
+        match self {
+            Signal::Open { .. } => SignalKind::Open,
+            Signal::Oack { .. } => SignalKind::Oack,
+            Signal::Close => SignalKind::Close,
+            Signal::CloseAck => SignalKind::CloseAck,
+            Signal::Describe { .. } => SignalKind::Describe,
+            Signal::Select { .. } => SignalKind::Select,
+        }
+    }
+
     /// Short protocol name, as used in the paper's figures.
     pub fn kind(&self) -> &'static str {
-        match self {
-            Signal::Open { .. } => "open",
-            Signal::Oack { .. } => "oack",
-            Signal::Close => "close",
-            Signal::CloseAck => "closeack",
-            Signal::Describe { .. } => "describe",
-            Signal::Select { .. } => "select",
-        }
+        self.kind_enum().name()
     }
 }
 
@@ -66,7 +136,9 @@ impl fmt::Display for Signal {
 /// meta-signals during channel setup (§III-A; used by Click-to-Dial, Fig. 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Availability {
+    /// The far endpoint is reachable and willing.
     Available,
+    /// The far endpoint is unreachable or declined.
     Unavailable,
 }
 
@@ -119,14 +191,18 @@ pub enum AppEvent {
 /// 30 ≈ whisper).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MixRow {
+    /// The participant whose output this row defines.
     pub output: u16,
+    /// `(participant, gain-percent)` pairs summed into the output.
     pub hears: Vec<(u16, u8)>,
 }
 
 /// Transport control for a shared movie (collaborative TV, Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MovieCommand {
+    /// Resume playback.
     Play,
+    /// Pause playback.
     Pause,
     /// Seek to an absolute time point, in seconds.
     Seek(u32),
@@ -136,7 +212,14 @@ pub enum MovieCommand {
 /// tunnel, hence to the slot at each end) or a channel-wide meta-signal.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ChannelMsg {
-    Tunnel { tunnel: TunnelId, signal: Signal },
+    /// A protocol signal addressed to one tunnel.
+    Tunnel {
+        /// The tunnel (hence slot pair) addressed.
+        tunnel: TunnelId,
+        /// The signal itself.
+        signal: Signal,
+    },
+    /// A channel-wide meta-signal.
     Meta(MetaSignal),
 }
 

@@ -14,7 +14,7 @@
 use crate::codec::Medium;
 use crate::descriptor::{Descriptor, Selector};
 use crate::error::ProtocolError;
-use crate::signal::Signal;
+use crate::signal::{Signal, SignalKind};
 
 /// Protocol state of a slot (Fig. 9). The user-interface states of Fig. 5
 /// map onto these; `Closing` is the extra protocol state not observable in
@@ -43,6 +43,7 @@ impl SlotState {
         )
     }
 
+    /// A dead state: no channel and none being opened (`closed`, `closing`).
     pub fn is_dead(self) -> bool {
         !self.is_live()
     }
@@ -57,18 +58,306 @@ impl SlotState {
             SlotState::Closing => "closing",
         }
     }
+
+    /// Every protocol state, in the declaration order of Fig. 9.
+    pub const ALL: [SlotState; 5] = [
+        SlotState::Closed,
+        SlotState::Opening,
+        SlotState::Opened,
+        SlotState::Flowing,
+        SlotState::Closing,
+    ];
+
+    /// The state after performing `action`, or `None` if the protocol
+    /// forbids the action in this state. Queries [`SEND_RULES`]; the
+    /// `send_*` methods of [`Slot`] validate against exactly this table.
+    pub fn after_send(self, action: SlotAction) -> Option<SlotState> {
+        SEND_RULES
+            .iter()
+            .find(|r| r.state == self && r.action == action)
+            .map(|r| r.next)
+    }
+
+    /// The protocol actions legal in this state, in [`SEND_RULES`] order.
+    /// The model checker derives its nondeterministic user-action menu
+    /// from this, and the static analyzer uses it to judge whether a box
+    /// program can ever perform an action it is annotated with.
+    pub fn legal_sends(self) -> impl Iterator<Item = SlotAction> {
+        SEND_RULES
+            .iter()
+            .filter(move |r| r.state == self)
+            .map(|r| r.action)
+    }
+
+    /// The state after *receiving* a signal of class `kind`, plus any
+    /// protocol-mandated automatic response. `initiator` is the slot's
+    /// channel-initiator flag, which decides open/open races (§VI-B).
+    /// Queries [`RECV_RULES`]; signals with no matching rule are tolerated
+    /// and dropped without a state change, exactly as
+    /// [`Slot::on_signal`] does.
+    pub fn on_receive(self, kind: SignalKind, initiator: bool) -> (SlotState, Option<SignalKind>) {
+        RECV_RULES
+            .iter()
+            .find(|r| {
+                r.state == self && r.signal == kind && r.initiator.is_none_or(|i| i == initiator)
+            })
+            .map_or((self, None), |r| (r.next, r.auto))
+    }
 }
+
+/// A protocol action a goal object can ask a slot to perform — the send
+/// half of the Fig. 9 protocol FSM ([`SEND_RULES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SlotAction {
+    /// `!open` — attempt to open a media channel.
+    Open,
+    /// `!oack / !select` — accept a pending open.
+    Accept,
+    /// `!select` — answer the current peer descriptor.
+    Select,
+    /// `!describe` — send a new self-description.
+    Describe,
+    /// `!close` — close (or reject) the media channel.
+    Close,
+}
+
+impl SlotAction {
+    /// Every protocol action, in [`SEND_RULES`] order.
+    pub const ALL: [SlotAction; 5] = [
+        SlotAction::Open,
+        SlotAction::Accept,
+        SlotAction::Select,
+        SlotAction::Describe,
+        SlotAction::Close,
+    ];
+
+    /// Lower-case action name, as used in diagnostics and
+    /// [`ProtocolError::BadState`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SlotAction::Open => "open",
+            SlotAction::Accept => "accept",
+            SlotAction::Select => "select",
+            SlotAction::Describe => "describe",
+            SlotAction::Close => "close",
+        }
+    }
+}
+
+/// One row of the send half of the protocol FSM: in `state`, `action` is
+/// legal and leaves the slot in `next`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendRule {
+    /// State the slot must be in for the action to be legal.
+    pub state: SlotState,
+    /// The action performed.
+    pub action: SlotAction,
+    /// State of the slot after the action.
+    pub next: SlotState,
+}
+
+/// The send half of the Fig. 9 protocol FSM, as a queryable constant.
+///
+/// This is the single source of truth for which protocol actions are
+/// legal in which slot state: the [`Slot`] `send_*` methods validate
+/// against it, the model checker derives its action menu from it, and the
+/// static analyzer (`ipmedia-analyze`) product-constructs box programs
+/// against it. Actions not listed for a state are protocol violations
+/// ([`ProtocolError::BadState`]).
+pub const SEND_RULES: &[SendRule] = &[
+    SendRule {
+        state: SlotState::Closed,
+        action: SlotAction::Open,
+        next: SlotState::Opening,
+    },
+    SendRule {
+        state: SlotState::Opened,
+        action: SlotAction::Accept,
+        next: SlotState::Flowing,
+    },
+    SendRule {
+        state: SlotState::Flowing,
+        action: SlotAction::Select,
+        next: SlotState::Flowing,
+    },
+    SendRule {
+        state: SlotState::Flowing,
+        action: SlotAction::Describe,
+        next: SlotState::Flowing,
+    },
+    SendRule {
+        state: SlotState::Opening,
+        action: SlotAction::Close,
+        next: SlotState::Closing,
+    },
+    SendRule {
+        state: SlotState::Opened,
+        action: SlotAction::Close,
+        next: SlotState::Closing,
+    },
+    SendRule {
+        state: SlotState::Flowing,
+        action: SlotAction::Close,
+        next: SlotState::Closing,
+    },
+];
+
+/// One row of the receive half of the protocol FSM: a signal of class
+/// `signal` arriving in `state` moves the slot to `next` and mandates the
+/// automatic response `auto`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvRule {
+    /// State the slot is in when the signal arrives.
+    pub state: SlotState,
+    /// Class of the arriving signal.
+    pub signal: SignalKind,
+    /// Channel-initiator restriction: `Some(true)` applies only at the
+    /// end that initiated the signaling channel (the open/open race
+    /// winner, §VI-B), `Some(false)` only at the other end, `None` at
+    /// both.
+    pub initiator: Option<bool>,
+    /// State of the slot after the signal is consumed.
+    pub next: SlotState,
+    /// Protocol-mandated automatic response, if any.
+    pub auto: Option<SignalKind>,
+}
+
+/// The receive half of the Fig. 9 protocol FSM, as a queryable constant.
+///
+/// Rows cover every (state, signal) pair where the signal *does*
+/// something — changes state or mandates an automatic response. Pairs
+/// with no row are tolerated and dropped without a state change (the
+/// protocol's idempotence, §VI). [`Slot::on_signal`] additionally
+/// maintains descriptor/selector caches and staleness checks, but its
+/// state transitions and automatic responses agree with this table
+/// exactly (enforced by test).
+pub const RECV_RULES: &[RecvRule] = &[
+    // open
+    RecvRule {
+        state: SlotState::Closed,
+        signal: SignalKind::Open,
+        initiator: None,
+        next: SlotState::Opened,
+        auto: None,
+    },
+    // open/open race: the channel initiator wins and ignores the losing
+    // open; the other end backs off and becomes the acceptor.
+    RecvRule {
+        state: SlotState::Opening,
+        signal: SignalKind::Open,
+        initiator: Some(false),
+        next: SlotState::Opened,
+        auto: None,
+    },
+    // oack
+    RecvRule {
+        state: SlotState::Opening,
+        signal: SignalKind::Oack,
+        initiator: None,
+        next: SlotState::Flowing,
+        auto: None,
+    },
+    RecvRule {
+        state: SlotState::Closed,
+        signal: SignalKind::Oack,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::Close),
+    },
+    // close: every live state closes and acknowledges; a close/close race
+    // and a defensive close-while-closed acknowledge without moving.
+    RecvRule {
+        state: SlotState::Opening,
+        signal: SignalKind::Close,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::CloseAck),
+    },
+    RecvRule {
+        state: SlotState::Opened,
+        signal: SignalKind::Close,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::CloseAck),
+    },
+    RecvRule {
+        state: SlotState::Flowing,
+        signal: SignalKind::Close,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::CloseAck),
+    },
+    RecvRule {
+        state: SlotState::Closing,
+        signal: SignalKind::Close,
+        initiator: None,
+        next: SlotState::Closing,
+        auto: Some(SignalKind::CloseAck),
+    },
+    RecvRule {
+        state: SlotState::Closed,
+        signal: SignalKind::Close,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::CloseAck),
+    },
+    // closeack
+    RecvRule {
+        state: SlotState::Closing,
+        signal: SignalKind::CloseAck,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: None,
+    },
+    // describe / select: meaningful only while flowing; on a closed slot
+    // they reveal a half-open peer, which only an explicit close can tear
+    // down (the hole PR 2's fault campaign found dynamically).
+    RecvRule {
+        state: SlotState::Flowing,
+        signal: SignalKind::Describe,
+        initiator: None,
+        next: SlotState::Flowing,
+        auto: None,
+    },
+    RecvRule {
+        state: SlotState::Closed,
+        signal: SignalKind::Describe,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::Close),
+    },
+    RecvRule {
+        state: SlotState::Flowing,
+        signal: SignalKind::Select,
+        initiator: None,
+        next: SlotState::Flowing,
+        auto: None,
+    },
+    RecvRule {
+        state: SlotState::Closed,
+        signal: SignalKind::Select,
+        initiator: None,
+        next: SlotState::Closed,
+        auto: Some(SignalKind::Close),
+    },
+];
 
 /// What an incoming signal meant, reported to the controlling goal object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SlotEvent {
     /// An `open` arrived while we were closed; the goal must accept
     /// (oack + select) or reject (close). State is now `Opened`.
-    OpenReceived { medium: Medium },
+    OpenReceived {
+        /// The medium the peer wants to open.
+        medium: Medium,
+    },
     /// An `open` arrived while we were `Opening` and this end loses the
     /// open/open race (it did not initiate the signaling channel, §VI-B).
     /// This end backs off and becomes the acceptor; state is now `Opened`.
-    RaceBackoff { medium: Medium },
+    RaceBackoff {
+        /// The medium the peer wants to open.
+        medium: Medium,
+    },
     /// An `open` arrived while we were `Opening` and this end wins the
     /// race; the losing open is simply ignored (§VI-B).
     RaceIgnored,
@@ -78,7 +367,10 @@ pub enum SlotEvent {
     /// The peer closed (or rejected) the channel. A `closeack` has been
     /// sent automatically; state is now `Closed`. `was` is the state in
     /// which the close arrived — `Opening` means our open was rejected.
-    PeerClosed { was: SlotState },
+    PeerClosed {
+        /// The state in which the close arrived.
+        was: SlotState,
+    },
     /// Our `close` was acknowledged; state is now `Closed`.
     CloseAcked,
     /// A new peer descriptor arrived (`describe`). The goal must respond
@@ -87,7 +379,10 @@ pub enum SlotEvent {
     /// A selector arrived. `fresh` is true iff it answers the descriptor we
     /// most recently sent; obsolete selectors are reported so flowlinks can
     /// discard them (§VII).
-    Selected { fresh: bool },
+    Selected {
+        /// Whether the selector answers our most recent descriptor.
+        fresh: bool,
+    },
     /// A stale or duplicate signal was tolerated and dropped.
     Ignored(&'static str),
 }
@@ -128,14 +423,18 @@ impl Slot {
         }
     }
 
+    /// The slot's current protocol state.
     pub fn state(&self) -> SlotState {
         self.state
     }
 
+    /// The medium of the current (or opening) media channel.
     pub fn medium(&self) -> Option<Medium> {
         self.medium
     }
 
+    /// True iff this box initiated setup of the slot's signaling channel
+    /// (the open/open race tiebreaker, §VI-B).
     pub fn is_channel_initiator(&self) -> bool {
         self.channel_initiator
     }
@@ -151,10 +450,12 @@ impl Slot {
         self.sent_desc.as_ref()
     }
 
+    /// The selector we most recently received.
     pub fn peer_sel(&self) -> Option<&Selector> {
         self.peer_sel.as_ref()
     }
 
+    /// The selector we most recently sent.
     pub fn sent_sel(&self) -> Option<&Selector> {
         self.sent_sel.as_ref()
     }
@@ -169,13 +470,21 @@ impl Slot {
     /// is flowing and the selector it most recently sent carries a real
     /// codec.
     pub fn tx_enabled(&self) -> bool {
-        self.state == SlotState::Flowing && self.sent_sel.as_ref().is_some_and(|s| s.is_sending())
+        self.state == SlotState::Flowing
+            && self
+                .sent_sel
+                .as_ref()
+                .is_some_and(super::descriptor::Selector::is_sending)
     }
 
     /// This end should be ready to receive media iff it is flowing and the
     /// most recently received selector carries a real codec (§VI-B).
     pub fn rx_expected(&self) -> bool {
-        self.state == SlotState::Flowing && self.peer_sel.as_ref().is_some_and(|s| s.is_sending())
+        self.state == SlotState::Flowing
+            && self
+                .peer_sel
+                .as_ref()
+                .is_some_and(super::descriptor::Selector::is_sending)
     }
 
     /// Where and how this end currently transmits media: the address from
@@ -218,18 +527,22 @@ impl Slot {
 
     // --- predicates of §IV-A, usable as transition guards in box programs ---
 
+    /// `isClosed` guard predicate (§IV-A).
     pub fn is_closed(&self) -> bool {
         self.state == SlotState::Closed
     }
 
+    /// `isOpening` guard predicate (§IV-A).
     pub fn is_opening(&self) -> bool {
         self.state == SlotState::Opening
     }
 
+    /// `isOpened` guard predicate (§IV-A).
     pub fn is_opened(&self) -> bool {
         self.state == SlotState::Opened
     }
 
+    /// `isFlowing` guard predicate (§IV-A).
     pub fn is_flowing(&self) -> bool {
         self.state == SlotState::Flowing
     }
@@ -241,7 +554,7 @@ impl Slot {
     /// Consume one incoming signal: update state, auto-respond where the
     /// protocol mandates it (`closeack`), and report what happened.
     pub fn on_signal(&mut self, signal: Signal) -> (SlotEvent, Vec<Signal>) {
-        use SlotState::*;
+        use SlotState::{Closed, Closing, Flowing, Opened, Opening};
         match signal {
             Signal::Open { medium, desc } => match self.state {
                 Closed => {
@@ -360,15 +673,20 @@ impl Slot {
     // Outgoing signals (invoked by goal objects)
     // ------------------------------------------------------------------
 
+    /// Validate `action` against [`SEND_RULES`] and return the successor
+    /// state, or the [`ProtocolError::BadState`] the protocol mandates.
+    fn check_send(&self, action: SlotAction) -> Result<SlotState, ProtocolError> {
+        self.state
+            .after_send(action)
+            .ok_or(ProtocolError::BadState {
+                action: action.name(),
+                state: self.state,
+            })
+    }
+
     /// Attempt to open a media channel (`!open`). Legal only when closed.
     pub fn send_open(&mut self, medium: Medium, desc: Descriptor) -> Result<Signal, ProtocolError> {
-        if self.state != SlotState::Closed {
-            return Err(ProtocolError::BadState {
-                action: "open",
-                state: self.state,
-            });
-        }
-        self.state = SlotState::Opening;
+        self.state = self.check_send(SlotAction::Open)?;
         self.medium = Some(medium);
         self.sent_desc = Some(desc.clone());
         self.sent_sel = None;
@@ -384,17 +702,12 @@ impl Slot {
         desc: Descriptor,
         sel: Selector,
     ) -> Result<[Signal; 2], ProtocolError> {
-        if self.state != SlotState::Opened {
-            return Err(ProtocolError::BadState {
-                action: "accept",
-                state: self.state,
-            });
-        }
+        let next = self.check_send(SlotAction::Accept)?;
         let peer = self.peer_desc.as_ref().expect("opened slot is described");
         if !sel.answers_validly(peer) {
             return Err(ProtocolError::StaleSelector);
         }
-        self.state = SlotState::Flowing;
+        self.state = next;
         self.sent_desc = Some(desc.clone());
         self.sent_sel = Some(sel.clone());
         Ok([Signal::Oack { desc }, Signal::Select { sel }])
@@ -404,12 +717,7 @@ impl Slot {
     /// `Flowing` (including immediately after `Oacked`); selectors in the
     /// two directions do not constrain each other (§VI-C).
     pub fn send_select(&mut self, sel: Selector) -> Result<Signal, ProtocolError> {
-        if self.state != SlotState::Flowing {
-            return Err(ProtocolError::BadState {
-                action: "select",
-                state: self.state,
-            });
-        }
+        self.state = self.check_send(SlotAction::Select)?;
         let peer = self
             .peer_desc
             .as_ref()
@@ -424,25 +732,14 @@ impl Slot {
     /// Send a new self-description. Legal any time after `oack` has been
     /// sent or received, i.e. in `Flowing` (§VI-B).
     pub fn send_describe(&mut self, desc: Descriptor) -> Result<Signal, ProtocolError> {
-        if self.state != SlotState::Flowing {
-            return Err(ProtocolError::BadState {
-                action: "describe",
-                state: self.state,
-            });
-        }
+        self.state = self.check_send(SlotAction::Describe)?;
         self.sent_desc = Some(desc.clone());
         Ok(Signal::Describe { desc })
     }
 
     /// Close (or reject) the media channel. Legal from any live state.
     pub fn send_close(&mut self) -> Result<Signal, ProtocolError> {
-        if !self.state.is_live() {
-            return Err(ProtocolError::BadState {
-                action: "close",
-                state: self.state,
-            });
-        }
-        self.state = SlotState::Closing;
+        self.state = self.check_send(SlotAction::Close)?;
         Ok(Signal::Close)
     }
 
@@ -917,5 +1214,140 @@ mod tests {
         assert!(SlotState::Flowing.is_live());
         assert!(SlotState::Closed.is_dead());
         assert!(SlotState::Closing.is_dead());
+    }
+
+    /// Drive a fresh slot into `state` (with the given initiator flag).
+    fn slot_in(state: SlotState, initiator: bool) -> Slot {
+        let mut s = Slot::new(initiator);
+        let mut own = TagSource::new(40);
+        let mut peer = TagSource::new(41);
+        match state {
+            SlotState::Closed => {}
+            SlotState::Opening => {
+                s.send_open(Medium::Audio, nm_desc(&mut own)).unwrap();
+            }
+            SlotState::Opened => {
+                s.on_signal(Signal::Open {
+                    medium: Medium::Audio,
+                    desc: nm_desc(&mut peer),
+                });
+            }
+            SlotState::Flowing => {
+                let d = nm_desc(&mut peer);
+                s.on_signal(Signal::Open {
+                    medium: Medium::Audio,
+                    desc: d.clone(),
+                });
+                s.accept(nm_desc(&mut own), Selector::not_sending(d.tag))
+                    .unwrap();
+            }
+            SlotState::Closing => {
+                s.send_open(Medium::Audio, nm_desc(&mut own)).unwrap();
+                s.send_close().unwrap();
+            }
+        }
+        assert_eq!(s.state(), state);
+        s
+    }
+
+    #[test]
+    fn send_rules_agree_with_slot_validation() {
+        // SEND_RULES is the single source of truth: every send_* method
+        // must accept exactly the (state, action) pairs the table lists,
+        // and land in the state the table names.
+        for state in SlotState::ALL {
+            for action in SlotAction::ALL {
+                let mut s = slot_in(state, true);
+                let mut ts = TagSource::new(60);
+                let expected = state.after_send(action);
+                let result = match action {
+                    SlotAction::Open => s.send_open(Medium::Audio, nm_desc(&mut ts)).map(|_| ()),
+                    SlotAction::Accept => {
+                        let answers = s.peer_desc().map_or(
+                            DescTag {
+                                origin: 99,
+                                generation: 0,
+                            },
+                            |d| d.tag,
+                        );
+                        s.accept(nm_desc(&mut ts), Selector::not_sending(answers))
+                            .map(|_| ())
+                    }
+                    SlotAction::Select => {
+                        let answers = s.peer_desc().map_or(
+                            DescTag {
+                                origin: 99,
+                                generation: 0,
+                            },
+                            |d| d.tag,
+                        );
+                        s.send_select(Selector::not_sending(answers)).map(|_| ())
+                    }
+                    SlotAction::Describe => s.send_describe(nm_desc(&mut ts)).map(|_| ()),
+                    SlotAction::Close => s.send_close().map(|_| ()),
+                };
+                if let Some(next) = expected {
+                    assert!(
+                        result.is_ok(),
+                        "{action:?} must be legal in {state:?}: {result:?}"
+                    );
+                    assert_eq!(s.state(), next, "{action:?} from {state:?}");
+                } else {
+                    assert_eq!(
+                        result,
+                        Err(ProtocolError::BadState {
+                            action: action.name(),
+                            state,
+                        }),
+                        "{action:?} must be illegal in {state:?}"
+                    );
+                    assert_eq!(s.state(), state, "failed send must not move the slot");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recv_rules_agree_with_on_signal() {
+        // RECV_RULES must reproduce on_signal's state transitions and
+        // automatic responses for every (state, signal, initiator) triple.
+        for state in SlotState::ALL {
+            for kind in crate::signal::SignalKind::ALL {
+                for initiator in [false, true] {
+                    let mut s = slot_in(state, initiator);
+                    let mut peer = TagSource::new(70);
+                    let sig = match kind {
+                        crate::signal::SignalKind::Open => Signal::Open {
+                            medium: Medium::Audio,
+                            desc: nm_desc(&mut peer),
+                        },
+                        crate::signal::SignalKind::Oack => Signal::Oack {
+                            desc: nm_desc(&mut peer),
+                        },
+                        crate::signal::SignalKind::Close => Signal::Close,
+                        crate::signal::SignalKind::CloseAck => Signal::CloseAck,
+                        crate::signal::SignalKind::Describe => Signal::Describe {
+                            desc: nm_desc(&mut peer),
+                        },
+                        crate::signal::SignalKind::Select => Signal::Select {
+                            sel: Selector::not_sending(peer.next()),
+                        },
+                    };
+                    let (expected_next, expected_auto) = state.on_receive(kind, initiator);
+                    let (_event, auto) = s.on_signal(sig);
+                    assert_eq!(
+                        s.state(),
+                        expected_next,
+                        "receive {kind:?} in {state:?} (initiator={initiator})"
+                    );
+                    let auto_kinds: Vec<_> = auto.iter().map(Signal::kind_enum).collect();
+                    assert_eq!(
+                        auto_kinds,
+                        expected_auto.into_iter().collect::<Vec<_>>(),
+                        "auto response to {kind:?} in {state:?} (initiator={initiator})"
+                    );
+                }
+            }
+        }
     }
 }

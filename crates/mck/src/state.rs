@@ -25,7 +25,7 @@ use ipmedia_core::path::{EndGoal, PathEnds};
 use ipmedia_core::reliable;
 use ipmedia_core::retag::Retag;
 use ipmedia_core::signal::Signal;
-use ipmedia_core::slot::{Slot, SlotState};
+use ipmedia_core::slot::{Slot, SlotAction, SlotState};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Exploration bounds and path shape.
@@ -806,19 +806,27 @@ fn is_request(sig: &Signal) -> bool {
     )
 }
 
-/// Legal nondeterministic user actions in a slot state.
+/// Legal nondeterministic user actions in a slot state, derived from the
+/// protocol send table (`SlotState::legal_sends`) so the checker and the
+/// slot implementation share one source of truth. `Select`/`Describe` are
+/// driven by policy changes rather than explored directly, so they map to
+/// the mute-toggle ops instead.
 fn legal_ops(slot: &Slot) -> Vec<NondetOp> {
-    match slot.state() {
-        SlotState::Closed => vec![NondetOp::Open],
-        SlotState::Opened => vec![NondetOp::Accept, NondetOp::Close],
-        SlotState::Opening => vec![NondetOp::Close],
-        SlotState::Flowing => vec![
-            NondetOp::Close,
-            NondetOp::ToggleMuteIn,
-            NondetOp::ToggleMuteOut,
-        ],
-        SlotState::Closing => vec![],
+    let state = slot.state();
+    let mut ops: Vec<NondetOp> = state
+        .legal_sends()
+        .filter_map(|action| match action {
+            SlotAction::Open => Some(NondetOp::Open),
+            SlotAction::Accept => Some(NondetOp::Accept),
+            SlotAction::Close => Some(NondetOp::Close),
+            SlotAction::Select | SlotAction::Describe => None,
+        })
+        .collect();
+    if state == SlotState::Flowing {
+        ops.push(NondetOp::ToggleMuteIn);
+        ops.push(NondetOp::ToggleMuteOut);
     }
+    ops
 }
 
 fn op_to_cmd(op: NondetOp, agent: &UserAgent) -> UserCmd {

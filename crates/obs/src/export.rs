@@ -79,6 +79,11 @@ impl JsonObj {
     }
 }
 
+/// Render a JSON array of string literals (escaped and quoted).
+pub fn json_str_array<'a, I: IntoIterator<Item = &'a str>>(items: I) -> String {
+    json_array(items.into_iter().map(|s| format!("\"{}\"", json_escape(s))))
+}
+
 /// Render a JSON array from pre-rendered element strings.
 pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
     let mut out = String::from("[");

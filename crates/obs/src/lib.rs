@@ -25,7 +25,9 @@ pub mod ladder;
 pub mod metrics;
 
 pub use clock::{Clock, ManualClock, WallClock};
-pub use export::{prometheus_text, snapshot_json, JsonObj};
+pub use export::{
+    json_array, json_escape, json_str_array, prometheus_text, snapshot_json, JsonObj,
+};
 pub use ladder::LadderEvent;
 pub use metrics::{CountingObserver, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 

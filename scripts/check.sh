@@ -18,6 +18,9 @@ cargo clippy "$@" --workspace --all-targets -- -D warnings
 echo "== cargo test" >&2
 cargo test "$@" --workspace -q
 
+echo "== ipmedia-lint (static analysis over all example models)" >&2
+cargo run "$@" -q -p ipmedia-analyze --bin ipmedia-lint -- --all-examples --deny warnings
+
 echo "== fault-matrix smoke (loss x dup/reorder, bounded virtual time)" >&2
 cargo run "$@" -q -p ipmedia-bench --bin fault_matrix >/dev/null
 
