@@ -1,6 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
-//! Usage: `cargo run --release -p ipmedia-bench --bin experiments [--full]`
+//! Usage: `cargo run --release -p ipmedia-bench --bin experiments
+//! [--full] [--threads N]`
 //!
 //! Output follows the workspace JSONL convention: stdout carries one JSON
 //! record per measurement (machine-readable, pipe it into a file or `jq`);
@@ -9,14 +10,18 @@
 //! flowlink-convergence latency histograms — into the working directory.
 //!
 //! `--full` raises the model-checking budgets (slower, larger state
-//! spaces, same verdicts).
+//! spaces, same verdicts). `--threads N` sets the campaign worker count
+//! (0, the default, means one worker per core); results are identical at
+//! any thread count.
 
 use ipmedia_bench::{
     count_signals_for_relink, fig13_concurrent_relink, flowlink_convergence_under_loss,
     fresh_setup_latency, relink_latency, Chain,
 };
 use ipmedia_core::path::PathType;
-use ipmedia_mck::{budgeted, check_path, render_table, CheckResult};
+use ipmedia_mck::{
+    campaign_configs, record_campaign_metrics, render_table, run_campaign, CheckResult,
+};
 use ipmedia_netsim::SimConfig;
 use ipmedia_netsim::SimDuration;
 use ipmedia_obs::export::snapshot_json;
@@ -25,7 +30,14 @@ use ipmedia_obs::JsonObj;
 use std::sync::Arc;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0); // 0 = one campaign worker per core
     let scale: u8 = if full { 1 } else { 0 };
     let n = 34.0;
     let c = 20.0;
@@ -39,29 +51,28 @@ fn main() {
     // ----- V1: the verification campaign (paper §VIII-A) -----
     eprintln!("\n[V1] Verification of signaling paths (paper: 12 Spin models;");
     eprintln!("     here: 18 configurations over the real implementation)\n");
-    let mut results: Vec<CheckResult> = Vec::new();
-    for links in 0..=2usize {
-        for pt in PathType::all() {
-            let (l, r) = pt.ends();
-            let cfg = budgeted(links, l, r, scale);
-            let (res, _) = check_path(&cfg, 5_000_000);
-            println!(
-                "{}",
-                JsonObj::new()
-                    .str("record", "mck_check")
-                    .str("path_type", &res.path_type.to_string())
-                    .num("links", res.links as u64)
-                    .num("states", res.states as u64)
-                    .num("transitions", res.transitions as u64)
-                    .num("terminals", res.terminals as u64)
-                    .float("elapsed_ms", res.elapsed.as_secs_f64() * 1e3)
-                    .bool("truncated", res.truncated)
-                    .bool("passed", res.passed())
-                    .finish()
-            );
-            results.push(res);
-        }
+    let results: Vec<CheckResult> =
+        run_campaign(&campaign_configs(scale, 2, &[0]), 5_000_000, threads);
+    for res in &results {
+        println!(
+            "{}",
+            JsonObj::new()
+                .str("record", "mck_check")
+                .str("path_type", &res.path_type.to_string())
+                .num("links", res.links as u64)
+                .num("states", res.states as u64)
+                .num("transitions", res.transitions as u64)
+                .num("terminals", res.terminals as u64)
+                .num("expanded", res.expanded as u64)
+                .num("dedup_hits", res.dedup_hits)
+                .float("states_per_sec", res.states_per_sec())
+                .float("elapsed_ms", res.elapsed.as_secs_f64() * 1e3)
+                .bool("truncated", res.truncated)
+                .bool("passed", res.passed())
+                .finish()
+        );
     }
+    record_campaign_metrics(&registry, &results);
     eprintln!("{}", render_table(&results));
 
     // ----- V2: flowlink growth factors (paper: ×300 memory, ×1000 time) -----

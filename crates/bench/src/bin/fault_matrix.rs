@@ -6,7 +6,12 @@
 //! end-to-end flowing path within a bounded virtual-time budget. Exits
 //! nonzero (and says which cell failed) otherwise.
 //!
-//! Usage: `cargo run -p ipmedia-bench --bin fault_matrix`
+//! Usage: `cargo run -p ipmedia-bench --bin fault_matrix [--threads N]`
+//!
+//! Each (cell, seed) run is an independent deterministic simulation, so
+//! the matrix fans out over a worker pool (`--threads 0` = one worker per
+//! core; default 1). Aggregation is by cell in matrix order, so output is
+//! identical at any thread count.
 //!
 //! Output follows the workspace convention: one JSON record per cell on
 //! stdout, the human-readable table on stderr.
@@ -14,72 +19,133 @@
 use ipmedia_bench::flowlink_convergence_under_loss;
 use ipmedia_netsim::SimDuration;
 use ipmedia_obs::JsonObj;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+type RunOutcome = Result<(f64, u64, u64), String>;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .map(|t: usize| {
+            if t == 0 {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            } else {
+                t
+            }
+        })
+        .unwrap_or(1);
+
     // 60 virtual seconds is ~250× the fault-free setup time: generous
     // enough for deep retransmission backoff, tight enough to catch a
     // livelocked recovery loop.
     let budget = SimDuration::from_millis(60_000);
     let seeds: u64 = 3;
-    let mut failures = 0usize;
 
-    eprintln!("fault matrix: loss x dup/reorder, {seeds} seeds per cell, budget {budget}");
+    let cells: Vec<(f64, bool)> = [0.0, 0.01, 0.10]
+        .into_iter()
+        .flat_map(|loss| [false, true].map(|chaos| (loss, chaos)))
+        .collect();
+    let tasks: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|c| (0..seeds).map(move |s| (c, s)))
+        .collect();
+
+    // Fan the independent simulations over the pool; slot per task keeps
+    // aggregation deterministic regardless of completion order.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutcome>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(tasks.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let (cell, seed) = tasks[i];
+                let (loss, chaos) = cells[cell];
+                let (dup, reorder) = if chaos { (0.10, 0.10) } else { (0.0, 0.0) };
+                let outcome = flowlink_convergence_under_loss(loss, dup, reorder, seed, budget)
+                    .map(|run| {
+                        (
+                            run.converged.as_millis_f64(),
+                            run.faults,
+                            run.retransmissions,
+                        )
+                    });
+                *slots[i].lock().expect("result slot") = Some(outcome);
+            });
+        }
+    });
+    let outcomes: Vec<RunOutcome> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot").expect("worker filled slot"))
+        .collect();
+
+    let mut failures = 0usize;
+    eprintln!(
+        "fault matrix: loss x dup/reorder, {seeds} seeds per cell, budget {budget}, {workers} worker thread(s)"
+    );
     eprintln!(
         "  {:>6} {:>12} {:>12} {:>12} {:>8} {:>8}  verdict",
         "loss", "dup/reord", "mean(ms)", "worst(ms)", "faults", "retx"
     );
-    for loss in [0.0, 0.01, 0.10] {
-        for chaos in [false, true] {
-            let (dup, reorder) = if chaos { (0.10, 0.10) } else { (0.0, 0.0) };
-            let (mut sum, mut worst, mut faults, mut retx) = (0.0, 0.0f64, 0u64, 0u64);
-            let mut err: Option<String> = None;
-            for seed in 0..seeds {
-                match flowlink_convergence_under_loss(loss, dup, reorder, seed, budget) {
-                    Ok(run) => {
-                        let ms = run.converged.as_millis_f64();
-                        sum += ms;
-                        worst = worst.max(ms);
-                        faults += run.faults;
-                        retx += run.retransmissions;
-                    }
-                    Err(e) => {
-                        err = Some(e);
-                        break;
+    for (cell, &(loss, chaos)) in cells.iter().enumerate() {
+        let (mut sum, mut worst, mut faults, mut retx) = (0.0, 0.0f64, 0u64, 0u64);
+        let mut err: Option<String> = None;
+        for (i, &(c, _)) in tasks.iter().enumerate() {
+            if c != cell {
+                continue;
+            }
+            match &outcomes[i] {
+                Ok((ms, f, r)) => {
+                    sum += ms;
+                    worst = worst.max(*ms);
+                    faults += f;
+                    retx += r;
+                }
+                Err(e) => {
+                    if err.is_none() {
+                        err = Some(e.clone());
                     }
                 }
             }
-            let ok = err.is_none();
-            let mean = sum / seeds as f64;
-            println!(
-                "{}",
-                JsonObj::new()
-                    .str("record", "fault_matrix")
-                    .float("loss", loss)
-                    .bool("dup_reorder", chaos)
-                    .num("seeds", seeds)
-                    .float("mean_ms", mean)
-                    .float("worst_ms", worst)
-                    .num("faults", faults)
-                    .num("retransmissions", retx)
-                    .bool("passed", ok)
-                    .finish()
-            );
-            eprintln!(
-                "  {:>5.0}% {:>12} {:>12.0} {:>12.0} {:>8} {:>8}  {}",
-                loss * 100.0,
-                if chaos { "on" } else { "off" },
-                mean,
-                worst,
-                faults,
-                retx,
-                match &err {
-                    None => "PASS".to_string(),
-                    Some(e) => format!("FAIL: {e}"),
-                }
-            );
-            if !ok {
-                failures += 1;
+        }
+        let ok = err.is_none();
+        let mean = sum / seeds as f64;
+        println!(
+            "{}",
+            JsonObj::new()
+                .str("record", "fault_matrix")
+                .float("loss", loss)
+                .bool("dup_reorder", chaos)
+                .num("seeds", seeds)
+                .float("mean_ms", mean)
+                .float("worst_ms", worst)
+                .num("faults", faults)
+                .num("retransmissions", retx)
+                .bool("passed", ok)
+                .finish()
+        );
+        eprintln!(
+            "  {:>5.0}% {:>12} {:>12.0} {:>12.0} {:>8} {:>8}  {}",
+            loss * 100.0,
+            if chaos { "on" } else { "off" },
+            mean,
+            worst,
+            faults,
+            retx,
+            match &err {
+                None => "PASS".to_string(),
+                Some(e) => format!("FAIL: {e}"),
             }
+        );
+        if !ok {
+            failures += 1;
         }
     }
     if failures > 0 {

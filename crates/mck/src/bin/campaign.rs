@@ -1,74 +1,110 @@
 //! Run the §VIII-A verification campaign.
 //!
-//! Usage: `campaign [budget_scale] [max_links] [max_states]`
+//! Usage: `campaign [budget_scale] [max_links] [max_states] [--threads N]`
 //!
-//! Stdout carries one JSON record per checked configuration (the
-//! workspace JSONL convention); the aligned results table goes to stderr.
-//! When a check fails, the counterexample trace is rendered as a
-//! Fig.-10-style ladder on stderr.
+//! `--threads 0` means one campaign worker per available core. Stdout
+//! carries one JSON record per checked configuration (the workspace JSONL
+//! convention); the aligned results table goes to stderr. When a check
+//! fails, the counterexample trace is minimized and rendered as a
+//! Fig.-10-style ladder on stderr. A truncated exploration is surfaced as
+//! TRUNCATED (and a non-zero exit) — never as a clean pass.
 
-use ipmedia_core::path::PathType;
-use ipmedia_mck::{budgeted, check_path, render_counterexample, render_table, Violation};
+use ipmedia_mck::{
+    campaign_configs, check_path, minimize_counterexample, render_table, render_trace, run_campaign,
+};
 use ipmedia_obs::JsonObj;
-
-fn violation_state(v: &Violation) -> u32 {
-    match v {
-        Violation::DirtyTerminal { state }
-        | Violation::BadTerminal { state }
-        | Violation::BadCycle { state } => *state,
-    }
-}
+use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: u8 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
-    let max_links: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let max_states: usize = args
-        .get(3)
+    let mut positional: Vec<String> = Vec::new();
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            threads = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--threads needs a count (0 = all cores)");
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads = v.parse().expect("--threads needs a count (0 = all cores)");
+        } else {
+            positional.push(a);
+        }
+    }
+    let scale: u8 = positional.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let max_links: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let max_states: usize = positional
+        .get(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5_000_000);
 
-    let mut results = Vec::new();
+    let cfgs = campaign_configs(scale, max_links, &[0]);
+    let start = Instant::now();
+    let results = run_campaign(&cfgs, max_states, threads);
+    let wall = start.elapsed();
+
     let mut failures = 0usize;
-    for links in 0..=max_links {
-        for pt in PathType::all() {
-            let (l, r) = pt.ends();
-            let cfg = budgeted(links, l, r, scale);
-            let (res, g) = check_path(&cfg, max_states);
+    for (cfg, res) in cfgs.iter().zip(&results) {
+        eprintln!(
+            "checked {} links={}: {} states in {:.2}s [{}]",
+            res.path_type,
+            res.links,
+            res.states,
+            res.elapsed.as_secs_f64(),
+            res.verdict()
+        );
+
+        let mut rec = JsonObj::new()
+            .str("record", "mck_check")
+            .str("path_type", &res.path_type.to_string())
+            .num("links", res.links as u64)
+            .num("faults", u64::from(res.faults))
+            .str("spec", &format!("{:?}", res.spec))
+            .num("states", res.states as u64)
+            .num("transitions", res.transitions as u64)
+            .num("terminals", res.terminals as u64)
+            .num("expanded", res.expanded as u64)
+            .num("dedup_hits", res.dedup_hits)
+            .float("states_per_sec", res.states_per_sec())
+            .float("elapsed_ms", res.elapsed.as_secs_f64() * 1e3)
+            .bool("truncated", res.truncated)
+            .bool("passed", res.passed());
+        let violation = res.safety.as_ref().err().or(res.spec_result.as_ref().err());
+        if let Some(v) = violation {
+            rec = rec.str("violation", &v.to_string());
+            // Campaign workers drop their graphs; failures are rare enough
+            // that re-exploring just the failed config to reconstruct and
+            // minimize its trace is cheaper than keeping every graph alive.
+            let (_, g) = check_path(cfg, max_states);
+            let trace = minimize_counterexample(cfg, &g, res.spec, v);
+            rec = rec.num("counterexample_len", trace.len() as u64);
             eprintln!(
-                "checked {pt} links={links}: {} states in {:.2}s",
-                res.states,
-                res.elapsed.as_secs_f64()
+                "minimal counterexample for {} links={} ({} steps):\n{}",
+                res.path_type,
+                res.links,
+                trace.len(),
+                render_trace(cfg, &trace)
             );
+        }
+        println!("{}", rec.finish());
 
-            let mut rec = JsonObj::new()
-                .str("record", "mck_check")
-                .str("path_type", &pt.to_string())
-                .num("links", links as u64)
-                .str("spec", &format!("{:?}", res.spec))
-                .num("states", res.states as u64)
-                .num("transitions", res.transitions as u64)
-                .num("terminals", res.terminals as u64)
-                .float("elapsed_ms", res.elapsed.as_secs_f64() * 1e3)
-                .bool("truncated", res.truncated)
-                .bool("passed", res.passed());
-            let violation = res.safety.as_ref().err().or(res.spec_result.as_ref().err());
-            if let Some(v) = violation {
-                rec = rec.str("violation", &v.to_string());
-                let ladder = render_counterexample(&cfg, &g, violation_state(v));
-                eprintln!("counterexample for {pt} links={links}:\n{ladder}");
-            }
-            println!("{}", rec.finish());
-
-            if !res.passed() {
-                failures += 1;
-            }
-            results.push(res);
+        if !res.passed() {
+            failures += 1;
         }
     }
     eprintln!("{}", render_table(&results));
+    eprintln!(
+        "campaign: {} configs in {:.2}s wall ({} worker thread(s))",
+        results.len(),
+        wall.as_secs_f64(),
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        }
+    );
     if failures > 0 {
-        eprintln!("{failures} configuration(s) failed");
+        eprintln!("{failures} configuration(s) did not pass (failed or truncated)");
         std::process::exit(1);
     }
 }

@@ -1,20 +1,35 @@
 //! The verification campaign of §VIII-A: all six path types, with and
 //! without flowlinks, checked for safety and their §V specification.
+//!
+//! Campaigns are embarrassingly parallel across configurations, so
+//! [`run_campaign`] drives a fixed config list through a worker pool
+//! (path types × links × fault budgets run concurrently instead of
+//! serially); each configuration's exploration itself can also be
+//! parallelized via [`ExploreOptions::threads`]. Results come back in
+//! config order and are identical at any thread count.
 
-use crate::explore::{explore, StateGraph};
+use crate::explore::{explore_with, ExploreOptions, StateGraph};
 use crate::props::{check_safety, check_spec, Violation};
 use crate::state::CheckConfig;
 use ipmedia_core::path::{EndGoal, PathSpec, PathType};
+use ipmedia_obs::metrics::Registry;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Outcome of checking one path configuration.
 pub struct CheckResult {
     pub path_type: PathType,
     pub links: usize,
+    pub faults: u8,
     pub spec: PathSpec,
     pub states: usize,
     pub transitions: usize,
     pub terminals: usize,
+    /// Distinct states expanded (< `states` iff `truncated`).
+    pub expanded: usize,
+    /// Seen-set hits: transitions collapsed onto already-interned states.
+    pub dedup_hits: u64,
     pub elapsed: Duration,
     pub truncated: bool,
     pub safety: Result<(), Violation>,
@@ -22,23 +37,63 @@ pub struct CheckResult {
 }
 
 impl CheckResult {
+    /// A configuration passes only if exploration was exhaustive AND both
+    /// properties hold. A truncated run is *never* a pass: the properties
+    /// were only checked over a prefix of the reachable space.
     pub fn passed(&self) -> bool {
         !self.truncated && self.safety.is_ok() && self.spec_result.is_ok()
     }
+
+    /// Human-readable verdict; truncated runs are reported as such (with
+    /// the expansion cap context) rather than folded into pass/fail.
+    pub fn verdict(&self) -> String {
+        if self.passed() {
+            "PASS".to_string()
+        } else if self.truncated {
+            format!(
+                "TRUNCATED (cap hit after {} expanded, {} discovered)",
+                self.expanded, self.states
+            )
+        } else if let Err(v) = &self.safety {
+            format!("SAFETY: {v}")
+        } else if let Err(v) = &self.spec_result {
+            format!("SPEC: {v}")
+        } else {
+            unreachable!("failed result with no violation")
+        }
+    }
+
+    /// Exploration throughput, states expanded per second.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.expanded as f64 / secs
+        }
+    }
 }
 
-/// Check one configuration.
+/// Check one configuration sequentially.
 pub fn check_path(cfg: &CheckConfig, max_states: usize) -> (CheckResult, StateGraph) {
+    check_path_with(cfg, &ExploreOptions::sequential(max_states))
+}
+
+/// Check one configuration under explicit exploration options.
+pub fn check_path_with(cfg: &CheckConfig, opts: &ExploreOptions) -> (CheckResult, StateGraph) {
     let path_type = PathType::of(cfg.left, cfg.right);
     let spec = path_type.spec();
-    let g = explore(cfg, max_states);
+    let g = explore_with(cfg, opts);
     let result = CheckResult {
         path_type,
         links: cfg.links,
+        faults: cfg.fault_budget,
         spec,
         states: g.states(),
         transitions: g.transitions,
         terminals: g.terminals.len(),
+        expanded: g.expanded,
+        dedup_hits: g.dedup_hits,
         elapsed: g.elapsed,
         truncated: g.truncated,
         safety: check_safety(&g),
@@ -47,20 +102,85 @@ pub fn check_path(cfg: &CheckConfig, max_states: usize) -> (CheckResult, StateGr
     (result, g)
 }
 
+/// Build the config list for a campaign: every path type at every link
+/// count in `0..=max_links`, crossed with every fault budget.
+pub fn campaign_configs(
+    budget_scale: u8,
+    max_links: usize,
+    fault_budgets: &[u8],
+) -> Vec<CheckConfig> {
+    let mut out = Vec::new();
+    for &faults in fault_budgets {
+        for links in 0..=max_links {
+            for pt in PathType::all() {
+                let (l, r) = pt.ends();
+                out.push(budgeted(links, l, r, budget_scale).with_faults(faults));
+            }
+        }
+    }
+    out
+}
+
+/// Run every configuration through a pool of `threads` campaign workers
+/// (each exploration itself sequential — configs outnumber cores in every
+/// real campaign). Results are returned in `cfgs` order regardless of
+/// which worker finished when, so output is thread-count deterministic.
+pub fn run_campaign(cfgs: &[CheckConfig], max_states: usize, threads: usize) -> Vec<CheckResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let opts = ExploreOptions::sequential(max_states);
+    let workers = threads.min(cfgs.len()).max(1);
+    if workers <= 1 {
+        return cfgs
+            .iter()
+            .map(|cfg| check_path_with(cfg, &opts).0)
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CheckResult>>> = cfgs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfgs.len() {
+                    break;
+                }
+                let (res, _) = check_path_with(&cfgs[i], &opts);
+                *slots[i].lock().expect("result slot") = Some(res);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
 /// The paper's 12 models: six path types with no flowlinks and six with one
 /// flowlink each (§VIII-A). `budget_scale` tunes phase-1 budgets: 0 keeps
 /// the campaign fast (CI-sized), 1 reproduces the fuller nondeterminism.
 pub fn paper_campaign(budget_scale: u8, max_states: usize) -> Vec<CheckResult> {
-    let mut out = Vec::new();
-    for links in [0usize, 1] {
-        for pt in PathType::all() {
-            let (l, r) = pt.ends();
-            let cfg = budgeted(links, l, r, budget_scale);
-            let (res, _) = check_path(&cfg, max_states);
-            out.push(res);
-        }
-    }
-    out
+    paper_campaign_par(budget_scale, max_states, 1)
+}
+
+/// [`paper_campaign`] with the configurations spread over `threads`
+/// campaign workers (`0` = all cores). Identical results in identical
+/// order at any thread count.
+pub fn paper_campaign_par(budget_scale: u8, max_states: usize, threads: usize) -> Vec<CheckResult> {
+    run_campaign(
+        &campaign_configs(budget_scale, 1, &[0]),
+        max_states,
+        threads,
+    )
 }
 
 /// Configuration with budgets scaled for exploration depth.
@@ -81,22 +201,44 @@ pub fn budgeted(links: usize, left: EndGoal, right: EndGoal, scale: u8) -> Check
 /// recovery machinery enabled). Budgets are kept minimal — the point is
 /// the interleaving of faults with the protocol, not phase-1 breadth.
 pub fn fault_campaign(links: usize, faults: u8, max_states: usize) -> Vec<CheckResult> {
-    let mut out = Vec::new();
-    for pt in PathType::all() {
-        let (l, r) = pt.ends();
-        let cfg = CheckConfig {
-            links,
-            left: l,
-            right: r,
-            end_phase1_budget: 1,
-            link_phase1_budget: 0,
-            modify_budget: 1,
-            fault_budget: faults,
-        };
-        let (res, _) = check_path(&cfg, max_states);
-        out.push(res);
+    fault_campaign_par(links, faults, max_states, 1)
+}
+
+/// [`fault_campaign`] with path types spread over `threads` workers.
+pub fn fault_campaign_par(
+    links: usize,
+    faults: u8,
+    max_states: usize,
+    threads: usize,
+) -> Vec<CheckResult> {
+    let cfgs: Vec<CheckConfig> = PathType::all()
+        .iter()
+        .map(|pt| {
+            let (l, r) = pt.ends();
+            CheckConfig {
+                links,
+                left: l,
+                right: r,
+                end_phase1_budget: 1,
+                link_phase1_budget: 0,
+                modify_budget: 1,
+                fault_budget: faults,
+            }
+        })
+        .collect();
+    run_campaign(&cfgs, max_states, threads)
+}
+
+/// Record a campaign's exploration metrics into an observability
+/// registry: per-configuration expansion throughput lands in the
+/// `mck_states_per_sec` histogram, seen-set hits in `mck_dedup_hits`.
+pub fn record_campaign_metrics(registry: &Registry, results: &[CheckResult]) {
+    for r in results {
+        registry
+            .mck_states_per_sec
+            .observe(r.states_per_sec() as u64);
+        registry.add_mck_dedup_hits(r.dedup_hits);
     }
-    out
 }
 
 /// Render campaign results as an aligned text table (the `V1` table of
@@ -104,31 +246,29 @@ pub fn fault_campaign(links: usize, faults: u8, max_states: usize) -> Vec<CheckR
 pub fn render_table(results: &[CheckResult]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "{:<12} {:>5} {:<34} {:>9} {:>11} {:>9} {:>9}  {}\n",
-        "path type", "links", "spec", "states", "transitions", "terminals", "time", "verdict"
+        "{:<12} {:>5} {:>6} {:<34} {:>9} {:>11} {:>9} {:>9}  {}\n",
+        "path type",
+        "links",
+        "faults",
+        "spec",
+        "states",
+        "transitions",
+        "terminals",
+        "time",
+        "verdict"
     ));
     for r in results {
-        let verdict = if r.passed() {
-            "PASS".to_string()
-        } else if r.truncated {
-            "TRUNCATED".to_string()
-        } else if let Err(v) = &r.safety {
-            format!("SAFETY: {v}")
-        } else if let Err(v) = &r.spec_result {
-            format!("SPEC: {v}")
-        } else {
-            unreachable!()
-        };
         s.push_str(&format!(
-            "{:<12} {:>5} {:<34} {:>9} {:>11} {:>9} {:>8.2}s  {}\n",
+            "{:<12} {:>5} {:>6} {:<34} {:>9} {:>11} {:>9} {:>8.2}s  {}\n",
             r.path_type.to_string(),
             r.links,
+            r.faults,
             format!("{:?}", r.spec),
             r.states,
             r.transitions,
             r.terminals,
             r.elapsed.as_secs_f64(),
-            verdict
+            r.verdict()
         ));
     }
     s
@@ -163,8 +303,9 @@ mod tests {
     fn direct_paths_pass_with_one_fault_per_tunnel() {
         // Acceptance: every path type still satisfies safety and its §V
         // spec when the adversary may drop or duplicate one signal on
-        // each channel (with the recovery machinery enabled).
-        for res in fault_campaign(0, 1, 4_000_000) {
+        // each channel (with the recovery machinery enabled). Runs the
+        // path types through the campaign worker pool.
+        for res in fault_campaign_par(0, 1, 4_000_000, 0) {
             assert!(
                 res.passed(),
                 "{} (0 links, 1 fault) failed: safety={:?} spec={:?} states={}",
@@ -190,6 +331,43 @@ mod tests {
             faulty.states,
             plain.states
         );
+    }
+
+    #[test]
+    fn truncated_run_is_surfaced_not_passed() {
+        // A capped exploration must never report a clean pass, and the
+        // rendered verdict must say TRUNCATED with the expansion context.
+        let cfg = budgeted(0, EndGoal::Open, EndGoal::Hold, 0);
+        let (res, g) = check_path(&cfg, 100);
+        assert!(g.truncated);
+        assert!(res.truncated);
+        assert!(!res.passed(), "truncated run reported as a pass");
+        assert_eq!(res.expanded, 100);
+        assert!(res.verdict().starts_with("TRUNCATED"), "{}", res.verdict());
+        let table = render_table(std::slice::from_ref(&res));
+        assert!(table.contains("TRUNCATED"), "table must surface truncation");
+    }
+
+    #[test]
+    fn campaign_worker_pool_matches_serial_run() {
+        // Direct paths only: enough configs to exercise the pool, small
+        // enough to keep the double run cheap.
+        let cfgs = campaign_configs(0, 0, &[0]);
+        let serial = run_campaign(&cfgs, 2_000_000, 1);
+        let pooled = run_campaign(&cfgs, 2_000_000, 4);
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.path_type, b.path_type);
+            assert_eq!(a.links, b.links);
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(a.terminals, b.terminals);
+            assert_eq!(a.expanded, b.expanded);
+            assert_eq!(a.dedup_hits, b.dedup_hits);
+            assert_eq!(a.passed(), b.passed());
+            assert_eq!(a.safety, b.safety);
+            assert_eq!(a.spec_result, b.spec_result);
+        }
     }
 
     fn violation_trace(g: &crate::explore::StateGraph, v: &Violation) -> Vec<crate::state::Action> {

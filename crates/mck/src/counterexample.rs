@@ -9,7 +9,9 @@
 //! kind, `*` marks for local nondeterministic and goal-attachment steps.
 
 use crate::explore::StateGraph;
+use crate::props::Violation;
 use crate::state::{Action, CheckConfig, NondetOp, PathState};
+use ipmedia_core::path::PathSpec;
 use ipmedia_obs::ladder::{render, LadderEvent};
 
 fn op_name(op: NondetOp) -> &'static str {
@@ -25,6 +27,101 @@ fn op_name(op: NondetOp) -> &'static str {
 /// Render the explored graph's trace to `state` as an ASCII ladder.
 pub fn render_counterexample(cfg: &CheckConfig, g: &StateGraph, state: u32) -> String {
     render_trace(cfg, &g.trace_to(state))
+}
+
+/// Replay `trace` from the initial state, verifying every action is
+/// enabled where it is taken. Returns the final state, or `None` if some
+/// action is not enabled (the trace is not a real run).
+pub fn replay(cfg: &CheckConfig, trace: &[Action]) -> Option<PathState> {
+    let mut state = PathState::initial(cfg);
+    for &a in trace {
+        if !state.actions(cfg).contains(&a) {
+            return None;
+        }
+        state = state.apply(cfg, a);
+    }
+    Some(state)
+}
+
+/// Greedily shrink a counterexample trace: repeatedly delete any single
+/// action whose removal still yields a legal run whose final state
+/// satisfies `keep`, until no single deletion survives. Deletions are
+/// tried left-to-right, so the result is deterministic — the same input
+/// trace minimizes to the same ladder regardless of how (or with how many
+/// threads) the graph that produced it was explored.
+pub fn minimize_trace(
+    cfg: &CheckConfig,
+    trace: &[Action],
+    keep: &dyn Fn(&CheckConfig, &PathState) -> bool,
+) -> Vec<Action> {
+    let mut current: Vec<Action> = trace.to_vec();
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            match replay(cfg, &candidate) {
+                Some(fin) if keep(cfg, &fin) => {
+                    current = candidate;
+                    improved = true;
+                    // Re-test the same index: it now holds the next action.
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    current
+}
+
+/// Minimize the graph's counterexample for `violation`. For terminal
+/// violations the kept condition is semantic ("still a terminal state
+/// breaching the same property"), so whole phase-1 digressions drop out;
+/// for cycle violations, membership in a bad cycle is not locally
+/// checkable, so the kept condition is "reaches the same state" and only
+/// redundant loops are removed.
+pub fn minimize_counterexample(
+    cfg: &CheckConfig,
+    g: &StateGraph,
+    spec: PathSpec,
+    violation: &Violation,
+) -> Vec<Action> {
+    let trace = g.trace_to(violation_state(violation));
+    match violation {
+        Violation::DirtyTerminal { .. } => minimize_trace(cfg, &trace, &|cfg, s| {
+            s.actions(cfg).is_empty() && !s.clean()
+        }),
+        Violation::BadTerminal { .. } => {
+            let bad = move |cfg: &CheckConfig, s: &PathState| {
+                s.actions(cfg).is_empty() && !terminal_spec_holds(spec, s)
+            };
+            minimize_trace(cfg, &trace, &bad)
+        }
+        Violation::BadCycle { .. } => {
+            let target = replay(cfg, &trace).expect("graph trace replays");
+            minimize_trace(cfg, &trace, &|_, s| *s == target)
+        }
+    }
+}
+
+fn violation_state(v: &Violation) -> u32 {
+    match v {
+        Violation::DirtyTerminal { state }
+        | Violation::BadTerminal { state }
+        | Violation::BadCycle { state } => *state,
+    }
+}
+
+/// The predicate a terminal state must satisfy under `spec` (the terminal
+/// half of the §V temporal specifications).
+fn terminal_spec_holds(spec: PathSpec, s: &PathState) -> bool {
+    match spec {
+        PathSpec::EventuallyAlwaysBothClosed => s.both_closed(),
+        PathSpec::EventuallyAlwaysNotBothFlowing => !s.both_flowing(),
+        PathSpec::AlwaysEventuallyBothFlowing => s.both_flowing(),
+        PathSpec::ClosedOrFlowing => s.both_closed() || s.both_flowing(),
+    }
 }
 
 /// Replay `trace` from [`PathState::initial`] and render it as a ladder.
@@ -117,6 +214,41 @@ mod tests {
             "no deliveries:\n{ladder}"
         );
         assert!(lines[1].starts_with("     1.000ms"));
+    }
+
+    #[test]
+    fn minimized_counterexample_still_violates() {
+        // Cross-check a wrong spec (open–open vs ◇□bothClosed): the
+        // minimized trace must still reach a violating terminal, and be no
+        // longer than the original.
+        use crate::props::{check_spec, Violation};
+        use ipmedia_core::path::PathSpec;
+        let (l, r) = PathType::OpenOpen.ends();
+        let cfg = budgeted(0, l, r, 0);
+        let g = explore(&cfg, 2_000_000);
+        let spec = PathSpec::EventuallyAlwaysBothClosed;
+        let Err(v @ Violation::BadTerminal { state }) = check_spec(&g, spec) else {
+            panic!("open–open must violate ◇□bothClosed with a bad terminal");
+        };
+        let full = g.trace_to(state);
+        let min = super::minimize_counterexample(&cfg, &g, spec, &v);
+        assert!(min.len() <= full.len());
+        let fin = super::replay(&cfg, &min).expect("minimized trace replays");
+        assert!(fin.actions(&cfg).is_empty(), "still terminal");
+        assert!(!fin.both_closed(), "still violating");
+        // Minimization is idempotent (a fixpoint of single deletions).
+        let again = super::minimize_trace(&cfg, &min, &|cfg, s| {
+            s.actions(cfg).is_empty() && !s.both_closed()
+        });
+        assert_eq!(again, min);
+    }
+
+    #[test]
+    fn replay_rejects_illegal_traces() {
+        let (l, r) = PathType::OpenHold.ends();
+        let cfg = budgeted(0, l, r, 0);
+        // Delivering from an empty tunnel is not an enabled action.
+        assert!(super::replay(&cfg, &[crate::state::Action::DeliverFwd(0)]).is_none());
     }
 
     #[test]

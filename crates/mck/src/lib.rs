@@ -16,9 +16,13 @@ pub mod props;
 pub mod state;
 
 pub use campaign::{
-    budgeted, check_path, fault_campaign, paper_campaign, render_table, CheckResult,
+    budgeted, campaign_configs, check_path, check_path_with, fault_campaign, fault_campaign_par,
+    paper_campaign, paper_campaign_par, record_campaign_metrics, render_table, run_campaign,
+    CheckResult,
 };
-pub use counterexample::{render_counterexample, render_trace};
-pub use explore::{explore, StateFlags, StateGraph};
+pub use counterexample::{
+    minimize_counterexample, minimize_trace, render_counterexample, render_trace, replay,
+};
+pub use explore::{explore, explore_with, ExploreOptions, SeenSet, StateFlags, StateGraph};
 pub use props::{check_safety, check_spec, cycle_states, Violation};
 pub use state::{Action, CheckConfig, NondetOp, PathState};

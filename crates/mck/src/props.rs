@@ -228,6 +228,8 @@ mod tests {
             transitions: 0,
             elapsed: Duration::ZERO,
             truncated: false,
+            expanded: n,
+            dedup_hits: 0,
             succ,
         }
     }

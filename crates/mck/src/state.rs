@@ -917,10 +917,12 @@ mod tests {
         let mut s = PathState::initial(&cfg);
         s = s.apply(&cfg, Action::EndAttach { right: false });
         s = s.apply(&cfg, Action::EndAttach { right: true });
-        let mut seen = std::collections::HashSet::new();
+        // Same interner the exploration engine uses for its seen-set.
+        let mut seen = crate::explore::SeenSet::new();
         let mut looped = false;
         for _ in 0..64 {
-            if !seen.insert(s.clone()) {
+            let (_, fresh) = seen.insert(s.clone());
+            if !fresh {
                 looped = true;
                 break;
             }

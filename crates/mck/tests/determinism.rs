@@ -1,0 +1,76 @@
+//! Thread-count determinism (§VIII-A acceptance): the parallel exploration
+//! engine and the campaign worker pool must produce identical graphs,
+//! state counts, verdicts, and (after trace minimization) identical
+//! counterexample ladders at 1, 2, and 8 threads — parallelism is an
+//! implementation detail, never observable in results.
+
+use ipmedia_core::path::{EndGoal, PathSpec};
+use ipmedia_mck::{
+    budgeted, campaign_configs, check_spec, explore_with, minimize_counterexample, render_trace,
+    run_campaign, ExploreOptions,
+};
+
+#[test]
+fn campaign_results_are_identical_at_1_2_and_8_threads() {
+    // Capped low enough to stay fast; truncation itself must also be
+    // deterministic, so capped configs still have to agree exactly.
+    let cfgs = campaign_configs(0, 1, &[0]);
+    let cap = 30_000;
+    let base = run_campaign(&cfgs, cap, 1);
+    for threads in [2usize, 8] {
+        let other = run_campaign(&cfgs, cap, threads);
+        assert_eq!(base.len(), other.len());
+        for (a, b) in base.iter().zip(&other) {
+            assert_eq!(a.path_type, b.path_type, "{threads} threads");
+            assert_eq!(a.links, b.links, "{threads} threads");
+            assert_eq!(a.states, b.states, "{} at {threads} threads", a.path_type);
+            assert_eq!(a.transitions, b.transitions, "{}", a.path_type);
+            assert_eq!(a.terminals, b.terminals, "{}", a.path_type);
+            assert_eq!(a.expanded, b.expanded, "{}", a.path_type);
+            assert_eq!(a.dedup_hits, b.dedup_hits, "{}", a.path_type);
+            assert_eq!(a.truncated, b.truncated, "{}", a.path_type);
+            assert_eq!(a.safety, b.safety, "{}", a.path_type);
+            assert_eq!(a.spec_result, b.spec_result, "{}", a.path_type);
+            assert_eq!(a.verdict(), b.verdict(), "{}", a.path_type);
+        }
+    }
+}
+
+#[test]
+fn parallel_exploration_numbering_matches_sequential() {
+    // The full graph — succ lists, parents, flags — must be identical,
+    // not just the aggregate counts: state *numbering* is part of the
+    // deterministic contract (trace extraction depends on it).
+    let cfg = budgeted(0, EndGoal::Open, EndGoal::Hold, 0).with_faults(1);
+    let base = explore_with(&cfg, &ExploreOptions::sequential(200_000));
+    for threads in [2usize, 8] {
+        let g = explore_with(&cfg, &ExploreOptions::parallel(200_000, threads));
+        assert_eq!(base.states(), g.states(), "{threads} threads");
+        assert_eq!(base.succ, g.succ, "{threads} threads");
+        assert_eq!(base.parent, g.parent, "{threads} threads");
+        assert_eq!(base.terminals, g.terminals, "{threads} threads");
+        assert_eq!(base.transitions, g.transitions, "{threads} threads");
+        assert_eq!(base.dedup_hits, g.dedup_hits, "{threads} threads");
+    }
+}
+
+#[test]
+fn minimized_counterexample_ladder_is_identical_across_thread_counts() {
+    // Check a spec the model genuinely violates (open–open ends never
+    // reach bothClosed) so every thread count has to reconstruct and
+    // minimize a real counterexample, then render it byte-for-byte.
+    let cfg = budgeted(0, EndGoal::Open, EndGoal::Open, 0);
+    let wrong_spec = PathSpec::EventuallyAlwaysBothClosed;
+    let mut ladders = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let g = explore_with(&cfg, &ExploreOptions::parallel(2_000_000, threads));
+        let violation = check_spec(&g, wrong_spec).expect_err("open–open cannot close");
+        let trace = minimize_counterexample(&cfg, &g, wrong_spec, &violation);
+        ladders.push((threads, render_trace(&cfg, &trace)));
+    }
+    let (_, base) = &ladders[0];
+    assert!(!base.is_empty());
+    for (threads, ladder) in &ladders[1..] {
+        assert_eq!(ladder, base, "ladder differs at {threads} threads");
+    }
+}

@@ -144,6 +144,7 @@ pub fn snapshot_json(s: &MetricsSnapshot) -> String {
         )
         .num("retransmissions", s.retransmissions)
         .num("recoveries", s.recoveries)
+        .num("mck_dedup_hits", s.mck_dedup_hits)
         .raw("tunnel_setup_ms", &histogram_json(&s.tunnel_setup_ms))
         .raw(
             "flowlink_convergence_ms",
@@ -157,6 +158,7 @@ pub fn snapshot_json(s: &MetricsSnapshot) -> String {
             "recovery_latency_ms",
             &histogram_json(&s.recovery_latency_ms),
         )
+        .raw("mck_states_per_sec", &histogram_json(&s.mck_states_per_sec))
         .finish()
 }
 
@@ -198,6 +200,7 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         ("ipmedia_meta_signals_total", s.meta_signals),
         ("ipmedia_retransmissions_total", s.retransmissions),
         ("ipmedia_recoveries_total", s.recoveries),
+        ("ipmedia_mck_dedup_hits_total", s.mck_dedup_hits),
     ] {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");
@@ -217,6 +220,11 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         &mut out,
         "ipmedia_recovery_latency_ms",
         &s.recovery_latency_ms,
+    );
+    prom_histogram(
+        &mut out,
+        "ipmedia_mck_states_per_sec",
+        &s.mck_states_per_sec,
     );
     out
 }

@@ -139,6 +139,7 @@ pub struct Registry {
     faults_injected: [AtomicU64; FAULT_KINDS.len()],
     retransmissions: AtomicU64,
     recoveries: AtomicU64,
+    mck_dedup_hits: AtomicU64,
     /// Channel + first-slot setup latency (§V: 2n+3c for a fresh path).
     pub tunnel_setup_ms: Histogram,
     /// Flow-link reconvergence after a relink (§VII, Fig. 13).
@@ -148,6 +149,9 @@ pub struct Registry {
     /// Time from a pending await first appearing to its resolution, for
     /// awaits that needed at least one retransmission.
     pub recovery_latency_ms: Histogram,
+    /// Model-checker expansion throughput, one observation per explored
+    /// configuration (states expanded per second of exploration).
+    pub mck_states_per_sec: Histogram,
 }
 
 impl Registry {
@@ -164,6 +168,7 @@ impl Registry {
             faults_injected: Default::default(),
             retransmissions: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            mck_dedup_hits: AtomicU64::new(0),
             tunnel_setup_ms: Histogram::new(&[50, 100, 150, 200, 250, 300, 400, 500, 750, 1000]),
             flowlink_convergence_ms: Histogram::new(&[
                 25, 50, 75, 100, 150, 200, 300, 400, 600, 800,
@@ -172,7 +177,18 @@ impl Registry {
             // One retransmission round trip is ≥ the 200ms backoff base, so
             // buckets span one to several doubling rounds.
             recovery_latency_ms: Histogram::new(&[200, 400, 800, 1600, 3200, 6400, 12_800, 25_600]),
+            // Explicit-state expansion rates span hobby-sized models (kilo
+            // states/s with deep cloning) up to saturated multicore runs.
+            mck_states_per_sec: Histogram::new(&[
+                1_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+                2_500_000,
+            ]),
         }
+    }
+
+    /// Add seen-set hits from one model-checking run.
+    pub fn add_mck_dedup_hits(&self, hits: u64) {
+        self.mck_dedup_hits.fetch_add(hits, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -197,10 +213,12 @@ impl Registry {
                 .map(|c| c.load(Ordering::Relaxed)),
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            mck_dedup_hits: self.mck_dedup_hits.load(Ordering::Relaxed),
             tunnel_setup_ms: self.tunnel_setup_ms.snapshot(),
             flowlink_convergence_ms: self.flowlink_convergence_ms.snapshot(),
             stimulus_compute_us: self.stimulus_compute_us.snapshot(),
             recovery_latency_ms: self.recovery_latency_ms.snapshot(),
+            mck_states_per_sec: self.mck_states_per_sec.snapshot(),
         }
     }
 }
@@ -228,10 +246,14 @@ pub struct MetricsSnapshot {
     pub faults_injected: [u64; FAULT_KINDS.len()],
     pub retransmissions: u64,
     pub recoveries: u64,
+    /// Model-checker seen-set hits (transitions collapsed onto
+    /// already-interned states), summed over recorded runs.
+    pub mck_dedup_hits: u64,
     pub tunnel_setup_ms: HistogramSnapshot,
     pub flowlink_convergence_ms: HistogramSnapshot,
     pub stimulus_compute_us: HistogramSnapshot,
     pub recovery_latency_ms: HistogramSnapshot,
+    pub mck_states_per_sec: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -416,6 +438,20 @@ mod tests {
         assert_eq!(s.recovery_latency_ms.sum, 450);
         // 450ms lands in the `le 800` bucket.
         assert_eq!(s.recovery_latency_ms.counts[2], 1);
+    }
+
+    #[test]
+    fn mck_metrics_accumulate() {
+        let r = Registry::new();
+        r.add_mck_dedup_hits(120_000);
+        r.add_mck_dedup_hits(5);
+        r.mck_states_per_sec.observe(42_000); // le 50_000
+        r.mck_states_per_sec.observe(3_000_000); // overflow
+        let s = r.snapshot();
+        assert_eq!(s.mck_dedup_hits, 120_005);
+        assert_eq!(s.mck_states_per_sec.total(), 2);
+        assert_eq!(s.mck_states_per_sec.counts[4], 1);
+        assert_eq!(s.mck_states_per_sec.overflow(), 1);
     }
 
     #[test]

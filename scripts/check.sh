@@ -22,6 +22,22 @@ echo "== ipmedia-lint (static analysis over all example models)" >&2
 cargo run "$@" -q -p ipmedia-analyze --bin ipmedia-lint -- --all-examples --deny warnings
 
 echo "== fault-matrix smoke (loss x dup/reorder, bounded virtual time)" >&2
-cargo run "$@" -q -p ipmedia-bench --bin fault_matrix >/dev/null
+cargo run "$@" -q -p ipmedia-bench --bin fault_matrix -- --threads "$(nproc)" >/dev/null
+
+echo "== verification campaign (parallel, wall-clock budget)" >&2
+# The 12-model §VIII-A campaign at CI budgets, spread over all cores.
+# `timeout` enforces the wall-clock budget: a throughput regression in the
+# exploration engine fails the gate instead of silently slowing CI down.
+cargo build "$@" --release -q -p ipmedia-mck --bin campaign
+CAMPAIGN_BUDGET_SECS="${CAMPAIGN_BUDGET_SECS:-300}"
+timeout "$CAMPAIGN_BUDGET_SECS" ./target/release/campaign 0 1 2000000 --threads "$(nproc)" >/dev/null || {
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "campaign exceeded the ${CAMPAIGN_BUDGET_SECS}s wall-clock budget" >&2
+  else
+    echo "campaign failed (exit $status)" >&2
+  fi
+  exit "$status"
+}
 
 echo "all checks passed" >&2

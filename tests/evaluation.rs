@@ -5,7 +5,7 @@
 //! checker, and the SIP baseline together.
 
 use ipmedia::core::path::PathType;
-use ipmedia::mck::{budgeted, check_path};
+use ipmedia::mck::{budgeted, check_path, paper_campaign_par};
 use ipmedia::netsim::{SimConfig, SimDuration};
 use ipmedia_bench::{fig13_concurrent_relink, fresh_setup_latency, relink_latency};
 
@@ -87,18 +87,20 @@ fn caching_pays_for_itself() {
 
 #[test]
 fn verification_campaign_all_pass_quick() {
-    // The 12-model campaign of §VIII-A at CI-sized budgets.
-    for links in 0..=1usize {
-        for pt in PathType::all() {
-            let (l, r) = pt.ends();
-            let (res, _) = check_path(&budgeted(links, l, r, 0), 2_000_000);
-            assert!(
-                res.passed(),
-                "{pt} with {links} flowlinks: safety={:?} spec={:?}",
-                res.safety,
-                res.spec_result
-            );
-        }
+    // The 12-model campaign of §VIII-A at CI-sized budgets, run through
+    // the campaign worker pool (0 = one worker per core); results come
+    // back in config order and are identical at any thread count.
+    let results = paper_campaign_par(0, 2_000_000, 0);
+    assert_eq!(results.len(), 12);
+    for res in results {
+        assert!(
+            res.passed(),
+            "{} with {} flowlinks: safety={:?} spec={:?}",
+            res.path_type,
+            res.links,
+            res.safety,
+            res.spec_result
+        );
     }
 }
 
