@@ -3,37 +3,75 @@
 //! ```text
 //! ipmedia-lint --all-examples                # lint the built-in registry
 //! ipmedia-lint path/to/scenario.ipm ...      # lint serialized scenarios
-//! ipmedia-lint --all-examples --deny warnings --jsonl
+//! ipmedia-lint --all-examples --deny warnings --jsonl --threads 8
+//! ipmedia-lint --all-examples --sarif out.sarif --baseline lint-baseline.txt
 //! ```
 //!
 //! Rendered diagnostics and the summary go to stderr; with `--jsonl` each
 //! diagnostic (and a final summary record) is emitted as one JSON object
 //! per line on stdout, following the workspace observability convention.
+//! Output is byte-identical at any `--threads` value.
 //!
-//! Exit status: 0 when clean, 1 when any error was found (or any warning
-//! under `--deny warnings`), 2 on usage or I/O problems.
+//! Exit status contract (stable; scripts branch on it):
+//!
+//! * `0` — clean: no findings at the deny level (suppressed findings and
+//!   warnings without `--deny warnings` do not fail the run);
+//! * `1` — findings at the deny level;
+//! * `2` — usage error (bad flag, nothing to lint);
+//! * `3` — input or internal error (unreadable file, `.ipm` parse error).
 
-use ipmedia_analyze::{analyze_scenario, parse_scenario, Severity};
+use ipmedia_analyze::runner;
+use ipmedia_analyze::{parse_scenario, to_sarif, Baseline};
 use ipmedia_core::program::model::ScenarioModel;
 use ipmedia_obs::{json_str_array, JsonObj};
 use std::process::ExitCode;
+
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_INPUT: u8 = 3;
 
 struct Options {
     all_examples: bool,
     deny_warnings: bool,
     jsonl: bool,
+    threads: usize,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    sarif: Option<String>,
     files: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: ipmedia-lint [--all-examples] [--deny warnings] [--jsonl] [FILE.ipm ...]"
+    "usage: ipmedia-lint [OPTIONS] [FILE.ipm ...]
+
+options:
+  --all-examples          lint every scenario in the built-in registry
+  --deny warnings         treat warnings as failures (exit 1)
+  --jsonl                 one JSON object per finding on stdout
+  --threads N             analysis workers (0 = all cores, default 1);
+                          output is identical at any thread count
+  --baseline FILE         suppress findings whose fingerprints FILE lists
+  --write-baseline FILE   write the current findings as a baseline, then
+                          exit as if they were suppressed
+  --sarif FILE            also write the report as SARIF 2.1.0 to FILE
+  -h, --help              this help
+
+exit status:
+  0  clean (no findings at the deny level)
+  1  findings at the deny level
+  2  usage error
+  3  input or internal error (unreadable file, parse error)"
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options {
         all_examples: false,
         deny_warnings: false,
         jsonl: false,
+        threads: 1,
+        baseline: None,
+        write_baseline: None,
+        sarif: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -50,7 +88,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             },
             "--jsonl" => opts.jsonl = true,
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--threads" => {
+                let v = it.next().ok_or("--threads expects a count")?;
+                opts.threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+            }
+            "--baseline" => {
+                opts.baseline = Some(it.next().ok_or("--baseline expects a file")?.clone());
+            }
+            "--write-baseline" => {
+                opts.write_baseline =
+                    Some(it.next().ok_or("--write-baseline expects a file")?.clone());
+            }
+            "--sarif" => {
+                opts.sarif = Some(it.next().ok_or("--sarif expects a file")?.clone());
+            }
+            "--help" | "-h" => return Ok(None),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => opts.files.push(file.to_string()),
         }
@@ -58,7 +110,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if !opts.all_examples && opts.files.is_empty() {
         return Err(format!("nothing to lint\n{}", usage()));
     }
-    Ok(opts)
+    Ok(Some(opts))
 }
 
 fn load_scenarios(opts: &Options) -> Result<Vec<ScenarioModel>, String> {
@@ -77,62 +129,91 @@ fn load_scenarios(opts: &Options) -> Result<Vec<ScenarioModel>, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
-        Ok(o) => o,
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let scenarios = match load_scenarios(&opts) {
         Ok(s) => s,
         Err(msg) => {
             eprintln!("ipmedia-lint: {msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_INPUT);
         }
     };
+    let baseline = match &opts.baseline {
+        None => Baseline::default(),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(src) => Baseline::parse(&src),
+            Err(e) => {
+                eprintln!("ipmedia-lint: {path}: {e}");
+                return ExitCode::from(EXIT_INPUT);
+            }
+        },
+    };
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    let mut names: Vec<String> = Vec::new();
-    for sc in &scenarios {
-        names.push(sc.name.clone());
-        let diags = analyze_scenario(sc);
-        for d in &diags {
-            match d.severity {
-                Severity::Error => errors += 1,
-                Severity::Warning => warnings += 1,
-            }
-            eprintln!("{}\n", d.render());
-            if opts.jsonl {
-                println!("{}", d.to_json());
-            }
+    let report = runner::run(&scenarios, opts.threads, &baseline);
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(path, Baseline::render(&report.kept)) {
+            eprintln!("ipmedia-lint: {path}: {e}");
+            return ExitCode::from(EXIT_INPUT);
+        }
+        eprintln!(
+            "ipmedia-lint: wrote {} fingerprint(s) to {path}",
+            report.kept.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, to_sarif(&report.kept)) {
+            eprintln!("ipmedia-lint: {path}: {e}");
+            return ExitCode::from(EXIT_INPUT);
         }
     }
 
-    let failed = errors > 0 || (opts.deny_warnings && warnings > 0);
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in &report.kept {
+        match d.severity {
+            ipmedia_analyze::Severity::Error => errors += 1,
+            ipmedia_analyze::Severity::Warning => warnings += 1,
+        }
+        eprintln!("{}\n", d.render());
+        if opts.jsonl {
+            println!("{}", d.to_json());
+        }
+    }
+
+    let failed = report.denied(opts.deny_warnings) > 0;
     eprintln!(
-        "ipmedia-lint: {} scenario(s), {errors} error(s), {warnings} warning(s){}",
+        "ipmedia-lint: {} scenario(s), {errors} error(s), {warnings} warning(s), {} suppressed{}",
         scenarios.len(),
+        report.suppressed.len(),
         if failed { "" } else { " — clean" }
     );
     if opts.jsonl {
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
         println!(
             "{}",
             JsonObj::new()
                 .str("type", "lint_summary")
-                .raw(
-                    "scenarios",
-                    &json_str_array(names.iter().map(String::as_str))
-                )
+                .raw("scenarios", &json_str_array(names))
                 .num("errors", errors as u64)
                 .num("warnings", warnings as u64)
+                .num("suppressed", report.suppressed.len() as u64)
                 .bool("deny_warnings", opts.deny_warnings)
                 .bool("failed", failed)
                 .finish()
         );
     }
     if failed {
-        ExitCode::from(1)
+        ExitCode::from(EXIT_FINDINGS)
     } else {
         ExitCode::SUCCESS
     }

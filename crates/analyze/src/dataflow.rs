@@ -1,0 +1,371 @@
+//! Pass 5: cross-box media-flow dataflow (`AZ5xx`).
+//!
+//! These are the path-level defects the per-box passes cannot see: a
+//! program's flowlink is only as good as the peer on the far side of each
+//! tunnel. Built on the [`crate::interproc`] product abstraction:
+//!
+//! * `AZ501` (error) — *broken flowlink chain*: a box rests permanently
+//!   (a [sink](ipmedia_core::program::model::ProgramModel::sinks)) with a
+//!   flow-wanting claim on a paired slot, but in every co-reachable peer
+//!   state the peer can never again claim the paired slot with a
+//!   flow-wanting goal. The chain cannot converge end-to-end: the box
+//!   waits forever for media that no execution delivers.
+//! * `AZ502` (warning) — *permanently stale descriptor cache*: a box
+//!   re-describes a paired slot while the peer can be resting permanently
+//!   with the paired slot held. The hold means the peer's goal object
+//!   never answers with a fresh selector, so the describing box's cache
+//!   of the peer's media choice is stale forever after.
+//! * `AZ503` (error) — *hold wedges a downstream flowlink*: one box rests
+//!   permanently holding its side of a tunnel while the co-reachable peer
+//!   rests permanently flow-linking the paired slot onward. The §IV-B
+//!   hold is meant to park a path temporarily; parked at a sink it blocks
+//!   the peer's flowlink forever.
+//!
+//! All three quantify over the tunnel product, so a finding says "on this
+//! pair of resting states, which some interleaving reaches, the flow can
+//! never converge" — not merely "these two states look suspicious".
+
+use crate::diag::Diagnostic;
+use crate::interproc::{co_reachable, future_flow_claim, tunnels, Tunnel};
+use ipmedia_core::program::model::{ModelEffect, ProgramModel, ScenarioModel};
+use ipmedia_core::{GoalKind, SlotAction};
+use std::collections::BTreeSet;
+
+/// Run the dataflow pass over every tunnel of the scenario.
+pub fn analyze(scenario: &ScenarioModel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for tunnel in tunnels(scenario) {
+        let (Some(pa), Some(pb)) = (
+            scenario.program_for(&tunnel.box_a),
+            scenario.program_for(&tunnel.box_b),
+        ) else {
+            continue;
+        };
+        let product = co_reachable(pa, pb, &tunnel);
+        // Check each direction: A's rests against B, then B's against A.
+        check_side(&tunnel, &tunnel.box_a, pa, pb, &product, false, &mut diags);
+        check_side(&tunnel, &tunnel.box_b, pb, pa, &product, true, &mut diags);
+    }
+    diags
+}
+
+/// Peer states co-reachable with `own_state` (projecting the channel
+/// bit away). `flipped` selects which product component is "own".
+fn peer_states<'a>(
+    product: &'a BTreeSet<(String, String, bool)>,
+    own_state: &str,
+    flipped: bool,
+) -> BTreeSet<&'a str> {
+    product
+        .iter()
+        .filter_map(|(sa, sb, _)| {
+            let (own, peer) = if flipped { (sb, sa) } else { (sa, sb) };
+            (own == own_state).then_some(peer.as_str())
+        })
+        .collect()
+}
+
+fn check_side(
+    tunnel: &Tunnel,
+    box_name: &str,
+    own: &ProgramModel,
+    peer: &ProgramModel,
+    product: &BTreeSet<(String, String, bool)>,
+    flipped: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let peer_box = tunnel.peer_of(box_name);
+    let peer_sinks: BTreeSet<&str> = peer.sinks().into_iter().collect();
+
+    // AZ501 / AZ503: permanent rests wanting flow on a paired slot.
+    for sink in own.sinks() {
+        let Some(state) = own.state_named(sink) else {
+            continue;
+        };
+        for goal in &state.goals {
+            if !goal.kind.wants_flow() {
+                continue;
+            }
+            for slot in &goal.slots {
+                let Some(paired) = tunnel.paired_slot(box_name, slot) else {
+                    continue;
+                };
+                let qb = peer_states(product, sink, flipped);
+                if qb.is_empty() || qb.iter().any(|s| future_flow_claim(peer, s, paired)) {
+                    continue;
+                }
+                // No co-reachable peer state ever claims the paired slot
+                // toward flow again. Distinguish the permanent-hold wedge
+                // from the plain broken chain.
+                let held_at = qb.iter().copied().find(|s| {
+                    peer_sinks.contains(s)
+                        && peer
+                            .claims_on(s, paired)
+                            .iter()
+                            .any(|g| g.kind == GoalKind::HoldSlot)
+                });
+                if let Some(held) = held_at {
+                    diags.push(
+                        Diagnostic::error(
+                            "AZ503",
+                            format!(
+                                "flowlink on slot `{slot}` is blocked forever: peer \
+                                 `{peer_box}` can rest permanently in `{held}` holding \
+                                 the paired slot `{paired}`"
+                            ),
+                        )
+                        .in_program(box_name)
+                        .at_state(sink)
+                        .with_note(
+                            "holdSlot parks a path temporarily; held at a state with \
+                             no outgoing transitions it starves the downstream \
+                             flowLink permanently"
+                                .to_string(),
+                        ),
+                    );
+                } else {
+                    diags.push(
+                        Diagnostic::error(
+                            "AZ501",
+                            format!(
+                                "flowlink chain through slot `{slot}` can never converge: \
+                                 peer `{peer_box}` never claims the paired slot `{paired}` \
+                                 toward flow from any co-reachable state"
+                            ),
+                        )
+                        .in_program(box_name)
+                        .at_state(sink)
+                        .with_note(format!(
+                            "`{box_name}` rests permanently in `{sink}` wanting media on \
+                             `{slot}`, but no execution brings the far side up"
+                        )),
+                    );
+                }
+            }
+        }
+    }
+
+    // AZ502: re-describing toward a peer that can park the pair forever.
+    let reachable = own.reachable_states();
+    for st in &own.states {
+        if !reachable.contains(st.name.as_str()) {
+            continue;
+        }
+        for t in &st.transitions {
+            for e in &t.effects {
+                let ModelEffect::UserAction {
+                    slot,
+                    action: SlotAction::Describe,
+                } = e
+                else {
+                    continue;
+                };
+                let Some(paired) = tunnel.paired_slot(box_name, slot) else {
+                    continue;
+                };
+                let parked = peer_states(product, &st.name, flipped)
+                    .into_iter()
+                    .find(|s| {
+                        peer_sinks.contains(s)
+                            && peer
+                                .claims_on(s, paired)
+                                .iter()
+                                .any(|g| g.kind == GoalKind::HoldSlot)
+                    });
+                if let Some(parked) = parked {
+                    diags.push(
+                        Diagnostic::warning(
+                            "AZ502",
+                            format!(
+                                "descriptor for slot `{slot}` can go permanently stale: \
+                                 peer `{peer_box}` can rest in `{parked}` holding the \
+                                 paired slot `{paired}`"
+                            ),
+                        )
+                        .in_program(box_name)
+                        .at_state(&st.name)
+                        .with_note(
+                            "a held slot never answers a fresh describe with a selector, \
+                             so the cache of the peer's media choice is never refreshed"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmedia_core::path::Topology;
+    use ipmedia_core::program::model::{GoalAnnotation, ModelTrigger, StateModel};
+
+    fn two_box_scenario(a: ProgramModel, b: ProgramModel) -> ScenarioModel {
+        ScenarioModel::new("t")
+            .program("a", a)
+            .program("b", b)
+            .with_topology(
+                Topology::new()
+                    .with_box("a")
+                    .with_box("b")
+                    .with_link("a", "b", 1),
+            )
+            .bind("a", "ch", "b")
+            .bind("b", "ch", "a")
+    }
+
+    /// A rests flow-linking toward b; b parks its paired slot unclaimed
+    /// at a sink — the chain can never converge.
+    #[test]
+    fn broken_flowlink_chain_is_az501() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(StateModel::new("parked").final_state());
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(diags.iter().any(|d| d.code == "AZ501"), "{diags:?}");
+    }
+
+    /// The peer claims the paired slot toward flow at its own rest: the
+    /// chain converges, nothing fires.
+    #[test]
+    fn converging_chain_is_clean() {
+        let side = |slot: &str| {
+            ProgramModel::new("p")
+                .channel("ch")
+                .slot(slot, Some("ch"))
+                .state(
+                    StateModel::new("linked")
+                        .final_state()
+                        .goal(GoalAnnotation::one(GoalKind::OpenSlot, slot)),
+                )
+        };
+        let diags = analyze(&two_box_scenario(side("s"), side("u")));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// Peer holds the paired slot at a sink while we flowlink: AZ503.
+    #[test]
+    fn permanent_hold_against_flowlink_is_az503() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(
+                StateModel::new("parked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::HoldSlot, "u")),
+            );
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(diags.iter().any(|d| d.code == "AZ503"), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.code == "AZ501"), "{diags:?}");
+    }
+
+    /// A hold the peer can still leave (final state with an exit) is a
+    /// temporary park, not a wedge.
+    #[test]
+    fn escapable_hold_is_clean() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(
+                StateModel::new("parked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::HoldSlot, "u"))
+                    .on(ModelTrigger::App("resume".into()), "talking", vec![]),
+            )
+            .state(
+                StateModel::new("talking")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "u")),
+            );
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// Re-describing while the peer can be permanently parked: AZ502.
+    #[test]
+    fn describe_toward_permanent_hold_is_az502() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(
+                StateModel::new("talk")
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s"))
+                    .on(
+                        ModelTrigger::SlotFlowing("s".into()),
+                        "talk",
+                        vec![ModelEffect::UserAction {
+                            slot: "s".into(),
+                            action: SlotAction::Describe,
+                        }],
+                    )
+                    .final_state(),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(
+                StateModel::new("parked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::HoldSlot, "u")),
+            );
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(diags.iter().any(|d| d.code == "AZ502"), "{diags:?}");
+    }
+
+    /// Unbound links (no binding, ambiguous inference) produce no tunnel
+    /// and therefore no findings.
+    #[test]
+    fn unbound_link_is_skipped() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .channel("ch2")
+            .slot("s", Some("ch"))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(StateModel::new("parked").final_state());
+        let sc = ScenarioModel::new("t")
+            .program("a", a)
+            .program("b", b)
+            .with_topology(
+                Topology::new()
+                    .with_box("a")
+                    .with_box("b")
+                    .with_link("a", "b", 1),
+            );
+        // `a` has two channels and no binding: peer inference fails.
+        assert!(analyze(&sc).is_empty());
+    }
+}

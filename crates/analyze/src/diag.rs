@@ -7,7 +7,9 @@
 //! * `AZ1xx` — slot-protocol conformance against the Fig.-9 send table;
 //! * `AZ2xx` — goal-conflict detection;
 //! * `AZ3xx` — leak / termination lints;
-//! * `AZ4xx` — signaling-path well-formedness.
+//! * `AZ4xx` — signaling-path well-formedness;
+//! * `AZ5xx` — interprocedural media-flow dataflow;
+//! * `AZ6xx` — interprocedural signaling-race analysis.
 
 use ipmedia_obs::JsonObj;
 use std::fmt;
@@ -117,6 +119,13 @@ impl Diagnostic {
             parts.push(st);
         }
         parts.join("/")
+    }
+
+    /// Stable suppression fingerprint, `code@location`. Baselines match
+    /// on this: it survives message rewording but not moving the finding
+    /// to a different scenario/program/state.
+    pub fn fingerprint(&self) -> String {
+        format!("{}@{}", self.code, self.location())
     }
 
     /// Rustc-style multi-line rendering:

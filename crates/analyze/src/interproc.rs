@@ -1,0 +1,730 @@
+//! Interprocedural substrate: the cross-box queries behind the `AZ5xx`
+//! dataflow and `AZ6xx` race passes.
+//!
+//! The per-box passes (`AZ1xx`–`AZ3xx`) see one [`ProgramModel`] at a
+//! time, so every property that spans a signaling path — flowlink
+//! convergence, descriptor freshness, race resolution — is invisible to
+//! them. This module lifts the analysis to whole [`ScenarioModel`]s:
+//!
+//! * [`tunnels`] resolves channel *bindings* into [`Tunnel`]s: topology
+//!   links whose two ends are both programmed, with the riding slots
+//!   paired across the link (the n-th slot declared on each side's bound
+//!   channel are tunnel peers);
+//! * [`co_reachable`] computes a *path-product abstraction* per tunnel:
+//!   the set of `(state of A, state of B, channel up?)` triples some
+//!   interleaved execution can reach. Box-local triggers fire freely (a
+//!   sound over-approximation — the environment can supply any event);
+//!   only the shared channel and the paired slots synchronize the product:
+//!   `channelUp`/`channelDown` triggers are gated on the channel bit,
+//!   `openChannel`/`closeChannel` effects flip it, and slot-progress
+//!   triggers on paired slots require the channel up and a peer that can
+//!   actually drive the slot ([`can_flow`] / [`can_close`]);
+//! * [`future_flow_claim`] answers the liveness question the dataflow
+//!   pass needs at permanent rests: can the peer, from here, ever again
+//!   claim the paired slot with a flow-wanting goal?
+//! * [`covered_classes`] maps a scenario onto the dynamic path classes
+//!   the `mck` explorer can check directly, for differential validation:
+//!   each simple topology path whose interior boxes flowlink it
+//!   end-to-end becomes a `(links, left goal, right goal)` class.
+
+use ipmedia_core::path::EndGoal;
+use ipmedia_core::program::model::{ModelEffect, ModelTrigger, ProgramModel, ScenarioModel};
+use ipmedia_core::GoalKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A topology link between two *programmed* boxes, with the program-local
+/// channel each side binds to it and the slot pairs riding it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tunnel {
+    /// One end's box name.
+    pub box_a: String,
+    /// `box_a`'s channel bound to this link.
+    pub chan_a: String,
+    /// The other end's box name.
+    pub box_b: String,
+    /// `box_b`'s channel bound to this link.
+    pub chan_b: String,
+    /// Paired slots, `(slot of box_a, slot of box_b)`, in tunnel order
+    /// (declaration order of the riders on each side).
+    pub pairs: Vec<(String, String)>,
+}
+
+impl Tunnel {
+    /// The peer slot paired with `slot` of `box_name`, if any.
+    pub fn paired_slot(&self, box_name: &str, slot: &str) -> Option<&str> {
+        for (sa, sb) in &self.pairs {
+            if box_name == self.box_a && sa == slot {
+                return Some(sb);
+            }
+            if box_name == self.box_b && sb == slot {
+                return Some(sa);
+            }
+        }
+        None
+    }
+
+    /// The box facing `box_name` across this tunnel.
+    pub fn peer_of(&self, box_name: &str) -> &str {
+        if box_name == self.box_a {
+            &self.box_b
+        } else {
+            &self.box_a
+        }
+    }
+}
+
+/// Resolve a scenario's channel bindings into tunnels: every topology
+/// link whose two ends are programmed boxes with channels bound toward
+/// each other, with the riding slots paired by declaration order. Links
+/// with an unprogrammed or unbound end produce no tunnel — those slots
+/// face the environment and get no cross-box checks.
+pub fn tunnels(scenario: &ScenarioModel) -> Vec<Tunnel> {
+    let mut out = Vec::new();
+    for link in &scenario.topology.links {
+        let (a, b) = (link.from.as_str(), link.to.as_str());
+        let (Some(pa), Some(pb)) = (scenario.program_for(a), scenario.program_for(b)) else {
+            continue;
+        };
+        let (Some(cha), Some(chb)) = (scenario.channel_toward(a, b), scenario.channel_toward(b, a))
+        else {
+            continue;
+        };
+        let sa = pa.slots_on_channel(cha);
+        let sb = pb.slots_on_channel(chb);
+        let pairs: Vec<(String, String)> = sa
+            .iter()
+            .zip(sb.iter())
+            .map(|(x, y)| ((*x).to_string(), (*y).to_string()))
+            .collect();
+        out.push(Tunnel {
+            box_a: a.to_string(),
+            chan_a: cha.to_string(),
+            box_b: b.to_string(),
+            chan_b: chb.to_string(),
+            pairs,
+        });
+    }
+    out
+}
+
+/// True iff `program` can ever drive `slot` toward media flow: some
+/// reachable state claims it with a flow-wanting goal, or some reachable
+/// transition performs a protocol action that progresses it.
+pub fn can_flow(program: &ProgramModel, slot: &str) -> bool {
+    let reachable = program.reachable_states();
+    let claims = program.states.iter().any(|st| {
+        reachable.contains(st.name.as_str())
+            && st
+                .goals
+                .iter()
+                .any(|g| g.kind.wants_flow() && g.slots.iter().any(|s| s == slot))
+    });
+    claims
+        || program.reachable_effects().iter().any(|(_, e)| {
+            matches!(e, ModelEffect::UserAction { slot: s, action } if s == slot
+                && !matches!(action, ipmedia_core::SlotAction::Close))
+        })
+}
+
+/// True iff `program` can ever close `slot` (which rides `channel`):
+/// a `close` action or `closeSlot` claim on it, closing its channel,
+/// terminating outright, or dropping every claim on a slot it had been
+/// driving (a goal object releases — and closes — a slot its state no
+/// longer claims).
+pub fn can_close(program: &ProgramModel, slot: &str, channel: &str) -> bool {
+    let reachable = program.reachable_states();
+    for (_, e) in program.reachable_effects() {
+        match e {
+            ModelEffect::UserAction {
+                slot: s,
+                action: ipmedia_core::SlotAction::Close,
+            } if s == slot => return true,
+            ModelEffect::CloseChannel(c) if c == channel => return true,
+            ModelEffect::Terminate => return true,
+            _ => {}
+        }
+    }
+    let claims_at = |name: &str| -> Option<GoalKind> {
+        program
+            .state_named(name)?
+            .goals
+            .iter()
+            .find(|g| g.slots.iter().any(|s| s == slot))
+            .map(|g| g.kind)
+    };
+    for st in &program.states {
+        if !reachable.contains(st.name.as_str()) {
+            continue;
+        }
+        match claims_at(&st.name) {
+            Some(GoalKind::CloseSlot) => return true,
+            // A claim that can be dropped on a transition releases the
+            // slot: the departing goal object closes it.
+            Some(_) if st.transitions.iter().any(|t| claims_at(&t.to).is_none()) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True iff from `from` (inclusive) `program` can reach a state claiming
+/// `slot` with a flow-wanting goal — the "will the peer ever want media
+/// here again" liveness query.
+pub fn future_flow_claim(program: &ProgramModel, from: &str, slot: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut work: Vec<&str> = vec![from];
+    while let Some(name) = work.pop() {
+        if !seen.insert(name) {
+            continue;
+        }
+        let Some(st) = program.state_named(name) else {
+            continue;
+        };
+        if st
+            .goals
+            .iter()
+            .any(|g| g.kind.wants_flow() && g.slots.iter().any(|s| s == slot))
+        {
+            return true;
+        }
+        for t in &st.transitions {
+            work.push(t.to.as_str());
+        }
+    }
+    false
+}
+
+/// The tunnel-product abstraction: every `(state of box_a, state of
+/// box_b, channel up?)` triple some interleaved execution of the two
+/// programs can reach. See the module docs for the synchronization rules;
+/// everything unshared over-approximates freely, so a pair *absent* from
+/// the result is genuinely unreachable, which is what lets the dataflow
+/// pass call a rest "permanent".
+pub fn co_reachable(
+    a: &ProgramModel,
+    b: &ProgramModel,
+    tunnel: &Tunnel,
+) -> BTreeSet<(String, String, bool)> {
+    // Per-side capability caches for the paired slots the *other* side
+    // waits on.
+    let flow_cap: BTreeMap<(&str, &str), bool> = tunnel
+        .pairs
+        .iter()
+        .flat_map(|(sa, sb)| {
+            [
+                ((tunnel.box_a.as_str(), sa.as_str()), can_flow(b, sb)),
+                ((tunnel.box_b.as_str(), sb.as_str()), can_flow(a, sa)),
+            ]
+        })
+        .collect();
+    let close_cap: BTreeMap<(&str, &str), bool> = tunnel
+        .pairs
+        .iter()
+        .flat_map(|(sa, sb)| {
+            [
+                (
+                    (tunnel.box_a.as_str(), sa.as_str()),
+                    can_close(b, sb, &tunnel.chan_b),
+                ),
+                (
+                    (tunnel.box_b.as_str(), sb.as_str()),
+                    can_close(a, sa, &tunnel.chan_a),
+                ),
+            ]
+        })
+        .collect();
+    let opens = |p: &ProgramModel, ch: &str| {
+        p.reachable_effects()
+            .iter()
+            .any(|(_, e)| matches!(e, ModelEffect::OpenChannel(c) if c == ch))
+    };
+    // If neither program ever opens the shared channel, the environment
+    // owns it and may bring it up at any time.
+    let env_up = !opens(a, &tunnel.chan_a) && !opens(b, &tunnel.chan_b);
+
+    let enabled = |box_name: &str, own_chan: &str, trig: &ModelTrigger, up: bool| -> bool {
+        match trig {
+            ModelTrigger::ChannelUp(c) if c == own_chan => up,
+            ModelTrigger::ChannelDown(c) if c == own_chan => !up,
+            ModelTrigger::SlotOpened(s) | ModelTrigger::SlotFlowing(s) => {
+                match flow_cap.get(&(box_name, s.as_str())) {
+                    Some(peer_can) => up && *peer_can,
+                    None => true, // unpaired slot: environment-driven
+                }
+            }
+            ModelTrigger::SlotClosed(s) => close_cap
+                .get(&(box_name, s.as_str()))
+                .copied()
+                .unwrap_or(true),
+            _ => true,
+        }
+    };
+    let chan_after = |own_chan: &str, effects: &[ModelEffect], up: bool| -> bool {
+        let mut up = up;
+        for e in effects {
+            match e {
+                ModelEffect::OpenChannel(c) if c == own_chan => up = true,
+                ModelEffect::CloseChannel(c) if c == own_chan => up = false,
+                _ => {}
+            }
+        }
+        up
+    };
+
+    let mut seen: BTreeSet<(String, String, bool)> = BTreeSet::new();
+    let mut work: VecDeque<(String, String, bool)> = VecDeque::new();
+    work.push_back((a.initial.clone(), b.initial.clone(), false));
+    while let Some(triple) = work.pop_front() {
+        if !seen.insert(triple.clone()) {
+            continue;
+        }
+        let (sa, sb, up) = &triple;
+        if env_up && !up {
+            work.push_back((sa.clone(), sb.clone(), true));
+        }
+        if let Some(st) = a.state_named(sa) {
+            for t in &st.transitions {
+                if enabled(&tunnel.box_a, &tunnel.chan_a, &t.trigger, *up) {
+                    let up2 = chan_after(&tunnel.chan_a, &t.effects, *up);
+                    work.push_back((t.to.clone(), sb.clone(), up2));
+                }
+            }
+        }
+        if let Some(st) = b.state_named(sb) {
+            for t in &st.transitions {
+                if enabled(&tunnel.box_b, &tunnel.chan_b, &t.trigger, *up) {
+                    let up2 = chan_after(&tunnel.chan_b, &t.effects, *up);
+                    work.push_back((sa.clone(), t.to.clone(), up2));
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// One dynamic path class a scenario's static verdict speaks to: a simple
+/// topology path, flowlinked end-to-end by its interior boxes, rendered
+/// as the `(links, left goal, right goal)` configuration the `mck`
+/// explorer checks directly.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CoveredClass {
+    /// Number of links (tunnels in series) on the path.
+    pub links: usize,
+    /// Goal at the lexically smaller end (classes are normalized so the
+    /// symmetric pair dedups).
+    pub left: EndGoal,
+    /// Goal at the other end.
+    pub right: EndGoal,
+    /// The path's boxes, end to end.
+    pub via: Vec<String>,
+}
+
+/// Goals a programmed endpoint can hold at rest on its path-facing slots,
+/// derived from final-state claims. A final state claiming the slot with
+/// `flowLink` is a pass-through rest, not an endpoint intent, and
+/// contributes nothing; `None` means the box never rests as an endpoint
+/// of this path.
+fn endpoint_goals(program: &ProgramModel, slots: &[&str]) -> BTreeSet<EndGoal> {
+    let reachable = program.reachable_states();
+    let mut out = BTreeSet::new();
+    for st in &program.states {
+        if !st.is_final || !reachable.contains(st.name.as_str()) {
+            continue;
+        }
+        for slot in slots {
+            let kinds: Vec<GoalKind> = st
+                .goals
+                .iter()
+                .filter(|g| g.slots.iter().any(|s| s == slot))
+                .map(|g| g.kind)
+                .collect();
+            if kinds.contains(&GoalKind::FlowLink) {
+                continue;
+            }
+            let goal = if kinds
+                .iter()
+                .any(|k| matches!(k, GoalKind::OpenSlot | GoalKind::UserAgent))
+            {
+                EndGoal::Open
+            } else if kinds.contains(&GoalKind::HoldSlot) {
+                EndGoal::Hold
+            } else {
+                // closeSlot, or resting with the slot unclaimed.
+                EndGoal::Close
+            };
+            out.insert(goal);
+        }
+    }
+    out
+}
+
+/// True iff `program` can flowlink a slot toward `prev` with a slot
+/// toward `next` — the interior-box condition for a covered path.
+fn links_through(scenario: &ScenarioModel, box_name: &str, prev: &str, next: &str) -> bool {
+    let Some(program) = scenario.program_for(box_name) else {
+        return false;
+    };
+    let (Some(chp), Some(chn)) = (
+        scenario.channel_toward(box_name, prev),
+        scenario.channel_toward(box_name, next),
+    ) else {
+        return false;
+    };
+    let sp = program.slots_on_channel(chp);
+    let sn = program.slots_on_channel(chn);
+    let reachable = program.reachable_states();
+    program.states.iter().any(|st| {
+        reachable.contains(st.name.as_str())
+            && st.goals.iter().any(|g| {
+                g.kind == GoalKind::FlowLink
+                    && g.slots.iter().any(|s| sp.contains(&s.as_str()))
+                    && g.slots.iter().any(|s| sn.contains(&s.as_str()))
+            })
+    })
+}
+
+/// Maximum path length (in links) [`covered_classes`] maps onto `mck`
+/// configurations; longer chains exceed the explorer's CI budget.
+pub const MAX_COVERED_LINKS: usize = 2;
+
+/// The dynamic path classes covered by a scenario: every simple topology
+/// path of at most [`MAX_COVERED_LINKS`] links whose interior boxes can
+/// flowlink it end to end, crossed with the end goals each endpoint can
+/// hold (an unprogrammed endpoint is a free user agent and contributes
+/// all three). Classes are normalized (`left <= right`) and deduplicated
+/// per `(links, left, right)`; `via` keeps one witness path.
+pub fn covered_classes(scenario: &ScenarioModel) -> Vec<CoveredClass> {
+    let topo = &scenario.topology;
+    let mut classes: BTreeMap<(usize, EndGoal, EndGoal), Vec<String>> = BTreeMap::new();
+    let n = topo.boxes.len();
+    for i in 0..n {
+        for j in i + 1..n {
+            let Some(path) = simple_path(scenario, &topo.boxes[i], &topo.boxes[j]) else {
+                continue;
+            };
+            let links = path.len() - 1;
+            if links == 0 || links > MAX_COVERED_LINKS {
+                continue;
+            }
+            if !(1..links).all(|k| links_through(scenario, &path[k], &path[k - 1], &path[k + 1])) {
+                continue;
+            }
+            let Some(lg) = end_goals(scenario, &path[0], &path[1]) else {
+                continue;
+            };
+            let Some(rg) = end_goals(scenario, &path[links], &path[links - 1]) else {
+                continue;
+            };
+            for l in &lg {
+                for r in &rg {
+                    let (lo, hi) = if l <= r { (*l, *r) } else { (*r, *l) };
+                    classes
+                        .entry((links, lo, hi))
+                        .or_insert_with(|| path.clone());
+                }
+            }
+        }
+    }
+    classes
+        .into_iter()
+        .map(|((links, left, right), via)| CoveredClass {
+            links,
+            left,
+            right,
+            via,
+        })
+        .collect()
+}
+
+/// End goals the endpoint `box_name` (facing `toward`) can hold: all
+/// three for an unprogrammed box, the final-state-derived set otherwise.
+fn end_goals(scenario: &ScenarioModel, box_name: &str, toward: &str) -> Option<BTreeSet<EndGoal>> {
+    let Some(program) = scenario.program_for(box_name) else {
+        return Some([EndGoal::Open, EndGoal::Close, EndGoal::Hold].into());
+    };
+    let ch = scenario.channel_toward(box_name, toward)?;
+    let slots = program.slots_on_channel(ch);
+    if slots.is_empty() {
+        return None;
+    }
+    let goals = endpoint_goals(program, &slots);
+    if goals.is_empty() {
+        None
+    } else {
+        Some(goals)
+    }
+}
+
+/// The unique simple path between two boxes in the (tree-shaped) channel
+/// graph, as a box-name sequence; `None` if disconnected.
+fn simple_path(scenario: &ScenarioModel, from: &str, to: &str) -> Option<Vec<String>> {
+    let topo = &scenario.topology;
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut work: VecDeque<&str> = VecDeque::new();
+    parent.insert(from, from);
+    work.push_back(from);
+    while let Some(cur) = work.pop_front() {
+        if cur == to {
+            let mut path = vec![to.to_string()];
+            let mut at = to;
+            while at != from {
+                at = parent[at];
+                path.push(at.to_string());
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for nb in topo.neighbors(cur) {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(nb) {
+                e.insert(cur);
+                work.push_back(nb);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmedia_core::path::Topology;
+    use ipmedia_core::program::model::GoalAnnotation;
+    use ipmedia_core::program::model::StateModel;
+
+    /// Two linking servers facing each other over one bound link.
+    fn facing_servers() -> ScenarioModel {
+        let server = |name: &str| {
+            ProgramModel::new(name)
+                .channel("chA")
+                .channel("chB")
+                .slot("sa", Some("chA"))
+                .slot("sb", Some("chB"))
+                .state(
+                    StateModel::new("linked")
+                        .final_state()
+                        .goal(GoalAnnotation::link("sa", "sb")),
+                )
+        };
+        ScenarioModel::new("pair")
+            .program("s1", server("s1"))
+            .program("s2", server("s2"))
+            .with_topology(
+                Topology::new()
+                    .with_box("left")
+                    .with_box("s1")
+                    .with_box("s2")
+                    .with_box("right")
+                    .with_link("left", "s1", 1)
+                    .with_link("s1", "s2", 1)
+                    .with_link("s2", "right", 1),
+            )
+            .bind("s1", "chA", "left")
+            .bind("s1", "chB", "s2")
+            .bind("s2", "chA", "s1")
+            .bind("s2", "chB", "right")
+    }
+
+    #[test]
+    fn bindings_resolve_to_one_tunnel_with_paired_slots() {
+        let sc = facing_servers();
+        let ts = tunnels(&sc);
+        assert_eq!(ts.len(), 1, "{ts:?}");
+        let t = &ts[0];
+        assert_eq!((t.box_a.as_str(), t.box_b.as_str()), ("s1", "s2"));
+        assert_eq!((t.chan_a.as_str(), t.chan_b.as_str()), ("chB", "chA"));
+        assert_eq!(t.pairs, vec![("sb".to_string(), "sa".to_string())]);
+        assert_eq!(t.paired_slot("s1", "sb"), Some("sa"));
+        assert_eq!(t.paired_slot("s2", "sa"), Some("sb"));
+        assert_eq!(t.paired_slot("s1", "sa"), None);
+    }
+
+    #[test]
+    fn environment_owned_channel_comes_up_in_the_product() {
+        let sc = facing_servers();
+        let t = &tunnels(&sc)[0];
+        let (a, b) = (sc.program_for("s1").unwrap(), sc.program_for("s2").unwrap());
+        let r = co_reachable(a, b, t);
+        // Neither server opens chB/chA itself, so the environment may.
+        assert!(r.contains(&("linked".into(), "linked".into(), true)));
+        assert!(r.contains(&("linked".into(), "linked".into(), false)));
+    }
+
+    #[test]
+    fn channel_up_trigger_is_gated_on_the_channel_bit() {
+        // A waits for its bound channel; B never opens its side, and A
+        // doesn't either — but then *neither* does, so env owns it and A
+        // can proceed. Make B the (never-acting) opener by giving it a
+        // reachable openChannel, which revokes env ownership.
+        let a = ProgramModel::new("a")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("wait").on(ModelTrigger::ChannelUp("c".into()), "go", vec![]))
+            .state(StateModel::new("go").final_state());
+        let b = ProgramModel::new("b")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("idle").on(
+                ModelTrigger::User("never".into()),
+                "opened",
+                vec![ModelEffect::OpenChannel("c".into())],
+            ))
+            .state(StateModel::new("opened").final_state());
+        let t = Tunnel {
+            box_a: "a".into(),
+            chan_a: "c".into(),
+            box_b: "b".into(),
+            chan_b: "c".into(),
+            pairs: vec![("s".into(), "s".into())],
+        };
+        let r = co_reachable(&a, &b, &t);
+        // A cannot reach `go` while B is still `idle` (channel down)...
+        assert!(!r.contains(&("go".into(), "idle".into(), false)));
+        assert!(!r.contains(&("go".into(), "idle".into(), true)));
+        // ...but can once B opened.
+        assert!(r.contains(&("go".into(), "opened".into(), true)));
+    }
+
+    #[test]
+    fn slot_progress_requires_a_peer_that_can_flow() {
+        // A waits for isOpened(s); B never claims or acts on its paired
+        // slot, so the wait can never be satisfied.
+        let a = ProgramModel::new("a")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("wait").on(ModelTrigger::SlotOpened("s".into()), "go", vec![]))
+            .state(StateModel::new("go").final_state());
+        let b = ProgramModel::new("b")
+            .channel("c")
+            .slot("u", Some("c"))
+            .state(StateModel::new("rest").final_state());
+        let t = Tunnel {
+            box_a: "a".into(),
+            chan_a: "c".into(),
+            box_b: "b".into(),
+            chan_b: "c".into(),
+            pairs: vec![("s".into(), "u".into())],
+        };
+        let r = co_reachable(&a, &b, &t);
+        assert!(r.iter().all(|(sa, _, _)| sa != "go"), "{r:?}");
+    }
+
+    #[test]
+    fn future_flow_claim_sees_through_intermediate_states() {
+        let p = ProgramModel::new("p")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("idle").on(ModelTrigger::Start, "mid", vec![]))
+            .state(StateModel::new("mid").on(ModelTrigger::Start, "talk", vec![]))
+            .state(
+                StateModel::new("talk")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        assert!(future_flow_claim(&p, "idle", "s"));
+        assert!(future_flow_claim(&p, "talk", "s"));
+        assert!(!future_flow_claim(&p, "idle", "other"));
+    }
+
+    #[test]
+    fn dropping_a_claim_counts_as_closing_capability() {
+        let p = ProgramModel::new("p")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(
+                StateModel::new("talk")
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s"))
+                    .on(ModelTrigger::User("bye".into()), "done", vec![]),
+            )
+            .state(StateModel::new("done").final_state());
+        assert!(can_close(&p, "s", "c"));
+        // Claimed in every reachable state: never released.
+        let q = ProgramModel::new("q")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(
+                StateModel::new("talk")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        assert!(!can_close(&q, "s", "c"));
+    }
+
+    #[test]
+    fn covered_classes_span_flowlinked_paths_only() {
+        let sc = facing_servers();
+        let classes = covered_classes(&sc);
+        // left—s1—s2—right is 3 links (beyond the cap) and every
+        // shorter path ends at a flowLink rest, so nothing is covered.
+        assert!(classes.is_empty(), "{classes:?}");
+
+        // One server between two free endpoints: all six path types at
+        // two links.
+        let single = ScenarioModel::new("single")
+            .program(
+                "s",
+                ProgramModel::new("s")
+                    .channel("chA")
+                    .channel("chB")
+                    .slot("sa", Some("chA"))
+                    .slot("sb", Some("chB"))
+                    .state(
+                        StateModel::new("linked")
+                            .final_state()
+                            .goal(GoalAnnotation::link("sa", "sb")),
+                    ),
+            )
+            .with_topology(
+                Topology::new()
+                    .with_box("l")
+                    .with_box("s")
+                    .with_box("r")
+                    .with_link("l", "s", 1)
+                    .with_link("s", "r", 1),
+            )
+            .bind("s", "chA", "l")
+            .bind("s", "chB", "r");
+        let classes = covered_classes(&single);
+        assert_eq!(classes.len(), 6, "{classes:?}");
+        assert!(classes.iter().all(|c| c.links == 2));
+        assert!(classes
+            .iter()
+            .any(|c| c.left == EndGoal::Open && c.right == EndGoal::Open));
+    }
+
+    #[test]
+    fn programmed_endpoint_goals_come_from_final_claims() {
+        // dialer-style endpoint: one slot, final state claims openSlot.
+        let dialer = ProgramModel::new("d")
+            .channel("c")
+            .slot("s", Some("c"))
+            .state(StateModel::new("start").on(
+                ModelTrigger::Start,
+                "talk",
+                vec![ModelEffect::OpenChannel("c".into())],
+            ))
+            .state(
+                StateModel::new("talk")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let sc = ScenarioModel::new("x")
+            .program("d", dialer)
+            .with_topology(
+                Topology::new()
+                    .with_box("d")
+                    .with_box("e")
+                    .with_link("d", "e", 1),
+            )
+            .bind("d", "c", "e");
+        let classes = covered_classes(&sc);
+        // One programmed end fixed at Open, the free end contributes all
+        // three goals: open–open, open–close, open–hold at one link.
+        assert_eq!(classes.len(), 3, "{classes:?}");
+        assert!(classes.iter().all(|c| c.links == 1));
+        assert!(classes
+            .iter()
+            .all(|c| c.left == EndGoal::Open || c.right == EndGoal::Open));
+    }
+}

@@ -18,11 +18,19 @@
 //!    unclaimed at resting points.
 //! 4. **Signaling-path well-formedness** ([`wellformed`], `AZ4xx`) —
 //!    dangling channels, cycles breaking the tunnel model, isolated
-//!    boxes.
+//!    boxes, malformed channel bindings.
+//! 5. **Interprocedural media-flow dataflow** ([`dataflow`], `AZ5xx`) —
+//!    flowlink chains that cannot converge end-to-end, descriptor caches
+//!    that go permanently stale, holds that wedge a downstream flowlink,
+//!    over the [`interproc`] tunnel-product abstraction.
+//! 6. **Signaling-race analysis** ([`race`], `AZ6xx`) — open/open races
+//!    without the Fig.-10 initiator resolution, close/progress crossings
+//!    that wedge a peer.
 //!
-//! The `ipmedia-lint` binary runs all four passes over the built-in
-//! example registry (`ipmedia_apps::models`) and over serialized `.ipm`
-//! scenarios ([`parse`]).
+//! The `ipmedia-lint` binary runs all passes over the built-in example
+//! registry (`ipmedia_apps::models`) and over serialized `.ipm`
+//! scenarios ([`parse`]), in parallel with deterministic output
+//! ([`runner`]), with SARIF export and baseline suppression ([`sarif`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::pedantic)]
@@ -43,13 +51,21 @@
 
 pub mod conflict;
 pub mod conformance;
+pub mod dataflow;
 pub mod diag;
+pub mod interproc;
 pub mod leak;
 pub mod parse;
+pub mod race;
+pub mod runner;
+pub mod sarif;
 pub mod wellformed;
 
 pub use diag::{sort_report, Diagnostic, Severity};
+pub use interproc::{covered_classes, CoveredClass};
 pub use parse::{parse_scenario, ParseError};
+pub use runner::{run, RunReport};
+pub use sarif::{to_sarif, Baseline};
 
 use ipmedia_core::program::model::{ProgramModel, ScenarioModel};
 
@@ -79,11 +95,13 @@ pub fn analyze_program(model: &ProgramModel) -> Vec<Diagnostic> {
     diags
 }
 
-/// Run all passes over a scenario: the topology checks plus every
-/// attached program. Diagnostics are tagged with the scenario name and
-/// sorted errors-first.
+/// Run all passes over a scenario: the topology checks, the
+/// interprocedural cross-box passes, plus every attached program.
+/// Diagnostics are tagged with the scenario name and sorted errors-first.
 pub fn analyze_scenario(scenario: &ScenarioModel) -> Vec<Diagnostic> {
     let mut diags = wellformed::analyze(scenario);
+    diags.extend(dataflow::analyze(scenario));
+    diags.extend(race::analyze(scenario));
     for (box_name, model) in &scenario.programs {
         diags.extend(analyze_program(model).into_iter().map(|d| {
             let mut d = d;

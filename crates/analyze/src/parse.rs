@@ -181,6 +181,12 @@ pub fn parse_scenario(src: &str) -> Result<ScenarioModel, ParseError> {
                     .map_err(|_| err(line, format!("bad tunnel count `{tunnels}`")))?;
                 topology = topology.with_link(*from, *to, n);
             }
+            "bind" => {
+                let [box_name, channel, peer] = rest.as_slice() else {
+                    return Err(err(line, "bind needs: bind <box> <channel> <peer>"));
+                };
+                scenario = scenario.bind(*box_name, *channel, *peer);
+            }
             "program" => {
                 flush_program(&mut scenario, &mut program, &mut state);
                 let name = rest
@@ -340,6 +346,24 @@ program ua
         let e = parse_scenario("scenario x\nbogus y\n").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn bind_lines_populate_channel_bindings() {
+        let sc = parse_scenario(
+            "scenario x\nbox a\nbox b\nlink a b 1\nbind a c b\n\nprogram a\n  channel c\n  state i final\n",
+        )
+        .expect("parse");
+        assert_eq!(sc.bindings.len(), 1);
+        assert_eq!(sc.bound_peer("a", "c"), Some("b"));
+        assert_eq!(sc.channel_toward("a", "b"), Some("c"));
+    }
+
+    #[test]
+    fn bind_arity_checked() {
+        let e = parse_scenario("scenario x\nbind a c\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bind"), "{}", e.message);
     }
 
     #[test]

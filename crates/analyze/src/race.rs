@@ -1,0 +1,315 @@
+//! Pass 6: signaling-race analysis (`AZ6xx`).
+//!
+//! The slot protocol resolves the Fig.-10 open/open race by initiator:
+//! when both ends send `open` on the same tunnel, the *channel
+//! initiator's* open wins ([`RECV_RULES`]'s `Opening + open → Opened`
+//! row is gated on `initiator`). That resolution presumes each channel
+//! has exactly one initiating side. The pass checks the cross-box
+//! conditions under which it breaks down:
+//!
+//! * `AZ601` (error) — *double initiator*: both programs on a bound link
+//!   can reach an `openChannel` of their side of it. Whichever wins the
+//!   connect race, each box believes it is the initiator, so a
+//!   subsequent open/open crossing on the slot pair has no agreed
+//!   winner and both sides can deadlock in `Opening`.
+//! * `AZ602` (warning) — *close/progress crossing wedge*: a non-final
+//!   state waits *only* on slot-progress events (`isOpened`/`isFlowing`)
+//!   of paired slots, with no timer, close, or channel-down escape,
+//!   while the peer is able to close the paired slot underneath. The
+//!   peer's `close` can cross with the awaited progress signal in
+//!   flight, after which the awaited event never fires and the box is
+//!   wedged in a non-final state forever.
+//!
+//! [`RECV_RULES`]: ipmedia_core::slot::RECV_RULES
+
+use crate::diag::Diagnostic;
+use crate::interproc::{can_close, tunnels};
+use ipmedia_core::program::model::{ModelEffect, ModelTrigger, ProgramModel, ScenarioModel};
+
+/// Run the race pass over every tunnel of the scenario.
+pub fn analyze(scenario: &ScenarioModel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for tunnel in tunnels(scenario) {
+        let (Some(pa), Some(pb)) = (
+            scenario.program_for(&tunnel.box_a),
+            scenario.program_for(&tunnel.box_b),
+        ) else {
+            continue;
+        };
+        let opens = |p: &ProgramModel, ch: &str| -> Option<String> {
+            p.reachable_effects()
+                .iter()
+                .find(|(_, e)| matches!(e, ModelEffect::OpenChannel(c) if c == ch))
+                .map(|(state, _)| (*state).to_string())
+        };
+        if let (Some(at_a), Some(at_b)) = (opens(pa, &tunnel.chan_a), opens(pb, &tunnel.chan_b)) {
+            diags.push(
+                Diagnostic::error(
+                    "AZ601",
+                    format!(
+                        "both `{}` (in `{at_a}`) and `{}` (in `{at_b}`) can initiate \
+                         the channel between them: the Fig.-10 open/open race on \
+                         their slot pair has no agreed winner",
+                        tunnel.box_a, tunnel.box_b
+                    ),
+                )
+                .in_program(&tunnel.box_a)
+                .with_note(
+                    "race resolution is by channel initiator; with two initiators \
+                     each side expects its own open to win and both can wedge in \
+                     `opening`. Make one side passive (wait for channelUp instead \
+                     of openChannel)"
+                        .to_string(),
+                ),
+            );
+        }
+
+        check_wedge(&tunnel.box_a, pa, pb, &tunnel, false, &mut diags);
+        check_wedge(&tunnel.box_b, pb, pa, &tunnel, true, &mut diags);
+    }
+    diags
+}
+
+/// AZ602 for one side of a tunnel.
+fn check_wedge(
+    box_name: &str,
+    own: &ProgramModel,
+    peer: &ProgramModel,
+    tunnel: &crate::interproc::Tunnel,
+    flipped: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let peer_chan = if flipped {
+        &tunnel.chan_a
+    } else {
+        &tunnel.chan_b
+    };
+    let reachable = own.reachable_states();
+    for st in &own.states {
+        if st.is_final || st.transitions.is_empty() || !reachable.contains(st.name.as_str()) {
+            continue;
+        }
+        // Every exit must be slot progress on a paired slot; any other
+        // trigger (timer, isClosed, channelDown, user, ...) is an escape.
+        let mut awaited: Vec<(&str, &str)> = Vec::new(); // (slot, paired)
+        let all_paired_progress = st.transitions.iter().all(|t| match &t.trigger {
+            ModelTrigger::SlotOpened(s) | ModelTrigger::SlotFlowing(s) => {
+                match tunnel.paired_slot(box_name, s) {
+                    Some(p) => {
+                        awaited.push((s.as_str(), p));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        });
+        if !all_paired_progress || awaited.is_empty() {
+            continue;
+        }
+        // Only a peer that can actually close underneath makes the
+        // crossing reachable.
+        let closable: Vec<&(&str, &str)> = awaited
+            .iter()
+            .filter(|(_, paired)| can_close(peer, paired, peer_chan))
+            .collect();
+        if closable.len() != awaited.len() {
+            continue;
+        }
+        let slots: Vec<&str> = awaited.iter().map(|(s, _)| *s).collect();
+        diags.push(
+            Diagnostic::warning(
+                "AZ602",
+                format!(
+                    "state `{}` waits only on progress of slot(s) `{}` while peer \
+                     `{}` can close the paired slot(s) underneath",
+                    st.name,
+                    slots.join("`, `"),
+                    tunnel.peer_of(box_name)
+                ),
+            )
+            .in_program(box_name)
+            .at_state(&st.name)
+            .with_note(
+                "a close/progress crossing leaves the awaited event permanently \
+                 unfired and the box wedged in a non-final state; add an \
+                 isClosed/channelDown/timer escape"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipmedia_core::path::Topology;
+    use ipmedia_core::program::model::{GoalAnnotation, StateModel};
+    use ipmedia_core::{GoalKind, SlotAction};
+
+    fn two_box_scenario(a: ProgramModel, b: ProgramModel) -> ScenarioModel {
+        ScenarioModel::new("t")
+            .program("a", a)
+            .program("b", b)
+            .with_topology(
+                Topology::new()
+                    .with_box("a")
+                    .with_box("b")
+                    .with_link("a", "b", 1),
+            )
+            .bind("a", "ch", "b")
+            .bind("b", "ch", "a")
+    }
+
+    fn opener(name: &str) -> ProgramModel {
+        ProgramModel::new(name)
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(StateModel::new("boot").on(
+                ModelTrigger::Start,
+                "linked",
+                vec![ModelEffect::OpenChannel("ch".into())],
+            ))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            )
+    }
+
+    fn passive(name: &str) -> ProgramModel {
+        ProgramModel::new(name)
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(StateModel::new("boot").on(
+                ModelTrigger::ChannelUp("ch".into()),
+                "linked",
+                vec![],
+            ))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            )
+    }
+
+    #[test]
+    fn double_initiator_is_az601() {
+        let diags = analyze(&two_box_scenario(opener("a"), opener("b")));
+        assert!(diags.iter().any(|d| d.code == "AZ601"), "{diags:?}");
+    }
+
+    #[test]
+    fn single_initiator_is_clean() {
+        let diags = analyze(&two_box_scenario(opener("a"), passive("b")));
+        assert!(!diags.iter().any(|d| d.code == "AZ601"), "{diags:?}");
+    }
+
+    #[test]
+    fn environment_established_channel_is_clean() {
+        let diags = analyze(&two_box_scenario(passive("a"), passive("b")));
+        assert!(!diags.iter().any(|d| d.code == "AZ601"), "{diags:?}");
+    }
+
+    /// Waiting only on slot progress while the peer can close underneath.
+    #[test]
+    fn progress_wait_against_closing_peer_is_az602() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(StateModel::new("waiting").on(
+                ModelTrigger::SlotOpened("s".into()),
+                "linked",
+                vec![],
+            ))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(
+                StateModel::new("open")
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "u"))
+                    .on(
+                        ModelTrigger::User("bye".into()),
+                        "done",
+                        vec![ModelEffect::UserAction {
+                            slot: "u".into(),
+                            action: SlotAction::Close,
+                        }],
+                    ),
+            )
+            .state(StateModel::new("done").final_state());
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(diags.iter().any(|d| d.code == "AZ602"), "{diags:?}");
+    }
+
+    /// The same wait is clean when the peer never closes...
+    #[test]
+    fn progress_wait_against_steady_peer_is_clean() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .state(StateModel::new("waiting").on(
+                ModelTrigger::SlotOpened("s".into()),
+                "linked",
+                vec![],
+            ))
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            );
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(
+                StateModel::new("open")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "u")),
+            );
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(!diags.iter().any(|d| d.code == "AZ602"), "{diags:?}");
+    }
+
+    /// ...and when the waiting state has a non-progress escape.
+    #[test]
+    fn progress_wait_with_escape_is_clean() {
+        let a = ProgramModel::new("a")
+            .channel("ch")
+            .slot("s", Some("ch"))
+            .timer("giveup")
+            .state(
+                StateModel::new("waiting")
+                    .on(ModelTrigger::SlotOpened("s".into()), "linked", vec![])
+                    .on(ModelTrigger::Timer("giveup".into()), "done", vec![]),
+            )
+            .state(
+                StateModel::new("linked")
+                    .final_state()
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "s")),
+            )
+            .state(StateModel::new("done").final_state());
+        let b = ProgramModel::new("b")
+            .channel("ch")
+            .slot("u", Some("ch"))
+            .state(
+                StateModel::new("open")
+                    .goal(GoalAnnotation::one(GoalKind::OpenSlot, "u"))
+                    .on(
+                        ModelTrigger::User("bye".into()),
+                        "done",
+                        vec![ModelEffect::UserAction {
+                            slot: "u".into(),
+                            action: SlotAction::Close,
+                        }],
+                    ),
+            )
+            .state(StateModel::new("done").final_state());
+        let diags = analyze(&two_box_scenario(a, b));
+        assert!(!diags.iter().any(|d| d.code == "AZ602"), "{diags:?}");
+    }
+}

@@ -13,11 +13,17 @@
 //!   tunnel model's assumption that paths are simple chains;
 //! * `AZ404` (warning) — a box is isolated (no channel touches it);
 //! * `AZ405` (error) — a channel declares zero tunnels, so no slot can
-//!   ever ride it.
+//!   ever ride it;
+//! * `AZ406` (error) — a channel binding is malformed: it names an
+//!   unprogrammed box or undeclared channel, binds toward a box with no
+//!   connecting link, or duplicates another binding for the same box
+//!   channel or box/peer pair. (Bindings are what let the interprocedural
+//!   passes pair slots across a link, so a bad one silently disables
+//!   those checks.)
 
 use crate::diag::Diagnostic;
 use ipmedia_core::program::model::ScenarioModel;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Union-find over box names, for cycle detection in the channel graph.
 struct Forest<'a> {
@@ -125,6 +131,44 @@ pub fn analyze(scenario: &ScenarioModel) -> Vec<Diagnostic> {
         }
     }
 
+    let mut seen_channel: BTreeSet<(&str, &str)> = BTreeSet::new();
+    let mut seen_peer: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for b in &scenario.bindings {
+        let mut bad = |msg: String| {
+            diags.push(Diagnostic::error("AZ406", msg).in_scenario(&scenario.name));
+        };
+        let Some(program) = scenario.program_for(&b.box_name) else {
+            bad(format!("binding names unprogrammed box `{}`", b.box_name));
+            continue;
+        };
+        if !program.channels.iter().any(|c| c == &b.channel) {
+            bad(format!(
+                "binding names undeclared channel `{}` of box `{}`",
+                b.channel, b.box_name
+            ));
+            continue;
+        }
+        if topo.link_between(&b.box_name, &b.peer).is_none() {
+            bad(format!(
+                "binding of `{}`.`{}` points at `{}`, but no link joins them",
+                b.box_name, b.channel, b.peer
+            ));
+            continue;
+        }
+        if !seen_channel.insert((&b.box_name, &b.channel)) {
+            bad(format!(
+                "channel `{}` of box `{}` is bound more than once",
+                b.channel, b.box_name
+            ));
+        }
+        if !seen_peer.insert((&b.box_name, &b.peer)) {
+            bad(format!(
+                "box `{}` binds two channels toward `{}`",
+                b.box_name, b.peer
+            ));
+        }
+    }
+
     diags
 }
 
@@ -201,5 +245,94 @@ mod tests {
             .program("ghost", ProgramModel::new("p"))
             .with_topology(Topology::new().with_box("a"));
         assert!(analyze(&s).iter().any(|d| d.code == "AZ401"));
+    }
+
+    fn bound_pair() -> ScenarioModel {
+        use ipmedia_core::program::model::{ProgramModel, StateModel};
+        let p = ProgramModel::new("a")
+            .channel("ch")
+            .state(StateModel::new("idle").final_state());
+        ScenarioModel::new("t").program("a", p).with_topology(
+            Topology::new()
+                .with_box("a")
+                .with_box("b")
+                .with_link("a", "b", 1),
+        )
+    }
+
+    #[test]
+    fn good_binding_is_clean() {
+        let s = bound_pair().bind("a", "ch", "b");
+        assert!(analyze(&s).is_empty(), "{:?}", analyze(&s));
+    }
+
+    #[test]
+    fn binding_on_unprogrammed_box_flagged() {
+        let s = bound_pair().bind("b", "ch", "a");
+        let diags = analyze(&s);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ406" && d.message.contains("unprogrammed")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn binding_of_undeclared_channel_flagged() {
+        let s = bound_pair().bind("a", "ghost", "b");
+        let diags = analyze(&s);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ406" && d.message.contains("undeclared channel")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn binding_without_link_flagged() {
+        let s = bound_pair().bind("a", "ch", "nowhere");
+        let diags = analyze(&s);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ406" && d.message.contains("no link joins")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_bindings_flagged() {
+        // Same channel bound twice AND two channels toward one peer.
+        use ipmedia_core::program::model::{ProgramModel, StateModel};
+        let p = ProgramModel::new("a")
+            .channel("ch")
+            .channel("ch2")
+            .state(StateModel::new("idle").final_state());
+        let s = ScenarioModel::new("t")
+            .program("a", p)
+            .with_topology(
+                Topology::new()
+                    .with_box("a")
+                    .with_box("b")
+                    .with_link("a", "b", 1),
+            )
+            .bind("a", "ch", "b")
+            .bind("a", "ch", "b")
+            .bind("a", "ch2", "b");
+        let diags = analyze(&s);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ406" && d.message.contains("bound more than once")),
+            "{diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "AZ406" && d.message.contains("two channels toward")),
+            "{diags:?}"
+        );
     }
 }

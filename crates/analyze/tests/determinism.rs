@@ -1,0 +1,71 @@
+//! Thread-count determinism for the analysis runner (the discipline of
+//! `crates/mck/tests/determinism.rs`): `ipmedia-lint --all-examples
+//! --jsonl` must be byte-identical across runs and across `--threads`
+//! values. The CLI is a thin shell around [`ipmedia_analyze::run`], so
+//! exercising the runner exercises exactly the code path the binary
+//! ships.
+
+use ipmedia_analyze::{parse_scenario, run, Baseline};
+use ipmedia_core::program::model::ScenarioModel;
+use std::path::PathBuf;
+
+/// The registry plus every planted fixture: a mixed clean/dirty corpus
+/// so determinism is checked over non-trivial reports, not empty ones.
+fn corpus() -> Vec<ScenarioModel> {
+    let mut scenarios = ipmedia_apps::models::all_scenarios();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/models");
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/models")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ipm"))
+        .collect();
+    names.sort();
+    for path in names {
+        let src = std::fs::read_to_string(&path).expect("fixture");
+        scenarios.push(parse_scenario(&src).expect("fixture parses"));
+    }
+    scenarios
+}
+
+#[test]
+fn jsonl_and_rendered_output_identical_across_runs_and_thread_counts() {
+    let scenarios = corpus();
+    let baseline = Baseline::default();
+    let base = run(&scenarios, 1, &baseline);
+    assert!(
+        !base.kept.is_empty(),
+        "corpus should produce findings (planted fixtures)"
+    );
+    // Byte-identical across repeated runs...
+    let again = run(&scenarios, 1, &baseline);
+    assert_eq!(base.to_jsonl(), again.to_jsonl());
+    assert_eq!(base.render(), again.render());
+    // ...and across thread counts, including oversubscription.
+    for threads in [2usize, 8, 0] {
+        let n = run(&scenarios, threads, &baseline);
+        assert_eq!(base.to_jsonl(), n.to_jsonl(), "threads={threads}");
+        assert_eq!(base.render(), n.render(), "threads={threads}");
+    }
+}
+
+#[test]
+fn suppression_is_deterministic_too() {
+    // Baseline the whole corpus, then re-run: kept must be empty and the
+    // suppressed set identical at every thread count.
+    let scenarios = corpus();
+    let all = run(&scenarios, 1, &Baseline::default());
+    let baseline = Baseline::parse(&Baseline::render(&all.kept));
+    let base = run(&scenarios, 1, &baseline);
+    assert!(base.kept.is_empty(), "{:?}", base.kept);
+    let fp = |r: &ipmedia_analyze::RunReport| {
+        r.suppressed
+            .iter()
+            .map(ipmedia_analyze::Diagnostic::fingerprint)
+            .collect::<Vec<_>>()
+    };
+    for threads in [2usize, 8] {
+        let n = run(&scenarios, threads, &baseline);
+        assert!(n.kept.is_empty(), "threads={threads}");
+        assert_eq!(fp(&base), fp(&n), "threads={threads}");
+    }
+}

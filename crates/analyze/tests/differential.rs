@@ -1,0 +1,85 @@
+//! Differential validation against the model checker (the soundness
+//! direction of the analyzer's contract): if the static passes report a
+//! scenario **clean**, then `mck`'s exhaustive exploration must find no
+//! counterexample in any dynamic path class that scenario covers.
+//!
+//! The bridge is [`covered_classes`]: every simple signaling path of a
+//! scenario whose interior boxes rest flow-linking end to end, reduced
+//! to the `(links, left-goal, right-goal)` configuration the checker
+//! explores. A covered class with `n` links maps to a `CheckConfig`
+//! with `n - 1` flowlink boxes.
+//!
+//! The converse (analyzer finding ⇒ checker counterexample) does *not*
+//! hold and is not asserted: the analyzer's abstraction is a sound
+//! over-approximation, so it may flag behaviors outside the dynamic
+//! classes `mck` explores.
+//!
+//! Truncated checker runs are accepted but must themselves be violation
+//! free — "no counterexample found in the explored prefix" is the
+//! honest form of the claim under a state cap (`scripts/check.sh` runs
+//! the full-budget form via `ipmedia-differential`).
+
+use ipmedia_analyze::{analyze_scenario, covered_classes};
+use ipmedia_core::path::EndGoal;
+use ipmedia_mck::{budgeted, check_path};
+use std::collections::BTreeMap;
+
+/// Keeps each unique configuration comfortably under a second while
+/// still exhausting the 0-flowlink classes.
+const MAX_STATES: usize = 60_000;
+
+#[test]
+fn analyzer_clean_scenarios_have_no_checker_counterexample() {
+    // Collect the union of covered classes over all analyzer-clean
+    // registry scenarios, dedup'd to unique checker configurations so
+    // each is explored once no matter how many scenarios cover it.
+    let mut classes: BTreeMap<(usize, EndGoal, EndGoal), Vec<String>> = BTreeMap::new();
+    let mut clean = 0usize;
+    for sc in ipmedia_apps::models::all_scenarios() {
+        if !analyze_scenario(&sc).is_empty() {
+            continue; // not clean: the analyzer makes no claim here
+        }
+        clean += 1;
+        for c in covered_classes(&sc) {
+            assert!(c.links >= 1, "{}: degenerate covered class", sc.name);
+            classes
+                .entry((c.links - 1, c.left, c.right))
+                .or_default()
+                .push(format!("{}:{}", sc.name, c.via.join("~")));
+        }
+    }
+    assert!(clean > 0, "registry should have analyzer-clean scenarios");
+    assert!(
+        !classes.is_empty(),
+        "clean scenarios should cover at least one dynamic class"
+    );
+    for ((links, left, right), witnesses) in &classes {
+        let cfg = budgeted(*links, *left, *right, 0);
+        let (res, _) = check_path(&cfg, MAX_STATES);
+        let class = res.verdict_class();
+        assert!(
+            !class.is_counterexample(),
+            "analyzer-clean scenarios cover ({links} flowlinks, \
+             {left:?}/{right:?}) but mck reports {}: {} — witnesses: {witnesses:?}",
+            class.name(),
+            res.verdict(),
+        );
+    }
+}
+
+#[test]
+fn covered_classes_span_both_checker_depths() {
+    // The registry must keep exercising both the direct-path (0
+    // flowlinks) and one-flowlink-box configurations, or the
+    // differential claim silently loses coverage.
+    let mut depths = std::collections::BTreeSet::new();
+    for sc in ipmedia_apps::models::all_scenarios() {
+        if analyze_scenario(&sc).is_empty() {
+            for c in covered_classes(&sc) {
+                depths.insert(c.links - 1);
+            }
+        }
+    }
+    assert!(depths.contains(&0), "no direct-path class covered");
+    assert!(depths.contains(&1), "no one-flowlink class covered");
+}

@@ -59,6 +59,30 @@ fn planted_cycle_caught() {
     assert!(has_code(&diags, "AZ403"), "{diags:?}");
 }
 
+/// Pass 5 (interprocedural dataflow): the relay rests flow-linking into
+/// a slot whose peer answers by closing its side and never wants flow —
+/// the chain cannot converge end-to-end.
+#[test]
+fn planted_flowlink_break_caught() {
+    let diags = lint_fixture("planted_flowlink_break.ipm");
+    assert!(has_code(&diags, "AZ501"), "{diags:?}");
+    let d = diags.iter().find(|d| d.code == "AZ501").unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.program.as_deref(), Some("relay"), "{d:?}");
+    assert!(d.message.contains("converge"), "{}", d.message);
+}
+
+/// Pass 6 (race): both endpoints can initiate the same bound channel, so
+/// the Fig.-10 initiator-based open/open resolution has no agreed winner.
+#[test]
+fn planted_open_race_caught() {
+    let diags = lint_fixture("planted_open_race.ipm");
+    assert!(has_code(&diags, "AZ601"), "{diags:?}");
+    let d = diags.iter().find(|d| d.code == "AZ601").unwrap();
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("initiate"), "{}", d.message);
+}
+
 /// The real example registry is clean — the gate `scripts/check.sh` runs
 /// (`ipmedia-lint --all-examples --deny warnings`) must stay green.
 #[test]
@@ -78,6 +102,8 @@ fn every_planted_fixture_has_an_error_or_warning() {
         "planted_goal_conflict.ipm",
         "planted_slot_leak.ipm",
         "planted_cycle.ipm",
+        "planted_flowlink_break.ipm",
+        "planted_open_race.ipm",
     ] {
         let diags = lint_fixture(name);
         assert!(!diags.is_empty(), "{name} should not lint clean");

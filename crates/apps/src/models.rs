@@ -14,13 +14,19 @@ use ipmedia_core::program::model::{
 };
 use ipmedia_core::GoalKind;
 
-/// The example names with a registered scenario model, in `examples/` order.
-pub const EXAMPLE_NAMES: [&str; 8] = [
+/// The registered scenario names, alphabetical. Eight mirror the
+/// repository's `examples/` binaries; `call_pickup`, `hotline_bridge`
+/// and `relay_chain` are registry-only multi-box chains exercising the
+/// interprocedural analyzer.
+pub const EXAMPLE_NAMES: [&str; 11] = [
+    "call_pickup",
     "click_to_dial",
     "conference",
+    "hotline_bridge",
     "observability",
     "prepaid_pbx",
     "quickstart",
+    "relay_chain",
     "sip_comparison",
     "tcp_call",
     "verify",
@@ -29,11 +35,14 @@ pub const EXAMPLE_NAMES: [&str; 8] = [
 /// The scenario model for one example, if registered.
 pub fn scenario(name: &str) -> Option<ScenarioModel> {
     match name {
+        "call_pickup" => Some(call_pickup()),
         "click_to_dial" => Some(click_to_dial_scenario()),
         "conference" => Some(conference()),
+        "hotline_bridge" => Some(hotline_bridge()),
         "observability" => Some(observability()),
         "prepaid_pbx" => Some(prepaid_pbx()),
         "quickstart" => Some(quickstart()),
+        "relay_chain" => Some(relay_chain()),
         "sip_comparison" => Some(sip_comparison()),
         "tcp_call" => Some(tcp_call()),
         "verify" => Some(verify()),
@@ -333,6 +342,9 @@ fn click_to_dial_scenario() -> ScenarioModel {
                 .with_link("ctd", "user2", 1)
                 .with_link("ctd", "tone", 1),
         )
+        .bind("ctd", "ch1", "user1")
+        .bind("ctd", "ch2", "user2")
+        .bind("ctd", "chT", "tone")
 }
 
 fn conference() -> ScenarioModel {
@@ -350,12 +362,18 @@ fn conference() -> ScenarioModel {
                 .with_link("carol", "conf-server", 1)
                 .with_link("conf-server", "bridge", 3),
         )
+        .bind("conf-server", "chU1", "alice")
+        .bind("conf-server", "chU2", "bob")
+        .bind("conf-server", "chU3", "carol")
+        .bind("conf-server", "chB", "bridge")
 }
 
 fn observability() -> ScenarioModel {
     ScenarioModel::new("observability")
         .program("server", linking_server("server"))
         .with_topology(two_leg_server())
+        .bind("server", "chA", "alice")
+        .bind("server", "chB", "bob")
 }
 
 fn prepaid_pbx() -> ScenarioModel {
@@ -376,12 +394,19 @@ fn prepaid_pbx() -> ScenarioModel {
                 .with_link("pbx", "phone-a", 1)
                 .with_link("phone-c", "pbx", 1),
         )
+        .bind("pc", "chC", "phone-b")
+        .bind("pc", "chA", "pbx")
+        .bind("pc", "chV", "ivr")
+        .bind("pbx", "chIn", "pc")
+        .bind("pbx", "chOut", "phone-a")
 }
 
 fn quickstart() -> ScenarioModel {
     ScenarioModel::new("quickstart")
         .program("server", linking_server("server"))
         .with_topology(two_leg_server())
+        .bind("server", "chA", "alice")
+        .bind("server", "chB", "bob")
 }
 
 /// The SIP-comparison example measures protocol timings over the same
@@ -400,6 +425,10 @@ fn sip_comparison() -> ScenarioModel {
                 .with_link("server1", "server2", 1)
                 .with_link("server2", "right", 1),
         )
+        .bind("server1", "chA", "left")
+        .bind("server1", "chB", "server2")
+        .bind("server2", "chA", "server1")
+        .bind("server2", "chB", "right")
 }
 
 fn tcp_call() -> ScenarioModel {
@@ -414,6 +443,9 @@ fn tcp_call() -> ScenarioModel {
                 .with_link("caller", "gateway", 1)
                 .with_link("gateway", "callee", 1),
         )
+        .bind("caller", "chG", "gateway")
+        .bind("gateway", "chIn", "caller")
+        .bind("gateway", "chOut", "callee")
 }
 
 /// The verification campaign explores direct paths between two driven
@@ -425,6 +457,122 @@ fn verify() -> ScenarioModel {
             .with_box("right")
             .with_link("left", "right", 1),
     )
+}
+
+/// Two linking servers in series between free endpoints: the minimal
+/// multi-box flowlink chain (a path is threaded through *two* programmed
+/// interiors), exercising the cross-box dataflow passes on a tunnel
+/// whose channel neither program opens (environment-established).
+fn relay_chain() -> ScenarioModel {
+    ScenarioModel::new("relay_chain")
+        .program("relay1", linking_server("relay1"))
+        .program("relay2", linking_server("relay2"))
+        .with_topology(
+            Topology::new()
+                .with_box("left")
+                .with_box("relay1")
+                .with_box("relay2")
+                .with_box("right")
+                .with_link("left", "relay1", 1)
+                .with_link("relay1", "relay2", 1)
+                .with_link("relay2", "right", 1),
+        )
+        .bind("relay1", "chA", "left")
+        .bind("relay1", "chB", "relay2")
+        .bind("relay2", "chA", "relay1")
+        .bind("relay2", "chB", "right")
+}
+
+/// A staged dial-out box: waits for its upstream slot to open, then
+/// initiates the downstream channel and flowlinks through. Two of these
+/// chained give a tunnel with exactly one initiator on each bound link —
+/// the Fig.-10-safe shape the race pass certifies.
+fn dial_through(name: &str, up: &str, down: &str) -> ProgramModel {
+    ProgramModel::new(name)
+        .channel(up.to_string())
+        .channel(down.to_string())
+        .slot("u", Some(up))
+        .slot("d", Some(down))
+        .state(StateModel::new("idle").on(
+            ModelTrigger::SlotOpened("u".into()),
+            "dialing",
+            vec![ModelEffect::OpenChannel(down.into())],
+        ))
+        .state(StateModel::new("dialing").goal(hold("u")).on(
+            ModelTrigger::ChannelUp(down.into()),
+            "linked",
+            vec![],
+        ))
+        .state(StateModel::new("linked").final_state().goal(link("u", "d")))
+}
+
+/// Call pickup: a caller reaches the pickup service, which dials the
+/// agent dispatcher, which dials an agent — two programmed boxes joined
+/// by a link each side of which has a distinct initiator role.
+fn call_pickup() -> ScenarioModel {
+    ScenarioModel::new("call_pickup")
+        .program("pickup", dial_through("pickup", "chC", "chA"))
+        .program("agentd", dial_through("agentd", "chP", "chT"))
+        .with_topology(
+            Topology::new()
+                .with_box("caller")
+                .with_box("pickup")
+                .with_box("agentd")
+                .with_box("agent")
+                .with_link("caller", "pickup", 1)
+                .with_link("pickup", "agentd", 1)
+                .with_link("agentd", "agent", 1),
+        )
+        .bind("pickup", "chC", "caller")
+        .bind("pickup", "chA", "agentd")
+        .bind("agentd", "chP", "pickup")
+        .bind("agentd", "chT", "agent")
+}
+
+/// A hotline hub bridging two phones, with full teardown: when the left
+/// leg drops, the hub closes the right leg and terminates — the pattern
+/// that leaves no slot live at the terminal rest.
+fn hotline_hub() -> ProgramModel {
+    ProgramModel::new("hub")
+        .channel("chL")
+        .channel("chR")
+        .slot("l", Some("chL"))
+        .slot("r", Some("chR"))
+        .state(StateModel::new("idle").on(
+            ModelTrigger::ChannelUp("chL".into()),
+            "bridged",
+            vec![ModelEffect::OpenChannel("chR".into())],
+        ))
+        .state(
+            StateModel::new("bridged")
+                .final_state()
+                .goal(link("l", "r"))
+                .on(
+                    ModelTrigger::ChannelDown("chL".into()),
+                    "done",
+                    vec![
+                        ModelEffect::CloseChannel("chR".into()),
+                        ModelEffect::Terminate,
+                    ],
+                ),
+        )
+        .state(StateModel::new("done").final_state())
+}
+
+/// The hotline-bridge scenario: one programmed hub between two phones.
+fn hotline_bridge() -> ScenarioModel {
+    ScenarioModel::new("hotline_bridge")
+        .program("hub", hotline_hub())
+        .with_topology(
+            Topology::new()
+                .with_box("phone1")
+                .with_box("hub")
+                .with_box("phone2")
+                .with_link("phone1", "hub", 1)
+                .with_link("hub", "phone2", 1),
+        )
+        .bind("hub", "chL", "phone1")
+        .bind("hub", "chR", "phone2")
 }
 
 fn two_leg_server() -> Topology {

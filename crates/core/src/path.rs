@@ -31,7 +31,7 @@ use std::fmt;
 /// The kind of goal controlling one end of a signaling path. (A genuine
 /// endpoint's user agent behaves as an `openSlot`/`holdSlot`/`closeSlot`
 /// depending on the user's current intent; §V.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EndGoal {
     /// The end wants media flow (`openSlot`-like intent).
     Open,
@@ -42,7 +42,7 @@ pub enum EndGoal {
 }
 
 /// The six path types of §V, up to symmetry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PathType {
     /// Both ends closing.
     CloseClose,
@@ -289,6 +289,30 @@ impl Topology {
             .iter()
             .filter(|l| l.from == name || l.to == name)
             .count()
+    }
+
+    /// The link between boxes `a` and `b`, in either orientation.
+    pub fn link_between(&self, a: &str, b: &str) -> Option<&ChannelLink> {
+        self.links
+            .iter()
+            .find(|l| (l.from == a && l.to == b) || (l.from == b && l.to == a))
+    }
+
+    /// Boxes adjacent to `name` in the undirected channel graph, in link
+    /// declaration order.
+    pub fn neighbors(&self, name: &str) -> Vec<&str> {
+        self.links
+            .iter()
+            .filter_map(|l| {
+                if l.from == name {
+                    Some(l.to.as_str())
+                } else if l.to == name {
+                    Some(l.from.as_str())
+                } else {
+                    None
+                }
+            })
+            .collect()
     }
 }
 

@@ -477,6 +477,84 @@ impl ProgramModel {
         }
         out
     }
+
+    /// Names of *sink* states: reachable final states with no outgoing
+    /// transitions. A sink is a permanent rest — once entered, the
+    /// program's goal claims there hold forever, which is what makes
+    /// cross-box "blocked forever" reasoning sound. (A final state *with*
+    /// transitions, like prepaid's `talking`, is a rest the program can
+    /// still leave, so it is not a sink.)
+    pub fn sinks(&self) -> Vec<&str> {
+        let reachable = self.reachable_states();
+        self.states
+            .iter()
+            .filter(|s| {
+                s.is_final && s.transitions.is_empty() && reachable.contains(s.name.as_str())
+            })
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Goal claims of the given kinds that mention `slot` in state `state`.
+    pub fn claims_on(&self, state: &str, slot: &str) -> Vec<&GoalAnnotation> {
+        self.state_named(state)
+            .map(|s| {
+                s.goals
+                    .iter()
+                    .filter(|g| g.slots.iter().any(|sl| sl == slot))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Every `(state name, effect)` pair reachable from the initial state,
+    /// in deterministic (state-declaration, transition) order.
+    pub fn reachable_effects(&self) -> Vec<(&str, &ModelEffect)> {
+        let reachable = self.reachable_states();
+        let mut out = Vec::new();
+        for s in &self.states {
+            if !reachable.contains(s.name.as_str()) {
+                continue;
+            }
+            for t in &s.transitions {
+                for e in &t.effects {
+                    out.push((s.name.as_str(), e));
+                }
+            }
+        }
+        out
+    }
+
+    /// Slot names riding channel `channel`, in declaration order. The
+    /// declaration order is the tunnel order on the channel, so pairing
+    /// the n-th rider on each side of a bound link pairs actual tunnel
+    /// peers.
+    pub fn slots_on_channel(&self, channel: &str) -> Vec<&str> {
+        self.slots
+            .iter()
+            .filter(|s| s.channel.as_deref() == Some(channel))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+}
+
+/// A binding of one program-local channel name onto a topology link: box
+/// `box_name`'s channel `channel` is the signaling channel toward `peer`.
+///
+/// Program models name channels locally (`"chIn"`, `"chOut"`), while the
+/// topology names links by their two boxes; nothing in the per-box view
+/// says which is which. Bindings supply that correspondence, which is what
+/// lets the interprocedural analyzer pair slots *across* a tunnel (box A's
+/// slot riding its bound channel faces box B's slot riding B's bound
+/// channel toward A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelBinding {
+    /// The programmed box whose channel is being bound.
+    pub box_name: String,
+    /// The program-local channel name.
+    pub channel: String,
+    /// The far box of the topology link the channel rides.
+    pub peer: String,
 }
 
 /// A whole scenario: a box/channel topology plus a [`ProgramModel`] for
@@ -490,6 +568,9 @@ pub struct ScenarioModel {
     pub topology: Topology,
     /// `(box name, program)` pairs; box names must appear in the topology.
     pub programs: Vec<(String, ProgramModel)>,
+    /// Channel-to-link bindings, for interprocedural analysis. Optional:
+    /// an unbound channel simply gets no cross-box checks.
+    pub bindings: Vec<ChannelBinding>,
 }
 
 impl ScenarioModel {
@@ -513,12 +594,71 @@ impl ScenarioModel {
         self
     }
 
+    /// Bind `box_name`'s program channel `channel` to the topology link
+    /// toward `peer`.
+    pub fn bind(
+        mut self,
+        box_name: impl Into<String>,
+        channel: impl Into<String>,
+        peer: impl Into<String>,
+    ) -> Self {
+        self.bindings.push(ChannelBinding {
+            box_name: box_name.into(),
+            channel: channel.into(),
+            peer: peer.into(),
+        });
+        self
+    }
+
     /// The program attached to `box_name`, if any.
     pub fn program_for(&self, box_name: &str) -> Option<&ProgramModel> {
         self.programs
             .iter()
             .find(|(b, _)| b == box_name)
             .map(|(_, m)| m)
+    }
+
+    /// The peer box that `box_name`'s channel `channel` is bound toward.
+    ///
+    /// Falls back to inference when no explicit binding exists and the
+    /// correspondence is unambiguous: the box declares exactly one channel
+    /// and has exactly one incident topology link.
+    pub fn bound_peer(&self, box_name: &str, channel: &str) -> Option<&str> {
+        if let Some(b) = self
+            .bindings
+            .iter()
+            .find(|b| b.box_name == box_name && b.channel == channel)
+        {
+            return Some(&b.peer);
+        }
+        let program = self.program_for(box_name)?;
+        if program.channels.len() != 1 || program.channels[0] != channel {
+            return None;
+        }
+        let mut ends = self.topology.links.iter().filter_map(|l| {
+            if l.from == box_name {
+                Some(l.to.as_str())
+            } else if l.to == box_name {
+                Some(l.from.as_str())
+            } else {
+                None
+            }
+        });
+        match (ends.next(), ends.next()) {
+            (Some(peer), None) => Some(peer),
+            _ => None,
+        }
+    }
+
+    /// The program-local channel name `box_name` uses for its link toward
+    /// `peer` (the inverse of [`ScenarioModel::bound_peer`]).
+    pub fn channel_toward(&self, box_name: &str, peer: &str) -> Option<&str> {
+        let program = self.program_for(box_name)?;
+        program
+            .channels
+            .iter()
+            .map(String::as_str)
+            .find(|c| self.bound_peer(box_name, c) == Some(peer))
     }
 }
 

@@ -36,12 +36,63 @@ pub struct CheckResult {
     pub spec_result: Result<(), Violation>,
 }
 
+/// Coarse classification of a [`CheckResult`], for consumers that compare
+/// verdicts across tools (the static-analyzer differential harness) and
+/// need a stable, machine-readable class rather than the free-text
+/// [`CheckResult::verdict`] string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VerdictClass {
+    /// Exhaustive exploration, both properties hold.
+    Pass,
+    /// A safety violation (counterexample trace exists).
+    Safety,
+    /// The §V path specification failed (liveness/recurrence).
+    Spec,
+    /// The exploration cap was hit: properties checked over a prefix only,
+    /// so nothing is known beyond "no counterexample found so far".
+    Truncated,
+}
+
+impl VerdictClass {
+    /// Stable lower-case name, used in JSONL records.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictClass::Pass => "pass",
+            VerdictClass::Safety => "safety",
+            VerdictClass::Spec => "spec",
+            VerdictClass::Truncated => "truncated",
+        }
+    }
+
+    /// True iff the checker found an actual counterexample (as opposed to
+    /// passing or running out of budget).
+    pub fn is_counterexample(self) -> bool {
+        matches!(self, VerdictClass::Safety | VerdictClass::Spec)
+    }
+}
+
 impl CheckResult {
     /// A configuration passes only if exploration was exhaustive AND both
     /// properties hold. A truncated run is *never* a pass: the properties
     /// were only checked over a prefix of the reachable space.
     pub fn passed(&self) -> bool {
         !self.truncated && self.safety.is_ok() && self.spec_result.is_ok()
+    }
+
+    /// The [`VerdictClass`] of this result. Safety violations win over
+    /// spec violations (a safety counterexample invalidates everything
+    /// downstream); truncation only matters when no violation was found
+    /// in the explored prefix.
+    pub fn verdict_class(&self) -> VerdictClass {
+        if self.safety.is_err() {
+            VerdictClass::Safety
+        } else if self.spec_result.is_err() {
+            VerdictClass::Spec
+        } else if self.truncated {
+            VerdictClass::Truncated
+        } else {
+            VerdictClass::Pass
+        }
     }
 
     /// Human-readable verdict; truncated runs are reported as such (with

@@ -19,7 +19,30 @@ echo "== cargo test" >&2
 cargo test "$@" --workspace -q
 
 echo "== ipmedia-lint (static analysis over all example models)" >&2
-cargo run "$@" -q -p ipmedia-analyze --bin ipmedia-lint -- --all-examples --deny warnings
+# All passes (AZ1xx–AZ6xx) at deny level, parallel with deterministic
+# output, gated against the committed baseline; the SARIF log is a build
+# artifact for CI code-scanning upload.
+mkdir -p target
+cargo run "$@" -q -p ipmedia-analyze --bin ipmedia-lint -- \
+  --all-examples --deny warnings --threads "$(nproc)" \
+  --baseline lint-baseline.txt --sarif target/ipmedia-lint.sarif
+
+echo "== differential validation (analyzer clean => no mck counterexample)" >&2
+# Cross-checks every analyzer-clean scenario's covered path classes
+# against the model checker and refreshes BENCH_differential.jsonl; the
+# matrix carries no wall-clock fields, so a dirty diff after this step
+# means the coverage or verdicts actually changed.
+cargo build "$@" --release -q -p ipmedia-bench --bin differential
+DIFF_BUDGET_SECS="${DIFF_BUDGET_SECS:-240}"
+timeout "$DIFF_BUDGET_SECS" ./target/release/differential --threads "$(nproc)" >/dev/null || {
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "differential exceeded the ${DIFF_BUDGET_SECS}s wall-clock budget" >&2
+  else
+    echo "differential failed (exit $status)" >&2
+  fi
+  exit "$status"
+}
 
 echo "== fault-matrix smoke (loss x dup/reorder, bounded virtual time)" >&2
 cargo run "$@" -q -p ipmedia-bench --bin fault_matrix -- --threads "$(nproc)" >/dev/null
