@@ -46,6 +46,9 @@ fn main() {
     ];
 
     let mut lines = Vec::new();
+    lines.push(ipmedia_bench::provenance_record(
+        *THREAD_COUNTS.last().unwrap(),
+    ));
     lines.push(
         JsonObj::new()
             .str("record", "mck_throughput_host")

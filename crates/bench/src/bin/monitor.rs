@@ -1,0 +1,190 @@
+//! `ipmedia-monitor`: runtime invariant monitoring over live event
+//! streams.
+//!
+//! Usage: `cargo run --release -p ipmedia-bench --bin ipmedia-monitor
+//! [--mutant closed-slot] [scenario...]`
+//!
+//! For each registry scenario (all of them by default), the monitor runs
+//! a deployed chain exercise sized by the scenario's topology on the
+//! discrete-event simulator — establish the call through the scenario's
+//! box count, hold and re-link a server, tear the call down — while a
+//! recording observer captures the event stream. The monitor then
+//! reconstructs per-call ladders and checks the §V path invariants the
+//! static analyzer and the model checker verify offline:
+//!
+//! * `IM101` — slot-protocol conformance against `SEND_RULES`/`RECV_RULES`
+//! * `IM102` — no action on a Closed slot
+//! * `IM201` — flowlink convergence at quiescence
+//! * `IM301` — clean terminal states (closed or flowing only)
+//!
+//! Any divergence between deployed behavior and the verified model is
+//! flagged with its invariant code and a minimized ladder (stderr), and
+//! as a JSONL `monitor_finding` record (stdout); the exit code is nonzero.
+//!
+//! `--mutant closed-slot` plants a deliberate divergence — a box acting
+//! on a Closed slot, the bug class the model checker's safety property
+//! catches statically — and *requires* the monitor to flag it as `IM102`
+//! (exit nonzero if the monitor misses it): the self-test that the gate
+//! in `scripts/check.sh` runs.
+
+use ipmedia_bench::Chain;
+use ipmedia_core::descriptor::{DescTag, Selector};
+use ipmedia_core::goal::{Outgoing, UserCmd};
+use ipmedia_core::program::BoxCmd;
+use ipmedia_core::signal::Signal;
+use ipmedia_netsim::{SimConfig, SimDuration, SimTime};
+use ipmedia_obs::monitor::{finding_json, Monitor, IM_CLOSED_ACTION};
+use ipmedia_obs::JsonObj;
+use std::process::ExitCode;
+
+const T_MAX: SimTime = SimTime(3_600_000_000);
+
+/// Run one monitored exercise; returns (events seen, findings as JSONL,
+/// ladders for stderr).
+fn run_scenario(name: &str, boxes: usize, mutant: bool) -> (u64, Vec<String>, Vec<String>) {
+    // Size the chain by the scenario topology: its interior boxes become
+    // servers (at least one, capped so big conferences stay fast).
+    let k = boxes.saturating_sub(2).clamp(1, 4);
+    let (mut chain, log) = Chain::new_recorded(k, SimConfig::paper());
+
+    let mut monitor = Monitor::new(ipmedia_core::monitor_rules());
+    monitor.register_box(chain.l.0, "end-l");
+    monitor.register_box(chain.r.0, "end-r");
+    for (i, srv) in chain.servers.iter().enumerate() {
+        monitor.register_box(srv.0, format!("s{i}"));
+    }
+    for (i, &srv) in chain.servers.iter().enumerate() {
+        let (a, b) = chain.server_slots[i];
+        monitor.watch_flowlink((srv.0, a.0), (srv.0, b.0));
+    }
+
+    // Exercise: the established call is held, re-linked, and torn down.
+    chain.hold(0);
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain.relink(0);
+    chain.measure_reconvergence(t0);
+    chain.net.user(chain.l, chain.l_slot, UserCmd::Close);
+    chain.net.run_until_quiescent(T_MAX);
+
+    if mutant {
+        // The planted divergence: a server emits a Select on a slot that
+        // is already Closed — deployed behavior the verified model
+        // forbids (the model checker's no-action-on-Closed class).
+        let srv = chain.servers[0];
+        let (slot, _) = chain.server_slots[0];
+        chain.net.apply(srv, move |_pb| {
+            vec![BoxCmd::Signal(Outgoing {
+                slot,
+                signal: Signal::Select {
+                    sel: Selector::not_sending(DescTag {
+                        origin: 0xBAD,
+                        generation: 1,
+                    }),
+                },
+            })]
+        });
+        chain.net.run_until_quiescent(T_MAX);
+    }
+
+    let log = log.lock().unwrap();
+    monitor.ingest_all(&log);
+    monitor.check_quiescent(chain.net.now().0);
+
+    let findings_json: Vec<String> = monitor.findings().iter().map(finding_json).collect();
+    let ladders: Vec<String> = monitor
+        .findings()
+        .iter()
+        .map(|f| {
+            format!(
+                "[{}] {} box {} slot {} at {}us: {}\n{}",
+                f.code, name, f.bx, f.slot, f.at_micros, f.detail, f.ladder
+            )
+        })
+        .collect();
+    (monitor.events_seen(), findings_json, ladders)
+}
+
+fn main() -> ExitCode {
+    let mut mutant = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--mutant" {
+            let kind = args.next().unwrap_or_default();
+            assert_eq!(kind, "closed-slot", "unknown mutant kind {kind:?}");
+            mutant = true;
+        } else {
+            selected.push(a);
+        }
+    }
+    let names: Vec<String> = if selected.is_empty() {
+        ipmedia_apps::models::EXAMPLE_NAMES
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect()
+    } else {
+        selected
+    };
+
+    let mut failed = false;
+    for name in &names {
+        let Some(sc) = ipmedia_apps::models::scenario(name) else {
+            eprintln!("unknown scenario {name}");
+            return ExitCode::FAILURE;
+        };
+        let boxes = sc.topology.boxes.len();
+        let (events, findings, ladders) = run_scenario(name, boxes, mutant);
+
+        let expected_mutant_caught = mutant
+            && findings
+                .iter()
+                .any(|f| f.contains(&format!("\"invariant_code\":\"{IM_CLOSED_ACTION}\"")));
+        let clean = findings.is_empty();
+        let ok = if mutant {
+            expected_mutant_caught
+        } else {
+            clean
+        };
+
+        println!(
+            "{}",
+            JsonObj::new()
+                .str("record", "monitor_scenario")
+                .str("scenario", name)
+                .num("boxes", boxes as u64)
+                .num("events", events)
+                .num("findings", findings.len() as u64)
+                .bool("mutant", mutant)
+                .bool("ok", ok)
+                .finish()
+        );
+        for f in &findings {
+            println!("{f}");
+        }
+        for l in &ladders {
+            eprintln!("{l}");
+        }
+        if !ok {
+            if mutant {
+                eprintln!(
+                    "{name}: planted closed-slot divergence was NOT flagged as {IM_CLOSED_ACTION}"
+                );
+            } else {
+                eprintln!("{name}: {} unexpected finding(s)", findings.len());
+            }
+            failed = true;
+        }
+    }
+    eprintln!(
+        "monitor: {} scenario(s){}, {}",
+        names.len(),
+        if mutant { " (mutant: closed-slot)" } else { "" },
+        if failed { "FAIL" } else { "ok" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

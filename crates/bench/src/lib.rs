@@ -12,11 +12,36 @@ use ipmedia_core::ids::{BoxId, SlotId};
 use ipmedia_core::reliable::ReliableConfig;
 use ipmedia_core::{BoxCmd, MediaAddr, Medium};
 use ipmedia_netsim::{FaultPlan, Network, SimConfig, SimDuration, SimTime};
+use ipmedia_obs::clock::Clock;
 use ipmedia_obs::metrics::{CountingObserver, Registry};
-use ipmedia_obs::{NoopObserver, Observer};
-use std::sync::Arc;
+use ipmedia_obs::trace::SpanSink;
+use ipmedia_obs::{JsonObj, NoopObserver, ObsEvent, Observer, RecordingObserver};
+use std::sync::{Arc, Mutex};
+
+/// Shared handle to a [`RecordingObserver`]'s event log.
+pub type RecordedLog = Arc<Mutex<Vec<(u64, ObsEvent)>>>;
 
 const T_MAX: SimTime = SimTime(3_600_000_000);
+
+/// Common provenance header for every committed `BENCH_*` file: one JSONL
+/// record describing the host and build that produced the numbers, so a
+/// 1-core debug run is never misread against an 8-core release baseline.
+pub fn provenance_record(threads: usize) -> String {
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    JsonObj::new()
+        .str("record", "bench_provenance")
+        .num("host_parallelism", host as u64)
+        .num("threads", threads as u64)
+        .str(
+            "cargo_profile",
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        )
+        .finish()
+}
 
 fn l_addr() -> MediaAddr {
     MediaAddr::v4(10, 0, 0, 1, 4000)
@@ -50,9 +75,55 @@ impl Chain {
     /// Observers are strictly passive: `tests/obs_overhead.rs` pins down
     /// that traces and latencies are identical with and without one.
     pub fn new_observed(k: usize, cfg: SimConfig, obs: Box<dyn Observer + Send>) -> Chain {
+        Chain::build(k, cfg, |_| obs, None)
+    }
+
+    /// [`Chain::new`] with a [`RecordingObserver`] timestamped by the
+    /// network's virtual-time clock; returns the chain and the shared
+    /// event log. The runtime invariant monitor consumes exactly this
+    /// stream.
+    pub fn new_recorded(k: usize, cfg: SimConfig) -> (Chain, RecordedLog) {
+        let mut log = None;
+        let chain = Chain::build(
+            k,
+            cfg,
+            |net| {
+                let rec = RecordingObserver::new(net.clock() as Arc<dyn Clock + Send + Sync>);
+                log = Some(rec.log());
+                Box::new(rec)
+            },
+            None,
+        );
+        (chain, log.expect("factory ran"))
+    }
+
+    /// [`Chain::new_observed`] with causal tracing enabled before any
+    /// protocol activity: every activation, delivery, and tunnel setup of
+    /// the establishment phase lands in `sink` as parent-linked spans.
+    /// Tracing shares the zero-perturbation contract with observers; the
+    /// `trace_overhead` bin measures its wall-clock cost.
+    pub fn new_traced(
+        k: usize,
+        cfg: SimConfig,
+        obs: Box<dyn Observer + Send>,
+        sink: Arc<SpanSink>,
+    ) -> Chain {
+        Chain::build(k, cfg, |_| obs, Some(sink))
+    }
+
+    fn build(
+        k: usize,
+        cfg: SimConfig,
+        make_obs: impl FnOnce(&Network) -> Box<dyn Observer + Send>,
+        sink: Option<Arc<SpanSink>>,
+    ) -> Chain {
         assert!(k >= 1);
         let mut net = Network::new(cfg);
+        let obs = make_obs(&net);
         net.set_observer(obs);
+        if let Some(sink) = sink {
+            net.enable_tracing(sink);
+        }
         let l = net.add_box(
             "end-l",
             Box::new(EndpointLogic::resource(EndpointPolicy::audio(l_addr()))),

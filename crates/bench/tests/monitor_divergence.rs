@@ -1,0 +1,92 @@
+//! The runtime invariant monitor must catch a deployed box diverging
+//! from the verified model. The planted divergence is the model checker's
+//! no-action-on-Closed class: a server emits a `Select` on a slot that is
+//! already Closed. The monitor has to flag it as `IM102` with a minimized
+//! ladder — and flag nothing on the very same exercise without the plant.
+
+use ipmedia_bench::Chain;
+use ipmedia_core::descriptor::{DescTag, Selector};
+use ipmedia_core::goal::{Outgoing, UserCmd};
+use ipmedia_core::program::BoxCmd;
+use ipmedia_core::signal::Signal;
+use ipmedia_netsim::{SimConfig, SimDuration, SimTime};
+use ipmedia_obs::monitor::{Monitor, IM_CLOSED_ACTION};
+
+const T_MAX: SimTime = SimTime(3_600_000_000);
+
+fn run(plant: bool) -> Monitor {
+    let (mut chain, log) = Chain::new_recorded(2, SimConfig::paper());
+    let mut monitor = Monitor::new(ipmedia_core::monitor_rules());
+    monitor.register_box(chain.l.0, "end-l");
+    monitor.register_box(chain.r.0, "end-r");
+    for (i, srv) in chain.servers.iter().enumerate() {
+        monitor.register_box(srv.0, format!("s{i}"));
+    }
+    for (i, &srv) in chain.servers.iter().enumerate() {
+        let (a, b) = chain.server_slots[i];
+        monitor.watch_flowlink((srv.0, a.0), (srv.0, b.0));
+    }
+
+    chain.hold(0);
+    chain.net.advance(SimDuration::from_millis(1_000));
+    let t0 = chain.net.now();
+    chain.relink(0);
+    chain.measure_reconvergence(t0);
+    chain.net.user(chain.l, chain.l_slot, UserCmd::Close);
+    chain.net.run_until_quiescent(T_MAX);
+
+    if plant {
+        let srv = chain.servers[0];
+        let (slot, _) = chain.server_slots[0];
+        chain.net.apply(srv, move |_pb| {
+            vec![BoxCmd::Signal(Outgoing {
+                slot,
+                signal: Signal::Select {
+                    sel: Selector::not_sending(DescTag {
+                        origin: 0xBAD,
+                        generation: 1,
+                    }),
+                },
+            })]
+        });
+        chain.net.run_until_quiescent(T_MAX);
+    }
+
+    let log = log.lock().unwrap();
+    monitor.ingest_all(&log);
+    monitor.check_quiescent(chain.net.now().0);
+    monitor
+}
+
+#[test]
+fn clean_run_has_no_findings() {
+    let monitor = run(false);
+    assert!(monitor.events_seen() > 0, "the exercise produced events");
+    assert!(
+        monitor.is_clean(),
+        "clean run must be clean: {:?}",
+        monitor.findings()
+    );
+}
+
+#[test]
+fn planted_closed_slot_action_is_flagged_im102_with_ladder() {
+    let monitor = run(true);
+    let f = monitor
+        .findings()
+        .iter()
+        .find(|f| f.code == IM_CLOSED_ACTION)
+        .expect("planted divergence must be flagged as IM102");
+    assert!(
+        f.detail.contains("select"),
+        "finding names the signal: {}",
+        f.detail
+    );
+    assert!(
+        f.ladder.contains("!select") && f.ladder.contains("s0"),
+        "minimized ladder shows the illegal send:\n{}",
+        f.ladder
+    );
+    // The plant is the only divergence in the run.
+    assert_eq!(monitor.findings().len(), 1, "{:?}", monitor.findings());
+}

@@ -61,5 +61,6 @@ pub use signal::{
     AppEvent, Availability, ChannelMsg, MetaSignal, MixRow, MovieCommand, Signal, SignalKind,
 };
 pub use slot::{
-    RecvRule, SendRule, Slot, SlotAction, SlotEvent, SlotState, RECV_RULES, SEND_RULES,
+    monitor_rules, RecvRule, SendRule, Slot, SlotAction, SlotEvent, SlotState, RECV_RULES,
+    SEND_RULES,
 };

@@ -10,7 +10,8 @@
 //! TRUNCATED (and a non-zero exit) — never as a clean pass.
 
 use ipmedia_mck::{
-    campaign_configs, check_path, minimize_counterexample, render_table, render_trace, run_campaign,
+    campaign_configs, check_path, invariant_code, minimize_counterexample, render_table,
+    render_trace, run_campaign,
 };
 use ipmedia_obs::JsonObj;
 use std::time::Instant;
@@ -71,7 +72,11 @@ fn main() {
             .bool("passed", res.passed());
         let violation = res.safety.as_ref().err().or(res.spec_result.as_ref().err());
         if let Some(v) = violation {
+            let code = invariant_code(res.spec, v);
             rec = rec.str("violation", &v.to_string());
+            // The same code the runtime monitor emits for this class of
+            // divergence, so static and live findings are diffable.
+            rec = rec.str("invariant_code", code);
             // Campaign workers drop their graphs; failures are rare enough
             // that re-exploring just the failed config to reconstruct and
             // minimize its trace is cheaper than keeping every graph alive.
@@ -79,7 +84,8 @@ fn main() {
             let trace = minimize_counterexample(cfg, &g, res.spec, v);
             rec = rec.num("counterexample_len", trace.len() as u64);
             eprintln!(
-                "minimal counterexample for {} links={} ({} steps):\n{}",
+                "[{}] minimal counterexample for {} links={} ({} steps):\n{}",
+                code,
                 res.path_type,
                 res.links,
                 trace.len(),

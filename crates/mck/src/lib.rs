@@ -24,5 +24,5 @@ pub use counterexample::{
     minimize_counterexample, minimize_trace, render_counterexample, render_trace, replay,
 };
 pub use explore::{explore, explore_with, ExploreOptions, SeenSet, StateFlags, StateGraph};
-pub use props::{check_safety, check_spec, cycle_states, Violation};
+pub use props::{check_safety, check_spec, cycle_states, invariant_code, Violation};
 pub use state::{Action, CheckConfig, NondetOp, PathState};

@@ -45,6 +45,24 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Map a violation to the invariant code shared with the runtime monitor
+/// (`ipmedia_obs::monitor`): static counterexamples and live findings of
+/// the same class carry the same code, so the two are directly diffable.
+///
+/// * `IM201` — flowlink convergence (liveness of `bothFlowing`).
+/// * `IM301` — dirty/ill-terminated terminal state.
+pub fn invariant_code(spec: PathSpec, v: &Violation) -> &'static str {
+    match v {
+        Violation::DirtyTerminal { .. } => "IM301",
+        Violation::BadTerminal { .. } | Violation::BadCycle { .. } => match spec {
+            PathSpec::AlwaysEventuallyBothFlowing | PathSpec::EventuallyAlwaysNotBothFlowing => {
+                "IM201"
+            }
+            PathSpec::EventuallyAlwaysBothClosed | PathSpec::ClosedOrFlowing => "IM301",
+        },
+    }
+}
+
 /// Safety (§VIII-A): every terminal state has each slot closed or flowing
 /// and all tunnels empty.
 pub fn check_safety(g: &StateGraph) -> Result<(), Violation> {
@@ -309,5 +327,43 @@ mod tests {
             check_spec(&g, ipmedia_core::PathSpec::EventuallyAlwaysBothClosed),
             Err(Violation::BadTerminal { state: 0 })
         ));
+    }
+
+    #[test]
+    fn invariant_codes_match_monitor_constants() {
+        use ipmedia_core::PathSpec as P;
+        let dirty = Violation::DirtyTerminal { state: 0 };
+        let term = Violation::BadTerminal { state: 0 };
+        let cycle = Violation::BadCycle { state: 0 };
+        // Dirty terminals are IM301 regardless of the spec under check.
+        for spec in [
+            P::EventuallyAlwaysBothClosed,
+            P::EventuallyAlwaysNotBothFlowing,
+            P::AlwaysEventuallyBothFlowing,
+            P::ClosedOrFlowing,
+        ] {
+            assert_eq!(
+                invariant_code(spec, &dirty),
+                ipmedia_obs::monitor::IM_TERMINAL
+            );
+        }
+        // Flowing-liveness specs map to the flowlink-convergence code.
+        assert_eq!(
+            invariant_code(P::AlwaysEventuallyBothFlowing, &cycle),
+            ipmedia_obs::monitor::IM_FLOWLINK
+        );
+        assert_eq!(
+            invariant_code(P::EventuallyAlwaysNotBothFlowing, &term),
+            ipmedia_obs::monitor::IM_FLOWLINK
+        );
+        // Teardown/terminal-shape specs map to the terminal code.
+        assert_eq!(
+            invariant_code(P::EventuallyAlwaysBothClosed, &cycle),
+            ipmedia_obs::monitor::IM_TERMINAL
+        );
+        assert_eq!(
+            invariant_code(P::ClosedOrFlowing, &term),
+            ipmedia_obs::monitor::IM_TERMINAL
+        );
     }
 }

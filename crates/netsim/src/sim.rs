@@ -16,7 +16,8 @@ use ipmedia_core::signal::{Availability, MetaSignal};
 use ipmedia_core::MediaBox;
 use ipmedia_obs::clock::ManualClock;
 use ipmedia_obs::ladder::{render, LadderEvent};
-use ipmedia_obs::{NoopObserver, Observer};
+use ipmedia_obs::trace::{SpanCtx, SpanSink, Tracer};
+use ipmedia_obs::{Fanout, NoopObserver, Observer};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -88,6 +89,10 @@ struct Scheduled {
     at: SimTime,
     seq: u64,
     ev: Ev,
+    /// Causal trace context the event carries (tracing enabled only).
+    /// Not part of the ordering key, so enabling tracing cannot change
+    /// the event schedule — the zero-perturbation guarantee.
+    ctx: Option<SpanCtx>,
 }
 
 impl PartialEq for Scheduled {
@@ -177,6 +182,10 @@ pub struct Network {
     /// Virtual-time clock kept in sync with `now`, so observers that
     /// timestamp (e.g. `RecordingObserver`) see simulation time.
     clock: Arc<ManualClock>,
+    /// Causal tracer, when [`Network::enable_tracing`] was called. All
+    /// per-event tracing work is gated on this being `Some`; with it
+    /// `None` the simulation takes exactly the untraced code path.
+    tracer: Option<Tracer>,
 }
 
 impl Network {
@@ -197,6 +206,7 @@ impl Network {
             trace: Vec::new(),
             obs: Box::new(NoopObserver),
             clock: Arc::new(ManualClock::new()),
+            tracer: None,
         }
     }
 
@@ -223,6 +233,70 @@ impl Network {
     /// Hand it to observers that timestamp events.
     pub fn clock(&self) -> Arc<ManualClock> {
         self.clock.clone()
+    }
+
+    /// Enable causal tracing into `sink`: every delivery records a
+    /// `"transit"` span, every box activation a `"stimulus"` span, and
+    /// the trace context rides on scheduled events so per-call causality
+    /// survives arbitrary interleaving. Box-layer protocol callbacks
+    /// (slot transitions, races, faults, recoveries) become child spans
+    /// via a [`ipmedia_obs::TracingObserver`] fanned into the current
+    /// observer. Tracing is strictly passive: it changes no event
+    /// ordering, no virtual-time arithmetic, and no box behavior.
+    pub fn enable_tracing(&mut self, sink: Arc<SpanSink>) -> Tracer {
+        let tracer = Tracer::new(sink, self.clock.clone());
+        let prev = std::mem::replace(&mut self.obs, Box::new(NoopObserver));
+        self.obs = Box::new(Fanout(tracer.observer(), prev));
+        self.tracer = Some(tracer.clone());
+        tracer
+    }
+
+    /// When tracing, close the transit leg (if the activation was caused
+    /// by a transmitted event), open the span for this box activation,
+    /// point the observer context at it, and return the child context
+    /// its outputs should carry.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_activation(
+        &mut self,
+        to: BoxId,
+        from: Option<BoxId>,
+        ctx: Option<SpanCtx>,
+        kind: &'static str,
+        label: String,
+        start: SimTime,
+        done: SimTime,
+    ) -> Option<SpanCtx> {
+        let tracer = self.tracer.as_ref()?.clone();
+        let (trace, parent) = match ctx {
+            Some(c) => {
+                // A transit span only where something actually traversed
+                // the network; timer fires and local follow-ups parent
+                // straight to the causing span.
+                let p = if from.is_some() {
+                    tracer.span(
+                        c.trace,
+                        Some(c.parent),
+                        to.0,
+                        from.map(|b| b.0),
+                        "transit",
+                        label.clone(),
+                        c.sent_micros,
+                        self.now.0,
+                    )
+                } else {
+                    c.parent
+                };
+                (c.trace, Some(p))
+            }
+            None => (tracer.new_trace(), None),
+        };
+        let sid = tracer.span(trace, parent, to.0, None, kind, label, start.0, done.0);
+        tracer.set_current(trace, sid);
+        Some(SpanCtx {
+            trace,
+            parent: sid,
+            sent_micros: done.0,
+        })
     }
 
     /// Render the recorded trace as a Fig.-10-style ASCII ladder, one
@@ -300,7 +374,7 @@ impl Network {
     pub fn enable_reliability(&mut self, id: BoxId, cfg: ReliableConfig) {
         self.nodes.get_mut(&id).expect("box exists").reliab = Some(Reliability::new(cfg));
         let now = self.now;
-        self.sync_reliability(id, now);
+        self.sync_reliability(id, now, None);
     }
 
     /// Schedule a crash at `at` and the matching restart `down_for` later.
@@ -454,9 +528,13 @@ impl Network {
     }
 
     fn push(&mut self, at: SimTime, ev: Ev) {
+        self.push_traced(at, ev, None);
+    }
+
+    fn push_traced(&mut self, at: SimTime, ev: Ev, ctx: Option<SpanCtx>) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Scheduled { at, seq, ev }));
+        self.events.push(Reverse(Scheduled { at, seq, ev, ctx }));
     }
 
     /// Process one event. Returns false when the queue is empty.
@@ -467,8 +545,14 @@ impl Network {
         debug_assert!(sch.at >= self.now);
         self.now = sch.at;
         self.clock.set(self.now.0);
+        if let Some(t) = &self.tracer {
+            // Contexts never leak across events: anything observed outside
+            // an activation (crash faults, say) is deliberately unparented.
+            t.clear_current();
+        }
+        let ctx = sch.ctx;
         match sch.ev {
-            Ev::Input { to, input, from } => self.deliver(to, input, from),
+            Ev::Input { to, input, from } => self.deliver(to, input, from, ctx),
             Ev::TimerFire { to, id, gen } => {
                 let Some(node) = self.nodes.get(&to) else {
                     return true;
@@ -477,9 +561,9 @@ impl Network {
                     return true;
                 }
                 if node.reliab.is_some() && reliable::timer_slot(id).is_some() {
-                    self.retransmit_fire(to, id);
+                    self.retransmit_fire(to, id, ctx);
                 } else {
-                    self.deliver(to, BoxInput::Timer(id), None);
+                    self.deliver(to, BoxInput::Timer(id), None, ctx);
                 }
             }
             Ev::User { to, slot, cmd } => {
@@ -492,11 +576,25 @@ impl Network {
                 let start = self.now.max(node.busy_until);
                 let done = start + self.cfg.compute_cost;
                 node.busy_until = done;
+                let child = if self.tracer.is_some() {
+                    self.trace_activation(
+                        to,
+                        None,
+                        None,
+                        "stimulus",
+                        format!("user {cmd:?} s{}", slot.0),
+                        start,
+                        done,
+                    )
+                } else {
+                    None
+                };
+                let node = self.nodes.get_mut(&to).expect("checked above");
                 self.obs.stimulus(to.0, "user");
                 match node.pb.media_mut().user_obs(slot, cmd, &mut self.obs) {
                     Ok(out) => {
                         let cmds: Vec<BoxCmd> = out.into_iter().map(BoxCmd::Signal).collect();
-                        self.execute(to, done, cmds);
+                        self.execute(to, done, cmds, child);
                     }
                     Err(e) => panic!("user command failed on {to}: {e}"),
                 }
@@ -508,9 +606,15 @@ impl Network {
                 let start = self.now.max(node.busy_until);
                 let done = start + self.cfg.compute_cost;
                 node.busy_until = done;
+                let child = if self.tracer.is_some() {
+                    self.trace_activation(to, None, ctx, "stimulus", "apply".into(), start, done)
+                } else {
+                    None
+                };
+                let node = self.nodes.get_mut(&to).expect("checked above");
                 self.obs.stimulus(to.0, "apply");
                 let cmds = f(&mut node.pb);
-                self.execute(to, done, cmds);
+                self.execute(to, done, cmds, child);
             }
             Ev::Crash { to } => {
                 if let Some(node) = self.nodes.get_mut(&to) {
@@ -533,14 +637,14 @@ impl Network {
                     }
                     self.obs.fault_injected(to.0, "restart");
                     let now = self.now;
-                    self.sync_reliability(to, now);
+                    self.sync_reliability(to, now, None);
                 }
             }
         }
         true
     }
 
-    fn deliver(&mut self, to: BoxId, input: BoxInput, from: Option<BoxId>) {
+    fn deliver(&mut self, to: BoxId, input: BoxInput, from: Option<BoxId>, ctx: Option<SpanCtx>) {
         let Some(node) = self.nodes.get_mut(&to) else {
             return; // box gone (e.g. signal in flight past teardown)
         };
@@ -591,13 +695,27 @@ impl Network {
         let start = self.now.max(node.busy_until);
         let done = start + self.cfg.compute_cost;
         node.busy_until = done;
+        let child = if self.tracer.is_some() {
+            let label = match &input {
+                BoxInput::Tunnel { slot, signal } => format!("?{} s{}", signal.kind(), slot.0),
+                BoxInput::Timer(_) => "timer".to_string(),
+                BoxInput::Meta { meta, .. } => format!("meta {}", meta.kind()),
+                BoxInput::ChannelUp { channel, .. } => format!("channel_up ch{}", channel.0),
+                BoxInput::Start => "start".to_string(),
+                other => format!("{other:?}"),
+            };
+            self.trace_activation(to, from, ctx, "stimulus", label, start, done)
+        } else {
+            None
+        };
+        let node = self.nodes.get_mut(&to).expect("checked above");
         let mut cmds = node.pb.handle_obs(input, &mut self.obs);
         cmds.extend(reack);
-        self.execute(to, done, cmds);
+        self.execute(to, done, cmds, child);
     }
 
     /// Execute the commands a box produced; its outputs leave at `done`.
-    fn execute(&mut self, from: BoxId, done: SimTime, cmds: Vec<BoxCmd>) {
+    fn execute(&mut self, from: BoxId, done: SimTime, cmds: Vec<BoxCmd>, ctx: Option<SpanCtx>) {
         for cmd in cmds {
             match cmd {
                 BoxCmd::Signal(out) => {
@@ -632,7 +750,7 @@ impl Network {
                                 if let Some(kind) = copy.fault {
                                     self.obs.fault_injected(from.0, kind);
                                 }
-                                self.push(
+                                self.push_traced(
                                     done + self.cfg.net_latency + copy.extra_delay,
                                     Ev::Input {
                                         to: peer,
@@ -642,6 +760,7 @@ impl Network {
                                         },
                                         from: Some(from),
                                     },
+                                    ctx,
                                 );
                             }
                         }
@@ -652,25 +771,27 @@ impl Network {
                         continue;
                     };
                     let peer = if chan.a == from { chan.b } else { chan.a };
-                    self.push(
+                    self.push_traced(
                         done + self.cfg.net_latency,
                         Ev::Input {
                             to: peer,
                             input: BoxInput::Meta { channel, meta },
                             from: Some(from),
                         },
+                        ctx,
                     );
                 }
                 BoxCmd::OpenChannel { to, tunnels, req } => {
-                    self.open_channel(from, &to, tunnels, req, done);
+                    self.open_channel(from, &to, tunnels, req, done, ctx);
                 }
                 BoxCmd::CloseChannel(ch) => self.close_channel(from, ch, done),
                 BoxCmd::SetTimer { id, after_ms } => {
                     let node = self.nodes.get_mut(&from).expect("box exists");
                     let gen = node.timer_gen.arm(id);
-                    self.push(
+                    self.push_traced(
                         done + SimDuration::from_millis(after_ms),
                         Ev::TimerFire { to: from, id, gen },
+                        ctx,
                     );
                 }
                 BoxCmd::CancelTimer(id) => {
@@ -686,13 +807,13 @@ impl Network {
         // retransmission timers with its new slot state. The nested
         // `execute` below only ever carries timer commands, so recursion
         // stops at the second (no-change) sync.
-        self.sync_reliability(from, done);
+        self.sync_reliability(from, done, ctx);
     }
 
     /// Reconcile a box's reliability layer with its slot state: cancel
     /// timers for resolved awaits (reporting recoveries), arm timers for
     /// new ones.
-    fn sync_reliability(&mut self, id: BoxId, done: SimTime) {
+    fn sync_reliability(&mut self, id: BoxId, done: SimTime, ctx: Option<SpanCtx>) {
         let now_ms = self.now.0 / 1_000;
         let Some(node) = self.nodes.get_mut(&id) else {
             return;
@@ -705,13 +826,13 @@ impl Network {
             self.obs.recovered(id.0, r.slot.0, r.attempts, r.elapsed_ms);
         }
         if !cmds.is_empty() {
-            self.execute(id, done, cmds);
+            self.execute(id, done, cmds, ctx);
         }
     }
 
     /// A retransmission timer fired: re-emit the slot's cached signals and
     /// re-arm with backoff, or park the slot once retries are exhausted.
-    fn retransmit_fire(&mut self, to: BoxId, id: TimerId) {
+    fn retransmit_fire(&mut self, to: BoxId, id: TimerId, ctx: Option<SpanCtx>) {
         let Some(node) = self.nodes.get_mut(&to) else {
             return;
         };
@@ -736,6 +857,21 @@ impl Network {
                 let done = start + self.cfg.compute_cost;
                 node.busy_until = done;
                 let kind = signals.first().map(|s| s.kind()).unwrap_or("resend");
+                let child = if self.tracer.is_some() {
+                    // The episode span parents to the stimulus that armed
+                    // the timer, keeping the whole recovery in one trace.
+                    self.trace_activation(
+                        to,
+                        None,
+                        ctx,
+                        "retransmission",
+                        format!("resend {kind} s{}", slot.0),
+                        start,
+                        done,
+                    )
+                } else {
+                    None
+                };
                 self.obs.stimulus(to.0, "retransmit");
                 self.obs.retransmission(to.0, slot.0, kind);
                 let mut cmds: Vec<BoxCmd> = signals
@@ -746,12 +882,20 @@ impl Network {
                     id,
                     after_ms: rearm_ms,
                 });
-                self.execute(to, done, cmds);
+                self.execute(to, done, cmds, child);
             }
         }
     }
 
-    fn open_channel(&mut self, from: BoxId, to_name: &str, tunnels: u16, req: u32, done: SimTime) {
+    fn open_channel(
+        &mut self,
+        from: BoxId,
+        to_name: &str,
+        tunnels: u16,
+        req: u32,
+        done: SimTime,
+        ctx: Option<SpanCtx>,
+    ) {
         let target = self.names.get(to_name).copied();
         let available = target.map(|t| self.nodes[&t].available).unwrap_or(false);
         let ch = ChannelId(self.next_channel);
@@ -761,6 +905,29 @@ impl Network {
         // One-way setup message + acknowledgement: the requester learns the
         // outcome after a round trip.
         let up_at = done + self.cfg.net_latency + self.cfg.net_latency;
+        // Tunnel setup gets its own interval span covering the round trip;
+        // the ChannelUp/Meta deliveries parent under it so latency
+        // attribution can separate signaling from propagation.
+        let child = match (&self.tracer, ctx) {
+            (Some(tracer), Some(c)) => {
+                let sid = tracer.span(
+                    c.trace,
+                    Some(c.parent),
+                    from.0,
+                    None,
+                    "tunnel_setup",
+                    format!("open_channel {to_name}"),
+                    done.0,
+                    up_at.0,
+                );
+                Some(SpanCtx {
+                    trace: c.trace,
+                    parent: sid,
+                    sent_micros: done.0,
+                })
+            }
+            _ => None,
+        };
         if let (Some(target), true) = (target, available) {
             let slots_to = self.alloc_slots(target, tunnels, false, ch);
             self.channels.insert(
@@ -772,7 +939,7 @@ impl Network {
                     slots_b: slots_to.clone(),
                 },
             );
-            self.push(
+            self.push_traced(
                 done + self.cfg.net_latency,
                 Ev::Input {
                     to: target,
@@ -783,8 +950,9 @@ impl Network {
                     },
                     from: Some(from),
                 },
+                child,
             );
-            self.push(
+            self.push_traced(
                 up_at,
                 Ev::Input {
                     to: from,
@@ -795,8 +963,9 @@ impl Network {
                     },
                     from: Some(target),
                 },
+                child,
             );
-            self.push(
+            self.push_traced(
                 up_at,
                 Ev::Input {
                     to: from,
@@ -806,6 +975,7 @@ impl Network {
                     },
                     from: Some(target),
                 },
+                child,
             );
         } else {
             // Target missing or unavailable: a half-open channel the
@@ -820,7 +990,7 @@ impl Network {
                     slots_b: Vec::new(),
                 },
             );
-            self.push(
+            self.push_traced(
                 up_at,
                 Ev::Input {
                     to: from,
@@ -831,8 +1001,9 @@ impl Network {
                     },
                     from: None,
                 },
+                child,
             );
-            self.push(
+            self.push_traced(
                 up_at,
                 Ev::Input {
                     to: from,
@@ -842,6 +1013,7 @@ impl Network {
                     },
                     from: None,
                 },
+                child,
             );
         }
     }

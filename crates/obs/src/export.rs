@@ -6,6 +6,7 @@
 //! to stderr.
 
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot, FAULT_KINDS, SIGNAL_KINDS};
+use crate::trace::{Attribution, ATTRIBUTION_CATEGORIES};
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -229,6 +230,35 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
     out
 }
 
+/// Per-span latency attribution as one JSON object — where did the time
+/// go: signaling compute, propagation, or retransmission overhead.
+pub fn attribution_json(a: &Attribution) -> String {
+    let mut obj = JsonObj::new();
+    for cat in ATTRIBUTION_CATEGORIES {
+        obj = obj.num(&format!("{cat}_us"), a.get(cat));
+    }
+    obj.num("total_us", a.total_us())
+        .num("spans", a.spans)
+        .finish()
+}
+
+/// Prometheus exposition of per-span latency attribution, labelled by
+/// category to match [`crate::trace::attribution_category`].
+pub fn attribution_prometheus_text(a: &Attribution) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE ipmedia_span_latency_us_total counter");
+    for cat in ATTRIBUTION_CATEGORIES {
+        let _ = writeln!(
+            out,
+            "ipmedia_span_latency_us_total{{category=\"{cat}\"}} {}",
+            a.get(cat)
+        );
+    }
+    let _ = writeln!(out, "# TYPE ipmedia_spans_total counter");
+    let _ = writeln!(out, "ipmedia_spans_total {}", a.spans);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +320,31 @@ mod tests {
         assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"1000\"} 2"));
         assert!(text.contains("ipmedia_tunnel_setup_ms_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("ipmedia_tunnel_setup_ms_count 3"));
+    }
+
+    #[test]
+    fn attribution_exporters_cover_every_category() {
+        let a = Attribution {
+            signaling_us: 10,
+            propagation_us: 54_000,
+            retransmission_us: 7,
+            other_us: 3,
+            spans: 4,
+        };
+        let json = attribution_json(&a);
+        let prom = attribution_prometheus_text(&a);
+        for cat in ATTRIBUTION_CATEGORIES {
+            assert!(
+                json.contains(&format!("\"{cat}_us\":")),
+                "json missing {cat}"
+            );
+            assert!(
+                prom.contains(&format!("category=\"{cat}\"")),
+                "prom missing {cat}"
+            );
+        }
+        assert!(json.contains("\"total_us\":54020"));
+        assert!(prom.contains("ipmedia_span_latency_us_total{category=\"propagation\"} 54000"));
+        assert!(prom.contains("ipmedia_spans_total 4"));
     }
 }

@@ -109,6 +109,13 @@ pub fn render(columns: &[&str], events: &[LadderEvent]) -> String {
                 row[c] = '*';
                 put(&mut row, c + 2, &ev.label);
             }
+            Some(from) if from == ev.to => {
+                // Degenerate self-arrow: render as a local event rather
+                // than underflowing the shaft arithmetic below.
+                let c = center(ev.to);
+                row[c] = '*';
+                put(&mut row, c + 2, &ev.label);
+            }
             Some(from) => {
                 let (a, b) = (center(from), center(ev.to));
                 let (lo, hi) = (a.min(b), a.max(b));
@@ -121,7 +128,7 @@ pub fn render(columns: &[&str], events: &[LadderEvent]) -> String {
                     row[b + 1] = '<';
                 }
                 // Center the label over the shaft of the arrow.
-                let span = hi - lo - 2;
+                let span = (hi - lo).saturating_sub(2);
                 let label: String = ev.label.chars().take(span.max(1)).collect();
                 let start = lo + 1 + (span.saturating_sub(label.chars().count())) / 2;
                 put(&mut row, start, &label);

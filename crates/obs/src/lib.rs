@@ -23,13 +23,21 @@ pub mod clock;
 pub mod export;
 pub mod ladder;
 pub mod metrics;
+pub mod monitor;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use export::{
-    json_array, json_escape, json_str_array, prometheus_text, snapshot_json, JsonObj,
+    attribution_json, attribution_prometheus_text, json_array, json_escape, json_str_array,
+    prometheus_text, snapshot_json, JsonObj,
 };
 pub use ladder::LadderEvent;
 pub use metrics::{CountingObserver, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use monitor::{Finding, Monitor, MonitorRules, RecvRuleData, SendRuleData};
+pub use trace::{
+    attribute, attribution_category, chrome_trace_json, Attribution, SpanCtx, SpanId, SpanRecord,
+    SpanSink, TraceId, Tracer, TracingObserver,
+};
 
 use std::sync::{Arc, Mutex};
 

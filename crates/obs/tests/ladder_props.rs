@@ -1,0 +1,102 @@
+//! Property tests for the ladder renderer: the monitor and the model
+//! checker hand it hostile input — arbitrary labels (including ones wider
+//! than a column), arbitrary timestamps, degenerate self-arrows — and a
+//! diagnostic renderer that panics on its own diagnostic is worse than no
+//! diagnostic. `render` must accept anything structurally valid (event
+//! columns within range) without panicking, and render it the same way
+//! every time.
+
+use ipmedia_obs::ladder::{render, LadderEvent};
+use proptest::prelude::*;
+
+/// Column-name pool spanning the widths that matter: empty, one char,
+/// exactly the column width, and far wider than the column.
+const NAMES: [&str; 6] = [
+    "",
+    "x",
+    "end-l",
+    "a-name-of-18-chars",
+    "a-box-name-much-wider-than-any-column-allotment",
+    "uni\u{2713}code\u{00e9}",
+];
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::collection::vec((any::<u8>(), any::<bool>()), 0..64).prop_map(|cs| {
+        cs.into_iter()
+            .map(|(b, uni)| {
+                if uni {
+                    // Multi-byte code points: char_indices != byte offsets.
+                    char::from_u32(0x2500 + u32::from(b)).unwrap_or('\u{2713}')
+                } else {
+                    char::from(b.clamp(b' ', b'~'))
+                }
+            })
+            .collect()
+    })
+}
+
+/// `(ncols, events)` with every event column in range — the renderer's
+/// structural precondition; everything else is adversarial.
+fn arb_diagram() -> impl Strategy<Value = (usize, Vec<LadderEvent>)> {
+    (
+        any::<usize>(),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                any::<usize>(),
+                any::<usize>(),
+                any::<bool>(),
+                arb_label(),
+            ),
+            0..24,
+        ),
+    )
+        .prop_map(|(nc, raw)| {
+            let ncols = 1 + nc % 6;
+            let events = raw
+                .into_iter()
+                .map(|(at, from, to, is_arrow, label)| {
+                    if is_arrow {
+                        LadderEvent::arrow(at, from % ncols, to % ncols, label)
+                    } else {
+                        LadderEvent::local(at, to % ncols, label)
+                    }
+                })
+                .collect();
+            (ncols, events)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_never_panics_and_is_deterministic((ncols, events) in arb_diagram()) {
+        let columns: Vec<&str> = NAMES.iter().cycle().take(ncols).copied().collect();
+        let first = render(&columns, &events);
+        let second = render(&columns, &events);
+        prop_assert_eq!(&first, &second);
+
+        // One header line plus one line per event, none with trailing
+        // whitespace (the contract the golden-trace tests diff against).
+        prop_assert_eq!(first.lines().count(), events.len() + 1);
+        for line in first.lines() {
+            prop_assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn every_event_row_carries_its_timestamp((ncols, events) in arb_diagram()) {
+        let columns: Vec<&str> = NAMES.iter().cycle().take(ncols).copied().collect();
+        let out = render(&columns, &events);
+        for (ev, line) in events.iter().zip(out.lines().skip(1)) {
+            let stamp = format!("{:.3}ms", ev.at_micros as f64 / 1000.0);
+            prop_assert!(
+                line.contains(&stamp),
+                "row {:?} lost its time stamp {:?}",
+                line,
+                stamp
+            );
+        }
+    }
+}

@@ -13,7 +13,7 @@ pub mod wire;
 
 pub use frame::{FrameError, Framed, MAX_FRAME};
 pub use node::{
-    spawn_node, spawn_node_obs, spawn_node_with, Directory, NodeHandle, NodeSnapshot,
-    ReconnectPolicy, SlotSnapshot,
+    spawn_node, spawn_node_obs, spawn_node_traced, spawn_node_with, Directory, NodeHandle,
+    NodeSnapshot, ReconnectPolicy, SlotSnapshot,
 };
-pub use wire::{decode, encode, Frame, Hello, WireError, WIRE_VERSION};
+pub use wire::{decode, encode, Frame, Hello, WireError, WireTraceCtx, WIRE_VERSION};

@@ -10,15 +10,17 @@
 //! frame.
 
 use crate::frame::Framed;
-use crate::wire::{self, Frame, Hello};
+use crate::wire::{self, Frame, Hello, WireTraceCtx};
 use ipmedia_core::goal::{Outgoing, UserCmd};
 use ipmedia_core::ids::{ChannelId, SlotId};
 use ipmedia_core::program::{AppLogic, BoxCmd, BoxInput, ProgramBox, TimerGenerations, TimerId};
 use ipmedia_core::reliable;
 use ipmedia_core::signal::{Availability, ChannelMsg, MetaSignal};
 use ipmedia_core::{BoxId, Codec, MediaAddr, SlotState};
+use ipmedia_obs::clock::WallClock;
 use ipmedia_obs::export::prometheus_text;
 use ipmedia_obs::metrics::{CountingObserver, MetricsSnapshot, Registry};
+use ipmedia_obs::trace::{SpanId, SpanSink, TraceId, Tracer};
 use ipmedia_obs::{Fanout, NoopObserver, Observer};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -237,6 +239,35 @@ pub async fn spawn_node_with(
     policy: ReconnectPolicy,
     observer: Box<dyn Observer + Send>,
 ) -> std::io::Result<NodeHandle> {
+    spawn_node_inner(name, box_id, logic, dir, policy, observer, None).await
+}
+
+/// [`spawn_node_with`] plus causal tracing: every stimulus the node
+/// processes becomes a span in `sink`, outgoing signaling frames carry
+/// the trace context on the wire ([`Frame::Traced`]), and incoming traced
+/// frames link the local spans into the sender's call trace. Untraced
+/// peers interoperate (they see/send plain [`Frame::Msg`]).
+pub async fn spawn_node_traced(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+    policy: ReconnectPolicy,
+    observer: Box<dyn Observer + Send>,
+    sink: Arc<SpanSink>,
+) -> std::io::Result<NodeHandle> {
+    spawn_node_inner(name, box_id, logic, dir, policy, observer, Some(sink)).await
+}
+
+async fn spawn_node_inner(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+    policy: ReconnectPolicy,
+    observer: Box<dyn Observer + Send>,
+    sink: Option<Arc<SpanSink>>,
+) -> std::io::Result<NodeHandle> {
     let name = name.into();
     let listener = TcpListener::bind("127.0.0.1:0").await?;
     let addr = listener.local_addr()?;
@@ -247,6 +278,14 @@ pub async fn spawn_node_with(
     let (shutdown_tx, shutdown_rx) = watch::channel(false);
     let (snap_tx, snapshot) = watch::channel(NodeSnapshot::default());
     let registry = Arc::new(Registry::new());
+    let tracer = sink.map(|sink| Tracer::new(sink, Arc::new(WallClock::new())));
+    let obs: Box<dyn Observer + Send> = match &tracer {
+        Some(t) => Box::new(Fanout(
+            t.observer(),
+            Fanout(CountingObserver::new(registry.clone()), observer),
+        )),
+        None => Box::new(Fanout(CountingObserver::new(registry.clone()), observer)),
+    };
 
     let actor = Actor {
         name: name.clone(),
@@ -259,8 +298,9 @@ pub async fn spawn_node_with(
         timers: TimerGenerations::new(),
         timer_heap: Vec::new(),
         snap_tx,
-        obs: Box::new(Fanout(CountingObserver::new(registry.clone()), observer)),
+        obs,
         registry: registry.clone(),
+        tracer,
     };
     let join = tokio::spawn(actor.run(listener, user_rx, input_rx, shutdown_rx));
 
@@ -291,9 +331,70 @@ struct Actor {
     /// the spawner supplied.
     obs: Box<dyn Observer + Send>,
     registry: Arc<Registry>,
+    /// Causal tracer, when spawned via [`spawn_node_traced`]. All tracing
+    /// work is gated on this being `Some`.
+    tracer: Option<Tracer>,
 }
 
 impl Actor {
+    /// Start a traced activation for one stimulus: record a transit span
+    /// when the stimulus arrived with wire context (linking this node's
+    /// spans into the sender's call trace), then the activation span
+    /// itself, and set it as the tracer's current context so outgoing
+    /// frames and observer events attach to it. No-op without a tracer.
+    fn trace_activation(
+        &self,
+        wire_ctx: Option<WireTraceCtx>,
+        kind: &'static str,
+        label: String,
+        start_micros: u64,
+    ) {
+        let Some(tracer) = &self.tracer else {
+            return;
+        };
+        let end = tracer.now_micros();
+        let bx = self.pb.media().id().0;
+        let (trace, parent) = match wire_ctx {
+            Some(c) => {
+                let t = TraceId(c.trace);
+                let transit = tracer.span(
+                    t,
+                    Some(SpanId(c.parent)),
+                    bx,
+                    Some(c.bx),
+                    "transit",
+                    label.clone(),
+                    c.sent_micros,
+                    start_micros,
+                );
+                (t, Some(transit))
+            }
+            None => (tracer.new_trace(), None),
+        };
+        let sid = tracer.span(trace, parent, bx, None, kind, label, start_micros, end);
+        tracer.set_current(trace, sid);
+    }
+
+    /// Wrap an outgoing message with the current trace context when
+    /// tracing is on; plain [`Frame::Msg`] otherwise, so untraced peers
+    /// never see the extended frame.
+    fn traced_frame(&self, msg: ChannelMsg) -> Frame {
+        if let Some(tracer) = &self.tracer {
+            if let Some((trace, parent)) = tracer.current() {
+                return Frame::Traced {
+                    ctx: WireTraceCtx {
+                        trace: trace.0,
+                        parent: parent.0,
+                        bx: self.pb.media().id().0,
+                        sent_micros: tracer.now_micros(),
+                    },
+                    msg,
+                };
+            }
+        }
+        Frame::Msg(msg)
+    }
+
     /// Apply one stimulus to the program box through the observer, timing
     /// the synchronous compute cost into `stimulus_compute_us`. Channel
     /// meta-signals are surfaced here because, as in the simulator, they
@@ -358,6 +459,10 @@ impl Actor {
                     self.on_inbox(msg, &inbox_tx).await;
                 }
                 Some((slot, cmd)) = user_rx.recv() => {
+                    if let Some(t) = &self.tracer {
+                        let label = format!("user {cmd:?} s{}", slot.0);
+                        self.trace_activation(None, "stimulus", label, t.now_micros());
+                    }
                     self.obs.stimulus(self.pb.media().id().0, "user");
                     let t0 = std::time::Instant::now();
                     let result = self.pb.media_mut().user_obs(slot, cmd, &mut self.obs);
@@ -373,6 +478,8 @@ impl Actor {
                     }
                 }
                 Some(input) = input_rx.recv() => {
+                    // Injected inputs start outside any call trace.
+                    if let Some(t) = &self.tracer { t.clear_current(); }
                     let cmds = self.handle(input);
                     self.execute(cmds, &inbox_tx).await;
                 }
@@ -426,6 +533,16 @@ impl Actor {
         self.timer_heap.retain(|(t, _, _)| *t > now);
         for (id, generation) in due {
             if self.timers.is_current(id, generation) {
+                // Timer fires start a fresh activation, not a continuation
+                // of whatever stimulus last ran.
+                if let Some(t) = &self.tracer {
+                    self.trace_activation(
+                        None,
+                        "stimulus",
+                        format!("timer {id:?}"),
+                        t.now_micros(),
+                    );
+                }
                 let cmds = self.handle(BoxInput::Timer(id));
                 self.execute(cmds, inbox_tx).await;
             }
@@ -444,24 +561,40 @@ impl Actor {
                 });
                 self.execute(cmds, inbox_tx).await;
             }
-            Inbox::Net { channel, frame } => match frame {
-                Frame::Msg(ChannelMsg::Tunnel { tunnel, signal }) => {
-                    let Some(conn) = self.conns.get(&channel) else {
-                        return;
-                    };
-                    let Some(&slot) = conn.slots.get(tunnel.0 as usize) else {
-                        return;
-                    };
-                    let cmds = self.handle(BoxInput::Tunnel { slot, signal });
-                    self.execute(cmds, inbox_tx).await;
+            Inbox::Net { channel, frame } => {
+                // Normalize: a traced frame is its inner message plus the
+                // sender's causal context.
+                let (wire_ctx, frame) = match frame {
+                    Frame::Traced { ctx, msg } => (Some(ctx), Frame::Msg(msg)),
+                    other => (None, other),
+                };
+                match frame {
+                    Frame::Msg(ChannelMsg::Tunnel { tunnel, signal }) => {
+                        let Some(conn) = self.conns.get(&channel) else {
+                            return;
+                        };
+                        let Some(&slot) = conn.slots.get(tunnel.0 as usize) else {
+                            return;
+                        };
+                        if let Some(t) = &self.tracer {
+                            let label = format!("?{} s{}", signal.kind(), slot.0);
+                            self.trace_activation(wire_ctx, "stimulus", label, t.now_micros());
+                        }
+                        let cmds = self.handle(BoxInput::Tunnel { slot, signal });
+                        self.execute(cmds, inbox_tx).await;
+                    }
+                    Frame::Msg(ChannelMsg::Meta(meta)) => {
+                        if let Some(t) = &self.tracer {
+                            let label = format!("meta {}", meta.kind());
+                            self.trace_activation(wire_ctx, "stimulus", label, t.now_micros());
+                        }
+                        let cmds = self.handle(BoxInput::Meta { channel, meta });
+                        self.execute(cmds, inbox_tx).await;
+                    }
+                    Frame::Bye => self.drop_channel(channel, inbox_tx).await,
+                    Frame::Hello(_) | Frame::Traced { .. } => {} // protocol error
                 }
-                Frame::Msg(ChannelMsg::Meta(meta)) => {
-                    let cmds = self.handle(BoxInput::Meta { channel, meta });
-                    self.execute(cmds, inbox_tx).await;
-                }
-                Frame::Bye => self.drop_channel(channel, inbox_tx).await,
-                Frame::Hello(_) => {} // protocol error: hello after setup
-            },
+            }
             Inbox::Gone { channel } => self.on_conn_lost(channel, inbox_tx).await,
             Inbox::Reconnected {
                 channel,
@@ -700,21 +833,17 @@ impl Actor {
                         continue;
                     };
                     if let Some(conn) = self.conns.get(&channel) {
-                        let _ = conn
-                            .writer_tx
-                            .send(Frame::Msg(ChannelMsg::Tunnel {
-                                tunnel,
-                                signal: out.signal,
-                            }))
-                            .await;
+                        let frame = self.traced_frame(ChannelMsg::Tunnel {
+                            tunnel,
+                            signal: out.signal,
+                        });
+                        let _ = conn.writer_tx.send(frame).await;
                     }
                 }
                 BoxCmd::Meta { channel, meta } => {
                     if let Some(conn) = self.conns.get(&channel) {
-                        let _ = conn
-                            .writer_tx
-                            .send(Frame::Msg(ChannelMsg::Meta(meta)))
-                            .await;
+                        let frame = self.traced_frame(ChannelMsg::Meta(meta));
+                        let _ = conn.writer_tx.send(frame).await;
                     }
                 }
                 BoxCmd::OpenChannel { to, tunnels, req } => {

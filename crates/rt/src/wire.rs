@@ -45,6 +45,22 @@ pub struct Hello {
     pub tunnels: u16,
 }
 
+/// Causal trace context carried alongside a [`ChannelMsg`] when the
+/// sender has tracing enabled. Receivers that don't trace simply unwrap
+/// the inner message, so traced and untraced nodes interoperate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTraceCtx {
+    /// Trace id the message belongs to.
+    pub trace: u64,
+    /// Span id of the sender-side activation that emitted the message.
+    pub parent: u64,
+    /// Sender's box id (feeds the transit span's `from` column).
+    pub bx: u32,
+    /// Sender's clock at transmission, in microseconds; receivers use
+    /// their own clock for the arrival edge.
+    pub sent_micros: u64,
+}
+
 /// Everything that can travel in one frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -52,6 +68,11 @@ pub enum Frame {
     Msg(ChannelMsg),
     /// Orderly shutdown of the signaling channel.
     Bye,
+    /// A [`ChannelMsg`] with causal trace context piggybacked on it.
+    Traced {
+        ctx: WireTraceCtx,
+        msg: ChannelMsg,
+    },
 }
 
 pub fn encode(frame: &Frame) -> Bytes {
@@ -68,6 +89,14 @@ pub fn encode(frame: &Frame) -> Bytes {
             encode_msg(&mut b, m);
         }
         Frame::Bye => b.put_u8(2),
+        Frame::Traced { ctx, msg } => {
+            b.put_u8(3);
+            b.put_u64(ctx.trace);
+            b.put_u64(ctx.parent);
+            b.put_u32(ctx.bx);
+            b.put_u64(ctx.sent_micros);
+            encode_msg(&mut b, msg);
+        }
     }
     b.freeze()
 }
@@ -85,6 +114,16 @@ pub fn decode(mut buf: Bytes) -> Result<Frame, WireError> {
         }
         1 => Ok(Frame::Msg(decode_msg(&mut buf)?)),
         2 => Ok(Frame::Bye),
+        3 => {
+            let ctx = WireTraceCtx {
+                trace: get_u64(&mut buf)?,
+                parent: get_u64(&mut buf)?,
+                bx: get_u32(&mut buf)?,
+                sent_micros: get_u64(&mut buf)?,
+            };
+            let msg = decode_msg(&mut buf)?;
+            Ok(Frame::Traced { ctx, msg })
+        }
         t => Err(WireError::BadTag("frame", t)),
     }
 }
@@ -527,6 +566,54 @@ mod tests {
     #[test]
     fn bye_roundtrip() {
         roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn traced_roundtrip() {
+        roundtrip(Frame::Traced {
+            ctx: WireTraceCtx {
+                trace: 0x1122_3344_5566_7788,
+                parent: 42,
+                bx: 7,
+                sent_micros: 1_234_567,
+            },
+            msg: ChannelMsg::Tunnel {
+                tunnel: TunnelId(3),
+                signal: Signal::Open {
+                    medium: Medium::Audio,
+                    desc: desc(),
+                },
+            },
+        });
+        roundtrip(Frame::Traced {
+            ctx: WireTraceCtx {
+                trace: 1,
+                parent: 0,
+                bx: 0,
+                sent_micros: 0,
+            },
+            msg: ChannelMsg::Meta(MetaSignal::Teardown),
+        });
+    }
+
+    #[test]
+    fn traced_rejects_truncation_everywhere() {
+        let full = encode(&Frame::Traced {
+            ctx: WireTraceCtx {
+                trace: 5,
+                parent: 6,
+                bx: 7,
+                sent_micros: 8,
+            },
+            msg: ChannelMsg::Tunnel {
+                tunnel: TunnelId(1),
+                signal: Signal::Close,
+            },
+        });
+        for cut in 0..full.len() {
+            let partial = full.slice(0..cut);
+            assert!(decode(partial).is_err(), "cut at {cut} must error");
+        }
     }
 
     #[test]

@@ -63,4 +63,36 @@ timeout "$CAMPAIGN_BUDGET_SECS" ./target/release/campaign 0 1 2000000 --threads 
   exit "$status"
 }
 
+echo "== tracing overhead (zero perturbation + wall-clock budget)" >&2
+# Asserts virtual-time latencies are identical traced vs. untraced (hard
+# failure) and that the tracer's wall-clock cost stays within
+# TRACE_OVERHEAD_BUDGET_PCT; rewrites BENCH_trace.json.
+cargo run "$@" --release -q -p ipmedia-bench --bin trace_overhead >/dev/null
+
+echo "== runtime invariant monitor (all scenarios clean + mutant self-test)" >&2
+# Every registry scenario must run clean under the live monitor, and the
+# planted closed-slot mutant must be flagged as IM102 — proving the gate
+# can actually fail.
+cargo build "$@" --release -q -p ipmedia-bench --bin ipmedia-monitor
+MONITOR_BUDGET_SECS="${MONITOR_BUDGET_SECS:-120}"
+timeout "$MONITOR_BUDGET_SECS" ./target/release/ipmedia-monitor >/dev/null || {
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "monitor exceeded the ${MONITOR_BUDGET_SECS}s wall-clock budget" >&2
+  else
+    echo "monitor found invariant violations (exit $status)" >&2
+  fi
+  exit "$status"
+}
+timeout "$MONITOR_BUDGET_SECS" ./target/release/ipmedia-monitor --mutant closed-slot \
+  >/dev/null 2>/dev/null || {
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "monitor mutant self-test exceeded the ${MONITOR_BUDGET_SECS}s budget" >&2
+  else
+    echo "monitor failed to catch the planted closed-slot mutant (exit $status)" >&2
+  fi
+  exit "$status"
+}
+
 echo "all checks passed" >&2
