@@ -5,6 +5,8 @@
 //! the measured latency, so that every number in the paper's performance
 //! analysis is *measured* here rather than derived.
 
+pub mod chaos;
+
 use ipmedia_core::boxes::GoalSpec;
 use ipmedia_core::endpoint::{EndpointLogic, NullLogic};
 use ipmedia_core::goal::{EndpointPolicy, UserCmd};

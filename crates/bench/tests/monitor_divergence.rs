@@ -4,13 +4,15 @@
 //! already Closed. The monitor has to flag it as `IM102` with a minimized
 //! ladder — and flag nothing on the very same exercise without the plant.
 
+use ipmedia_bench::chaos::{chain_topology, minimize_failing_netsim, run_netsim_chaos};
 use ipmedia_bench::Chain;
+use ipmedia_core::chaos::{generate, ChaosSchedule, Direction, ScheduleFamily};
 use ipmedia_core::descriptor::{DescTag, Selector};
 use ipmedia_core::goal::{Outgoing, UserCmd};
 use ipmedia_core::program::BoxCmd;
 use ipmedia_core::signal::Signal;
 use ipmedia_netsim::{SimConfig, SimDuration, SimTime};
-use ipmedia_obs::monitor::{Monitor, IM_CLOSED_ACTION};
+use ipmedia_obs::monitor::{Monitor, RecoveryObjectives, IM_CLOSED_ACTION};
 
 const T_MAX: SimTime = SimTime(3_600_000_000);
 
@@ -89,4 +91,61 @@ fn planted_closed_slot_action_is_flagged_im102_with_ladder() {
     );
     // The plant is the only divergence in the run.
     assert_eq!(monitor.findings().len(), 1, "{:?}", monitor.findings());
+}
+
+/// Every registry scenario, sized onto the chain exactly as the monitor
+/// gate sizes it, survives a generated heal-before-deadline schedule of
+/// every family with zero invariant violations surviving the recovery
+/// objectives.
+#[test]
+fn every_registry_scenario_is_clean_under_healed_chaos() {
+    let rto = RecoveryObjectives::default();
+    for name in ipmedia_apps::models::EXAMPLE_NAMES {
+        let sc = ipmedia_apps::models::scenario(name).expect("registered scenario");
+        let k = sc.topology.boxes.len().saturating_sub(2).clamp(1, 4);
+        let topo = chain_topology(k);
+        for family in ScheduleFamily::ALL {
+            let schedule = generate(family, 7, &topo);
+            let run = run_netsim_chaos(k, &schedule, &rto).expect("schedule fits the chain");
+            assert!(
+                run.settle.is_some(),
+                "generated schedules always heal: {}",
+                schedule.describe()
+            );
+            assert!(
+                run.violations.is_empty(),
+                "scenario {name} under {}: {:?}\nschedule: {}",
+                family.name(),
+                run.violations,
+                schedule.describe()
+            );
+        }
+    }
+}
+
+/// A schedule whose partition never heals must be flagged — the monitor
+/// finds the stuck flowlink (`IM201`) at quiescence — and delta-debugging
+/// strips the decoy phases down to the one partition that wedges it.
+#[test]
+fn planted_no_heal_schedule_is_flagged_and_minimized() {
+    let schedule = ChaosSchedule::new(11)
+        .burst(50, "end-l", "s0", 0.3, 0.0, 0.0, 0, 1_000)
+        .partition(100, "s0", "s1", Direction::Both)
+        .crash(400, "end-r", 500);
+    let rto = RecoveryObjectives::default();
+    let run = run_netsim_chaos(2, &schedule, &rto).expect("schedule fits the chain");
+    assert_eq!(run.settle, None, "an unhealed partition never settles");
+    assert!(
+        run.violations.iter().any(|v| v.starts_with("IM201")),
+        "stuck flowlink must be flagged: {:?}",
+        run.violations
+    );
+    let min = minimize_failing_netsim(2, &schedule, &rto);
+    assert_eq!(
+        min.phases.len(),
+        1,
+        "decoy burst and crash are stripped: {}",
+        min.describe()
+    );
+    assert!(min.describe().contains("partition s0<->s1"));
 }

@@ -27,6 +27,7 @@
 )]
 
 pub mod boxes;
+pub mod chaos;
 pub mod codec;
 pub mod descriptor;
 pub mod endpoint;
@@ -41,6 +42,10 @@ pub mod signal;
 pub mod slot;
 
 pub use boxes::{BoxNote, GoalId, GoalSpec, MediaBox};
+pub use chaos::{
+    generate as generate_chaos, minimize_schedule, ChaosAction, ChaosPhase, ChaosSchedule,
+    ChaosTopology, Direction, ScheduleFamily,
+};
 pub use codec::{Codec, Medium};
 pub use descriptor::{DescTag, Descriptor, MediaAddr, Selector, TagSource};
 pub use endpoint::{EndpointLogic, NullLogic};

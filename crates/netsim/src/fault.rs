@@ -75,13 +75,31 @@ impl FaultPlan {
 }
 
 /// One scheduled copy of a transmitted signal.
+///
+/// A copy can carry *several* fault labels at once: a duplicated copy
+/// that also drew reorder jitter is both a `"duplicate"` and a
+/// `"reorder"`, and [`Delivery::labels`] reports both so the obs fault
+/// counters do not undercount either class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     /// Delay added on top of the channel's network latency.
     pub extra_delay: SimDuration,
-    /// The fault kind to report for this copy (`None` for an untouched
-    /// primary copy).
-    pub fault: Option<&'static str>,
+    /// This copy is the extra copy of a duplicated signal.
+    pub duplicate: bool,
+    /// This copy drew reorder jitter (`extra_delay` is nonzero).
+    pub reordered: bool,
+}
+
+impl Delivery {
+    /// Every fault label that applies to this copy, in a fixed order
+    /// (`"duplicate"` before `"reorder"`); empty for an untouched
+    /// primary copy.
+    pub fn labels(&self) -> impl Iterator<Item = &'static str> {
+        self.duplicate
+            .then_some("duplicate")
+            .into_iter()
+            .chain(self.reordered.then_some("reorder"))
+    }
 }
 
 /// The fate of one transmitted signal.
@@ -98,7 +116,8 @@ impl SendFate {
     pub fn clean() -> Self {
         SendFate::Deliver(vec![Delivery {
             extra_delay: SimDuration::ZERO,
-            fault: None,
+            duplicate: false,
+            reordered: false,
         }])
     }
 }
@@ -129,14 +148,14 @@ impl FaultState {
         if self.plan.drop > 0.0 && self.rng.random_bool(self.plan.drop) {
             return SendFate::Dropped;
         }
-        let mut copies = vec![self.copy(None)];
+        let mut copies = vec![self.copy(false)];
         if self.plan.duplicate > 0.0 && self.rng.random_bool(self.plan.duplicate) {
-            copies.push(self.copy(Some("duplicate")));
+            copies.push(self.copy(true));
         }
         SendFate::Deliver(copies)
     }
 
-    fn copy(&mut self, fault: Option<&'static str>) -> Delivery {
+    fn copy(&mut self, duplicate: bool) -> Delivery {
         let jittered = self.plan.reorder > 0.0
             && self.plan.max_extra_delay > SimDuration::ZERO
             && self.rng.random_bool(self.plan.reorder);
@@ -147,7 +166,8 @@ impl FaultState {
         };
         Delivery {
             extra_delay,
-            fault: fault.or(jittered.then_some("reorder")),
+            duplicate,
+            reordered: jittered,
         }
     }
 }
@@ -193,11 +213,8 @@ mod tests {
         let (mut dups, mut reorders) = (0, 0);
         for _ in 0..400 {
             if let SendFate::Deliver(copies) = f.fate() {
-                dups += copies
-                    .iter()
-                    .filter(|c| c.fault == Some("duplicate"))
-                    .count();
-                reorders += copies.iter().filter(|c| c.fault == Some("reorder")).count();
+                dups += copies.iter().filter(|c| c.duplicate).count();
+                reorders += copies.iter().filter(|c| c.reordered).count();
                 for c in &copies {
                     assert!(c.extra_delay <= SimDuration::from_millis(10));
                 }
@@ -205,5 +222,71 @@ mod tests {
         }
         assert!(dups > 100, "expected many duplicates, got {dups}");
         assert!(reorders > 80, "expected many reorders, got {reorders}");
+    }
+
+    /// Pin the fix for the duplicate/reorder labeling bug: a duplicated
+    /// copy that also draws reorder jitter must be reported as *both*
+    /// faults, not just `"duplicate"` (which made obs reorder counters
+    /// undercount).
+    #[test]
+    fn jittered_duplicate_is_labeled_both_duplicate_and_reorder() {
+        let mut f = FaultState::new(
+            FaultPlan::new(11)
+                .with_duplicate(1.0)
+                .with_reorder(1.0)
+                .with_max_extra_delay(SimDuration::from_millis(10)),
+        );
+        for _ in 0..50 {
+            let SendFate::Deliver(copies) = f.fate() else {
+                panic!("no drops configured");
+            };
+            assert_eq!(copies.len(), 2);
+            let dup = &copies[1];
+            assert!(dup.duplicate && dup.reordered);
+            assert!(dup.extra_delay > SimDuration::ZERO);
+            let labels: Vec<_> = dup.labels().collect();
+            assert_eq!(labels, vec!["duplicate", "reorder"]);
+            // The primary copy is reordered-only.
+            let primary = &copies[0];
+            assert!(!primary.duplicate && primary.reordered);
+            assert_eq!(primary.labels().collect::<Vec<_>>(), vec!["reorder"]);
+        }
+    }
+
+    /// The labeling fix must not change PRNG draw order: the fates drawn
+    /// from a given seed stay byte-identical to the pre-fix sequence
+    /// (drop, primary jitter, duplicate, duplicate jitter).
+    #[test]
+    fn labeling_fix_preserves_draw_order() {
+        let plan = FaultPlan::chaos(42, 0.2);
+        let mut f = FaultState::new(plan);
+        // Replay the same decisions with a raw PRNG clone.
+        let mut rng = StdRng::seed_from_u64(plan.seed);
+        for _ in 0..300 {
+            let expect_drop = rng.random_bool(plan.drop);
+            let fate = f.fate();
+            if expect_drop {
+                assert_eq!(fate, SendFate::Dropped);
+                continue;
+            }
+            let mut expected = Vec::new();
+            for duplicate in [false, true] {
+                if duplicate && !rng.random_bool(plan.duplicate) {
+                    break;
+                }
+                let jittered = rng.random_bool(plan.reorder);
+                let extra = if jittered {
+                    SimDuration(rng.random_range(1..=plan.max_extra_delay.0))
+                } else {
+                    SimDuration::ZERO
+                };
+                expected.push(Delivery {
+                    extra_delay: extra,
+                    duplicate,
+                    reordered: jittered,
+                });
+            }
+            assert_eq!(fate, SendFate::Deliver(expected));
+        }
     }
 }

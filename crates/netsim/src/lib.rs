@@ -8,10 +8,12 @@
 //! formulas (2n+3c for Fig. 13, pn+(p+1)c in general) are *measured* on
 //! this substrate rather than merely derived.
 
+pub mod chaos;
 pub mod fault;
 pub mod sim;
 pub mod time;
 
+pub use chaos::{apply_schedule, AppliedChaos};
 pub use fault::{FaultPlan, FaultState, SendFate};
 pub use sim::{Network, SimConfig, TraceEntry};
 pub use time::{SimDuration, SimTime};

@@ -83,6 +83,24 @@ enum Ev {
     Crash { to: BoxId },
     /// The box comes back up; its reliability layer (if any) re-arms.
     Restart { to: BoxId },
+    /// A (possibly asymmetric) partition between two boxes comes into
+    /// force: blocked directions silently swallow signals and meta
+    /// traffic until the matching `HealPair`.
+    Partition {
+        a: BoxId,
+        b: BoxId,
+        block_ab: bool,
+        block_ba: bool,
+    },
+    /// Remove any partition between two boxes.
+    HealPair { a: BoxId, b: BoxId },
+    /// A bursty fault window opens on a channel: for its duration the
+    /// burst plan overrides the channel's baseline fault plan.
+    BurstStart {
+        ch: ChannelId,
+        plan: FaultPlan,
+        until: SimTime,
+    },
 }
 
 struct Scheduled {
@@ -138,6 +156,22 @@ struct Channel {
     slots_b: Vec<SlotId>,
 }
 
+/// A live burst window: overrides the channel's baseline fault plan
+/// until `until` (inclusive), then expires on its own.
+struct BurstState {
+    fs: FaultState,
+    until: SimTime,
+}
+
+/// Normalize an unordered box pair to a canonical map key.
+fn pair_key(a: BoxId, b: BoxId) -> (BoxId, BoxId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
 /// One recorded delivery, for debugging and figure generation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -166,6 +200,12 @@ pub struct Network {
     channels: HashMap<ChannelId, Channel>,
     /// Per-channel fault injection; channels absent here are perfect.
     faults: HashMap<ChannelId, FaultState>,
+    /// Active partitions, keyed by normalized box pair; flags block the
+    /// low→high and high→low directions respectively. A partition gates
+    /// every channel between the pair, present and future.
+    partitions: HashMap<(BoxId, BoxId), (bool, bool)>,
+    /// Active burst windows per channel; consulted before `faults`.
+    bursts: HashMap<ChannelId, BurstState>,
     /// (box, slot) → (channel, tunnel) for outgoing routing.
     slot_route: HashMap<(BoxId, SlotId), (ChannelId, TunnelId)>,
     events: BinaryHeap<Reverse<Scheduled>>,
@@ -196,6 +236,8 @@ impl Network {
             names: HashMap::new(),
             channels: HashMap::new(),
             faults: HashMap::new(),
+            partitions: HashMap::new(),
+            bursts: HashMap::new(),
             slot_route: HashMap::new(),
             events: BinaryHeap::new(),
             now: SimTime::ZERO,
@@ -384,6 +426,95 @@ impl Network {
         assert!(at >= self.now, "cannot schedule in the past");
         self.push(at, Ev::Crash { to: id });
         self.push(at + down_for, Ev::Restart { to: id });
+    }
+
+    /// Schedule a (possibly asymmetric) partition between two boxes at
+    /// `at`: blocked directions silently swallow tunnel signals and meta
+    /// traffic (each swallowed delivery is observed as a `"partition"`
+    /// fault), and channel setup between the pair fails as if the target
+    /// were unavailable. The partition covers every channel between the
+    /// pair — present and future — and stays in force until a matching
+    /// [`Network::schedule_heal`]. `block_ab`/`block_ba` cut the `a`→`b`
+    /// and `b`→`a` directions respectively.
+    pub fn schedule_partition(
+        &mut self,
+        at: SimTime,
+        a: BoxId,
+        b: BoxId,
+        block_ab: bool,
+        block_ba: bool,
+    ) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(
+            at,
+            Ev::Partition {
+                a,
+                b,
+                block_ab,
+                block_ba,
+            },
+        );
+    }
+
+    /// Schedule the removal of any partition between two boxes
+    /// (order-insensitive pair).
+    pub fn schedule_heal(&mut self, at: SimTime, a: BoxId, b: BoxId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, Ev::HealPair { a, b });
+    }
+
+    /// Schedule a bursty fault window on a channel: from `at` until
+    /// `at + duration` the burst `plan` overrides the channel's baseline
+    /// fault plan (which resumes, with its PRNG stream intact, when the
+    /// burst expires). The burst's own PRNG is seeded from `plan.seed`
+    /// and consumed in event order — the same determinism guarantee as
+    /// baseline fault plans.
+    pub fn schedule_burst(
+        &mut self,
+        at: SimTime,
+        ch: ChannelId,
+        plan: FaultPlan,
+        duration: SimDuration,
+    ) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(
+            at,
+            Ev::BurstStart {
+                ch,
+                plan,
+                until: at + duration,
+            },
+        );
+    }
+
+    /// Current block flags between two boxes as `(a→b, b→a)`.
+    pub fn partition_between(&self, a: BoxId, b: BoxId) -> (bool, bool) {
+        let key = pair_key(a, b);
+        let (lo_hi, hi_lo) = self.partitions.get(&key).copied().unwrap_or((false, false));
+        if a.0 <= b.0 {
+            (lo_hi, hi_lo)
+        } else {
+            (hi_lo, lo_hi)
+        }
+    }
+
+    /// True iff traffic from `from` to `to` is currently cut.
+    fn blocked(&self, from: BoxId, to: BoxId) -> bool {
+        self.partition_between(from, to).0
+    }
+
+    /// All channels whose endpoints are exactly this box pair (either
+    /// orientation), in channel-id order.
+    pub fn channels_between(&self, a: BoxId, b: BoxId) -> Vec<ChannelId> {
+        let key = pair_key(a, b);
+        let mut out: Vec<ChannelId> = self
+            .channels
+            .iter()
+            .filter(|(_, c)| pair_key(c.a, c.b) == key && c.a != c.b)
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_by_key(|c| c.0);
+        out
     }
 
     /// True iff every slot of the box has converged (§VI quiescence: no
@@ -640,6 +771,32 @@ impl Network {
                     self.sync_reliability(to, now, None);
                 }
             }
+            Ev::Partition {
+                a,
+                b,
+                block_ab,
+                block_ba,
+            } => {
+                let key = pair_key(a, b);
+                let flags = if a.0 <= b.0 {
+                    (block_ab, block_ba)
+                } else {
+                    (block_ba, block_ab)
+                };
+                self.partitions.insert(key, flags);
+            }
+            Ev::HealPair { a, b } => {
+                self.partitions.remove(&pair_key(a, b));
+            }
+            Ev::BurstStart { ch, plan, until } => {
+                self.bursts.insert(
+                    ch,
+                    BurstState {
+                        fs: FaultState::new(plan),
+                        until,
+                    },
+                );
+            }
         }
         true
     }
@@ -735,11 +892,26 @@ impl Network {
                     // signal passes through (logic-driven, user-driven, and
                     // harness-injected alike), so sends are observed here.
                     self.obs.signal_sent(from.0, out.slot.0, out.signal.kind());
-                    // The channel's fault plan decides the signal's fate;
-                    // perfect channels take the clean single-copy path.
-                    let fate = match self.faults.get_mut(&ch) {
-                        Some(f) => f.fate(),
-                        None => SendFate::clean(),
+                    // An active partition swallows the signal before the
+                    // channel's fault plan gets a say.
+                    if self.blocked(from, peer) {
+                        self.obs.fault_injected(from.0, "partition");
+                        continue;
+                    }
+                    // A live burst window overrides the channel's baseline
+                    // fault plan; perfect channels take the clean
+                    // single-copy path. Expired bursts are reaped lazily
+                    // here so the baseline plan resumes.
+                    if self.bursts.get(&ch).is_some_and(|b| done > b.until) {
+                        self.bursts.remove(&ch);
+                    }
+                    let fate = if let Some(b) = self.bursts.get_mut(&ch) {
+                        b.fs.fate()
+                    } else {
+                        match self.faults.get_mut(&ch) {
+                            Some(f) => f.fate(),
+                            None => SendFate::clean(),
+                        }
                     };
                     match fate {
                         SendFate::Dropped => {
@@ -747,7 +919,7 @@ impl Network {
                         }
                         SendFate::Deliver(copies) => {
                             for copy in copies {
-                                if let Some(kind) = copy.fault {
+                                for kind in copy.labels() {
                                     self.obs.fault_injected(from.0, kind);
                                 }
                                 self.push_traced(
@@ -771,6 +943,12 @@ impl Network {
                         continue;
                     };
                     let peer = if chan.a == from { chan.b } else { chan.a };
+                    // Meta traffic rides the same links, so a partition
+                    // swallows it too.
+                    if peer != from && self.blocked(from, peer) {
+                        self.obs.fault_injected(from.0, "partition");
+                        continue;
+                    }
                     self.push_traced(
                         done + self.cfg.net_latency,
                         Ev::Input {
@@ -897,7 +1075,14 @@ impl Network {
         ctx: Option<SpanCtx>,
     ) {
         let target = self.names.get(to_name).copied();
-        let available = target.map(|t| self.nodes[&t].available).unwrap_or(false);
+        // Channel setup is a round trip, so a partition in either
+        // direction makes the target as unreachable as an unavailable one.
+        let available = target
+            .map(|t| {
+                let (ab, ba) = self.partition_between(from, t);
+                self.nodes[&t].available && !ab && !ba
+            })
+            .unwrap_or(false);
         let ch = ChannelId(self.next_channel);
         self.next_channel += 1;
         let slots_from = self.alloc_slots(from, tunnels, true, ch);

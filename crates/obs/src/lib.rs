@@ -33,7 +33,7 @@ pub use export::{
 };
 pub use ladder::LadderEvent;
 pub use metrics::{CountingObserver, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use monitor::{Finding, Monitor, MonitorRules, RecvRuleData, SendRuleData};
+pub use monitor::{Finding, Monitor, MonitorRules, RecoveryObjectives, RecvRuleData, SendRuleData};
 pub use trace::{
     attribute, attribution_category, chrome_trace_json, Attribution, SpanCtx, SpanId, SpanRecord,
     SpanSink, TraceId, Tracer, TracingObserver,
@@ -114,7 +114,7 @@ pub trait Observer {
 
     /// The environment injected a network fault affecting `bx` (`kind` is
     /// one of [`metrics::FAULT_KINDS`]: `"drop"`, `"duplicate"`,
-    /// `"reorder"`, `"crash"`, `"restart"`).
+    /// `"reorder"`, `"partition"`, `"shed"`, `"crash"`, `"restart"`).
     fn fault_injected(&mut self, bx: u32, kind: &'static str) {
         let _ = (bx, kind);
     }

@@ -30,11 +30,13 @@ pub fn kind_index(kind: &str) -> usize {
 
 /// The closed set of injectable network-fault kinds, plus a catch-all
 /// bucket mirroring [`SIGNAL_KINDS`].
-pub const FAULT_KINDS: [&str; 7] = [
+pub const FAULT_KINDS: [&str; 9] = [
     "drop",
     "duplicate",
     "reorder",
     "delay",
+    "partition",
+    "shed",
     "crash",
     "restart",
     "other",

@@ -96,6 +96,45 @@ pub struct Finding {
     pub ladder: String,
 }
 
+/// Per-invariant recovery-time objectives for chaos runs: after the last
+/// heal of a schedule, how long each invariant class may take to be
+/// restored. `IM102` (action on a Closed slot) has no budget — it is a
+/// safety violation and fatal whenever it fires, mid-chaos or not.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryObjectives {
+    /// Budget (ms after last heal) for `IM101` conformance findings.
+    pub conformance_ms: u64,
+    /// Budget (ms after last heal) for `IM201` flowlink convergence.
+    pub flowlink_ms: u64,
+    /// Budget (ms after last heal) for `IM301` clean terminal states.
+    pub terminal_ms: u64,
+}
+
+impl Default for RecoveryObjectives {
+    /// 5 s per class: generous against the reliability layer's capped
+    /// backoff (200 ms..3.2 s), tight against a wedged recovery.
+    fn default() -> Self {
+        RecoveryObjectives {
+            conformance_ms: 5_000,
+            flowlink_ms: 5_000,
+            terminal_ms: 5_000,
+        }
+    }
+}
+
+impl RecoveryObjectives {
+    /// The budget for a finding code; `None` means no budget (always
+    /// fatal).
+    fn budget_ms(&self, code: &str) -> Option<u64> {
+        match code {
+            IM_CONFORMANCE => Some(self.conformance_ms),
+            IM_FLOWLINK => Some(self.flowlink_ms),
+            IM_TERMINAL => Some(self.terminal_ms),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct SlotBelief {
     state: &'static str,
@@ -153,6 +192,23 @@ impl Monitor {
 
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Judge the findings against per-invariant recovery-time objectives
+    /// for a chaos run whose last heal happened at `heal_at_micros`:
+    /// returns the findings that violate their objective. `IM102` is
+    /// fatal wherever it fires; `IM101`/`IM201`/`IM301` findings are
+    /// violations only when stamped *after* the heal plus their budget —
+    /// transient divergence inside the chaos window or the recovery
+    /// budget is the fault injector working as intended.
+    pub fn rto_violations(&self, heal_at_micros: u64, rto: &RecoveryObjectives) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| match rto.budget_ms(f.code) {
+                None => true,
+                Some(ms) => f.at_micros > heal_at_micros + ms * 1_000,
+            })
+            .collect()
     }
 
     pub fn events_seen(&self) -> u64 {
@@ -656,5 +712,45 @@ mod tests {
         assert!(json.contains("\"box\":2"));
         assert!(json.contains("\"at_micros\":42"));
         assert!(json.contains("\"ladder\":\""));
+    }
+
+    #[test]
+    fn rto_forgives_findings_inside_the_budget() {
+        let mut m = Monitor::new(rules());
+        m.watch_flowlink((0, 0), (1, 0));
+        m.ingest(0, &trans(0, 0, "closed", "opening", "goal"));
+        m.ingest(0, &sent(0, 0, "open"));
+        // Quiescence checked 2 s after the heal: inside the 5 s budget,
+        // so the IM201/IM301 findings are transient, not violations.
+        let heal = 10_000_000u64;
+        m.check_quiescent(heal + 2_000_000);
+        assert!(!m.findings().is_empty());
+        let rto = RecoveryObjectives::default();
+        assert!(m.rto_violations(heal, &rto).is_empty());
+    }
+
+    #[test]
+    fn rto_flags_findings_past_the_budget() {
+        let mut m = Monitor::new(rules());
+        m.watch_flowlink((0, 0), (1, 0));
+        m.ingest(0, &trans(0, 0, "closed", "opening", "goal"));
+        m.ingest(0, &sent(0, 0, "open"));
+        let heal = 10_000_000u64;
+        m.check_quiescent(heal + 6_000_000); // past the 5 s budget
+        let rto = RecoveryObjectives::default();
+        let v = m.rto_violations(heal, &rto);
+        assert!(v.iter().any(|f| f.code == IM_FLOWLINK));
+        assert!(v.iter().any(|f| f.code == IM_TERMINAL));
+    }
+
+    #[test]
+    fn rto_never_forgives_im102() {
+        let mut m = Monitor::new(rules());
+        // An action on a Closed slot at t=42us, long before any heal.
+        m.ingest(42, &sent(2, 1, "oack"));
+        let rto = RecoveryObjectives::default();
+        let v = m.rto_violations(10_000_000, &rto);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, IM_CLOSED_ACTION);
     }
 }

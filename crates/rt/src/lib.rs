@@ -7,13 +7,15 @@
 //! simulator and the model checker execute are driven here by live
 //! sockets; nothing in `ipmedia-core` knows the difference.
 
+pub mod chaos;
 pub mod frame;
 pub mod node;
 pub mod wire;
 
+pub use chaos::{drive_schedule, ChaosGate};
 pub use frame::{FrameError, Framed, MAX_FRAME};
 pub use node::{
-    spawn_node, spawn_node_obs, spawn_node_traced, spawn_node_with, Directory, NodeHandle,
-    NodeSnapshot, ReconnectPolicy, SlotSnapshot,
+    backoff_delays, jitter_seed, spawn_node, spawn_node_chaos, spawn_node_obs, spawn_node_traced,
+    spawn_node_with, Directory, NodeHandle, NodeSnapshot, ReconnectPolicy, SlotSnapshot,
 };
 pub use wire::{decode, encode, Frame, Hello, WireError, WireTraceCtx, WIRE_VERSION};

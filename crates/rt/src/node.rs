@@ -9,6 +9,7 @@
 //! bounded channels; shutdown closes every channel with an orderly `Bye`
 //! frame.
 
+use crate::chaos::ChaosGate;
 use crate::frame::Framed;
 use crate::wire::{self, Frame, Hello, WireTraceCtx};
 use ipmedia_core::goal::{Outgoing, UserCmd};
@@ -49,6 +50,12 @@ pub struct ReconnectPolicy {
     /// Bound on any single connect or frame write before the connection
     /// is declared dead.
     pub send_timeout: Duration,
+    /// Full jitter on retry delays: each attempt sleeps a uniform random
+    /// duration in `[0, min(base · 2^i, max)]` instead of the cap itself,
+    /// so the simultaneous reconnects that follow a partition heal spread
+    /// out rather than stampede the peer in lockstep. The jitter stream
+    /// is seeded per (node, channel) and thus deterministic in tests.
+    pub full_jitter: bool,
 }
 
 impl Default for ReconnectPolicy {
@@ -59,8 +66,51 @@ impl Default for ReconnectPolicy {
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(2),
             send_timeout: Duration::from_secs(5),
+            full_jitter: true,
         }
     }
+}
+
+/// The retry delay sequence a policy yields for `attempts` attempts,
+/// seeded for reproducibility. Without jitter this is the classic capped
+/// doubling (`base, 2·base, … , max`); with [`ReconnectPolicy::full_jitter`]
+/// each delay is drawn uniformly from `[0, cap_i]` (AWS-style full
+/// jitter), which keeps the expected spacing half the cap while
+/// decorrelating concurrent reconnectors.
+pub fn backoff_delays(policy: &ReconnectPolicy, seed: u64, attempts: u32) -> Vec<Duration> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..attempts)
+        .map(|i| {
+            let cap = policy
+                .base_delay
+                .saturating_mul(2u32.saturating_pow(i))
+                .min(policy.max_delay);
+            if policy.full_jitter {
+                let cap_us = cap.as_micros() as u64;
+                if cap_us == 0 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_micros(rng.random_range(0..=cap_us))
+                }
+            } else {
+                cap
+            }
+        })
+        .collect()
+}
+
+/// Deterministic per-(node, channel) jitter seed (FNV-1a over the name,
+/// mixed with the channel id) so two nodes — or two channels of one node
+/// — never share a jitter stream.
+pub fn jitter_seed(name: &str, channel: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (u64::from(channel) << 32 | u64::from(channel))
 }
 
 /// Name → socket address registry (a stand-in for the configuration layer
@@ -123,6 +173,12 @@ impl NodeHandle {
         self.user_tx.send((slot, cmd)).await.expect("node alive");
     }
 
+    /// Cloneable sender for user commands, for tasks that drive the node
+    /// concurrently with its owner (e.g. chaos churn during a schedule).
+    pub fn commander(&self) -> mpsc::Sender<(SlotId, UserCmd)> {
+        self.user_tx.clone()
+    }
+
     /// Inject an application input (meta-signals from local features).
     pub async fn inject(&self, input: BoxInput) {
         self.input_tx.send(input).await.expect("node alive");
@@ -169,14 +225,18 @@ impl NodeHandle {
 
 enum Inbox {
     /// A frame arrived on a connection.
-    Net { channel: ChannelId, frame: Frame },
+    Net {
+        channel: ChannelId,
+        gen: u64,
+        frame: Frame,
+    },
     /// A connection was accepted and sent its hello.
     Accepted {
         hello: Hello,
         framed: Framed<TcpStream>,
     },
     /// A connection died.
-    Gone { channel: ChannelId },
+    Gone { channel: ChannelId, gen: u64 },
     /// A background re-dial of a lost channel succeeded.
     Reconnected {
         channel: ChannelId,
@@ -194,8 +254,18 @@ struct Conn {
     /// Dial target when this end initiated the channel; reconnection is
     /// only possible (and only attempted) from the initiating side.
     peer: Option<String>,
+    /// The far end's name whichever side initiated: the dial target for
+    /// dialed connections, the hello's `from` for accepted ones. Chaos
+    /// gating keys on it; `None` only for half-open channels.
+    remote: Option<String>,
     /// The connection died and a background re-dial is in flight.
     recovering: bool,
+    /// Socket generation, bumped on every reconnect. Reader/writer tasks
+    /// tag inbox traffic with the generation they serve; a superseded
+    /// socket's death notice can surface after the swap, and acting on it
+    /// would re-trigger recovery on the healthy replacement — forever,
+    /// since each replacement's teardown seeds the next notice.
+    gen: u64,
 }
 
 /// Spawn a node: bind a listener, run the actor, return its handle.
@@ -239,7 +309,26 @@ pub async fn spawn_node_with(
     policy: ReconnectPolicy,
     observer: Box<dyn Observer + Send>,
 ) -> std::io::Result<NodeHandle> {
-    spawn_node_inner(name, box_id, logic, dir, policy, observer, None).await
+    spawn_node_inner(name, box_id, logic, dir, policy, observer, None, None).await
+}
+
+/// [`spawn_node_with`] plus a [`ChaosGate`]: every outgoing frame and
+/// every (re)dial consults the gate, so the node participates in
+/// orchestrated fault schedules. A gate-blocked frame on an initiated
+/// connection declares the connection dead (the runtime analogue of a
+/// partition killing TCP), and the reconnect path stays blocked until
+/// the gate heals — recovery then rides the ordinary redial + §VI
+/// resync machinery.
+pub async fn spawn_node_chaos(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+    policy: ReconnectPolicy,
+    observer: Box<dyn Observer + Send>,
+    gate: Arc<ChaosGate>,
+) -> std::io::Result<NodeHandle> {
+    spawn_node_inner(name, box_id, logic, dir, policy, observer, None, Some(gate)).await
 }
 
 /// [`spawn_node_with`] plus causal tracing: every stimulus the node
@@ -256,9 +345,10 @@ pub async fn spawn_node_traced(
     observer: Box<dyn Observer + Send>,
     sink: Arc<SpanSink>,
 ) -> std::io::Result<NodeHandle> {
-    spawn_node_inner(name, box_id, logic, dir, policy, observer, Some(sink)).await
+    spawn_node_inner(name, box_id, logic, dir, policy, observer, Some(sink), None).await
 }
 
+#[allow(clippy::too_many_arguments)]
 async fn spawn_node_inner(
     name: impl Into<String>,
     box_id: BoxId,
@@ -267,6 +357,7 @@ async fn spawn_node_inner(
     policy: ReconnectPolicy,
     observer: Box<dyn Observer + Send>,
     sink: Option<Arc<SpanSink>>,
+    gate: Option<Arc<ChaosGate>>,
 ) -> std::io::Result<NodeHandle> {
     let name = name.into();
     let listener = TcpListener::bind("127.0.0.1:0").await?;
@@ -301,6 +392,7 @@ async fn spawn_node_inner(
         obs,
         registry: registry.clone(),
         tracer,
+        gate,
     };
     let join = tokio::spawn(actor.run(listener, user_rx, input_rx, shutdown_rx));
 
@@ -334,6 +426,9 @@ struct Actor {
     /// Causal tracer, when spawned via [`spawn_node_traced`]. All tracing
     /// work is gated on this being `Some`.
     tracer: Option<Tracer>,
+    /// Chaos gate, when spawned via [`spawn_node_chaos`]; consulted on
+    /// every outgoing frame and every (re)dial.
+    gate: Option<Arc<ChaosGate>>,
 }
 
 impl Actor {
@@ -552,7 +647,9 @@ impl Actor {
     async fn on_inbox(&mut self, msg: Inbox, inbox_tx: &mpsc::Sender<Inbox>) {
         match msg {
             Inbox::Accepted { hello, framed } => {
-                let channel = self.alloc_channel(hello.tunnels, false, None, framed, inbox_tx);
+                let remote = Some(hello.from.clone());
+                let channel =
+                    self.alloc_channel(hello.tunnels, false, None, remote, framed, inbox_tx);
                 let slots = self.conns[&channel].slots.clone();
                 let cmds = self.handle(BoxInput::ChannelUp {
                     channel,
@@ -561,7 +658,17 @@ impl Actor {
                 });
                 self.execute(cmds, inbox_tx).await;
             }
-            Inbox::Net { channel, frame } => {
+            Inbox::Net {
+                channel,
+                gen,
+                frame,
+            } => {
+                // A frame surfacing from a superseded socket is a ghost of
+                // a dead connection; acting on it (especially a Bye) would
+                // hit the live replacement.
+                if self.conns.get(&channel).map(|c| c.gen) != Some(gen) {
+                    return;
+                }
                 // Normalize: a traced frame is its inner message plus the
                 // sender's causal context.
                 let (wire_ctx, frame) = match frame {
@@ -595,7 +702,7 @@ impl Actor {
                     Frame::Hello(_) | Frame::Traced { .. } => {} // protocol error
                 }
             }
-            Inbox::Gone { channel } => self.on_conn_lost(channel, inbox_tx).await,
+            Inbox::Gone { channel, gen } => self.on_conn_lost(channel, gen, inbox_tx).await,
             Inbox::Reconnected {
                 channel,
                 framed,
@@ -618,11 +725,14 @@ impl Actor {
     /// end initiated the channel, park its slots (state retained, nothing
     /// removed) and re-dial in the background with capped exponential
     /// backoff; otherwise tear the channel down as before.
-    async fn on_conn_lost(&mut self, channel: ChannelId, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn on_conn_lost(&mut self, channel: ChannelId, gen: u64, inbox_tx: &mpsc::Sender<Inbox>) {
         let bx = self.pb.media().id().0;
         let Some(conn) = self.conns.get_mut(&channel) else {
             return;
         };
+        if conn.gen != gen {
+            return; // death notice from a socket a reconnect already replaced
+        }
         if conn.recovering {
             return; // reader and writer can both report the same death
         }
@@ -637,13 +747,28 @@ impl Actor {
         let dir = self.dir.clone();
         let name = self.name.clone();
         let policy = self.policy;
+        let gate = self.gate.clone();
         let tx = inbox_tx.clone();
         tokio::spawn(async move {
             let t0 = std::time::Instant::now();
-            let mut delay = policy.base_delay;
-            for attempt in 1..=policy.reconnect_attempts {
-                sleep(delay).await;
-                delay = (delay * 2).min(policy.max_delay);
+            // Jittered capped backoff: after a partition heals, every
+            // initiator on the link redials at once; full jitter keeps
+            // them from stampeding in lockstep.
+            let delays = backoff_delays(
+                &policy,
+                jitter_seed(&name, channel.0),
+                policy.reconnect_attempts,
+            );
+            for (i, delay) in delays.iter().enumerate() {
+                let attempt = i as u32 + 1;
+                sleep(*delay).await;
+                // A still-partitioned link costs the attempt (the dial
+                // would have timed out) but skips the useless connect.
+                if let Some(g) = &gate {
+                    if !g.dial_allowed(&name, &peer) {
+                        continue;
+                    }
+                }
                 // Look the peer up anew each attempt: a restarted box
                 // re-registers under the same name at a fresh address.
                 let Some(addr) = dir.lookup(&peer) else {
@@ -690,9 +815,11 @@ impl Actor {
         if !self.conns.contains_key(&channel) {
             return; // torn down while the dial was in flight
         }
-        let writer_tx = self.spawn_io_tasks(channel, framed, inbox_tx);
+        let gen = self.conns[&channel].gen + 1;
+        let writer_tx = self.spawn_io_tasks(channel, gen, framed, inbox_tx);
         let conn = self.conns.get_mut(&channel).expect("checked above");
         conn.writer_tx = writer_tx;
+        conn.gen = gen;
         conn.recovering = false;
         let slots = conn.slots.clone();
         let bx = self.pb.media().id().0;
@@ -734,6 +861,7 @@ impl Actor {
         tunnels: u16,
         initiator: bool,
         peer: Option<String>,
+        remote: Option<String>,
         framed: Framed<TcpStream>,
         inbox_tx: &mpsc::Sender<Inbox>,
     ) -> ChannelId {
@@ -746,14 +874,16 @@ impl Actor {
             self.pb.media_mut().add_slot(slot, initiator);
             slots.push(slot);
         }
-        let writer_tx = self.spawn_io_tasks(channel, framed, inbox_tx);
+        let writer_tx = self.spawn_io_tasks(channel, 0, framed, inbox_tx);
         self.conns.insert(
             channel,
             Conn {
                 writer_tx,
                 slots,
                 peer,
+                remote,
                 recovering: false,
+                gen: 0,
             },
         );
         channel
@@ -767,6 +897,7 @@ impl Actor {
     fn spawn_io_tasks(
         &self,
         channel: ChannelId,
+        gen: u64,
         framed: Framed<TcpStream>,
         inbox_tx: &mpsc::Sender<Inbox>,
     ) -> mpsc::Sender<Frame> {
@@ -783,17 +914,25 @@ impl Actor {
                 match reader.read_frame().await {
                     Ok(Some(bytes)) => match wire::decode(bytes) {
                         Ok(frame) => {
-                            if tx.send(Inbox::Net { channel, frame }).await.is_err() {
+                            if tx
+                                .send(Inbox::Net {
+                                    channel,
+                                    gen,
+                                    frame,
+                                })
+                                .await
+                                .is_err()
+                            {
                                 break;
                             }
                         }
                         Err(_) => {
-                            let _ = tx.send(Inbox::Gone { channel }).await;
+                            let _ = tx.send(Inbox::Gone { channel, gen }).await;
                             break;
                         }
                     },
                     Ok(None) | Err(_) => {
-                        let _ = tx.send(Inbox::Gone { channel }).await;
+                        let _ = tx.send(Inbox::Gone { channel, gen }).await;
                         break;
                     }
                 }
@@ -809,7 +948,7 @@ impl Actor {
                     Ok(Ok(())) => {}
                     _ => {
                         if !bye {
-                            let _ = tx.send(Inbox::Gone { channel }).await;
+                            let _ = tx.send(Inbox::Gone { channel, gen }).await;
                         }
                         break;
                     }
@@ -826,24 +965,59 @@ impl Actor {
         for cmd in cmds {
             match cmd {
                 BoxCmd::Signal(out) => {
-                    self.obs
-                        .signal_sent(self.pb.media().id().0, out.slot.0, out.signal.kind());
+                    let bx = self.pb.media().id().0;
+                    self.obs.signal_sent(bx, out.slot.0, out.signal.kind());
                     // Find the channel and tunnel of this slot.
                     let Some((channel, tunnel)) = self.route_of(out.slot) else {
                         continue;
                     };
                     if let Some(conn) = self.conns.get(&channel) {
+                        if let Some(kind) = gate_verdict(&self.gate, &self.name, conn) {
+                            self.obs.fault_injected(bx, kind);
+                            // A gate-blocked frame means the link is dead
+                            // from this node's point of view: declare the
+                            // connection gone. Initiators re-dial (equally
+                            // gated) and resync; acceptors tear the pipe
+                            // down so the far initiator notices and
+                            // re-dials — never a silent byte eater, which
+                            // would wedge the peer's await forever.
+                            if !self.conns[&channel].recovering {
+                                let gen = self.conns[&channel].gen;
+                                let _ = inbox_tx.send(Inbox::Gone { channel, gen }).await;
+                            }
+                            continue;
+                        }
                         let frame = self.traced_frame(ChannelMsg::Tunnel {
                             tunnel,
                             signal: out.signal,
                         });
-                        let _ = conn.writer_tx.send(frame).await;
+                        // Graceful degradation: a full writer queue sheds
+                        // the frame (counted) instead of blocking the
+                        // whole actor behind one slow connection.
+                        if let Err(mpsc::error::TrySendError::Full(_)) =
+                            self.conns[&channel].writer_tx.try_send(frame)
+                        {
+                            self.obs.fault_injected(bx, "shed");
+                        }
                     }
                 }
                 BoxCmd::Meta { channel, meta } => {
                     if let Some(conn) = self.conns.get(&channel) {
+                        let bx = self.pb.media().id().0;
+                        if let Some(kind) = gate_verdict(&self.gate, &self.name, conn) {
+                            self.obs.fault_injected(bx, kind);
+                            if !self.conns[&channel].recovering {
+                                let gen = self.conns[&channel].gen;
+                                let _ = inbox_tx.send(Inbox::Gone { channel, gen }).await;
+                            }
+                            continue;
+                        }
                         let frame = self.traced_frame(ChannelMsg::Meta(meta));
-                        let _ = conn.writer_tx.send(frame).await;
+                        if let Err(mpsc::error::TrySendError::Full(_)) =
+                            self.conns[&channel].writer_tx.try_send(frame)
+                        {
+                            self.obs.fault_injected(bx, "shed");
+                        }
                     }
                 }
                 BoxCmd::OpenChannel { to, tunnels, req } => {
@@ -908,8 +1082,14 @@ impl Actor {
                     self.report_unavailable(tunnels, req, inbox_tx).await;
                     return;
                 }
-                let channel =
-                    self.alloc_channel(tunnels, true, Some(to.to_string()), framed, inbox_tx);
+                let channel = self.alloc_channel(
+                    tunnels,
+                    true,
+                    Some(to.to_string()),
+                    Some(to.to_string()),
+                    framed,
+                    inbox_tx,
+                );
                 let slots = self.conns[&channel].slots.clone();
                 let cmds = self.handle(BoxInput::ChannelUp {
                     channel,
@@ -939,11 +1119,18 @@ impl Actor {
     /// exponential backoff up to `connect_attempts`, each attempt bounded
     /// by the send timeout.
     async fn dial(&mut self, to: &str) -> Option<TcpStream> {
-        let mut delay = self.policy.base_delay;
-        for attempt in 0..self.policy.connect_attempts.max(1) {
+        let attempts = self.policy.connect_attempts.max(1);
+        let delays = backoff_delays(&self.policy, jitter_seed(&self.name, 0), attempts);
+        for attempt in 0..attempts {
             if attempt > 0 {
-                sleep(delay).await;
-                delay = (delay * 2).min(self.policy.max_delay);
+                sleep(delays[attempt as usize - 1]).await;
+            }
+            // A partitioned or crashed target costs the attempt, exactly
+            // as an unreachable address would.
+            if let Some(g) = &self.gate {
+                if !g.dial_allowed(&self.name, to) {
+                    continue;
+                }
             }
             let addr = self.dir.lookup(to)?;
             if let Ok(Ok(stream)) =
@@ -973,7 +1160,9 @@ impl Actor {
                 writer_tx,
                 slots: slots.clone(),
                 peer: None,
+                remote: None,
                 recovering: false,
+                gen: 0,
             },
         );
         let cmds = self.handle(BoxInput::ChannelUp {
@@ -998,6 +1187,15 @@ impl Actor {
     ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'a>> {
         Box::pin(self.execute(cmds, inbox_tx))
     }
+}
+
+/// The chaos gate's verdict for a frame leaving `name` on `conn`:
+/// `None` passes, `Some(kind)` blocks with the fault kind to count.
+/// Half-open channels (no remote name) are never gated.
+fn gate_verdict(gate: &Option<Arc<ChaosGate>>, name: &str, conn: &Conn) -> Option<&'static str> {
+    let gate = gate.as_ref()?;
+    let remote = conn.remote.as_deref()?;
+    gate.check(name, remote).err()
 }
 
 fn far_future() -> Instant {

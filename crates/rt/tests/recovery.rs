@@ -9,7 +9,9 @@ use ipmedia_core::program::{AppLogic, BoxInput, Ctx};
 use ipmedia_core::signal::{ChannelMsg, Signal};
 use ipmedia_core::{BoxId, MediaAddr, Medium, SlotState};
 use ipmedia_obs::NoopObserver;
-use ipmedia_rt::{spawn_node_with, wire, Directory, Frame, Framed, ReconnectPolicy};
+use ipmedia_rt::{
+    backoff_delays, jitter_seed, spawn_node_with, wire, Directory, Frame, Framed, ReconnectPolicy,
+};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::time::Duration;
 
@@ -54,6 +56,7 @@ fn fast_policy(reconnect_attempts: u32) -> ReconnectPolicy {
         base_delay: Duration::from_millis(20),
         max_delay: Duration::from_millis(100),
         send_timeout: Duration::from_secs(2),
+        full_jitter: true,
     }
 }
 
@@ -74,6 +77,49 @@ async fn next_signal(framed: &mut Framed<TcpStream>) -> Signal {
             return signal;
         }
     }
+}
+
+/// Full-jitter backoff: every delay is bounded by the capped-doubling
+/// envelope, the stream is seeded-deterministic, and distinct nodes
+/// reconnecting after the same partition heal draw distinct spacings
+/// (no stampede in lockstep).
+#[test]
+fn backoff_full_jitter_is_bounded_and_seeded_deterministic() {
+    let policy = fast_policy(8);
+    let seed = jitter_seed("caller", 0);
+    let a = backoff_delays(&policy, seed, 8);
+    let b = backoff_delays(&policy, seed, 8);
+    assert_eq!(a, b, "same seed, same delay sequence");
+    assert_eq!(a.len(), 8);
+    for (i, d) in a.iter().enumerate() {
+        let cap = (policy.base_delay * 2u32.pow(i as u32)).min(policy.max_delay);
+        assert!(*d <= cap, "attempt {i}: {d:?} exceeds its cap {cap:?}");
+    }
+    // Two nodes healing off the same partition must not share a stream.
+    let other = backoff_delays(&policy, jitter_seed("callee", 0), 8);
+    assert_ne!(a, other, "distinct nodes draw distinct jitter");
+    // Distinct channels of one node decorrelate too.
+    let other_ch = backoff_delays(&policy, jitter_seed("caller", 1), 8);
+    assert_ne!(a, other_ch, "distinct channels draw distinct jitter");
+}
+
+/// Without jitter the sequence is the classic capped doubling — the
+/// envelope the jittered delays are bounded by.
+#[test]
+fn backoff_without_jitter_is_capped_doubling() {
+    let mut policy = fast_policy(5);
+    policy.full_jitter = false;
+    let d = backoff_delays(&policy, 0, 5);
+    assert_eq!(
+        d,
+        vec![
+            Duration::from_millis(20),
+            Duration::from_millis(40),
+            Duration::from_millis(80),
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+        ]
+    );
 }
 
 #[tokio::test]

@@ -95,4 +95,22 @@ timeout "$MONITOR_BUDGET_SECS" ./target/release/ipmedia-monitor --mutant closed-
   exit "$status"
 }
 
+echo "== chaos campaign (seeded schedules, monitor-verified recovery)" >&2
+# Seeded fault schedules across every registry scenario and schedule
+# family on the simulator plus a compressed sweep on the live runtime;
+# any post-heal invariant violation fails the gate and the bin prints
+# the failing seed with its delta-debugged minimal schedule on stderr.
+# Rewrites BENCH_chaos.json.
+cargo build "$@" --release -q -p ipmedia-bench --bin chaos_campaign
+CHAOS_BUDGET_SECS="${CHAOS_BUDGET_SECS:-240}"
+timeout "$CHAOS_BUDGET_SECS" ./target/release/chaos_campaign --threads "$(nproc)" >/dev/null || {
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "chaos campaign exceeded the ${CHAOS_BUDGET_SECS}s wall-clock budget" >&2
+  else
+    echo "chaos campaign found recovery violations (exit $status)" >&2
+  fi
+  exit "$status"
+}
+
 echo "all checks passed" >&2

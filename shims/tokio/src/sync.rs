@@ -93,12 +93,52 @@ pub mod mpsc {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; carries the unsent value.
+        Full(T),
+        /// The receiver is gone; carries the unsent value.
+        Closed(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Closed(_) => f.write_str("Closed(..)"),
+            }
+        }
+    }
+
+    /// Error types, under the module path tokio uses.
+    pub mod error {
+        pub use super::{SendError, TrySendError};
+    }
+
     impl<T> Sender<T> {
         /// Wait for capacity, then enqueue. Errors iff the receiver is gone.
         pub fn send(&self, value: T) -> Send<'_, T> {
             Send {
                 chan: &self.chan,
                 value: Some(value),
+            }
+        }
+
+        /// Enqueue without waiting: errors with `Full` at capacity,
+        /// `Closed` when the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut c = self.chan.lock().unwrap();
+            if !c.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if c.queue.len() < c.cap {
+                c.queue.push_back(value);
+                if let Some(w) = c.rx_waker.take() {
+                    w.wake();
+                }
+                Ok(())
+            } else {
+                Err(TrySendError::Full(value))
             }
         }
     }
