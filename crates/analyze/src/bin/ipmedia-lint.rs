@@ -20,8 +20,9 @@
 //! * `2` — usage error (bad flag, nothing to lint);
 //! * `3` — input or internal error (unreadable file, `.ipm` parse error).
 
+use ipmedia_analyze::fuzz::{fuzz_campaign, FuzzConfig, MckChecker};
 use ipmedia_analyze::runner;
-use ipmedia_analyze::{parse_scenario, to_sarif, Baseline};
+use ipmedia_analyze::{parse_scenario, to_ipm, to_sarif, Baseline};
 use ipmedia_core::program::model::ScenarioModel;
 use ipmedia_obs::{json_str_array, JsonObj};
 use std::process::ExitCode;
@@ -39,6 +40,9 @@ struct Options {
     write_baseline: Option<String>,
     sarif: Option<String>,
     files: Vec<String>,
+    fuzz: Option<usize>,
+    seed: Option<u64>,
+    max_states: Option<usize>,
 }
 
 fn usage() -> &'static str {
@@ -54,6 +58,12 @@ options:
   --write-baseline FILE   write the current findings as a baseline, then
                           exit as if they were suppressed
   --sarif FILE            also write the report as SARIF 2.1.0 to FILE
+  --fuzz N                instead of linting inputs, run the differential
+                          fuzz campaign over N generated scenarios (the
+                          same oracle as the fuzz_differential CI gate)
+                          and print any divergence's minimized reproducer
+  --seed S                campaign seed for --fuzz (decimal)
+  --max-states M          base checker budget for --fuzz
   -h, --help              this help
 
 exit status:
@@ -73,6 +83,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         write_baseline: None,
         sarif: None,
         files: Vec::new(),
+        fuzz: None,
+        seed: None,
+        max_states: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -102,12 +115,24 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--sarif" => {
                 opts.sarif = Some(it.next().ok_or("--sarif expects a file")?.clone());
             }
+            "--fuzz" => {
+                let v = it.next().ok_or("--fuzz expects a scenario count")?;
+                opts.fuzz = Some(v.parse().map_err(|_| format!("bad fuzz count `{v}`"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed expects a campaign seed")?;
+                opts.seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
+            }
+            "--max-states" => {
+                let v = it.next().ok_or("--max-states expects a state count")?;
+                opts.max_states = Some(v.parse().map_err(|_| format!("bad state count `{v}`"))?);
+            }
             "--help" | "-h" => return Ok(None),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => opts.files.push(file.to_string()),
         }
     }
-    if !opts.all_examples && opts.files.is_empty() {
+    if !opts.all_examples && opts.files.is_empty() && opts.fuzz.is_none() {
         return Err(format!("nothing to lint\n{}", usage()));
     }
     Ok(Some(opts))
@@ -126,6 +151,67 @@ fn load_scenarios(opts: &Options) -> Result<Vec<ScenarioModel>, String> {
     Ok(scenarios)
 }
 
+/// `--fuzz N`: run the differential analyzer↔checker campaign locally —
+/// the one-command reproduction path for CI `fuzz_differential` findings.
+/// Exit 0 on a clean run, [`EXIT_FINDINGS`] on any divergence.
+fn fuzz_mode(opts: &Options, count: usize) -> ExitCode {
+    let defaults = FuzzConfig::default();
+    let cfg = FuzzConfig {
+        scenarios: count,
+        seed: opts.seed.unwrap_or(defaults.seed),
+        threads: opts.threads,
+        max_states: opts.max_states.unwrap_or(defaults.max_states),
+        ..defaults
+    };
+    eprintln!(
+        "ipmedia-lint: fuzzing {} scenario(s), seed {}, base cap {} states",
+        cfg.scenarios, cfg.seed, cfg.max_states
+    );
+    let mut checker = MckChecker::new(cfg.max_states);
+    let report = fuzz_campaign(&cfg, &mut checker);
+    for d in &report.divergences {
+        eprintln!(
+            "ipmedia-lint: DIVERGENCE ({}) seed {:#018x}: {}",
+            d.kind.name(),
+            d.seed,
+            d.detail
+        );
+        let repro = d.minimized.as_ref().unwrap_or(&d.scenario);
+        eprintln!("--- minimized reproducer ---\n{}", to_ipm(repro));
+    }
+    eprintln!(
+        "ipmedia-lint: {} scenario(s) fuzzed ({} analyzer-clean), {} class(es) checked, \
+         {} divergence(s){}",
+        report.scenarios,
+        report.clean,
+        report.checked.len(),
+        report.divergences.len(),
+        if report.is_clean_run() {
+            " — clean"
+        } else {
+            ""
+        }
+    );
+    if opts.jsonl {
+        println!(
+            "{}",
+            JsonObj::new()
+                .str("type", "fuzz_summary")
+                .num("scenarios", report.scenarios as u64)
+                .num("clean", report.clean as u64)
+                .num("classes", report.checked.len() as u64)
+                .num("divergences", report.divergences.len() as u64)
+                .bool("clean_run", report.is_clean_run())
+                .finish()
+        );
+    }
+    if report.is_clean_run() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -139,6 +225,9 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    if let Some(count) = opts.fuzz {
+        return fuzz_mode(&opts, count);
+    }
     let scenarios = match load_scenarios(&opts) {
         Ok(s) => s,
         Err(msg) => {

@@ -385,9 +385,12 @@ fn links_through(scenario: &ScenarioModel, box_name: &str, prev: &str, next: &st
     })
 }
 
-/// Maximum path length (in links) [`covered_classes`] maps onto `mck`
-/// configurations; longer chains exceed the explorer's CI budget.
-pub const MAX_COVERED_LINKS: usize = 2;
+/// Default maximum path length (in links) [`covered_classes`] maps onto
+/// `mck` configurations. A class with `n` links has `n - 1` interior
+/// flowlink boxes; beyond this depth the explorer's budgeted prefix is
+/// too shallow to be informative, so longer chains are only covered when
+/// a caller asks for them via [`covered_classes_up_to`].
+pub const MAX_COVERED_LINKS: usize = 4;
 
 /// The dynamic path classes covered by a scenario: every simple topology
 /// path of at most [`MAX_COVERED_LINKS`] links whose interior boxes can
@@ -396,6 +399,13 @@ pub const MAX_COVERED_LINKS: usize = 2;
 /// all three). Classes are normalized (`left <= right`) and deduplicated
 /// per `(links, left, right)`; `via` keeps one witness path.
 pub fn covered_classes(scenario: &ScenarioModel) -> Vec<CoveredClass> {
+    covered_classes_up_to(scenario, MAX_COVERED_LINKS)
+}
+
+/// [`covered_classes`] with an explicit cap on path length, for callers
+/// that want to trade checker depth against coverage (the fuzz harness
+/// widens or narrows the oracle per campaign budget).
+pub fn covered_classes_up_to(scenario: &ScenarioModel, max_links: usize) -> Vec<CoveredClass> {
     let topo = &scenario.topology;
     let mut classes: BTreeMap<(usize, EndGoal, EndGoal), Vec<String>> = BTreeMap::new();
     let n = topo.boxes.len();
@@ -405,7 +415,7 @@ pub fn covered_classes(scenario: &ScenarioModel) -> Vec<CoveredClass> {
                 continue;
             };
             let links = path.len() - 1;
-            if links == 0 || links > MAX_COVERED_LINKS {
+            if links == 0 || links > max_links {
                 continue;
             }
             if !(1..links).all(|k| links_through(scenario, &path[k], &path[k - 1], &path[k + 1])) {
@@ -655,9 +665,19 @@ mod tests {
     fn covered_classes_span_flowlinked_paths_only() {
         let sc = facing_servers();
         let classes = covered_classes(&sc);
-        // left—s1—s2—right is 3 links (beyond the cap) and every
-        // shorter path ends at a flowLink rest, so nothing is covered.
-        assert!(classes.is_empty(), "{classes:?}");
+        // left—s1—s2—right is the only covered path: both interiors
+        // flowlink it end to end and both ends are free, so all six
+        // normalized goal pairs appear at 3 links (2 interior flowlinks).
+        // Every shorter sub-path ends at a flowLink rest and contributes
+        // nothing.
+        assert_eq!(classes.len(), 6, "{classes:?}");
+        assert!(classes.iter().all(|c| c.links == 3), "{classes:?}");
+        assert!(
+            classes
+                .iter()
+                .all(|c| c.via == ["left".to_string(), "s1".into(), "s2".into(), "right".into()]),
+            "{classes:?}"
+        );
 
         // One server between two free endpoints: all six path types at
         // two links.
@@ -691,6 +711,67 @@ mod tests {
         assert!(classes
             .iter()
             .any(|c| c.left == EndGoal::Open && c.right == EndGoal::Open));
+    }
+
+    /// Regression for the coverage widening: under the old ≤2-link cap
+    /// the two-relay chain contributed *zero* classes — its only
+    /// flowlinked end-to-end path is 3 links — so the differential
+    /// oracle silently skipped it. The cap parameter reproduces the old
+    /// behavior; the default must cover the class.
+    #[test]
+    fn three_link_class_was_uncovered_under_the_old_cap() {
+        let sc = facing_servers();
+        assert!(
+            covered_classes_up_to(&sc, 2).is_empty(),
+            "old cap covered nothing on the two-relay chain"
+        );
+        let widened = covered_classes_up_to(&sc, MAX_COVERED_LINKS);
+        assert!(
+            widened.iter().any(|c| c.links == 3),
+            "default cap must cover the 3-link class: {widened:?}"
+        );
+        assert_eq!(covered_classes(&sc), widened);
+    }
+
+    /// Multi-flowlink scenarios map onto checker configs at every depth
+    /// present: a four-relay chain covers its full 5-link path only when
+    /// the cap allows, and sub-paths never leak in (flowLink rests are
+    /// not endpoints).
+    #[test]
+    fn multi_flowlink_chain_maps_depths_up_to_the_cap() {
+        let server = |name: &str| {
+            ProgramModel::new(name)
+                .channel("chA")
+                .channel("chB")
+                .slot("sa", Some("chA"))
+                .slot("sb", Some("chB"))
+                .state(
+                    StateModel::new("linked")
+                        .final_state()
+                        .goal(GoalAnnotation::link("sa", "sb")),
+                )
+        };
+        let mut topo = Topology::new().with_box("left");
+        let mut sc = ScenarioModel::new("chain4");
+        let relays = ["r1", "r2", "r3", "r4"];
+        let mut prev = "left".to_string();
+        for r in relays {
+            topo = topo.with_box(r).with_link(prev.as_str(), r, 1);
+            sc = sc.program(r, server(r)).bind(r, "chA", prev.as_str());
+            prev = r.to_string();
+        }
+        topo = topo.with_box("right").with_link("r4", "right", 1);
+        sc = sc.with_topology(topo);
+        for w in [["r1", "r2"], ["r2", "r3"], ["r3", "r4"]] {
+            sc = sc.bind(w[0], "chB", w[1]);
+        }
+        sc = sc.bind("r4", "chB", "right");
+        // 5 links exceeds the default cap of 4: nothing covered...
+        assert!(covered_classes(&sc).is_empty());
+        // ...but an explicit wider cap maps the full chain.
+        let wide = covered_classes_up_to(&sc, 5);
+        assert_eq!(wide.len(), 6, "{wide:?}");
+        assert!(wide.iter().all(|c| c.links == 5));
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! registry (`ipmedia_apps::models`) and over serialized `.ipm`
 //! scenarios ([`parse`]), in parallel with deterministic output
 //! ([`runner`]), with SARIF export and baseline suppression ([`sarif`]).
+//! The [`fuzz`] module scales the analyzer↔checker differential oracle
+//! to thousands of seeded, generated scenarios per run, with divergences
+//! delta-minimized to small `.ipm` reproducers.
 
 #![warn(missing_docs)]
 #![warn(clippy::pedantic)]
@@ -53,6 +56,7 @@ pub mod conflict;
 pub mod conformance;
 pub mod dataflow;
 pub mod diag;
+pub mod fuzz;
 pub mod interproc;
 pub mod leak;
 pub mod parse;
@@ -62,8 +66,13 @@ pub mod sarif;
 pub mod wellformed;
 
 pub use diag::{sort_report, Diagnostic, Severity};
-pub use interproc::{covered_classes, CoveredClass};
-pub use parse::{parse_scenario, ParseError};
+pub use fuzz::{
+    class_label, fuzz_campaign, generate_scenario, scenario_seed, shrink_scenario, ClassChecker,
+    ClassKey, ClassVerdict, Divergence, DivergenceKind, FuzzConfig, FuzzReport, FuzzRng,
+    MckChecker,
+};
+pub use interproc::{covered_classes, covered_classes_up_to, CoveredClass};
+pub use parse::{parse_scenario, to_ipm, ParseError};
 pub use runner::{run, RunReport};
 pub use sarif::{to_sarif, Baseline};
 

@@ -1,5 +1,8 @@
-//! Parser for the `.ipm` scenario text format, so `ipmedia-lint` can
-//! analyze serialized models as well as the built-in example registry.
+//! Parser and emitter for the `.ipm` scenario text format, so
+//! `ipmedia-lint` can analyze serialized models as well as the built-in
+//! example registry, and the fuzz harness can round-trip generated
+//! models ([`to_ipm`] then [`parse_scenario`] is the identity on any
+//! scenario with token-safe names).
 //!
 //! The format is line-oriented; `#` starts a comment. Triggers and
 //! effects use the same concrete syntax the model types `Display` with,
@@ -189,10 +192,23 @@ pub fn parse_scenario(src: &str) -> Result<ScenarioModel, ParseError> {
             }
             "program" => {
                 flush_program(&mut scenario, &mut program, &mut state);
-                let name = rest
+                let box_name = rest
                     .first()
                     .ok_or_else(|| err(line, "program needs a box name"))?;
-                program = Some(((*name).to_string(), ProgramModel::new(*name)));
+                // `program <box> [<model-name>]`: the optional second word
+                // keeps models whose name differs from their box (the
+                // registry's `click_to_dial` on box `ctd`) round-trippable.
+                let model_name = rest.get(1).copied().unwrap_or(box_name);
+                program = Some(((*box_name).to_string(), ProgramModel::new(model_name)));
+            }
+            "initial" => {
+                let Some((_, m)) = program.as_mut() else {
+                    return Err(err(line, "`initial` outside a program"));
+                };
+                let name = rest
+                    .first()
+                    .ok_or_else(|| err(line, "initial needs a state name"))?;
+                m.initial = (*name).to_string();
             }
             "channel" | "slot" | "timer" => {
                 let Some((_, m)) = program.as_mut() else {
@@ -292,6 +308,75 @@ pub fn parse_scenario(src: &str) -> Result<ScenarioModel, ParseError> {
     Ok(scenario.with_topology(topology))
 }
 
+/// Serialize a scenario to `.ipm` text, the exact inverse of
+/// [`parse_scenario`]: `parse_scenario(&to_ipm(sc)) == Ok(sc)` for every
+/// scenario whose names are *token-safe* (no whitespace, `#`, `(`, or
+/// `)` — the format has no escaping, so such names are unrepresentable).
+/// The fuzz generator only produces token-safe names; the round-trip
+/// property test in `tests/fuzz_props.rs` pins the identity.
+pub fn to_ipm(sc: &ScenarioModel) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "scenario {}", sc.name);
+    for b in &sc.topology.boxes {
+        let _ = writeln!(out, "box {b}");
+    }
+    for l in &sc.topology.links {
+        let _ = writeln!(out, "link {} {} {}", l.from, l.to, l.tunnels);
+    }
+    for b in &sc.bindings {
+        let _ = writeln!(out, "bind {} {} {}", b.box_name, b.channel, b.peer);
+    }
+    for (box_name, m) in &sc.programs {
+        let _ = writeln!(out);
+        if m.name == *box_name {
+            let _ = writeln!(out, "program {box_name}");
+        } else {
+            let _ = writeln!(out, "program {box_name} {}", m.name);
+        }
+        for c in &m.channels {
+            let _ = writeln!(out, "  channel {c}");
+        }
+        for s in &m.slots {
+            match &s.channel {
+                Some(c) => {
+                    let _ = writeln!(out, "  slot {} {c}", s.name);
+                }
+                None => {
+                    let _ = writeln!(out, "  slot {}", s.name);
+                }
+            }
+        }
+        for t in &m.timers {
+            let _ = writeln!(out, "  timer {t}");
+        }
+        // The first state parses back as the initial state; an explicit
+        // `initial` line is only needed when the model disagrees.
+        if m.states.first().is_some_and(|st| st.name != m.initial) {
+            let _ = writeln!(out, "  initial {}", m.initial);
+        }
+        for st in &m.states {
+            if st.is_final {
+                let _ = writeln!(out, "  state {} final", st.name);
+            } else {
+                let _ = writeln!(out, "  state {}", st.name);
+            }
+            for g in &st.goals {
+                let _ = writeln!(out, "    goal {} {}", g.kind.name(), g.slots.join(" "));
+            }
+            for t in &st.transitions {
+                let _ = write!(out, "    on {} -> {}", t.trigger, t.to);
+                if !t.effects.is_empty() {
+                    let effects: Vec<String> = t.effects.iter().map(ToString::to_string).collect();
+                    let _ = write!(out, " ! {}", effects.join("; "));
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +454,47 @@ program ua
     #[test]
     fn goal_outside_state_rejected() {
         assert!(parse_scenario("goal openSlot s\n").is_err());
+    }
+
+    #[test]
+    fn to_ipm_round_trips_the_demo_scenario() {
+        let sc = parse_scenario(DEMO).expect("parse");
+        let text = to_ipm(&sc);
+        let back = parse_scenario(&text).expect("reparse emitted text");
+        assert_eq!(back, sc, "emitted:\n{text}");
+    }
+
+    #[test]
+    fn to_ipm_round_trips_every_registry_scenario() {
+        // The registry has model names that differ from their box
+        // (`click_to_dial` on box `ctd`) — the `program <box> <name>`
+        // form keeps those representable.
+        for sc in ipmedia_apps::models::all_scenarios() {
+            let text = to_ipm(&sc);
+            let back = parse_scenario(&text).expect(&sc.name);
+            assert_eq!(back, sc, "{}:\n{text}", sc.name);
+        }
+    }
+
+    #[test]
+    fn explicit_initial_line_round_trips() {
+        let mut m = ProgramModel::new("p")
+            .state(StateModel::new("a").final_state())
+            .state(StateModel::new("b").final_state());
+        m.initial = "b".to_string();
+        let sc = ScenarioModel::new("x")
+            .program("p", m)
+            .with_topology(Topology::new().with_box("p"));
+        let text = to_ipm(&sc);
+        assert!(text.contains("initial b"), "{text}");
+        let back = parse_scenario(&text).expect("reparse");
+        assert_eq!(back, sc);
+        assert_eq!(back.program_for("p").unwrap().initial, "b");
+    }
+
+    #[test]
+    fn initial_outside_program_rejected() {
+        assert!(parse_scenario("scenario x\ninitial a\n").is_err());
     }
 
     #[test]

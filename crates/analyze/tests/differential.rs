@@ -21,11 +21,12 @@
 
 use ipmedia_analyze::{analyze_scenario, covered_classes};
 use ipmedia_core::path::EndGoal;
-use ipmedia_mck::{budgeted, check_path};
+use ipmedia_mck::{budgeted, check_path, depth_capped_states};
 use std::collections::BTreeMap;
 
-/// Keeps each unique configuration comfortably under a second while
-/// still exhausting the 0-flowlink classes.
+/// Base budget: exhausts the 0/1-flowlink classes; deeper classes get
+/// the `depth_capped_states` fraction so the widened coverage (up to 3
+/// flowlink boxes) stays test-suite fast.
 const MAX_STATES: usize = 60_000;
 
 #[test]
@@ -55,7 +56,7 @@ fn analyzer_clean_scenarios_have_no_checker_counterexample() {
     );
     for ((links, left, right), witnesses) in &classes {
         let cfg = budgeted(*links, *left, *right, 0);
-        let (res, _) = check_path(&cfg, MAX_STATES);
+        let (res, _) = check_path(&cfg, depth_capped_states(*links, MAX_STATES));
         let class = res.verdict_class();
         assert!(
             !class.is_counterexample(),
@@ -68,10 +69,10 @@ fn analyzer_clean_scenarios_have_no_checker_counterexample() {
 }
 
 #[test]
-fn covered_classes_span_both_checker_depths() {
-    // The registry must keep exercising both the direct-path (0
-    // flowlinks) and one-flowlink-box configurations, or the
-    // differential claim silently loses coverage.
+fn covered_classes_span_all_checker_depths() {
+    // The registry must keep exercising the direct-path (0 flowlinks),
+    // one-flowlink, and — since the multi-link widening — two-flowlink
+    // configurations, or the differential claim silently loses coverage.
     let mut depths = std::collections::BTreeSet::new();
     for sc in ipmedia_apps::models::all_scenarios() {
         if analyze_scenario(&sc).is_empty() {
@@ -82,4 +83,5 @@ fn covered_classes_span_both_checker_depths() {
     }
     assert!(depths.contains(&0), "no direct-path class covered");
     assert!(depths.contains(&1), "no one-flowlink class covered");
+    assert!(depths.contains(&2), "no two-flowlink class covered");
 }

@@ -4,7 +4,9 @@
 //! registry. Together these pin down that every pass provably catches
 //! its target bug class.
 
-use ipmedia_analyze::{analyze_scenario, parse_scenario, Diagnostic, Severity};
+use ipmedia_analyze::fuzz::{generate_scenario, shrink_scenario};
+use ipmedia_analyze::{analyze_scenario, parse_scenario, to_ipm, Diagnostic, Severity};
+use ipmedia_core::program::model::ScenarioModel;
 use std::path::PathBuf;
 
 fn lint_fixture(name: &str) -> Vec<Diagnostic> {
@@ -83,6 +85,40 @@ fn planted_open_race_caught() {
     assert!(d.message.contains("initiate"), "{}", d.message);
 }
 
+/// Fuzzer-minimized fixtures: each was found by the differential fuzz
+/// campaign and delta-minimized to a two-box reproducer. The test
+/// re-derives the reproducer end-to-end from its recorded scenario seed
+/// — generate → shrink with the "code still present" predicate —
+/// and requires it to equal the committed fixture exactly, pinning the
+/// generator, the shrinker, the `.ipm` emitter/parser round trip, *and*
+/// the finding itself in one assertion each.
+#[test]
+fn fuzz_minimized_fixtures_rederive_from_their_seeds() {
+    for (name, seed, code) in [
+        ("fuzz_min_az503.ipm", 0x54e0_c7f8_0812_3a58_u64, "AZ503"),
+        ("fuzz_min_az601.ipm", 0xd8da_01ba_634d_3532_u64, "AZ601"),
+    ] {
+        let generated = generate_scenario(seed);
+        let mut pred = |c: &ScenarioModel| analyze_scenario(c).iter().any(|d| d.code == code);
+        let rederived = shrink_scenario(&generated, &mut pred);
+        assert!(
+            rederived.topology.boxes.len() < generated.topology.boxes.len(),
+            "{name}: shrinker no longer reduces the original scenario"
+        );
+        let diags = lint_fixture(name);
+        assert!(has_code(&diags, code), "{name}: {diags:?}");
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/models")
+            .join(name);
+        let committed = parse_scenario(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            committed, rederived,
+            "{name}: committed fixture drifted from the seed-re-derived reproducer"
+        );
+        assert_eq!(to_ipm(&committed), to_ipm(&rederived));
+    }
+}
+
 /// The real example registry is clean — the gate `scripts/check.sh` runs
 /// (`ipmedia-lint --all-examples --deny warnings`) must stay green.
 #[test]
@@ -104,6 +140,8 @@ fn every_planted_fixture_has_an_error_or_warning() {
         "planted_cycle.ipm",
         "planted_flowlink_break.ipm",
         "planted_open_race.ipm",
+        "fuzz_min_az503.ipm",
+        "fuzz_min_az601.ipm",
     ] {
         let diags = lint_fixture(name);
         assert!(!diags.is_empty(), "{name} should not lint clean");

@@ -3,9 +3,11 @@
 //!
 //! For every analyzer-clean registry scenario, the covered dynamic path
 //! classes (`ipmedia_analyze::covered_classes`) are reduced to unique
-//! checker configurations and explored; soundness requires that none of
-//! them yields a counterexample. Exits nonzero (and says which class
-//! broke) if one does.
+//! checker configurations and explored under per-depth state budgets
+//! (`ipmedia_mck::depth_capped_states`: multi-flowlink classes get a
+//! truncated prefix, surfaced as TRUNCATED); soundness requires that no
+//! configuration yields a counterexample. Exits nonzero (and says which
+//! class broke) if one does.
 //!
 //! Usage: `cargo run --release -p ipmedia-bench --bin differential
 //! [--threads N] [--max-states M]`
@@ -20,7 +22,7 @@
 
 use ipmedia_analyze::{analyze_scenario, covered_classes};
 use ipmedia_core::path::EndGoal;
-use ipmedia_mck::{budgeted, run_campaign, VerdictClass};
+use ipmedia_mck::{budgeted, run_campaign_depth_capped, VerdictClass};
 use ipmedia_obs::{json_str_array, JsonObj};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -101,7 +103,7 @@ fn main() -> ExitCode {
         "differential: {} unique configuration(s), cap {max_states} states",
         cfgs.len()
     );
-    let results = run_campaign(&cfgs, max_states, threads);
+    let results = run_campaign_depth_capped(&cfgs, max_states, threads);
     let mut counterexamples = 0usize;
     for (key, res) in keys.iter().zip(&results) {
         let (links, left, right) = *key;

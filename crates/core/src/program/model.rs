@@ -536,6 +536,23 @@ impl ProgramModel {
             .map(|s| s.name.as_str())
             .collect()
     }
+
+    /// Remove state `name` along with every transition targeting it, from
+    /// any other state. The initial state cannot be removed (the model
+    /// would lose its entry point); returns whether anything changed.
+    /// Used by delta-minimizing consumers (the fuzz shrinker), which only
+    /// need the result to stay *representable* — validity is re-checked
+    /// by the caller's predicate.
+    pub fn remove_state(&mut self, name: &str) -> bool {
+        if name == self.initial || self.state_named(name).is_none() {
+            return false;
+        }
+        self.states.retain(|s| s.name != name);
+        for s in &mut self.states {
+            s.transitions.retain(|t| t.to != name);
+        }
+        true
+    }
 }
 
 /// A binding of one program-local channel name onto a topology link: box
@@ -660,6 +677,37 @@ impl ScenarioModel {
             .map(String::as_str)
             .find(|c| self.bound_peer(box_name, c) == Some(peer))
     }
+
+    /// Detach the program from `box_name` (the box becomes a pure
+    /// endpoint) and drop the bindings that referenced it — a binding
+    /// without its program is malformed (`AZ406`), so the two go
+    /// together. Returns whether anything changed.
+    pub fn remove_program(&mut self, box_name: &str) -> bool {
+        let before = self.programs.len();
+        self.programs.retain(|(b, _)| b != box_name);
+        if self.programs.len() == before {
+            return false;
+        }
+        self.bindings.retain(|b| b.box_name != box_name);
+        true
+    }
+
+    /// Remove `box_name` from the scenario entirely: its topology box,
+    /// every incident link, its program, and every binding that names it
+    /// as owner or peer. Returns whether anything changed.
+    pub fn remove_box(&mut self, box_name: &str) -> bool {
+        if !self.topology.has_box(box_name) {
+            return false;
+        }
+        self.topology.boxes.retain(|b| b != box_name);
+        self.topology
+            .links
+            .retain(|l| l.from != box_name && l.to != box_name);
+        self.programs.retain(|(b, _)| b != box_name);
+        self.bindings
+            .retain(|b| b.box_name != box_name && b.peer != box_name);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -728,6 +776,41 @@ mod tests {
                 slots: vec!["a".into()],
             }));
         assert!(m.validate().iter().any(|e| e.contains("expected 2")));
+    }
+
+    #[test]
+    fn remove_state_drops_inbound_transitions_but_keeps_initial() {
+        let mut m = tiny();
+        assert!(!m.remove_state("init"), "initial state must be kept");
+        assert!(m.remove_state("waiting"));
+        assert!(m.state_named("waiting").is_none());
+        // init's transition targeted `waiting` and must be gone with it.
+        assert!(m.state_named("init").unwrap().transitions.is_empty());
+        assert!(!m.remove_state("waiting"), "second removal is a no-op");
+    }
+
+    #[test]
+    fn remove_box_and_program_scrub_links_and_bindings() {
+        let mut sc = ScenarioModel::new("t")
+            .program("a", tiny())
+            .with_topology(
+                Topology::new()
+                    .with_box("a")
+                    .with_box("b")
+                    .with_link("a", "b", 1),
+            )
+            .bind("a", "c", "b");
+        let mut detached = sc.clone();
+        assert!(detached.remove_program("a"));
+        assert!(detached.program_for("a").is_none());
+        assert!(detached.bindings.is_empty(), "binding must go with program");
+        assert!(detached.topology.has_box("a"), "box outlives its program");
+
+        assert!(sc.remove_box("b"));
+        assert!(!sc.topology.has_box("b"));
+        assert!(sc.topology.links.is_empty(), "incident link removed");
+        assert!(sc.bindings.is_empty(), "binding toward removed peer gone");
+        assert!(!sc.remove_box("b"), "second removal is a no-op");
     }
 
     #[test]

@@ -177,6 +177,30 @@ pub fn campaign_configs(
 /// real campaign). Results are returned in `cfgs` order regardless of
 /// which worker finished when, so output is thread-count deterministic.
 pub fn run_campaign(cfgs: &[CheckConfig], max_states: usize, threads: usize) -> Vec<CheckResult> {
+    run_campaign_with(cfgs, |_| max_states, threads)
+}
+
+/// [`run_campaign`] with a per-configuration exploration cap derived from
+/// `base` by [`depth_capped_states`]: shallow configurations are explored
+/// exhaustively, deep ones get a budgeted prefix (surfaced as TRUNCATED,
+/// never a pass). This is what lets campaign-scale differential runs —
+/// thousands of fuzz-generated scenarios reduced to a shared config set —
+/// cover multi-flowlink classes without blowing the wall-clock budget.
+pub fn run_campaign_depth_capped(
+    cfgs: &[CheckConfig],
+    base: usize,
+    threads: usize,
+) -> Vec<CheckResult> {
+    run_campaign_with(cfgs, |cfg| depth_capped_states(cfg.links, base), threads)
+}
+
+/// Shared worker pool behind the campaign entry points: one result slot
+/// per config, `max_for` picks each config's exploration cap.
+fn run_campaign_with(
+    cfgs: &[CheckConfig],
+    max_for: impl Fn(&CheckConfig) -> usize + Sync,
+    threads: usize,
+) -> Vec<CheckResult> {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -184,12 +208,11 @@ pub fn run_campaign(cfgs: &[CheckConfig], max_states: usize, threads: usize) -> 
     } else {
         threads
     };
-    let opts = ExploreOptions::sequential(max_states);
     let workers = threads.min(cfgs.len()).max(1);
     if workers <= 1 {
         return cfgs
             .iter()
-            .map(|cfg| check_path_with(cfg, &opts).0)
+            .map(|cfg| check_path_with(cfg, &ExploreOptions::sequential(max_for(cfg))).0)
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -201,6 +224,7 @@ pub fn run_campaign(cfgs: &[CheckConfig], max_states: usize, threads: usize) -> 
                 if i >= cfgs.len() {
                     break;
                 }
+                let opts = ExploreOptions::sequential(max_for(&cfgs[i]));
                 let (res, _) = check_path_with(&cfgs[i], &opts);
                 *slots[i].lock().expect("result slot") = Some(res);
             });
@@ -214,6 +238,22 @@ pub fn run_campaign(cfgs: &[CheckConfig], max_states: usize, threads: usize) -> 
                 .expect("worker filled slot")
         })
         .collect()
+}
+
+/// The per-depth exploration cap for campaign-scale differential runs: a
+/// configuration with `flowlinks` interior flowlinks keeps the full
+/// `base` cap while its state space is exhaustively explorable in CI
+/// (zero or one flowlink, ≈10⁵ states), and gets a geometrically shrunk
+/// prefix beyond that (two flowlinks ≈10⁶ states, three ≈10⁷ — a capped
+/// prefix still catches every shallow counterexample and is surfaced as
+/// TRUNCATED rather than folded into a pass).
+pub fn depth_capped_states(flowlinks: usize, base: usize) -> usize {
+    let scaled = match flowlinks {
+        0 | 1 => base,
+        2 => base / 16,
+        _ => base / 64,
+    };
+    scaled.clamp(10_000.min(base), base)
 }
 
 /// The paper's 12 models: six path types with no flowlinks and six with one
@@ -418,6 +458,42 @@ mod tests {
             assert_eq!(a.passed(), b.passed());
             assert_eq!(a.safety, b.safety);
             assert_eq!(a.spec_result, b.spec_result);
+        }
+    }
+
+    #[test]
+    fn depth_caps_are_monotone_and_bounded() {
+        let base = 2_000_000;
+        assert_eq!(depth_capped_states(0, base), base);
+        assert_eq!(depth_capped_states(1, base), base);
+        let two = depth_capped_states(2, base);
+        let three = depth_capped_states(3, base);
+        assert!(two < base && three < two, "{two} {three}");
+        // Deep caps never collapse to uselessness, shallow bases are
+        // never inflated.
+        assert!(depth_capped_states(5, base) >= 10_000);
+        assert_eq!(depth_capped_states(3, 5_000), 5_000);
+    }
+
+    #[test]
+    fn depth_capped_campaign_matches_per_config_caps() {
+        // One shallow and one deep config: the shallow one must explore
+        // exhaustively under the base cap, the deep one must be truncated
+        // at its reduced cap — and the pooled run must match serial.
+        let base = 40_000;
+        let cfgs = vec![
+            budgeted(0, EndGoal::Open, EndGoal::Hold, 0),
+            budgeted(2, EndGoal::Open, EndGoal::Open, 0),
+        ];
+        let serial = run_campaign_depth_capped(&cfgs, base, 1);
+        assert!(!serial[0].truncated, "shallow config is exhaustive");
+        assert!(serial[1].truncated, "deep config hits its reduced cap");
+        assert_eq!(serial[1].expanded, depth_capped_states(2, base));
+        let pooled = run_campaign_depth_capped(&cfgs, base, 4);
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.expanded, b.expanded);
+            assert_eq!(a.verdict_class(), b.verdict_class());
         }
     }
 

@@ -44,6 +44,24 @@ timeout "$DIFF_BUDGET_SECS" ./target/release/differential --threads "$(nproc)" >
   exit "$status"
 }
 
+echo "== property-based fuzz (generator -> analyzer <-> checker oracle)" >&2
+# A fixed-seed slice of the differential fuzz campaign: seeded scenarios
+# through the round-trip, soundness, and completeness oracles. Any
+# divergence prints its delta-minimized .ipm reproducer on stderr (and
+# the seed to replay with `ipmedia-lint --fuzz`); refreshes
+# BENCH_fuzz.json, which carries no wall-clock fields.
+cargo build "$@" --release -q -p ipmedia-bench --bin fuzz_differential
+FUZZ_BUDGET_SECS="${FUZZ_BUDGET_SECS:-300}"
+timeout "$FUZZ_BUDGET_SECS" ./target/release/fuzz_differential --threads "$(nproc)" >/dev/null || {
+  status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "fuzz_differential exceeded the ${FUZZ_BUDGET_SECS}s wall-clock budget" >&2
+  else
+    echo "fuzz_differential found analyzer<->checker divergences (exit $status)" >&2
+  fi
+  exit "$status"
+}
+
 echo "== fault-matrix smoke (loss x dup/reorder, bounded virtual time)" >&2
 cargo run "$@" -q -p ipmedia-bench --bin fault_matrix -- --threads "$(nproc)" >/dev/null
 
