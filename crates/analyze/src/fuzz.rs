@@ -100,8 +100,11 @@ pub fn scenario_seed(campaign_seed: u64, index: u64) -> u64 {
 // Generator
 // ---------------------------------------------------------------------------
 
-/// Endpoint program shapes (attached to degree-1 boxes).
-const ENDPOINT_ROLES: [&str; 7] = [
+/// Endpoint program shapes (attached to degree-1 boxes). Public so other
+/// generators — the bench crate's call-storm harness draws its endpoint
+/// feature mixes from the same library — stay in sync with the fuzzer's
+/// role vocabulary.
+pub const ENDPOINT_ROLES: [&str; 7] = [
     "unprogrammed",
     "answerer",
     "dialer",
@@ -111,8 +114,9 @@ const ENDPOINT_ROLES: [&str; 7] = [
     "silent",
 ];
 
-/// Relay program shapes (attached to interior boxes).
-const RELAY_ROLES: [&str; 4] = ["relay_all", "gated_relay", "dial_through", "hold_relay"];
+/// Relay program shapes (attached to interior boxes); public for the same
+/// reason as [`ENDPOINT_ROLES`].
+pub const RELAY_ROLES: [&str; 4] = ["relay_all", "gated_relay", "dial_through", "hold_relay"];
 
 /// Generate one valid-by-construction scenario from a seed.
 ///

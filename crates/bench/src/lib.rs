@@ -6,6 +6,7 @@
 //! analysis is *measured* here rather than derived.
 
 pub mod chaos;
+pub mod storm;
 
 use ipmedia_core::boxes::GoalSpec;
 use ipmedia_core::endpoint::{EndpointLogic, NullLogic};

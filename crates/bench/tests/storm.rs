@@ -1,0 +1,59 @@
+//! Shard-order determinism for the call-storm harness: the storm's
+//! aggregate metrics and a sampled per-call ladder must be identical
+//! whether plans are generated on 1, 2, or 8 worker threads, and the rt
+//! arm must converge to the same call-level outcome at any inbox shard
+//! count. Sharding and parallel generation are throughput knobs, never
+//! semantics.
+
+use ipmedia_bench::storm::{ladder_sample, run_netsim_storm, run_rt_storm, StormSpec};
+use ipmedia_rt::NodeTuning;
+
+#[test]
+fn storm_report_is_generation_thread_invariant() {
+    let spec = |threads| StormSpec {
+        seed: 0xD15C0,
+        calls: 120,
+        threads,
+    };
+    let digests: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| run_netsim_storm(&spec(t)).digest())
+        .collect();
+    assert_eq!(digests[0], digests[1], "2 threads diverged from serial");
+    assert_eq!(digests[0], digests[2], "8 threads diverged from serial");
+}
+
+#[test]
+fn sampled_storm_ladder_is_byte_identical_across_threads() {
+    let spec = |threads| StormSpec {
+        seed: 0xD15C0,
+        calls: 120,
+        threads,
+    };
+    let ladders: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| ladder_sample(&spec(t), 5))
+        .collect();
+    assert!(!ladders[0].is_empty(), "trace produced no ladder");
+    assert_eq!(ladders[0], ladders[1], "2-thread ladder diverged");
+    assert_eq!(ladders[0], ladders[2], "8-thread ladder diverged");
+}
+
+#[tokio::test]
+async fn rt_storm_outcome_is_shard_count_invariant() {
+    let mut outcomes = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let tuning = NodeTuning {
+            inbox_shards: shards,
+            ..NodeTuning::default()
+        };
+        let r = run_rt_storm(8, 4, tuning).await;
+        outcomes.push((shards, r.calls, r.flowing, r.opens_sent));
+    }
+    let (_, calls, flowing, opens) = outcomes[0];
+    assert_eq!(flowing, calls, "baseline arm did not establish every call");
+    assert_eq!(opens, calls as u64, "one open per call");
+    for (shards, c, f, o) in &outcomes[1..] {
+        assert_eq!((*c, *f, *o), (calls, flowing, opens), "shards={shards}");
+    }
+}

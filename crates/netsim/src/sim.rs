@@ -918,17 +918,29 @@ impl Network {
                             self.obs.fault_injected(from.0, "drop");
                         }
                         SendFate::Deliver(copies) => {
-                            for copy in copies {
+                            // The payload is moved into the final copy;
+                            // only a fault-injected duplicate pays for a
+                            // clone, so the clean single-copy path (all of
+                            // a storm's traffic on perfect channels) stays
+                            // allocation-free per delivery.
+                            let last = copies.len() - 1;
+                            let mut signal = Some(out.signal);
+                            for (i, copy) in copies.into_iter().enumerate() {
                                 for kind in copy.labels() {
                                     self.obs.fault_injected(from.0, kind);
                                 }
+                                let signal = if i == last {
+                                    signal.take().expect("one take per copy")
+                                } else {
+                                    signal.as_ref().expect("kept until last").clone()
+                                };
                                 self.push_traced(
                                     done + self.cfg.net_latency + copy.extra_delay,
                                     Ev::Input {
                                         to: peer,
                                         input: BoxInput::Tunnel {
                                             slot: peer_slot,
-                                            signal: out.signal.clone(),
+                                            signal,
                                         },
                                         from: Some(from),
                                     },
@@ -1226,7 +1238,7 @@ impl Network {
             for s in &peer_slots {
                 self.slot_route.remove(&(peer, *s));
             }
-            let slots = peer_slots.clone();
+            let slots = peer_slots;
             self.push(
                 done + self.cfg.net_latency,
                 Ev::Apply {

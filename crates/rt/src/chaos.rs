@@ -63,6 +63,17 @@ impl ChaosGate {
         Arc::new(Self::default())
     }
 
+    /// Lock the fault table, recovering from poisoning. Each mutation is
+    /// a single map insert/remove, so a panicked holder leaves the table
+    /// consistent; propagating the poison instead would wedge every node
+    /// sharing the gate — one crashed task becoming a fleet-wide outage,
+    /// exactly what a chaos layer must not do.
+    fn table(&self) -> std::sync::MutexGuard<'_, GateState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Install a partition between two named boxes; `block_ab`/`block_ba`
     /// cut the `a`→`b` and `b`→`a` directions.
     pub fn partition(&self, a: &str, b: &str, block_ab: bool, block_ba: bool) {
@@ -72,18 +83,18 @@ impl ChaosGate {
         } else {
             (block_ba, block_ab)
         };
-        self.state.lock().unwrap().partitions.insert(k, flags);
+        self.table().partitions.insert(k, flags);
     }
 
     /// Remove any partition between two named boxes.
     pub fn heal(&self, a: &str, b: &str) {
-        self.state.lock().unwrap().partitions.remove(&key(a, b));
+        self.table().partitions.remove(&key(a, b));
     }
 
     /// Mark a box crashed (`true`) or restarted (`false`): while
     /// isolated, every link touching it is cut in both directions.
     pub fn isolate(&self, bx: &str, isolated: bool) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.table();
         if isolated {
             s.isolated.insert(bx.to_string());
         } else {
@@ -94,7 +105,7 @@ impl ChaosGate {
     /// Open a seeded drop burst on a link; frames between the pair are
     /// dropped with probability `drop` until [`ChaosGate::clear_burst`].
     pub fn burst(&self, a: &str, b: &str, drop: f64, seed: u64) {
-        self.state.lock().unwrap().bursts.insert(
+        self.table().bursts.insert(
             key(a, b),
             Burst {
                 drop,
@@ -105,12 +116,12 @@ impl ChaosGate {
 
     /// Close the burst window on a link.
     pub fn clear_burst(&self, a: &str, b: &str) {
-        self.state.lock().unwrap().bursts.remove(&key(a, b));
+        self.table().bursts.remove(&key(a, b));
     }
 
     /// Remove every active fault (partitions, isolations, bursts).
     pub fn heal_all(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.table();
         s.partitions.clear();
         s.isolated.clear();
         s.bursts.clear();
@@ -120,7 +131,7 @@ impl ChaosGate {
     /// `Err("partition")` for a cut link or crashed endpoint,
     /// `Err("drop")` for a burst loss.
     pub fn check(&self, from: &str, to: &str) -> Result<(), &'static str> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.table();
         if s.isolated.contains(from) || s.isolated.contains(to) {
             return Err("partition");
         }
@@ -145,7 +156,7 @@ impl ChaosGate {
     /// Bursts do not block dialing (a flaky link still accepts
     /// connections).
     pub fn dial_allowed(&self, from: &str, to: &str) -> bool {
-        let s = self.state.lock().unwrap();
+        let s = self.table();
         if s.isolated.contains(from) || s.isolated.contains(to) {
             return false;
         }
@@ -278,5 +289,110 @@ mod tests {
         // Everything healed by the time drive_schedule returns.
         assert_eq!(g.check("a", "b"), Ok(()));
         assert_eq!(g.check("c", "a"), Ok(()));
+    }
+
+    /// A chaos-spawned reader task that panics while consulting the gate
+    /// must not wedge the rest of the deployment: the poisoned lock
+    /// recovers and the table stays usable.
+    #[test]
+    fn gate_survives_poisoned_lock() {
+        let g = ChaosGate::new();
+        g.partition("a", "b", true, true);
+        let poisoner = g.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("reader task died holding the gate lock");
+        })
+        .join();
+        // Every accessor still works on the pre-panic state.
+        assert_eq!(g.check("a", "b"), Err("partition"));
+        assert!(!g.dial_allowed("a", "b"));
+        g.heal_all();
+        assert_eq!(g.check("a", "b"), Ok(()));
+    }
+
+    /// End-to-end poison regression: panic a task holding the gate lock
+    /// mid-storm, then drive a fresh call through gated nodes — the node
+    /// must still answer instead of cascading the panic.
+    #[tokio::test]
+    async fn node_still_answers_after_gate_poison() {
+        use ipmedia_core::boxes::GoalSpec;
+        use ipmedia_core::endpoint::EndpointLogic;
+        use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
+        use ipmedia_core::program::{AppLogic, BoxInput, Ctx};
+        use ipmedia_core::{BoxId, MediaAddr, Medium, SlotState};
+        use ipmedia_obs::NoopObserver;
+
+        struct Dialer;
+        impl AppLogic for Dialer {
+            fn handle(&mut self, input: &BoxInput, ctx: &mut Ctx<'_>) {
+                match input {
+                    BoxInput::Start => ctx.open_channel("callee".to_string(), 1, 1),
+                    BoxInput::ChannelUp {
+                        slots,
+                        req: Some(1),
+                        ..
+                    } => {
+                        for s in slots {
+                            ctx.set_goal(GoalSpec::User {
+                                slot: *s,
+                                policy: EndpointPolicy::audio(MediaAddr::v4(10, 0, 0, 1, 4000)),
+                                mode: AcceptMode::Auto,
+                            });
+                        }
+                        ctx.user(slots[0], UserCmd::Open(Medium::Audio));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let gate = ChaosGate::new();
+        let dir = crate::node::Directory::new();
+        let callee = crate::node::spawn_node_chaos(
+            "callee",
+            BoxId(2),
+            Box::new(EndpointLogic::new(
+                EndpointPolicy::audio(MediaAddr::v4(10, 0, 0, 2, 4000)),
+                AcceptMode::Auto,
+            )),
+            dir.clone(),
+            crate::node::ReconnectPolicy::default(),
+            Box::new(NoopObserver),
+            gate.clone(),
+        )
+        .await
+        .unwrap();
+
+        // The crash: a task dies while holding the gate's lock.
+        let poisoner = gate.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("reader task died holding the gate lock");
+        })
+        .join();
+
+        // A fresh caller drives a call through the poisoned gate; every
+        // outgoing frame consults it, so reaching Flowing proves the node
+        // still answers.
+        let mut caller = crate::node::spawn_node_chaos(
+            "caller",
+            BoxId(1),
+            Box::new(Dialer),
+            dir.clone(),
+            crate::node::ReconnectPolicy::default(),
+            Box::new(NoopObserver),
+            gate.clone(),
+        )
+        .await
+        .unwrap();
+        let ok = caller
+            .wait_for(std::time::Duration::from_secs(10), |s| {
+                s.slots.iter().any(|sl| sl.state == SlotState::Flowing)
+            })
+            .await;
+        assert!(ok, "call completes through the recovered gate");
+        caller.shutdown().await;
+        callee.shutdown().await;
     }
 }

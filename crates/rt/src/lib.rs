@@ -16,6 +16,7 @@ pub use chaos::{drive_schedule, ChaosGate};
 pub use frame::{FrameError, Framed, MAX_FRAME};
 pub use node::{
     backoff_delays, jitter_seed, spawn_node, spawn_node_chaos, spawn_node_obs, spawn_node_traced,
-    spawn_node_with, Directory, NodeHandle, NodeSnapshot, ReconnectPolicy, SlotSnapshot,
+    spawn_node_tuned, spawn_node_with, Directory, NodeHandle, NodeSnapshot, NodeTuning,
+    ReconnectPolicy, SlotSnapshot,
 };
 pub use wire::{decode, encode, Frame, Hello, WireError, WireTraceCtx, WIRE_VERSION};

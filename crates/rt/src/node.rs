@@ -113,6 +113,47 @@ pub fn jitter_seed(name: &str, channel: u32) -> u64 {
     h ^ (u64::from(channel) << 32 | u64::from(channel))
 }
 
+/// Throughput knobs for one node's event plumbing.
+///
+/// [`NodeTuning::default`] is the sharded/batched pipeline sized for
+/// call storms; [`NodeTuning::UNSHARDED`] reproduces the original
+/// single-inbox, one-frame-per-flush pipeline so a storm run can measure
+/// both in the same process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTuning {
+    /// Number of inbox shards. Connection events are routed by
+    /// `ChannelId % inbox_shards`, so every event of one channel lands in
+    /// the same shard and per-channel FIFO order survives sharding.
+    pub inbox_shards: usize,
+    /// Maximum inbox events applied per actor wakeup before the snapshot
+    /// publish; under load this amortizes the per-iteration metrics
+    /// snapshot over a whole burst instead of paying it per frame.
+    pub inbox_batch: usize,
+    /// Maximum frames a connection writer folds into one buffered write
+    /// and a single flush.
+    pub writer_batch: usize,
+}
+
+impl NodeTuning {
+    /// The pre-sharding pipeline: one inbox, one event per publish, one
+    /// frame per flush. The baseline arm of storm benchmarks.
+    pub const UNSHARDED: NodeTuning = NodeTuning {
+        inbox_shards: 1,
+        inbox_batch: 1,
+        writer_batch: 1,
+    };
+}
+
+impl Default for NodeTuning {
+    fn default() -> Self {
+        Self {
+            inbox_shards: 4,
+            inbox_batch: 64,
+            writer_batch: 32,
+        }
+    }
+}
+
 /// Name → socket address registry (a stand-in for the configuration layer
 /// the paper scopes out, §III-A).
 #[derive(Debug, Clone, Default)]
@@ -125,12 +166,35 @@ impl Directory {
         Self::default()
     }
 
+    /// Lock the table, recovering from poisoning. Every method is a
+    /// single `HashMap` operation, so a task that panicked while holding
+    /// the lock cannot have left the table half-updated — but before this
+    /// recovery, the `PoisonError` unwrap turned one panicked task into a
+    /// directory that panicked *every* node touching it during a crash
+    /// storm.
+    fn table(&self) -> std::sync::MutexGuard<'_, HashMap<String, SocketAddr>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     pub fn register(&self, name: impl Into<String>, addr: SocketAddr) {
-        self.inner.lock().unwrap().insert(name.into(), addr);
+        self.table().insert(name.into(), addr);
     }
 
     pub fn lookup(&self, name: &str) -> Option<SocketAddr> {
-        self.inner.lock().unwrap().get(name).copied()
+        self.table().get(name).copied()
+    }
+
+    /// Remove `name` only while it still maps to `addr`. A restarted
+    /// instance re-registers under the same name at a fresh address, and
+    /// the dead instance's late cleanup (or a stale handle's shutdown)
+    /// must not clobber the replacement's binding.
+    pub fn deregister(&self, name: &str, addr: SocketAddr) {
+        let mut t = self.table();
+        if t.get(name) == Some(&addr) {
+            t.remove(name);
+        }
     }
 }
 
@@ -165,6 +229,7 @@ pub struct NodeHandle {
     pub snapshot: watch::Receiver<NodeSnapshot>,
     registry: Arc<Registry>,
     join: JoinHandle<()>,
+    accept_join: JoinHandle<()>,
 }
 
 impl NodeHandle {
@@ -184,10 +249,23 @@ impl NodeHandle {
         self.input_tx.send(input).await.expect("node alive");
     }
 
-    /// Gracefully shut the node down: `Bye` on all channels, then exit.
+    /// Gracefully shut the node down: `Bye` on all channels, release the
+    /// directory entry, then exit.
     pub async fn shutdown(self) {
         let _ = self.shutdown_tx.send(true);
         let _ = self.join.await;
+        self.accept_join.abort();
+    }
+
+    /// Simulate a process crash: kill the actor and its accept loop
+    /// immediately — no `Bye` frames, no directory cleanup — leaving
+    /// exactly the stale state a real crash would (the name still
+    /// resolves to the dead address). Restart by spawning a fresh node
+    /// under the same name: it re-registers, and reconnecting peers pick
+    /// up the new address because they re-resolve on every redial.
+    pub fn abort(self) {
+        self.join.abort();
+        self.accept_join.abort();
     }
 
     /// Live handle to the node's metrics registry (shared with the actor).
@@ -246,6 +324,56 @@ enum Inbox {
     },
     /// A background re-dial exhausted its attempts.
     ReconnectFailed { channel: ChannelId },
+}
+
+/// Cloneable handle over the actor's inbox shards.
+///
+/// Shard choice is `channel % shards`: every event of one channel —
+/// frames, death notices, reconnect outcomes — flows through the same
+/// shard, so per-channel FIFO order survives sharding (the property §VI
+/// resync and the Bye protocol rely on). Channel-less events (accepted
+/// handshakes) ride shard 0.
+#[derive(Clone)]
+struct InboxTx {
+    shards: Arc<[mpsc::Sender<Inbox>]>,
+}
+
+impl InboxTx {
+    fn shard(&self, channel: ChannelId) -> &mpsc::Sender<Inbox> {
+        &self.shards[channel.0 as usize % self.shards.len()]
+    }
+
+    fn control(&self) -> &mpsc::Sender<Inbox> {
+        &self.shards[0]
+    }
+}
+
+/// Await the next inbox event across all shards, scanning round-robin
+/// from `cursor` so a chatty shard cannot starve the others.
+fn recv_shards<'a>(
+    shard_rxs: &'a mut [mpsc::Receiver<Inbox>],
+    cursor: &'a mut usize,
+) -> impl std::future::Future<Output = Option<Inbox>> + 'a {
+    std::future::poll_fn(move |cx| {
+        let n = shard_rxs.len();
+        let mut closed = 0;
+        for i in 0..n {
+            let idx = (*cursor + i) % n;
+            match shard_rxs[idx].poll_recv(cx) {
+                std::task::Poll::Ready(Some(v)) => {
+                    *cursor = (idx + 1) % n;
+                    return std::task::Poll::Ready(Some(v));
+                }
+                std::task::Poll::Ready(None) => closed += 1,
+                std::task::Poll::Pending => {}
+            }
+        }
+        if closed == n {
+            std::task::Poll::Ready(None)
+        } else {
+            std::task::Poll::Pending
+        }
+    })
 }
 
 struct Conn {
@@ -309,7 +437,35 @@ pub async fn spawn_node_with(
     policy: ReconnectPolicy,
     observer: Box<dyn Observer + Send>,
 ) -> std::io::Result<NodeHandle> {
-    spawn_node_inner(name, box_id, logic, dir, policy, observer, None, None).await
+    spawn_node_inner(
+        name,
+        box_id,
+        logic,
+        dir,
+        policy,
+        observer,
+        None,
+        None,
+        NodeTuning::default(),
+    )
+    .await
+}
+
+/// [`spawn_node_with`] with explicit [`NodeTuning`] — the entry point
+/// storm benchmarks use to run sharded and unsharded arms side by side.
+pub async fn spawn_node_tuned(
+    name: impl Into<String>,
+    box_id: BoxId,
+    logic: Box<dyn AppLogic>,
+    dir: Directory,
+    policy: ReconnectPolicy,
+    observer: Box<dyn Observer + Send>,
+    tuning: NodeTuning,
+) -> std::io::Result<NodeHandle> {
+    spawn_node_inner(
+        name, box_id, logic, dir, policy, observer, None, None, tuning,
+    )
+    .await
 }
 
 /// [`spawn_node_with`] plus a [`ChaosGate`]: every outgoing frame and
@@ -328,7 +484,18 @@ pub async fn spawn_node_chaos(
     observer: Box<dyn Observer + Send>,
     gate: Arc<ChaosGate>,
 ) -> std::io::Result<NodeHandle> {
-    spawn_node_inner(name, box_id, logic, dir, policy, observer, None, Some(gate)).await
+    spawn_node_inner(
+        name,
+        box_id,
+        logic,
+        dir,
+        policy,
+        observer,
+        None,
+        Some(gate),
+        NodeTuning::default(),
+    )
+    .await
 }
 
 /// [`spawn_node_with`] plus causal tracing: every stimulus the node
@@ -345,7 +512,18 @@ pub async fn spawn_node_traced(
     observer: Box<dyn Observer + Send>,
     sink: Arc<SpanSink>,
 ) -> std::io::Result<NodeHandle> {
-    spawn_node_inner(name, box_id, logic, dir, policy, observer, Some(sink), None).await
+    spawn_node_inner(
+        name,
+        box_id,
+        logic,
+        dir,
+        policy,
+        observer,
+        Some(sink),
+        None,
+        NodeTuning::default(),
+    )
+    .await
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -358,6 +536,7 @@ async fn spawn_node_inner(
     observer: Box<dyn Observer + Send>,
     sink: Option<Arc<SpanSink>>,
     gate: Option<Arc<ChaosGate>>,
+    tuning: NodeTuning,
 ) -> std::io::Result<NodeHandle> {
     let name = name.into();
     let listener = TcpListener::bind("127.0.0.1:0").await?;
@@ -378,14 +557,50 @@ async fn spawn_node_inner(
         None => Box::new(Fanout(CountingObserver::new(registry.clone()), observer)),
     };
 
+    let shards = tuning.inbox_shards.max(1);
+    let mut shard_txs = Vec::with_capacity(shards);
+    let mut shard_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel::<Inbox>(256);
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+    let inbox_tx = InboxTx {
+        shards: shard_txs.into(),
+    };
+
+    // Accept loop: do the hello handshake off the main loop so a slow
+    // opener cannot stall signal processing. Owned by the handle (not
+    // the actor) so a crash-aborted node releases its listener socket.
+    let accept_tx = inbox_tx.clone();
+    let accept_join = tokio::spawn(async move {
+        loop {
+            let Ok((socket, _)) = listener.accept().await else {
+                break;
+            };
+            let tx = accept_tx.clone();
+            tokio::spawn(async move {
+                socket.set_nodelay(true).ok();
+                let mut framed = Framed::new(socket);
+                if let Ok(Some(bytes)) = framed.read_frame().await {
+                    if let Ok(Frame::Hello(hello)) = wire::decode(bytes) {
+                        let _ = tx.control().send(Inbox::Accepted { hello, framed }).await;
+                    }
+                }
+            });
+        }
+    });
+
     let actor = Actor {
         name: name.clone(),
+        addr,
         pb: ProgramBox::new(box_id, logic),
         dir,
         conns: HashMap::new(),
         next_channel: 0,
         next_slot: 0,
         policy,
+        tuning,
         timers: TimerGenerations::new(),
         timer_heap: Vec::new(),
         snap_tx,
@@ -394,7 +609,7 @@ async fn spawn_node_inner(
         tracer,
         gate,
     };
-    let join = tokio::spawn(actor.run(listener, user_rx, input_rx, shutdown_rx));
+    let join = tokio::spawn(actor.run(inbox_tx, shard_rxs, user_rx, input_rx, shutdown_rx));
 
     Ok(NodeHandle {
         name,
@@ -405,17 +620,21 @@ async fn spawn_node_inner(
         snapshot,
         registry,
         join,
+        accept_join,
     })
 }
 
 struct Actor {
     name: String,
+    /// Listener address, for addr-guarded directory cleanup on shutdown.
+    addr: SocketAddr,
     pb: ProgramBox,
     dir: Directory,
     conns: HashMap<ChannelId, Conn>,
     next_channel: u32,
     next_slot: u16,
     policy: ReconnectPolicy,
+    tuning: NodeTuning,
     timers: TimerGenerations,
     timer_heap: Vec<(Instant, TimerId, u64)>,
     snap_tx: watch::Sender<NodeSnapshot>,
@@ -509,40 +728,24 @@ impl Actor {
 
     async fn run(
         mut self,
-        listener: TcpListener,
+        inbox_tx: InboxTx,
+        mut shard_rxs: Vec<mpsc::Receiver<Inbox>>,
         mut user_rx: mpsc::Receiver<(SlotId, UserCmd)>,
         mut input_rx: mpsc::Receiver<BoxInput>,
         mut shutdown_rx: watch::Receiver<bool>,
     ) {
-        let (inbox_tx, mut inbox_rx) = mpsc::channel::<Inbox>(256);
-
-        // Accept loop: do the hello handshake off the main loop so a slow
-        // opener cannot stall signal processing.
-        let accept_tx = inbox_tx.clone();
-        let accept_task = tokio::spawn(async move {
-            loop {
-                let Ok((socket, _)) = listener.accept().await else {
-                    break;
-                };
-                let tx = accept_tx.clone();
-                tokio::spawn(async move {
-                    socket.set_nodelay(true).ok();
-                    let mut framed = Framed::new(socket);
-                    if let Ok(Some(bytes)) = framed.read_frame().await {
-                        if let Ok(Frame::Hello(hello)) = wire::decode(bytes) {
-                            let _ = tx.send(Inbox::Accepted { hello, framed }).await;
-                        }
-                    }
-                });
-            }
-        });
-
         let cmds = self.handle(BoxInput::Start);
         self.execute(cmds, &inbox_tx).await;
         self.publish();
 
+        let mut cursor = 0usize;
         loop {
             let next_timer = self.next_deadline();
+            // The select only *receives* the first inbox event; applying
+            // it (and draining the rest of the burst) happens after the
+            // block, once the select's borrows on the shard receivers are
+            // released.
+            let mut inbox_first: Option<Inbox> = None;
             tokio::select! {
                 biased;
                 _ = shutdown_rx.changed() => {
@@ -550,8 +753,8 @@ impl Actor {
                         break;
                     }
                 }
-                Some(msg) = inbox_rx.recv() => {
-                    self.on_inbox(msg, &inbox_tx).await;
+                Some(msg) = recv_shards(&mut shard_rxs, &mut cursor) => {
+                    inbox_first = Some(msg);
                 }
                 Some((slot, cmd)) = user_rx.recv() => {
                     if let Some(t) = &self.tracer {
@@ -582,14 +785,41 @@ impl Actor {
                     self.fire_due_timers(&inbox_tx).await;
                 }
             }
+            if let Some(msg) = inbox_first {
+                self.on_inbox(msg, &inbox_tx).await;
+                // Batch drain: apply events already queued across the
+                // shards before paying for the snapshot publish, up to the
+                // tuning bound. Per-shard (and so per-channel) order is
+                // preserved — only the interleave across channels varies.
+                let mut budget = self.tuning.inbox_batch.saturating_sub(1);
+                'drain: while budget > 0 {
+                    let mut progressed = false;
+                    for i in 0..shard_rxs.len() {
+                        let idx = (cursor + i) % shard_rxs.len();
+                        while let Ok(msg) = shard_rxs[idx].try_recv() {
+                            self.on_inbox(msg, &inbox_tx).await;
+                            progressed = true;
+                            budget -= 1;
+                            if budget == 0 {
+                                break 'drain;
+                            }
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }
             self.publish();
         }
 
-        // Graceful shutdown: orderly Bye on every channel.
+        // Graceful shutdown: orderly Bye on every channel, then release
+        // the directory entry — guarded by address, so a replacement
+        // instance that already re-registered keeps its fresh binding.
         for conn in self.conns.values() {
             let _ = conn.writer_tx.send(Frame::Bye).await;
         }
-        accept_task.abort();
+        self.dir.deregister(&self.name, self.addr);
     }
 
     fn publish(&self) {
@@ -617,7 +847,7 @@ impl Actor {
         self.timer_heap.iter().map(|(t, _, _)| *t).min()
     }
 
-    async fn fire_due_timers(&mut self, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn fire_due_timers(&mut self, inbox_tx: &InboxTx) {
         let now = Instant::now();
         let due: Vec<(TimerId, u64)> = self
             .timer_heap
@@ -644,7 +874,7 @@ impl Actor {
         }
     }
 
-    async fn on_inbox(&mut self, msg: Inbox, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn on_inbox(&mut self, msg: Inbox, inbox_tx: &InboxTx) {
         match msg {
             Inbox::Accepted { hello, framed } => {
                 let remote = Some(hello.from.clone());
@@ -725,7 +955,7 @@ impl Actor {
     /// end initiated the channel, park its slots (state retained, nothing
     /// removed) and re-dial in the background with capped exponential
     /// backoff; otherwise tear the channel down as before.
-    async fn on_conn_lost(&mut self, channel: ChannelId, gen: u64, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn on_conn_lost(&mut self, channel: ChannelId, gen: u64, inbox_tx: &InboxTx) {
         let bx = self.pb.media().id().0;
         let Some(conn) = self.conns.get_mut(&channel) else {
             return;
@@ -748,7 +978,7 @@ impl Actor {
         let name = self.name.clone();
         let policy = self.policy;
         let gate = self.gate.clone();
-        let tx = inbox_tx.clone();
+        let tx = inbox_tx.shard(channel).clone();
         tokio::spawn(async move {
             let t0 = std::time::Instant::now();
             // Jittered capped backoff: after a partition heals, every
@@ -810,7 +1040,7 @@ impl Actor {
         framed: Framed<TcpStream>,
         attempts: u32,
         elapsed_ms: u64,
-        inbox_tx: &mpsc::Sender<Inbox>,
+        inbox_tx: &InboxTx,
     ) {
         if !self.conns.contains_key(&channel) {
             return; // torn down while the dial was in flight
@@ -842,7 +1072,7 @@ impl Actor {
         self.execute(cmds, inbox_tx).await;
     }
 
-    async fn drop_channel(&mut self, channel: ChannelId, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn drop_channel(&mut self, channel: ChannelId, inbox_tx: &InboxTx) {
         let Some(conn) = self.conns.remove(&channel) else {
             return;
         };
@@ -863,7 +1093,7 @@ impl Actor {
         peer: Option<String>,
         remote: Option<String>,
         framed: Framed<TcpStream>,
-        inbox_tx: &mpsc::Sender<Inbox>,
+        inbox_tx: &InboxTx,
     ) -> ChannelId {
         let channel = ChannelId(self.next_channel);
         self.next_channel += 1;
@@ -899,13 +1129,13 @@ impl Actor {
         channel: ChannelId,
         gen: u64,
         framed: Framed<TcpStream>,
-        inbox_tx: &mpsc::Sender<Inbox>,
+        inbox_tx: &InboxTx,
     ) -> mpsc::Sender<Frame> {
         let (writer_tx, mut writer_rx) = mpsc::channel::<Frame>(64);
         let (stream, leftover) = framed.into_parts();
         let (read_half, write_half) = stream.into_split();
 
-        let tx = inbox_tx.clone();
+        let tx = inbox_tx.shard(channel).clone();
         tokio::spawn(async move {
             // Frames that arrived behind the handshake are still in the
             // buffer; the reader must start from them.
@@ -938,21 +1168,38 @@ impl Actor {
                 }
             }
         });
-        let tx = inbox_tx.clone();
+        let tx = inbox_tx.shard(channel).clone();
         let send_timeout = self.policy.send_timeout;
+        let writer_batch = self.tuning.writer_batch.max(1);
         tokio::spawn(async move {
             let mut writer = Framed::new(write_half);
-            while let Some(frame) = writer_rx.recv().await {
-                let bye = matches!(frame, Frame::Bye);
-                match timeout(send_timeout, writer.write_frame(&wire::encode(&frame))).await {
+            let mut payloads: Vec<bytes::Bytes> = Vec::with_capacity(writer_batch);
+            'conn: while let Some(first) = writer_rx.recv().await {
+                // Fold whatever else is already queued into one buffered
+                // write and a single flush; under storm load this turns
+                // 2+ syscalls per frame into 2 per batch. A Bye ends the
+                // batch (and the connection) — nothing may follow it.
+                let mut bye = matches!(first, Frame::Bye);
+                payloads.push(wire::encode(&first));
+                while !bye && payloads.len() < writer_batch {
+                    match writer_rx.try_recv() {
+                        Ok(frame) => {
+                            bye = matches!(frame, Frame::Bye);
+                            payloads.push(wire::encode(&frame));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                match timeout(send_timeout, writer.write_frames(&payloads)).await {
                     Ok(Ok(())) => {}
                     _ => {
                         if !bye {
                             let _ = tx.send(Inbox::Gone { channel, gen }).await;
                         }
-                        break;
+                        break 'conn;
                     }
                 }
+                payloads.clear();
                 if bye {
                     break;
                 }
@@ -961,7 +1208,7 @@ impl Actor {
         writer_tx
     }
 
-    async fn execute(&mut self, cmds: Vec<BoxCmd>, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn execute(&mut self, cmds: Vec<BoxCmd>, inbox_tx: &InboxTx) {
         for cmd in cmds {
             match cmd {
                 BoxCmd::Signal(out) => {
@@ -983,7 +1230,10 @@ impl Actor {
                             // would wedge the peer's await forever.
                             if !self.conns[&channel].recovering {
                                 let gen = self.conns[&channel].gen;
-                                let _ = inbox_tx.send(Inbox::Gone { channel, gen }).await;
+                                let _ = inbox_tx
+                                    .shard(channel)
+                                    .send(Inbox::Gone { channel, gen })
+                                    .await;
                             }
                             continue;
                         }
@@ -1008,7 +1258,10 @@ impl Actor {
                             self.obs.fault_injected(bx, kind);
                             if !self.conns[&channel].recovering {
                                 let gen = self.conns[&channel].gen;
-                                let _ = inbox_tx.send(Inbox::Gone { channel, gen }).await;
+                                let _ = inbox_tx
+                                    .shard(channel)
+                                    .send(Inbox::Gone { channel, gen })
+                                    .await;
                             }
                             continue;
                         }
@@ -1062,13 +1315,7 @@ impl Actor {
         None
     }
 
-    async fn open_channel(
-        &mut self,
-        to: &str,
-        tunnels: u16,
-        req: u32,
-        inbox_tx: &mpsc::Sender<Inbox>,
-    ) {
+    async fn open_channel(&mut self, to: &str, tunnels: u16, req: u32, inbox_tx: &InboxTx) {
         let t0 = std::time::Instant::now();
         match self.dial(to).await {
             Some(stream) => {
@@ -1142,7 +1389,7 @@ impl Actor {
         None
     }
 
-    async fn report_unavailable(&mut self, tunnels: u16, req: u32, inbox_tx: &mpsc::Sender<Inbox>) {
+    async fn report_unavailable(&mut self, tunnels: u16, req: u32, inbox_tx: &InboxTx) {
         // Half-open channel the program can observe and destroy (Fig. 6).
         let channel = ChannelId(self.next_channel);
         self.next_channel += 1;
@@ -1183,7 +1430,7 @@ impl Actor {
     fn execute_boxed<'a>(
         &'a mut self,
         cmds: Vec<BoxCmd>,
-        inbox_tx: &'a mpsc::Sender<Inbox>,
+        inbox_tx: &'a InboxTx,
     ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'a>> {
         Box::pin(self.execute(cmds, inbox_tx))
     }
@@ -1205,4 +1452,46 @@ fn far_future() -> Instant {
 fn tracing_stub(name: &str, msg: &str) {
     // Intentionally minimal: a hook point for real tracing integration.
     let _ = (name, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    /// A task that panics while holding the directory lock must not wedge
+    /// every other node: the lock recovers the (consistent) table.
+    #[test]
+    fn directory_survives_poisoned_lock() {
+        let dir = Directory::new();
+        dir.register("a", addr(1000));
+        let poisoner = dir.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("task died holding the directory lock");
+        })
+        .join();
+        assert_eq!(dir.lookup("a"), Some(addr(1000)));
+        dir.register("b", addr(2000));
+        assert_eq!(dir.lookup("b"), Some(addr(2000)));
+    }
+
+    /// Deregistration is addr-guarded: the old instance's late cleanup
+    /// must not clobber a replacement that already re-registered.
+    #[test]
+    fn deregister_only_removes_matching_address() {
+        let dir = Directory::new();
+        dir.register("pbx", addr(1000));
+        // Replacement instance rebinds under the same name.
+        dir.register("pbx", addr(2000));
+        // Old instance's cleanup fires late: a no-op.
+        dir.deregister("pbx", addr(1000));
+        assert_eq!(dir.lookup("pbx"), Some(addr(2000)));
+        // The live instance's own cleanup removes it.
+        dir.deregister("pbx", addr(2000));
+        assert_eq!(dir.lookup("pbx"), None);
+    }
 }

@@ -4,13 +4,15 @@
 //! the node retransmits after reconnecting.
 
 use ipmedia_core::boxes::GoalSpec;
+use ipmedia_core::endpoint::EndpointLogic;
 use ipmedia_core::goal::{AcceptMode, EndpointPolicy, UserCmd};
 use ipmedia_core::program::{AppLogic, BoxInput, Ctx};
 use ipmedia_core::signal::{ChannelMsg, Signal};
 use ipmedia_core::{BoxId, MediaAddr, Medium, SlotState};
 use ipmedia_obs::NoopObserver;
 use ipmedia_rt::{
-    backoff_delays, jitter_seed, spawn_node_with, wire, Directory, Frame, Framed, ReconnectPolicy,
+    backoff_delays, jitter_seed, spawn_node, spawn_node_with, wire, Directory, Frame, Framed,
+    ReconnectPolicy,
 };
 use tokio::net::{TcpListener, TcpStream};
 use tokio::time::Duration;
@@ -185,6 +187,131 @@ async fn connection_loss_parks_slot_and_reconnect_retransmits() {
     assert_eq!(m.recovery_latency_ms.total(), m.recoveries);
 
     node.shutdown().await;
+}
+
+/// A node that crashes (no Bye, no cleanup) leaves its stale address in
+/// the name directory. The fix is twofold: a re-spawned instance
+/// re-registers under the same name, overwriting the stale entry, and
+/// `Directory::deregister` is address-guarded so a late cleanup of the
+/// dead instance can never clobber its replacement. The peer's per-attempt
+/// directory lookup then lands on the new address and the call recovers.
+#[tokio::test]
+async fn crash_restart_reregisters_and_peer_recovers() {
+    let dir = Directory::new();
+
+    // First life of the callee: a real node answering calls.
+    let callee = spawn_node(
+        "callee",
+        BoxId(2),
+        Box::new(EndpointLogic::new(
+            EndpointPolicy::audio(addr(2)),
+            AcceptMode::Auto,
+        )),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+    let addr1 = callee.addr;
+    assert_eq!(dir.lookup("callee"), Some(addr1));
+
+    let mut caller = spawn_node_with(
+        "caller",
+        BoxId(1),
+        Box::new(Dialer {
+            target: "callee".into(),
+        }),
+        dir.clone(),
+        fast_policy(40),
+        Box::new(NoopObserver),
+    )
+    .await
+    .unwrap();
+    assert!(
+        caller
+            .wait_for(WAIT, |s| {
+                s.slots.iter().any(|sl| sl.state == SlotState::Flowing)
+            })
+            .await,
+        "call reaches Flowing before the crash"
+    );
+
+    // Crash the callee: no Bye, no directory cleanup — the stale address
+    // stays resolvable, which is exactly the bug's precondition.
+    callee.abort();
+    assert_eq!(
+        dir.lookup("callee"),
+        Some(addr1),
+        "crash leaves a stale directory entry behind"
+    );
+
+    // Nudge the call so the caller touches the dead connection: a mid-call
+    // Modify writes a frame, the zombie peer's socket collapses, and the
+    // caller parks the slot and starts re-dialing.
+    let slot = caller.snapshot.borrow().slots[0].slot;
+    caller
+        .user(
+            slot,
+            UserCmd::Modify {
+                mute_in: false,
+                mute_out: true,
+            },
+        )
+        .await;
+    assert!(
+        caller.wait_for(WAIT, |s| s.recovering == 1).await,
+        "caller notices the crashed peer and parks the slot"
+    );
+
+    // Second life: a fresh instance under the same name re-registers and
+    // overwrites the stale mapping.
+    let callee2 = spawn_node(
+        "callee",
+        BoxId(2),
+        Box::new(EndpointLogic::new(
+            EndpointPolicy::audio(addr(2)),
+            AcceptMode::Auto,
+        )),
+        dir.clone(),
+    )
+    .await
+    .unwrap();
+    let addr2 = callee2.addr;
+    assert_ne!(addr2, addr1, "restart binds a fresh address");
+    assert_eq!(
+        dir.lookup("callee"),
+        Some(addr2),
+        "restart overwrites the stale entry"
+    );
+
+    // The caller's per-attempt lookup finds the new address; §VI resync
+    // retransmits the parked slot state and the call flows again.
+    assert!(
+        caller
+            .wait_for(WAIT, |s| {
+                s.recovering == 0
+                    && s.channels == 1
+                    && s.slots.iter().any(|sl| sl.state == SlotState::Flowing)
+            })
+            .await,
+        "call recovers against the restarted instance"
+    );
+
+    // Address-guarded cleanup: a late deregister from the dead first
+    // instance is a no-op against the replacement's registration.
+    dir.deregister("callee", addr1);
+    assert_eq!(
+        dir.lookup("callee"),
+        Some(addr2),
+        "stale deregister cannot clobber the replacement"
+    );
+
+    caller.shutdown().await;
+    callee2.shutdown().await;
+    assert_eq!(
+        dir.lookup("callee"),
+        None,
+        "graceful shutdown removes its own registration"
+    );
 }
 
 #[tokio::test]

@@ -131,4 +131,25 @@ timeout "$CHAOS_BUDGET_SECS" ./target/release/chaos_campaign --threads "$(nproc)
   exit "$status"
 }
 
+if [ -n "${STORM_BUDGET_SECS:-}" ]; then
+  echo "== call storm (fleet-scale load harness, sharded rt speedup gate)" >&2
+  # Opt-in: the storm rewrites BENCH_storm.json with wall-clock fields
+  # (calls/sec, peak bytes), so it only runs when a budget is set —
+  # normal CI runs stay byte-stable. The bin itself fails if any arm
+  # leaves a call unestablished or the sharded rt pipeline is less than
+  # 2x the single-inbox baseline measured in the same process.
+  cargo build "$@" --release -q -p ipmedia-bench --bin call_storm
+  timeout "$STORM_BUDGET_SECS" ./target/release/call_storm >/dev/null || {
+    status=$?
+    if [ "$status" -eq 124 ]; then
+      echo "call storm exceeded the ${STORM_BUDGET_SECS}s wall-clock budget" >&2
+    else
+      echo "call storm failed an arm or the speedup gate (exit $status)" >&2
+    fi
+    exit "$status"
+  }
+else
+  echo "== call storm skipped (set STORM_BUDGET_SECS to run)" >&2
+fi
+
 echo "all checks passed" >&2

@@ -112,7 +112,7 @@ pub mod mpsc {
 
     /// Error types, under the module path tokio uses.
     pub mod error {
-        pub use super::{SendError, TrySendError};
+        pub use super::{SendError, TryRecvError, TrySendError};
     }
 
     impl<T> Sender<T> {
@@ -175,12 +175,50 @@ pub mod mpsc {
         }
     }
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is momentarily empty but senders remain.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
     impl<T> Receiver<T> {
         /// Wait for the next value; `None` once all senders are dropped
         /// and the queue is drained.
         pub fn recv(&mut self) -> Recv<'_, T> {
             Recv {
                 chan: &self.chan,
+            }
+        }
+
+        /// Dequeue without waiting. Batch consumers drain with this after
+        /// an awaited `recv`/`poll_recv` delivers the first value.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut c = self.chan.lock().unwrap();
+            if let Some(v) = c.queue.pop_front() {
+                c.wake_senders();
+                Ok(v)
+            } else if c.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Poll for the next value (the primitive under `recv`), for
+        /// callers multiplexing several receivers in one `poll_fn`.
+        pub fn poll_recv(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut c = self.chan.lock().unwrap();
+            if let Some(v) = c.queue.pop_front() {
+                c.wake_senders();
+                Poll::Ready(Some(v))
+            } else if c.senders == 0 {
+                Poll::Ready(None)
+            } else {
+                c.rx_waker = Some(cx.waker().clone());
+                Poll::Pending
             }
         }
     }
