@@ -20,11 +20,15 @@
 //! * `2` — usage error (bad flag, nothing to lint);
 //! * `3` — input or internal error (unreadable file, `.ipm` parse error).
 
-use ipmedia_analyze::fuzz::{fuzz_campaign, FuzzConfig, MckChecker};
+use ipmedia_analyze::fuzz::{fuzz_campaign, promote_divergences, FuzzConfig, MckChecker};
 use ipmedia_analyze::runner;
-use ipmedia_analyze::{parse_scenario, to_ipm, to_sarif, Baseline};
+use ipmedia_analyze::{
+    parse_scenario, render_manifest, run_incremental, to_ipm, to_sarif, AnalysisCache, Baseline,
+    Diagnostic, IncrementalStats,
+};
 use ipmedia_core::program::model::ScenarioModel;
 use ipmedia_obs::{json_str_array, JsonObj};
+use std::path::Path;
 use std::process::ExitCode;
 
 const EXIT_FINDINGS: u8 = 1;
@@ -43,6 +47,11 @@ struct Options {
     fuzz: Option<usize>,
     seed: Option<u64>,
     max_states: Option<usize>,
+    incremental: bool,
+    cache: Option<String>,
+    emit_manifest: Option<String>,
+    prune_baseline: bool,
+    promote: Option<String>,
 }
 
 fn usage() -> &'static str {
@@ -58,12 +67,24 @@ options:
   --write-baseline FILE   write the current findings as a baseline, then
                           exit as if they were suppressed
   --sarif FILE            also write the report as SARIF 2.1.0 to FILE
+  --incremental           replay cached verdicts for unchanged inputs and
+                          re-run only passes whose fingerprints changed;
+                          output is byte-identical to a cold run
+  --cache DIR             persistent cache directory for --incremental
+                          (holds lint-cache.jsonl; required)
+  --emit-manifest FILE    with --incremental, write the verified manifest
+                          (fingerprint -> clean|findings) for
+                          ipmedia-monitor --verified-manifest
+  --prune-baseline        rewrite --baseline FILE with stale fingerprints
+                          (matching no current finding) removed
   --fuzz N                instead of linting inputs, run the differential
                           fuzz campaign over N generated scenarios (the
                           same oracle as the fuzz_differential CI gate)
                           and print any divergence's minimized reproducer
   --seed S                campaign seed for --fuzz (decimal)
   --max-states M          base checker budget for --fuzz
+  --promote DIR           with --fuzz, write each divergence's minimized
+                          .ipm reproducer plus a triage note into DIR
   -h, --help              this help
 
 exit status:
@@ -86,6 +107,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         fuzz: None,
         seed: None,
         max_states: None,
+        incremental: false,
+        cache: None,
+        emit_manifest: None,
+        prune_baseline: false,
+        promote: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -127,6 +153,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 let v = it.next().ok_or("--max-states expects a state count")?;
                 opts.max_states = Some(v.parse().map_err(|_| format!("bad state count `{v}`"))?);
             }
+            "--incremental" => opts.incremental = true,
+            "--cache" => {
+                opts.cache = Some(it.next().ok_or("--cache expects a directory")?.clone());
+            }
+            "--emit-manifest" => {
+                opts.emit_manifest =
+                    Some(it.next().ok_or("--emit-manifest expects a file")?.clone());
+            }
+            "--prune-baseline" => opts.prune_baseline = true,
+            "--promote" => {
+                opts.promote = Some(it.next().ok_or("--promote expects a directory")?.clone());
+            }
             "--help" | "-h" => return Ok(None),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => opts.files.push(file.to_string()),
@@ -134,6 +172,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if !opts.all_examples && opts.files.is_empty() && opts.fuzz.is_none() {
         return Err(format!("nothing to lint\n{}", usage()));
+    }
+    if opts.incremental && opts.cache.is_none() {
+        return Err("--incremental requires --cache DIR".to_string());
+    }
+    if opts.emit_manifest.is_some() && !opts.incremental {
+        return Err("--emit-manifest requires --incremental".to_string());
+    }
+    if opts.prune_baseline && opts.baseline.is_none() {
+        return Err("--prune-baseline requires --baseline FILE".to_string());
+    }
+    if opts.promote.is_some() && opts.fuzz.is_none() {
+        return Err("--promote requires --fuzz".to_string());
     }
     Ok(Some(opts))
 }
@@ -178,6 +228,19 @@ fn fuzz_mode(opts: &Options, count: usize) -> ExitCode {
         );
         let repro = d.minimized.as_ref().unwrap_or(&d.scenario);
         eprintln!("--- minimized reproducer ---\n{}", to_ipm(repro));
+    }
+    if let Some(dir) = &opts.promote {
+        match promote_divergences(&report, Path::new(dir)) {
+            Ok(paths) => {
+                for p in &paths {
+                    eprintln!("ipmedia-lint: promoted {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("ipmedia-lint: --promote {dir}: {e}");
+                return ExitCode::from(EXIT_INPUT);
+            }
+        }
     }
     eprintln!(
         "ipmedia-lint: {} scenario(s) fuzzed ({} analyzer-clean), {} class(es) checked, \
@@ -246,7 +309,29 @@ fn main() -> ExitCode {
         },
     };
 
-    let report = runner::run(&scenarios, opts.threads, &baseline);
+    let (report, inc): (runner::RunReport, Option<IncrementalStats>) = if opts.incremental {
+        let dir = Path::new(opts.cache.as_deref().expect("validated in parse_args"));
+        let mut cache = AnalysisCache::load(dir);
+        let (report, stats) = run_incremental(&scenarios, opts.threads, &baseline, &mut cache);
+        if let Err(e) = cache.save(dir) {
+            eprintln!("ipmedia-lint: {}: {e}", dir.display());
+            return ExitCode::from(EXIT_INPUT);
+        }
+        (report, Some(stats))
+    } else {
+        (runner::run(&scenarios, opts.threads, &baseline), None)
+    };
+
+    if let (Some(path), Some(stats)) = (&opts.emit_manifest, &inc) {
+        if let Err(e) = std::fs::write(path, render_manifest(&stats.verdicts)) {
+            eprintln!("ipmedia-lint: {path}: {e}");
+            return ExitCode::from(EXIT_INPUT);
+        }
+        eprintln!(
+            "ipmedia-lint: wrote verified manifest ({} scenario(s)) to {path}",
+            stats.verdicts.len()
+        );
+    }
 
     if let Some(path) = &opts.write_baseline {
         if let Err(e) = std::fs::write(path, Baseline::render(&report.kept)) {
@@ -266,6 +351,39 @@ fn main() -> ExitCode {
         }
     }
 
+    // Baseline hygiene: a fingerprint that matches no current finding is
+    // stale — the suppressed problem was fixed (or moved). Warn (AZ701,
+    // never fatal) and optionally rewrite the file without them.
+    let stale = {
+        let mut all = report.kept.clone();
+        all.extend(report.suppressed.iter().cloned());
+        baseline.stale(&all)
+    };
+    for fp in &stale {
+        let d = Diagnostic::warning(
+            "AZ701",
+            format!("baseline fingerprint `{fp}` matches no current finding"),
+        )
+        .with_note("the suppressed finding was fixed or moved; remove the line or rerun with --prune-baseline");
+        eprintln!("{}\n", d.render());
+        if opts.jsonl {
+            println!("{}", d.to_json());
+        }
+    }
+    if opts.prune_baseline {
+        let path = opts.baseline.as_deref().expect("validated in parse_args");
+        let mut all = report.kept.clone();
+        all.extend(report.suppressed.iter().cloned());
+        if let Err(e) = std::fs::write(path, baseline.pruned(&all).to_text()) {
+            eprintln!("ipmedia-lint: {path}: {e}");
+            return ExitCode::from(EXIT_INPUT);
+        }
+        eprintln!(
+            "ipmedia-lint: pruned {} stale fingerprint(s) from {path}",
+            stale.len()
+        );
+    }
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
     for d in &report.kept {
@@ -280,6 +398,20 @@ fn main() -> ExitCode {
     }
 
     let failed = report.denied(opts.deny_warnings) > 0;
+    if let Some(stats) = &inc {
+        eprintln!(
+            "ipmedia-lint: incremental: {}/{} full cache hit(s), {} scenario miss(es), \
+             {} program run(s), {} eviction(s)",
+            stats.full_hits,
+            stats.scenarios,
+            stats.scenario_misses,
+            stats.program_runs,
+            stats.cache_evictions
+        );
+        if opts.jsonl {
+            println!("{}", stats.to_json());
+        }
+    }
     eprintln!(
         "ipmedia-lint: {} scenario(s), {errors} error(s), {warnings} warning(s), {} suppressed{}",
         scenarios.len(),

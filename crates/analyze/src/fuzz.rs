@@ -593,6 +593,51 @@ pub struct FuzzReport {
     pub divergences: Vec<Divergence>,
 }
 
+/// Promote every divergence in `report` into `dir` as a committed-fixture
+/// candidate: the delta-minimized reproducer (falling back to the
+/// as-generated scenario) written as `fuzz_promoted_<kind>_<seed>.ipm`
+/// with a `#`-comment triage note. Promoted files re-parse with
+/// [`parse_scenario`] (comments are ignored), so `planted.rs` can
+/// register them directly. Returns the written paths, divergence order.
+pub fn promote_divergences(
+    report: &FuzzReport,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use std::fmt::Write as _;
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for d in &report.divergences {
+        let repro = d.minimized.as_ref().unwrap_or(&d.scenario);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# fuzz-promoted divergence reproducer ({})",
+            d.kind.name()
+        );
+        let _ = writeln!(
+            out,
+            "# campaign seed {:#018x}, scenario seed {:#018x}",
+            report.campaign_seed, d.seed
+        );
+        let _ = writeln!(out, "# detail: {}", d.detail.replace('\n', " "));
+        let _ = writeln!(
+            out,
+            "# weight {} -> {} after delta-minimization",
+            scenario_weight(&d.scenario),
+            scenario_weight(repro)
+        );
+        out.push_str(&to_ipm(repro));
+        let path = dir.join(format!(
+            "fuzz_promoted_{}_{:016x}.ipm",
+            d.kind.name(),
+            d.seed
+        ));
+        std::fs::write(&path, &out)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
 impl FuzzReport {
     /// True iff the campaign found no divergence in either direction.
     pub fn is_clean_run(&self) -> bool {

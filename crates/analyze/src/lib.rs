@@ -57,6 +57,7 @@ pub mod conformance;
 pub mod dataflow;
 pub mod diag;
 pub mod fuzz;
+pub mod incremental;
 pub mod interproc;
 pub mod leak;
 pub mod parse;
@@ -70,6 +71,10 @@ pub use fuzz::{
     class_label, fuzz_campaign, generate_scenario, scenario_seed, shrink_scenario, ClassChecker,
     ClassKey, ClassVerdict, Divergence, DivergenceKind, FuzzConfig, FuzzReport, FuzzRng,
     MckChecker,
+};
+pub use incremental::{
+    program_fingerprint, render_manifest, run_incremental, scenario_fingerprint,
+    topology_fingerprint, AnalysisCache, IncrementalStats, ScenarioVerdict, ANALYZER_VERSION,
 };
 pub use interproc::{covered_classes, covered_classes_up_to, CoveredClass};
 pub use parse::{parse_scenario, to_ipm, ParseError};

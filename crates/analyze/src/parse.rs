@@ -318,6 +318,21 @@ pub fn to_ipm(sc: &ScenarioModel) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "scenario {}", sc.name);
+    out.push_str(&topology_ipm(sc));
+    for (box_name, m) in &sc.programs {
+        let _ = writeln!(out);
+        out.push_str(&program_ipm(box_name, m));
+    }
+    out
+}
+
+/// The topology-and-bindings section of [`to_ipm`]: `box`, `link`, and
+/// `bind` lines. Factored out so content-addressed fingerprints can hash
+/// exactly the text the emitter would produce for the cross-box structure
+/// ([`crate::incremental::topology_fingerprint`]).
+pub fn topology_ipm(sc: &ScenarioModel) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     for b in &sc.topology.boxes {
         let _ = writeln!(out, "box {b}");
     }
@@ -327,51 +342,57 @@ pub fn to_ipm(sc: &ScenarioModel) -> String {
     for b in &sc.bindings {
         let _ = writeln!(out, "bind {} {} {}", b.box_name, b.channel, b.peer);
     }
-    for (box_name, m) in &sc.programs {
-        let _ = writeln!(out);
-        if m.name == *box_name {
-            let _ = writeln!(out, "program {box_name}");
+    out
+}
+
+/// One `program` section of [`to_ipm`], for the program attached to
+/// `box_name`. Factored out so per-program fingerprints hash the same
+/// text the emitter produces ([`crate::incremental::program_fingerprint`]).
+pub fn program_ipm(box_name: &str, m: &ProgramModel) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if m.name == box_name {
+        let _ = writeln!(out, "program {box_name}");
+    } else {
+        let _ = writeln!(out, "program {box_name} {}", m.name);
+    }
+    for c in &m.channels {
+        let _ = writeln!(out, "  channel {c}");
+    }
+    for s in &m.slots {
+        match &s.channel {
+            Some(c) => {
+                let _ = writeln!(out, "  slot {} {c}", s.name);
+            }
+            None => {
+                let _ = writeln!(out, "  slot {}", s.name);
+            }
+        }
+    }
+    for t in &m.timers {
+        let _ = writeln!(out, "  timer {t}");
+    }
+    // The first state parses back as the initial state; an explicit
+    // `initial` line is only needed when the model disagrees.
+    if m.states.first().is_some_and(|st| st.name != m.initial) {
+        let _ = writeln!(out, "  initial {}", m.initial);
+    }
+    for st in &m.states {
+        if st.is_final {
+            let _ = writeln!(out, "  state {} final", st.name);
         } else {
-            let _ = writeln!(out, "program {box_name} {}", m.name);
+            let _ = writeln!(out, "  state {}", st.name);
         }
-        for c in &m.channels {
-            let _ = writeln!(out, "  channel {c}");
+        for g in &st.goals {
+            let _ = writeln!(out, "    goal {} {}", g.kind.name(), g.slots.join(" "));
         }
-        for s in &m.slots {
-            match &s.channel {
-                Some(c) => {
-                    let _ = writeln!(out, "  slot {} {c}", s.name);
-                }
-                None => {
-                    let _ = writeln!(out, "  slot {}", s.name);
-                }
+        for t in &st.transitions {
+            let _ = write!(out, "    on {} -> {}", t.trigger, t.to);
+            if !t.effects.is_empty() {
+                let effects: Vec<String> = t.effects.iter().map(ToString::to_string).collect();
+                let _ = write!(out, " ! {}", effects.join("; "));
             }
-        }
-        for t in &m.timers {
-            let _ = writeln!(out, "  timer {t}");
-        }
-        // The first state parses back as the initial state; an explicit
-        // `initial` line is only needed when the model disagrees.
-        if m.states.first().is_some_and(|st| st.name != m.initial) {
-            let _ = writeln!(out, "  initial {}", m.initial);
-        }
-        for st in &m.states {
-            if st.is_final {
-                let _ = writeln!(out, "  state {} final", st.name);
-            } else {
-                let _ = writeln!(out, "  state {}", st.name);
-            }
-            for g in &st.goals {
-                let _ = writeln!(out, "    goal {} {}", g.kind.name(), g.slots.join(" "));
-            }
-            for t in &st.transitions {
-                let _ = write!(out, "    on {} -> {}", t.trigger, t.to);
-                if !t.effects.is_empty() {
-                    let effects: Vec<String> = t.effects.iter().map(ToString::to_string).collect();
-                    let _ = write!(out, " ! {}", effects.join("; "));
-                }
-                let _ = writeln!(out);
-            }
+            let _ = writeln!(out);
         }
     }
     out

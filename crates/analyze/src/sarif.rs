@@ -116,6 +116,46 @@ impl Baseline {
         diags.into_iter().partition(|d| !self.suppresses(d))
     }
 
+    /// Fingerprints in the baseline that match none of `diags` — stale
+    /// suppressions whose underlying finding was since fixed (or moved).
+    /// `diags` must be the full pre-baseline report (kept + suppressed).
+    pub fn stale(&self, diags: &[Diagnostic]) -> Vec<String> {
+        let live: BTreeSet<String> = diags.iter().map(Diagnostic::fingerprint).collect();
+        self.fingerprints
+            .iter()
+            .filter(|fp| !live.contains(*fp))
+            .cloned()
+            .collect()
+    }
+
+    /// A copy with the stale fingerprints (per [`Baseline::stale`])
+    /// removed, for `--prune-baseline`.
+    pub fn pruned(&self, diags: &[Diagnostic]) -> Self {
+        let live: BTreeSet<String> = diags.iter().map(Diagnostic::fingerprint).collect();
+        Self {
+            fingerprints: self
+                .fingerprints
+                .iter()
+                .filter(|fp| live.contains(*fp))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Render this baseline back as file text (same header and sorted
+    /// form as [`Baseline::render`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "# ipmedia-lint baseline: one suppressed finding fingerprint per line.\n\
+             # Fingerprints are code@scenario/program/state; `#` starts a comment.\n",
+        );
+        for fp in &self.fingerprints {
+            out.push_str(fp);
+            out.push('\n');
+        }
+        out
+    }
+
     /// Render a report as baseline-file text (dedup'd, sorted), for
     /// `--write-baseline`.
     pub fn render(diags: &[Diagnostic]) -> String {
@@ -187,6 +227,22 @@ mod tests {
         assert_eq!(kept.len(), 1);
         assert_eq!(suppressed.len(), 1);
         assert_eq!(kept[0].code, "AZ602");
+    }
+
+    #[test]
+    fn stale_fingerprints_are_detected_and_pruned() {
+        let diags = sample();
+        let base = Baseline::parse("AZ501@s/p/q\nAZ999@gone/away # fixed long ago\n");
+        let stale = base.stale(&diags);
+        assert_eq!(stale, vec!["AZ999@gone/away".to_string()]);
+        let pruned = base.pruned(&diags);
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned.stale(&diags).is_empty());
+        let text = pruned.to_text();
+        assert!(text.contains("AZ501@s/p/q"), "{text}");
+        assert!(!text.contains("AZ999"), "{text}");
+        // to_text/parse round-trips.
+        assert_eq!(Baseline::parse(&text), pruned);
     }
 
     #[test]

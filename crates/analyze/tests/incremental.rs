@@ -1,0 +1,219 @@
+//! Cache-correctness tests for `--incremental` (the tentpole oracle):
+//! warm output must be *byte-identical* to a cold run at any thread
+//! count, re-lint cost must be O(changed), and damaged cache entries
+//! must be evicted — counted, never trusted.
+
+use ipmedia_analyze::{run, run_incremental, AnalysisCache, Baseline};
+use ipmedia_core::program::model::ScenarioModel;
+use std::path::PathBuf;
+
+fn registry() -> Vec<ScenarioModel> {
+    ipmedia_apps::models::all_scenarios()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipm-inc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The hard oracle: for threads 1, 2, and 8, a cold populating pass and a
+/// fully warm pass both render byte-for-byte what the non-incremental
+/// runner renders — human report and JSONL alike.
+#[test]
+fn warm_output_is_byte_identical_to_cold_at_any_thread_count() {
+    let scenarios = registry();
+    let baseline = Baseline::parse("");
+    let reference = run(&scenarios, 1, &baseline);
+
+    for threads in [1usize, 2, 8] {
+        let mut cache = AnalysisCache::default();
+        let (cold, cold_stats) = run_incremental(&scenarios, threads, &baseline, &mut cache);
+        assert_eq!(
+            cold.render(),
+            reference.render(),
+            "cold render, {threads} threads"
+        );
+        assert_eq!(
+            cold.to_jsonl(),
+            reference.to_jsonl(),
+            "cold jsonl, {threads} threads"
+        );
+        assert_eq!(cold_stats.full_hits, 0);
+        assert_eq!(cold_stats.scenario_misses, scenarios.len());
+
+        let (warm, warm_stats) = run_incremental(&scenarios, threads, &baseline, &mut cache);
+        assert_eq!(
+            warm.render(),
+            reference.render(),
+            "warm render, {threads} threads"
+        );
+        assert_eq!(
+            warm.to_jsonl(),
+            reference.to_jsonl(),
+            "warm jsonl, {threads} threads"
+        );
+        assert_eq!(warm_stats.full_hits, scenarios.len());
+        assert_eq!(warm_stats.scenario_misses, 0);
+        assert_eq!(warm_stats.program_runs, 0);
+        assert_eq!(warm_stats.scenario_pass_runs, 0);
+        assert_eq!(warm_stats.program_pass_runs, 0);
+        assert!(warm_stats.missed.is_empty());
+    }
+}
+
+/// One program edit re-runs exactly the changed scenario's three
+/// cross-box passes plus the one changed program's four pass families —
+/// O(changed), independent of fleet size — and still matches a cold run
+/// on the edited fleet byte-for-byte.
+#[test]
+fn one_program_edit_is_o_changed_and_still_byte_identical() {
+    let scenarios = registry();
+    let baseline = Baseline::parse("");
+    let dir = tmp_dir("edit");
+
+    let mut cache = AnalysisCache::default();
+    run_incremental(&scenarios, 4, &baseline, &mut cache);
+    cache.save(&dir).expect("cache save");
+
+    let mut edited = scenarios.clone();
+    let victim = edited
+        .iter_mut()
+        .find(|sc| {
+            sc.programs.iter().any(|(_, m)| {
+                m.states
+                    .iter()
+                    .any(|s| s.transitions.iter().any(|t| !t.effects.is_empty()))
+            })
+        })
+        .expect("a registry scenario with an effect to drop");
+    let victim_name = victim.name.clone();
+    assert!(victim
+        .programs
+        .iter_mut()
+        .any(|(_, m)| m.drop_first_effect()));
+
+    let mut warm = AnalysisCache::load(&dir);
+    assert_eq!(warm.evictions, 0, "round-tripped cache loads clean");
+    assert_eq!(warm.scenario_len(), cache.scenario_len());
+    assert_eq!(warm.program_len(), cache.program_len());
+
+    let (report, stats) = run_incremental(&edited, 4, &baseline, &mut warm);
+    assert_eq!(stats.missed, vec![victim_name]);
+    assert_eq!(stats.scenario_misses, 1);
+    assert_eq!(stats.full_hits, scenarios.len() - 1);
+    assert_eq!(stats.scenario_pass_runs, 3, "wellformed + dataflow + race");
+    assert_eq!(stats.program_runs, 1, "only the edited program re-runs");
+    assert_eq!(stats.program_pass_runs, 4, "four pass families per program");
+
+    let reference = run(&edited, 1, &baseline);
+    assert_eq!(report.render(), reference.render());
+    assert_eq!(report.to_jsonl(), reference.to_jsonl());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A topology-only edit invalidates the cross-box passes but no program:
+/// the dependency map distinguishes which layer a change touched.
+#[test]
+fn topology_only_edit_reruns_no_program_passes() {
+    let scenarios = registry();
+    let baseline = Baseline::parse("");
+    let mut cache = AnalysisCache::default();
+    run_incremental(&scenarios, 4, &baseline, &mut cache);
+
+    let mut edited = scenarios.clone();
+    let victim = edited
+        .iter_mut()
+        .find(|sc| {
+            let mut links = sc.topology.links.clone();
+            links.reverse();
+            links != sc.topology.links
+        })
+        .expect("a registry scenario with reorderable links");
+    let victim_name = victim.name.clone();
+    victim.topology.links.reverse();
+
+    let (report, stats) = run_incremental(&edited, 4, &baseline, &mut cache);
+    assert_eq!(stats.missed, vec![victim_name]);
+    assert_eq!(stats.scenario_pass_runs, 3);
+    assert_eq!(stats.program_runs, 0, "no program content changed");
+    assert_eq!(stats.program_pass_runs, 0);
+
+    let reference = run(&edited, 1, &baseline);
+    assert_eq!(report.render(), reference.render());
+    let _ = std::fs::remove_dir_all(tmp_dir("noop"));
+}
+
+/// Damaged cache entries are evicted and counted (`cache_evictions` —
+/// the number `ipmedia-lint` forwards to the obs registry): an
+/// unparseable line and an entry bearing an unknown diagnostic code each
+/// count one, the survivors still replay, and the output stays identical.
+#[test]
+fn corrupt_and_unknown_code_entries_are_evicted_and_counted() {
+    let scenarios = registry();
+    let baseline = Baseline::parse("");
+    let dir = tmp_dir("corrupt");
+
+    let mut cache = AnalysisCache::default();
+    run_incremental(&scenarios, 4, &baseline, &mut cache);
+    cache.save(&dir).expect("cache save");
+
+    let path = dir.join("lint-cache.jsonl");
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    text.push_str("this line is not json\n");
+    text.push_str(
+        "{\"record\":\"lint_cache_entry\",\"kind\":\"scenario\",\"fp\":\"ffffffffffffffff\",\
+         \"diags\":[{\"code\":\"ZZ999\",\"severity\":\"error\",\"message\":\"bogus\"}]}\n",
+    );
+    std::fs::write(&path, text).unwrap();
+
+    let mut damaged = AnalysisCache::load(&dir);
+    assert_eq!(damaged.evictions, 2, "one corrupt line + one unknown code");
+    assert_eq!(damaged.scenario_len(), cache.scenario_len());
+
+    let (report, stats) = run_incremental(&scenarios, 2, &baseline, &mut damaged);
+    assert_eq!(stats.cache_evictions, 2, "stats carry the count for obs");
+    assert_eq!(stats.full_hits, scenarios.len(), "survivors still replay");
+    let reference = run(&scenarios, 1, &baseline);
+    assert_eq!(report.render(), reference.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cache written by a different analyzer version is wholly distrusted:
+/// every entry is evicted (and counted), and the next run repopulates
+/// from scratch rather than replaying stale verdicts.
+#[test]
+fn stale_analyzer_version_evicts_the_whole_cache() {
+    let scenarios = registry();
+    let baseline = Baseline::parse("");
+    let dir = tmp_dir("stale");
+
+    let mut cache = AnalysisCache::default();
+    run_incremental(&scenarios, 4, &baseline, &mut cache);
+    cache.save(&dir).expect("cache save");
+
+    let path = dir.join("lint-cache.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap().replace(
+        &format!("\"analyzer_version\":{}", ipmedia_analyze::ANALYZER_VERSION),
+        &format!(
+            "\"analyzer_version\":{}",
+            ipmedia_analyze::ANALYZER_VERSION + 1
+        ),
+    );
+    std::fs::write(&path, text).unwrap();
+
+    let mut stale = AnalysisCache::load(&dir);
+    assert_eq!(stale.scenario_len(), 0);
+    assert_eq!(stale.program_len(), 0);
+    assert!(
+        stale.evictions > 0,
+        "version-mismatch evictions are counted"
+    );
+
+    let (report, stats) = run_incremental(&scenarios, 2, &baseline, &mut stale);
+    assert_eq!(stats.full_hits, 0, "nothing stale is ever replayed");
+    assert_eq!(stats.scenario_misses, scenarios.len());
+    let reference = run(&scenarios, 1, &baseline);
+    assert_eq!(report.render(), reference.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}

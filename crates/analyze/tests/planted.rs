@@ -4,7 +4,10 @@
 //! registry. Together these pin down that every pass provably catches
 //! its target bug class.
 
-use ipmedia_analyze::fuzz::{generate_scenario, shrink_scenario};
+use ipmedia_analyze::fuzz::{
+    class_keys, fuzz_campaign, generate_scenario, promote_divergences, shrink_scenario,
+    ClassChecker, ClassKey, ClassVerdict, DivergenceKind, FuzzConfig,
+};
 use ipmedia_analyze::{analyze_scenario, parse_scenario, to_ipm, Diagnostic, Severity};
 use ipmedia_core::program::model::ScenarioModel;
 use std::path::PathBuf;
@@ -116,6 +119,91 @@ fn fuzz_minimized_fixtures_rederive_from_their_seeds() {
             "{name}: committed fixture drifted from the seed-re-derived reproducer"
         );
         assert_eq!(to_ipm(&committed), to_ipm(&rederived));
+    }
+}
+
+/// A checker that refutes every class, forcing the soundness oracle to
+/// diverge on every analyzer-clean scenario. Stands in for a real past
+/// checker divergence so the `--promote` pipeline has deterministic
+/// material to promote (live campaigns are divergence-free by CI gate).
+struct RefuteAll;
+
+impl ClassChecker for RefuteAll {
+    fn check(&mut self, _key: ClassKey) -> ClassVerdict {
+        ClassVerdict {
+            counterexample: true,
+            truncated: false,
+            expanded: 1,
+        }
+    }
+}
+
+/// The committed promoted fixtures in `examples/models/` must re-derive
+/// byte-for-byte from the fuzz `--promote` pipeline: run a small seeded
+/// campaign against the refute-everything checker, delta-minimize, and
+/// promote the first two soundness divergences. Pins the generator, the
+/// shrinker, the triage-note format, and the promoted scenarios
+/// themselves. Regenerate with `PROMOTE_REGEN=1 cargo test -p
+/// ipmedia-analyze --test planted promoted`.
+#[test]
+fn promoted_divergence_fixtures_rederive_from_the_campaign() {
+    let cfg = FuzzConfig {
+        scenarios: 24,
+        threads: 1,
+        shrink_cap: 2,
+        ..FuzzConfig::default()
+    };
+    let mut report = fuzz_campaign(&cfg, &mut RefuteAll);
+    assert!(
+        report.divergences.len() >= 2,
+        "refute-all campaign must diverge on every clean scenario: {}",
+        report.divergences.len()
+    );
+    assert!(report
+        .divergences
+        .iter()
+        .all(|d| d.kind == DivergenceKind::Soundness));
+    report.divergences.truncate(2);
+
+    let models = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/models");
+    let out = if std::env::var_os("PROMOTE_REGEN").is_some() {
+        models.clone()
+    } else {
+        std::env::temp_dir().join(format!("ipm-promote-{}", std::process::id()))
+    };
+    let paths = promote_divergences(&report, &out).expect("promote writes");
+    assert_eq!(paths.len(), 2);
+
+    for path in &paths {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let derived = std::fs::read_to_string(path).unwrap();
+        let committed_path = models.join(name);
+        let committed = std::fs::read_to_string(&committed_path)
+            .unwrap_or_else(|e| panic!("{committed_path:?}: {e} (run with PROMOTE_REGEN=1)"));
+        assert_eq!(
+            committed, derived,
+            "{name}: committed fixture drifted from the campaign-re-derived reproducer"
+        );
+        // Triage note: kind, seeds, minimization delta — as `#` comments
+        // the parser ignores.
+        assert!(derived.starts_with("# fuzz-promoted divergence reproducer (soundness)"));
+        assert!(derived.contains("# campaign seed"), "{derived}");
+        assert!(derived.contains("# weight"), "{derived}");
+        // Soundness reproducers are analyzer-clean and cover at least
+        // one path class (the divergence precondition).
+        let sc = parse_scenario(&derived).expect("promoted fixture parses");
+        let errors: Vec<Diagnostic> = analyze_scenario(&sc)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{name}: {errors:?}");
+        assert!(
+            !class_keys(&sc, cfg.max_links).is_empty(),
+            "{name} must cover a path class"
+        );
+    }
+    if out != models {
+        let _ = std::fs::remove_dir_all(&out);
     }
 }
 

@@ -26,22 +26,37 @@
 //! catches statically — and *requires* the monitor to flag it as `IM102`
 //! (exit nonzero if the monitor misses it): the self-test that the gate
 //! in `scripts/check.sh` runs.
+//!
+//! `--verified-manifest FILE` closes the loop with the incremental
+//! analyzer: FILE is the fingerprint → `clean|findings` manifest written
+//! by `ipmedia-lint --incremental --emit-manifest`. Each scenario's
+//! content fingerprint is recomputed here, stamped into the JSONL record
+//! (`model_fingerprint`/`verified`), and any live ladder from a model the
+//! manifest does not list as verified clean is flagged as `IM401`.
 
+use ipmedia_analyze::scenario_fingerprint;
 use ipmedia_bench::Chain;
 use ipmedia_core::descriptor::{DescTag, Selector};
 use ipmedia_core::goal::{Outgoing, UserCmd};
 use ipmedia_core::program::BoxCmd;
 use ipmedia_core::signal::Signal;
 use ipmedia_netsim::{SimConfig, SimDuration, SimTime};
-use ipmedia_obs::monitor::{finding_json, Monitor, IM_CLOSED_ACTION};
+use ipmedia_obs::monitor::{finding_json, Monitor, VerifiedManifest, IM_CLOSED_ACTION};
 use ipmedia_obs::JsonObj;
 use std::process::ExitCode;
 
 const T_MAX: SimTime = SimTime(3_600_000_000);
 
 /// Run one monitored exercise; returns (events seen, findings as JSONL,
-/// ladders for stderr).
-fn run_scenario(name: &str, boxes: usize, mutant: bool) -> (u64, Vec<String>, Vec<String>) {
+/// ladders for stderr). `unverified` carries the scenario's content
+/// fingerprint and manifest verdict when the verified manifest does
+/// *not* list it as clean; the run is then flagged as `IM401`.
+fn run_scenario(
+    name: &str,
+    boxes: usize,
+    mutant: bool,
+    unverified: Option<(&str, Option<bool>)>,
+) -> (u64, Vec<String>, Vec<String>) {
     // Size the chain by the scenario topology: its interior boxes become
     // servers (at least one, capped so big conferences stay fast).
     let k = boxes.saturating_sub(2).clamp(1, 4);
@@ -90,6 +105,18 @@ fn run_scenario(name: &str, boxes: usize, mutant: bool) -> (u64, Vec<String>, Ve
     let log = log.lock().unwrap();
     monitor.ingest_all(&log);
     monitor.check_quiescent(chain.net.now().0);
+    if let Some((fp, verdict)) = unverified {
+        // The whole event stream came from a model the analyzer never
+        // verified clean — the live-side divergence class.
+        monitor.flag_unverified(
+            chain.l.0,
+            chain.l_slot.0,
+            chain.net.now().0,
+            name,
+            fp,
+            verdict,
+        );
+    }
 
     let findings_json: Vec<String> = monitor.findings().iter().map(finding_json).collect();
     let ladders: Vec<String> = monitor
@@ -107,6 +134,7 @@ fn run_scenario(name: &str, boxes: usize, mutant: bool) -> (u64, Vec<String>, Ve
 
 fn main() -> ExitCode {
     let mut mutant = false;
+    let mut manifest: Option<VerifiedManifest> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -114,6 +142,15 @@ fn main() -> ExitCode {
             let kind = args.next().unwrap_or_default();
             assert_eq!(kind, "closed-slot", "unknown mutant kind {kind:?}");
             mutant = true;
+        } else if a == "--verified-manifest" {
+            let path = args.next().unwrap_or_default();
+            match std::fs::read_to_string(&path) {
+                Ok(src) => manifest = Some(VerifiedManifest::parse(&src)),
+                Err(e) => {
+                    eprintln!("--verified-manifest {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             selected.push(a);
         }
@@ -134,7 +171,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         };
         let boxes = sc.topology.boxes.len();
-        let (events, findings, ladders) = run_scenario(name, boxes, mutant);
+        let fingerprint = scenario_fingerprint(&sc);
+        let verdict = manifest.as_ref().map(|m| m.verdict(&fingerprint));
+        let unverified = match verdict {
+            Some(v) if v != Some(true) => Some((fingerprint.as_str(), v)),
+            _ => None,
+        };
+        let (events, findings, ladders) = run_scenario(name, boxes, mutant, unverified);
 
         let expected_mutant_caught = mutant
             && findings
@@ -147,18 +190,18 @@ fn main() -> ExitCode {
             clean
         };
 
-        println!(
-            "{}",
-            JsonObj::new()
-                .str("record", "monitor_scenario")
-                .str("scenario", name)
-                .num("boxes", boxes as u64)
-                .num("events", events)
-                .num("findings", findings.len() as u64)
-                .bool("mutant", mutant)
-                .bool("ok", ok)
-                .finish()
-        );
+        let mut record = JsonObj::new()
+            .str("record", "monitor_scenario")
+            .str("scenario", name)
+            .num("boxes", boxes as u64)
+            .num("events", events)
+            .num("findings", findings.len() as u64)
+            .bool("mutant", mutant)
+            .str("model_fingerprint", &fingerprint);
+        if let Some(v) = verdict {
+            record = record.bool("verified", v == Some(true));
+        }
+        println!("{}", record.bool("ok", ok).finish());
         for f in &findings {
             println!("{f}");
         }

@@ -12,7 +12,9 @@ use ipmedia_core::goal::{Outgoing, UserCmd};
 use ipmedia_core::program::BoxCmd;
 use ipmedia_core::signal::Signal;
 use ipmedia_netsim::{SimConfig, SimDuration, SimTime};
-use ipmedia_obs::monitor::{Monitor, RecoveryObjectives, IM_CLOSED_ACTION};
+use ipmedia_obs::monitor::{
+    Monitor, RecoveryObjectives, VerifiedManifest, IM_CLOSED_ACTION, IM_UNVERIFIED,
+};
 
 const T_MAX: SimTime = SimTime(3_600_000_000);
 
@@ -91,6 +93,44 @@ fn planted_closed_slot_action_is_flagged_im102_with_ladder() {
     );
     // The plant is the only divergence in the run.
     assert_eq!(monitor.findings().len(), 1, "{:?}", monitor.findings());
+}
+
+/// The verified-manifest loop: a scenario whose fingerprint the manifest
+/// lists as clean runs without findings, while the same stream from a
+/// fingerprint the manifest does not know (or knows as finding-bearing)
+/// is flagged `IM401` — and `IM401` has no recovery budget, so it is a
+/// violation whenever it fires.
+#[test]
+fn unverified_model_stream_is_flagged_im401() {
+    let sc = ipmedia_apps::models::scenario("quickstart").expect("registered scenario");
+    let fp = ipmedia_analyze::scenario_fingerprint(&sc);
+
+    let manifest = VerifiedManifest::parse(&format!("{fp} clean quickstart\n"));
+    let verified = run(false);
+    assert!(manifest.is_clean(&fp));
+    assert!(verified.is_clean(), "{:?}", verified.findings());
+
+    for manifest_text in ["", &format!("{fp} findings quickstart\n")] {
+        let manifest = VerifiedManifest::parse(manifest_text);
+        let mut monitor = run(false);
+        let verdict = manifest.verdict(&fp);
+        assert_ne!(verdict, Some(true));
+        monitor.flag_unverified(0, 0, 1_000, "quickstart", &fp, verdict);
+        let f = monitor
+            .findings()
+            .iter()
+            .find(|f| f.code == IM_UNVERIFIED)
+            .expect("IM401 finding");
+        assert!(f.detail.contains(&fp), "{}", f.detail);
+        let rto = RecoveryObjectives::default();
+        assert!(
+            monitor
+                .rto_violations(u64::MAX - 1, &rto)
+                .iter()
+                .any(|f| f.code == IM_UNVERIFIED),
+            "IM401 has no recovery budget"
+        );
+    }
 }
 
 /// Every registry scenario, sized onto the chain exactly as the monitor

@@ -553,6 +553,48 @@ impl ProgramModel {
         }
         true
     }
+
+    /// Rename state `old` to `new`, rewriting the initial-state reference
+    /// and every transition target. Refuses a rename onto an existing
+    /// state name (the model would silently merge two states); returns
+    /// whether anything changed. Like [`ProgramModel::remove_state`],
+    /// this is a single-field mutation for delta-minimizers and
+    /// fingerprint property tests.
+    pub fn rename_state(&mut self, old: &str, new: &str) -> bool {
+        if old == new || self.state_named(old).is_none() || self.state_named(new).is_some() {
+            return false;
+        }
+        if self.initial == old {
+            self.initial = new.to_string();
+        }
+        for s in &mut self.states {
+            if s.name == old {
+                s.name = new.to_string();
+            }
+            for t in &mut s.transitions {
+                if t.to == old {
+                    t.to = new.to_string();
+                }
+            }
+        }
+        true
+    }
+
+    /// Drop the first effect of the first transition that has any, in
+    /// (state-declaration, transition) order — the smallest behavioral
+    /// tweak that leaves the model structurally valid. Returns whether
+    /// anything changed (false on an effect-free model).
+    pub fn drop_first_effect(&mut self) -> bool {
+        for s in &mut self.states {
+            for t in &mut s.transitions {
+                if !t.effects.is_empty() {
+                    t.effects.remove(0);
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 /// A binding of one program-local channel name onto a topology link: box
@@ -708,6 +750,62 @@ impl ScenarioModel {
             .retain(|b| b.box_name != box_name && b.peer != box_name);
         true
     }
+
+    /// Rename box `old` to `new` everywhere it appears: the topology box
+    /// and its links, the program attachment, and every binding owner or
+    /// peer. Refuses a rename onto an existing box name; returns whether
+    /// anything changed. (The attached program's *model name* is left
+    /// alone — it names the program, not the box.)
+    pub fn rename_box(&mut self, old: &str, new: &str) -> bool {
+        if old == new || !self.topology.has_box(old) || self.topology.has_box(new) {
+            return false;
+        }
+        for b in &mut self.topology.boxes {
+            if b == old {
+                *b = new.to_string();
+            }
+        }
+        for l in &mut self.topology.links {
+            if l.from == old {
+                l.from = new.to_string();
+            }
+            if l.to == old {
+                l.to = new.to_string();
+            }
+        }
+        for (b, _) in &mut self.programs {
+            if b == old {
+                *b = new.to_string();
+            }
+        }
+        for b in &mut self.bindings {
+            if b.box_name == old {
+                b.box_name = new.to_string();
+            }
+            if b.peer == old {
+                b.peer = new.to_string();
+            }
+        }
+        true
+    }
+
+    /// The scenario in canonical declaration order: topology boxes sorted
+    /// by name and programs sorted by their box name. These are the only
+    /// orders no analysis pass can observe — box declarations carry no
+    /// payload, and program-scoped findings are keyed by program name —
+    /// so two scenarios that differ only in them are analysis-equivalent.
+    /// Link, binding, state, and transition order is significant (passes
+    /// walk them in order and tie-break on it) and is preserved.
+    ///
+    /// This is the form content-addressed fingerprints hash, making the
+    /// fingerprint insensitive to exactly the reorderings that cannot
+    /// change analyzer output.
+    pub fn canonicalized(&self) -> Self {
+        let mut c = self.clone();
+        c.topology.boxes.sort();
+        c.programs.sort_by(|(a, _), (b, _)| a.cmp(b));
+        c
+    }
 }
 
 #[cfg(test)]
@@ -811,6 +909,71 @@ mod tests {
         assert!(sc.topology.links.is_empty(), "incident link removed");
         assert!(sc.bindings.is_empty(), "binding toward removed peer gone");
         assert!(!sc.remove_box("b"), "second removal is a no-op");
+    }
+
+    #[test]
+    fn rename_state_rewrites_initial_and_targets() {
+        let mut m = tiny();
+        assert!(!m.rename_state("waiting", "done"), "collision refused");
+        assert!(!m.rename_state("ghost", "x"), "unknown state refused");
+        assert!(m.rename_state("waiting", "ringing"));
+        assert!(m.state_named("waiting").is_none());
+        assert_eq!(m.state_named("init").unwrap().transitions[0].to, "ringing");
+        assert!(m.validate().is_empty(), "{:?}", m.validate());
+        assert!(m.rename_state("init", "start"));
+        assert_eq!(m.initial, "start");
+    }
+
+    #[test]
+    fn drop_first_effect_is_ordered_and_bounded() {
+        let mut m = tiny();
+        assert!(m.drop_first_effect());
+        assert!(m.state_named("init").unwrap().transitions[0]
+            .effects
+            .is_empty());
+        assert!(m.drop_first_effect(), "waiting's terminate is next");
+        assert!(!m.drop_first_effect(), "no effects left");
+    }
+
+    #[test]
+    fn rename_box_rewrites_topology_programs_and_bindings() {
+        let mut sc = ScenarioModel::new("t")
+            .program("a", tiny())
+            .with_topology(
+                Topology::new()
+                    .with_box("a")
+                    .with_box("b")
+                    .with_link("a", "b", 1),
+            )
+            .bind("a", "c", "b");
+        assert!(!sc.rename_box("a", "b"), "collision refused");
+        assert!(sc.rename_box("a", "ua"));
+        assert!(sc.topology.has_box("ua") && !sc.topology.has_box("a"));
+        assert_eq!(sc.topology.links[0].from, "ua");
+        assert!(sc.program_for("ua").is_some());
+        assert_eq!(sc.bindings[0].box_name, "ua");
+        assert!(sc.rename_box("b", "peer"));
+        assert_eq!(sc.bindings[0].peer, "peer");
+    }
+
+    #[test]
+    fn canonicalized_sorts_boxes_and_programs_only() {
+        let sc = ScenarioModel::new("t")
+            .program("z", tiny())
+            .program("a", tiny())
+            .with_topology(
+                Topology::new()
+                    .with_box("z")
+                    .with_box("a")
+                    .with_link("z", "a", 1),
+            );
+        let c = sc.canonicalized();
+        assert_eq!(c.topology.boxes, vec!["a".to_string(), "z".to_string()]);
+        assert_eq!(c.programs[0].0, "a");
+        // Link order (and orientation) is significant and untouched.
+        assert_eq!(c.topology.links, sc.topology.links);
+        // Canonicalizing is idempotent.
+        assert_eq!(c.canonicalized(), c);
     }
 
     #[test]

@@ -146,6 +146,7 @@ pub fn snapshot_json(s: &MetricsSnapshot) -> String {
         .num("retransmissions", s.retransmissions)
         .num("recoveries", s.recoveries)
         .num("mck_dedup_hits", s.mck_dedup_hits)
+        .num("cache_evictions", s.cache_evictions)
         .raw("tunnel_setup_ms", &histogram_json(&s.tunnel_setup_ms))
         .raw(
             "flowlink_convergence_ms",
@@ -202,6 +203,7 @@ pub fn prometheus_text(s: &MetricsSnapshot) -> String {
         ("ipmedia_retransmissions_total", s.retransmissions),
         ("ipmedia_recoveries_total", s.recoveries),
         ("ipmedia_mck_dedup_hits_total", s.mck_dedup_hits),
+        ("ipmedia_cache_evictions_total", s.cache_evictions),
     ] {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {v}");

@@ -33,7 +33,10 @@ pub use export::{
 };
 pub use ladder::LadderEvent;
 pub use metrics::{CountingObserver, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
-pub use monitor::{Finding, Monitor, MonitorRules, RecoveryObjectives, RecvRuleData, SendRuleData};
+pub use monitor::{
+    Finding, Monitor, MonitorRules, RecoveryObjectives, RecvRuleData, SendRuleData,
+    VerifiedManifest,
+};
 pub use trace::{
     attribute, attribution_category, chrome_trace_json, Attribution, SpanCtx, SpanId, SpanRecord,
     SpanSink, TraceId, Tracer, TracingObserver,

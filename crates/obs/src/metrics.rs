@@ -142,6 +142,7 @@ pub struct Registry {
     retransmissions: AtomicU64,
     recoveries: AtomicU64,
     mck_dedup_hits: AtomicU64,
+    cache_evictions: AtomicU64,
     /// Channel + first-slot setup latency (§V: 2n+3c for a fresh path).
     pub tunnel_setup_ms: Histogram,
     /// Flow-link reconvergence after a relink (§VII, Fig. 13).
@@ -171,6 +172,7 @@ impl Registry {
             retransmissions: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
             mck_dedup_hits: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
             tunnel_setup_ms: Histogram::new(&[50, 100, 150, 200, 250, 300, 400, 500, 750, 1000]),
             flowlink_convergence_ms: Histogram::new(&[
                 25, 50, 75, 100, 150, 200, 300, 400, 600, 800,
@@ -191,6 +193,12 @@ impl Registry {
     /// Add seen-set hits from one model-checking run.
     pub fn add_mck_dedup_hits(&self, hits: u64) {
         self.mck_dedup_hits.fetch_add(hits, Ordering::Relaxed);
+    }
+
+    /// Add analysis-cache entries that were discarded instead of trusted
+    /// (corrupt, unknown code, or stale analyzer version).
+    pub fn add_cache_evictions(&self, evictions: u64) {
+        self.cache_evictions.fetch_add(evictions, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -216,6 +224,7 @@ impl Registry {
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             mck_dedup_hits: self.mck_dedup_hits.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             tunnel_setup_ms: self.tunnel_setup_ms.snapshot(),
             flowlink_convergence_ms: self.flowlink_convergence_ms.snapshot(),
             stimulus_compute_us: self.stimulus_compute_us.snapshot(),
@@ -251,6 +260,9 @@ pub struct MetricsSnapshot {
     /// Model-checker seen-set hits (transitions collapsed onto
     /// already-interned states), summed over recorded runs.
     pub mck_dedup_hits: u64,
+    /// Incremental-analysis cache entries evicted on load (corrupt,
+    /// unknown code, or stale analyzer version) instead of trusted.
+    pub cache_evictions: u64,
     pub tunnel_setup_ms: HistogramSnapshot,
     pub flowlink_convergence_ms: HistogramSnapshot,
     pub stimulus_compute_us: HistogramSnapshot,
@@ -447,10 +459,12 @@ mod tests {
         let r = Registry::new();
         r.add_mck_dedup_hits(120_000);
         r.add_mck_dedup_hits(5);
+        r.add_cache_evictions(3);
         r.mck_states_per_sec.observe(42_000); // le 50_000
         r.mck_states_per_sec.observe(3_000_000); // overflow
         let s = r.snapshot();
         assert_eq!(s.mck_dedup_hits, 120_005);
+        assert_eq!(s.cache_evictions, 3);
         assert_eq!(s.mck_states_per_sec.total(), 2);
         assert_eq!(s.mck_states_per_sec.counts[4], 1);
         assert_eq!(s.mck_states_per_sec.overflow(), 1);

@@ -20,6 +20,12 @@
 //! - **IM301** — dirty terminal: at quiescence some slot is neither
 //!   closed nor flowing (the model checker's clean-terminal safety
 //!   property).
+//! - **IM401** — unverified model: live behavior attributed to a scenario
+//!   whose content fingerprint the [`VerifiedManifest`] (written by
+//!   `ipmedia-lint --incremental --emit-manifest`) does not list as
+//!   verified clean — either unknown to the analyzer or finding-bearing.
+//!   Always fatal: there is no recovery budget for running unverified
+//!   models.
 //!
 //! Because observation can begin mid-call and some harness paths mutate
 //! boxes without an observer attached (e.g. `apply`-injected goals), the
@@ -39,6 +45,7 @@ pub const IM_CONFORMANCE: &str = "IM101";
 pub const IM_CLOSED_ACTION: &str = "IM102";
 pub const IM_FLOWLINK: &str = "IM201";
 pub const IM_TERMINAL: &str = "IM301";
+pub const IM_UNVERIFIED: &str = "IM401";
 
 /// One send-rule row: in `state`, `action` is legal and moves to `next`.
 /// All fields are state/action names (`SlotState::name()` spelling).
@@ -132,6 +139,67 @@ impl RecoveryObjectives {
             IM_TERMINAL => Some(self.terminal_ms),
             _ => None,
         }
+    }
+}
+
+/// The verified manifest written by `ipmedia-lint --incremental
+/// --emit-manifest`: scenario content fingerprints mapped to their
+/// analysis verdict. Plain text, one `<fingerprint> <clean|findings>
+/// <scenario>` line, `#` comments — parseable here without any JSON
+/// machinery. Fingerprints are salted with the analyzer version, so a
+/// manifest from an older analyzer simply never matches (and the model
+/// counts as unverified).
+#[derive(Debug, Clone, Default)]
+pub struct VerifiedManifest {
+    verdicts: BTreeMap<String, bool>,
+}
+
+impl VerifiedManifest {
+    /// Parse manifest text; malformed lines are skipped (an unreadable
+    /// entry must degrade to "unverified", never to "clean").
+    pub fn parse(src: &str) -> Self {
+        let mut verdicts = BTreeMap::new();
+        for raw in src.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(fp), Some(verdict)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            match verdict {
+                "clean" => {
+                    verdicts.insert(fp.to_string(), true);
+                }
+                "findings" => {
+                    verdicts.insert(fp.to_string(), false);
+                }
+                _ => {}
+            }
+        }
+        Self { verdicts }
+    }
+
+    /// Number of fingerprints listed.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// True iff the manifest lists nothing.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Verdict for a fingerprint: `Some(true)` verified clean,
+    /// `Some(false)` analyzed but finding-bearing, `None` unknown.
+    pub fn verdict(&self, fingerprint: &str) -> Option<bool> {
+        self.verdicts.get(fingerprint).copied()
+    }
+
+    /// True iff the fingerprint is listed and verified clean.
+    pub fn is_clean(&self, fingerprint: &str) -> bool {
+        self.verdict(fingerprint) == Some(true)
     }
 }
 
@@ -423,6 +491,35 @@ impl Monitor {
                 format!("slot in transient state {state} at quiescence"),
             );
         }
+    }
+
+    /// Flag a live event stream attributed to a model the verified
+    /// manifest does not list as clean (IM401). `verdict` is the
+    /// manifest's answer for the scenario's fingerprint; call this once
+    /// per scenario whenever it is not `Some(true)`. The ladder anchors
+    /// to `(bx, slot)` — typically the first box the scenario drove.
+    pub fn flag_unverified(
+        &mut self,
+        bx: u32,
+        slot: u16,
+        at: u64,
+        scenario: &str,
+        fingerprint: &str,
+        verdict: Option<bool>,
+    ) {
+        let why = match verdict {
+            Some(false) => "analyzed with findings, not clean",
+            _ => "fingerprint not in the verified manifest",
+        };
+        self.flag(
+            IM_UNVERIFIED,
+            bx,
+            slot,
+            at,
+            format!(
+                "live ladder from unverified model `{scenario}` (fingerprint {fingerprint}): {why}"
+            ),
+        );
     }
 
     fn flag(&mut self, code: &'static str, bx: u32, slot: u16, at: u64, detail: String) {
@@ -741,6 +838,54 @@ mod tests {
         let v = m.rto_violations(heal, &rto);
         assert!(v.iter().any(|f| f.code == IM_FLOWLINK));
         assert!(v.iter().any(|f| f.code == IM_TERMINAL));
+    }
+
+    #[test]
+    fn verified_manifest_parses_verdicts_and_skips_garbage() {
+        let m = VerifiedManifest::parse(
+            "# header comment\n\
+             00ff00ff00ff00ff clean quickstart\n\
+             1122334455667788 findings relay_chain # known-dirty\n\
+             not-a-valid-line\n\
+             deadbeefdeadbeef bogus-verdict x\n",
+        );
+        assert_eq!(m.len(), 2);
+        assert!(m.is_clean("00ff00ff00ff00ff"));
+        assert_eq!(m.verdict("1122334455667788"), Some(false));
+        assert_eq!(m.verdict("deadbeefdeadbeef"), None);
+        assert!(!m.is_clean("ffffffffffffffff"));
+    }
+
+    #[test]
+    fn unverified_model_is_im401_and_never_forgiven() {
+        let mut m = Monitor::new(rules());
+        m.register_box(0, "end-l");
+        m.ingest(0, &sent(0, 0, "open"));
+        let manifest = VerifiedManifest::parse("1111111111111111 clean other\n");
+        let fp = "2222222222222222";
+        assert!(!manifest.is_clean(fp));
+        m.flag_unverified(0, 0, 5, "rogue", fp, manifest.verdict(fp));
+        let f = m
+            .findings()
+            .iter()
+            .find(|f| f.code == IM_UNVERIFIED)
+            .expect("IM401 finding");
+        assert!(f.detail.contains("rogue"), "{}", f.detail);
+        assert!(f.detail.contains(fp), "{}", f.detail);
+        assert!(f.ladder.contains("end-l"), "{}", f.ladder);
+        // No recovery budget: IM401 is a violation whenever it fires.
+        let rto = RecoveryObjectives::default();
+        assert!(m
+            .rto_violations(u64::MAX - 1, &rto)
+            .iter()
+            .any(|f| f.code == IM_UNVERIFIED));
+    }
+
+    #[test]
+    fn findings_bearing_verdict_says_so_in_the_detail() {
+        let mut m = Monitor::new(rules());
+        m.flag_unverified(0, 0, 5, "dirty", "aaaaaaaaaaaaaaaa", Some(false));
+        assert!(m.findings()[0].detail.contains("analyzed with findings"));
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn populated() -> Arc<Registry> {
     obs.retransmission(1, 0, "open");
     obs.recovered(1, 0, 2, 350);
     registry.add_mck_dedup_hits(7);
+    registry.add_cache_evictions(4);
     registry.tunnel_setup_ms.observe(120);
     registry.flowlink_convergence_ms.observe(88);
     registry.stimulus_compute_us.observe(15);
@@ -133,6 +134,8 @@ fn populated_values_survive_both_exports() {
     }
     assert!(json.contains("\"mck_dedup_hits\":7"));
     assert!(prom.contains("ipmedia_mck_dedup_hits_total 7"));
+    assert!(json.contains("\"cache_evictions\":4"));
+    assert!(prom.contains("ipmedia_cache_evictions_total 4"));
     for h in [
         "tunnel_setup_ms",
         "flowlink_convergence_ms",

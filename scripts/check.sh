@@ -27,6 +27,74 @@ cargo run "$@" -q -p ipmedia-analyze --bin ipmedia-lint -- \
   --all-examples --deny warnings --threads "$(nproc)" \
   --baseline lint-baseline.txt --sarif target/ipmedia-lint.sarif
 
+echo "== incremental lint (content-addressed cache, O(changed) re-lint)" >&2
+# Cold-lints the committed fleet sample into a fresh cache, swaps in the
+# one-program-edit variant of one scenario, and re-lints: the second run
+# must miss exactly one scenario (everything else replays from cache) and
+# both runs' diagnostic streams must be byte-identical apart from the
+# edit — the cache-correctness oracle, exercised through the CLI.
+cargo build "$@" --release -q -p ipmedia-analyze --bin ipmedia-lint
+LINT_BUDGET_SECS="${LINT_BUDGET_SECS:-120}"
+rm -rf target/lint_gate
+mkdir -p target/lint_gate/cache
+cp examples/fleet/*.ipm target/lint_gate/
+run_gate_lint() {
+  # Fuzz-generated fleet scenarios legitimately carry findings, so exit 1
+  # (findings) is as green as exit 0 here; anything else is a failure.
+  local status=0
+  timeout "$LINT_BUDGET_SECS" ./target/release/ipmedia-lint \
+    --incremental --cache target/lint_gate/cache --jsonl \
+    target/lint_gate/fleet_*.ipm 2>/dev/null || status=$?
+  if [ "$status" -ne 0 ] && [ "$status" -ne 1 ]; then
+    echo "incremental lint gate failed (exit $status)" >&2
+    exit "$status"
+  fi
+}
+run_gate_lint > target/lint_gate/cold.jsonl
+edited="$(ls examples/fleet/edited/)"
+cp "examples/fleet/edited/$edited" target/lint_gate/
+run_gate_lint > target/lint_gate/warm.jsonl
+grep '"record":"lint_incremental"' target/lint_gate/warm.jsonl \
+  | grep -q '"scenario_misses":1' || {
+  echo "incremental gate: one-edit re-lint did not miss exactly one scenario:" >&2
+  grep '"record":"lint_incremental"' target/lint_gate/warm.jsonl >&2 || true
+  exit 1
+}
+# A fully-warm third pass over the same inputs must reproduce the warm
+# diagnostics byte-for-byte with zero pass runs.
+run_gate_lint > target/lint_gate/warm2.jsonl
+grep '"record":"lint_incremental"' target/lint_gate/warm2.jsonl \
+  | grep -q '"scenario_misses":0' || {
+  echo "incremental gate: unchanged re-lint was not a full cache hit" >&2
+  exit 1
+}
+diff <(grep '"type":"diag"' target/lint_gate/warm.jsonl) \
+     <(grep '"type":"diag"' target/lint_gate/warm2.jsonl) || {
+  echo "incremental gate: warm replay diverged from the analyzing run" >&2
+  exit 1
+}
+
+echo "== verified manifest round trip (lint fingerprints -> live monitor)" >&2
+# The registry lints clean, so its emitted manifest marks every scenario
+# verified: the monitor must accept the whole registry under it, and must
+# flag the same stream as IM401 under an empty manifest — proving the
+# unverified-model path can actually fire.
+cargo build "$@" --release -q -p ipmedia-bench --bin ipmedia-monitor
+MONITOR_BUDGET_SECS="${MONITOR_BUDGET_SECS:-120}"
+cargo run "$@" -q -p ipmedia-analyze --bin ipmedia-lint -- \
+  --all-examples --incremental --cache target/lint_gate/registry-cache \
+  --emit-manifest target/lint_gate/verified-manifest.txt
+timeout "$MONITOR_BUDGET_SECS" ./target/release/ipmedia-monitor \
+  --verified-manifest target/lint_gate/verified-manifest.txt >/dev/null || {
+  echo "monitor rejected the freshly verified manifest (exit $?)" >&2
+  exit 1
+}
+if timeout "$MONITOR_BUDGET_SECS" ./target/release/ipmedia-monitor \
+  --verified-manifest /dev/null >/dev/null 2>/dev/null; then
+  echo "monitor accepted an unverified model stream (IM401 did not fire)" >&2
+  exit 1
+fi
+
 echo "== differential validation (analyzer clean => no mck counterexample)" >&2
 # Cross-checks every analyzer-clean scenario's covered path classes
 # against the model checker and refreshes BENCH_differential.jsonl; the
@@ -150,6 +218,27 @@ if [ -n "${STORM_BUDGET_SECS:-}" ]; then
   }
 else
   echo "== call storm skipped (set STORM_BUDGET_SECS to run)" >&2
+fi
+
+if [ -n "${LINT_FLEET_BUDGET_SECS:-}" ]; then
+  echo "== lint fleet (10k-scenario incremental re-lint benchmark)" >&2
+  # Opt-in: rewrites BENCH_lint.json with wall-clock fields, so it only
+  # runs when a budget is set — normal CI runs stay byte-stable. The bin
+  # itself fails on any warm cache miss, a non-O(changed) one-edit
+  # profile, a dirty re-lint speedup below 100x, or output divergence
+  # across 1/2/8 worker threads.
+  cargo build "$@" --release -q -p ipmedia-bench --bin ipmedia-lint-fleet
+  timeout "$LINT_FLEET_BUDGET_SECS" ./target/release/ipmedia-lint-fleet >/dev/null || {
+    status=$?
+    if [ "$status" -eq 124 ]; then
+      echo "lint fleet exceeded the ${LINT_FLEET_BUDGET_SECS}s wall-clock budget" >&2
+    else
+      echo "lint fleet failed an incremental-cache assertion (exit $status)" >&2
+    fi
+    exit "$status"
+  }
+else
+  echo "== lint fleet skipped (set LINT_FLEET_BUDGET_SECS to run)" >&2
 fi
 
 echo "all checks passed" >&2
